@@ -1,0 +1,110 @@
+//! The Allreduce pair: CosmoFlow and DL (paper §IV, "Allreduce").
+//!
+//! Both model fully synchronous data-parallel distributed deep learning:
+//! long compute (the training step) followed by a tree allreduce of the
+//! gradients. The paper scales CosmoFlow's measured behaviour (28.15 MB
+//! every 129 ms) down 25× to match the other apps' durations, and defines
+//! DL as "similar message size but shorter communication interval, such
+//! that its message injection rate is around 4.7× higher than CosmoFlow".
+
+use dfsim_mpi::{CommId, MpiOp};
+
+use crate::loopprog::LoopProgram;
+use crate::spec::{div_bytes, div_time, scale_split, AppInstance};
+
+/// Parameters of one allreduce workload at paper scale.
+#[derive(Debug, Clone, Copy)]
+pub struct AllreduceParams {
+    /// Allreduce buffer bytes (28.15 MB / 25 for CosmoFlow).
+    pub bytes: u64,
+    /// Compute interval between allreduces, ps.
+    pub interval_ps: u64,
+    /// Training steps.
+    pub rounds: u32,
+    /// Minimum rounds preserved under scaling.
+    pub min_rounds: u32,
+}
+
+/// CosmoFlow: 1.126 MB allreduce every 5.16 ms (the 25×-scaled trace).
+pub const COSMOFLOW: AllreduceParams = AllreduceParams {
+    bytes: 1_180_634, // 28.15 MB / 25
+    interval_ps: 5_160_000_000,
+    rounds: 2,
+    min_rounds: 2,
+};
+
+/// DL: same buffer, 4.7× shorter interval, more rounds.
+pub const DL: AllreduceParams = AllreduceParams {
+    bytes: 1_205_862,
+    interval_ps: 1_098_000_000, // 5.16 ms / 4.7
+    rounds: 8,
+    min_rounds: 4,
+};
+
+/// Build an allreduce app.
+pub fn build_allreduce(size: u32, scale: f64, p: AllreduceParams) -> AppInstance {
+    let s = scale_split(p.rounds, p.min_rounds, scale);
+    let bytes = div_bytes(p.bytes, s.byte_div);
+    let interval = div_time(p.interval_ps, s.byte_div);
+    let programs = (0..size)
+        .map(|_| {
+            LoopProgram::boxed(s.iters, move |_i, buf| {
+                buf.push_back(MpiOp::Compute(interval));
+                buf.push_back(MpiOp::AllReduce { comm: CommId::WORLD, bytes });
+            })
+        })
+        .collect();
+    AppInstance { programs, comms: Vec::new() }
+}
+
+/// Build CosmoFlow.
+pub fn build_cosmoflow(size: u32, scale: f64) -> AppInstance {
+    build_allreduce(size, scale, COSMOFLOW)
+}
+
+/// Build DL.
+pub fn build_dl(size: u32, scale: f64) -> AppInstance {
+    build_allreduce(size, scale, DL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsim_mpi::RankProgram;
+
+    #[test]
+    fn rounds_alternate_compute_and_allreduce() {
+        let inst = build_allreduce(4, 1.0, COSMOFLOW);
+        let mut p = inst.programs.into_iter().next().unwrap();
+        let mut ops = Vec::new();
+        while let Some(op) = p.next_op() {
+            ops.push(op);
+        }
+        assert_eq!(ops.len(), 2 * COSMOFLOW.rounds as usize);
+        for pair in ops.chunks(2) {
+            assert!(matches!(pair[0], MpiOp::Compute(_)));
+            assert!(matches!(pair[1], MpiOp::AllReduce { .. }));
+        }
+    }
+
+    #[test]
+    fn dl_injection_rate_is_4_7x_cosmoflow() {
+        // Rate ∝ bytes / interval; buffers are near-equal, intervals differ.
+        let cosmo = COSMOFLOW.bytes as f64 / COSMOFLOW.interval_ps as f64;
+        let dl = DL.bytes as f64 / DL.interval_ps as f64;
+        let ratio = dl / cosmo;
+        assert!((ratio - 4.8).abs() < 0.15, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn scaling_shrinks_bytes_and_interval_together() {
+        let inst = build_allreduce(2, 64.0, COSMOFLOW);
+        let mut p = inst.programs.into_iter().next().unwrap();
+        let Some(MpiOp::Compute(interval)) = p.next_op() else { panic!() };
+        let Some(MpiOp::AllReduce { bytes, .. }) = p.next_op() else { panic!() };
+        // rounds pinned at min_rounds = 2 → the full 64× residual lands on
+        // bytes and time.
+        assert_eq!(bytes, (COSMOFLOW.bytes as f64 / 64.0).round() as u64);
+        assert_eq!(interval, (COSMOFLOW.interval_ps as f64 / 64.0).round() as u64);
+    }
+}

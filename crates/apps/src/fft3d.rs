@@ -1,0 +1,101 @@
+//! FFT3D — parallel FFT with row/column alltoalls (paper §IV, "Alltoall").
+//!
+//! Processes form a 2-D array; each iteration performs a ring alltoall along
+//! the process row (transpose), a computation phase (the FFT itself), an
+//! alltoall along the column, and another computation phase — producing the
+//! bursty throughput profile of paper Fig 5 (valleys = compute, peaks =
+//! alltoall).
+
+use dfsim_mpi::{CommId, MpiOp};
+
+use crate::grid::Grid;
+use crate::loopprog::LoopProgram;
+use crate::spec::{div_bytes, div_time, scale_split, AppInstance};
+
+/// Paper-scale per-pair alltoall payload (= Table I peak ingress: the ring
+/// keeps one message in flight).
+pub const MSG_BYTES: u64 = 52_920;
+/// Paper-scale iteration count (forward/backward FFT rounds).
+pub const BASE_ITERS: u32 = 13;
+/// Compute phase between alltoalls, ps (calibrated so Table I's 12.53 ms
+/// execution time = 13 iterations of 2 alltoalls + 2 FFT compute phases).
+pub const COMPUTE_PS: u64 = 350_000_000;
+
+/// Build FFT3D for `size` ranks.
+pub fn build(size: u32, scale: f64) -> AppInstance {
+    let s = scale_split(BASE_ITERS, 2, scale);
+    let bytes = div_bytes(MSG_BYTES, s.byte_div);
+    let compute = div_time(COMPUTE_PS, s.byte_div);
+    let grid = Grid::balanced(size, 2);
+    let (rows, cols) = (grid.dims()[0], grid.dims()[1]);
+
+    // Communicators: 1..=rows are row comms, rows+1..=rows+cols column comms.
+    let mut comms: Vec<Vec<u32>> = Vec::with_capacity((rows + cols) as usize);
+    for r in 0..rows {
+        comms.push((0..cols).map(|c| grid.rank(&[r, c])).collect());
+    }
+    for c in 0..cols {
+        comms.push((0..rows).map(|r| grid.rank(&[r, c])).collect());
+    }
+
+    let programs = (0..size)
+        .map(|rank| {
+            let coords = grid.coords(rank);
+            let row_comm = CommId(1 + coords[0] as u16);
+            let col_comm = CommId(1 + rows as u16 + coords[1] as u16);
+            LoopProgram::boxed(s.iters, move |_i, buf| {
+                buf.push_back(MpiOp::AllToAll { comm: row_comm, bytes });
+                buf.push_back(MpiOp::Compute(compute));
+                buf.push_back(MpiOp::AllToAll { comm: col_comm, bytes });
+                buf.push_back(MpiOp::Compute(compute));
+            })
+        })
+        .collect();
+    AppInstance { programs, comms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsim_mpi::RankProgram;
+
+    #[test]
+    fn communicators_partition_rows_and_columns() {
+        let inst = build(12, 1.0); // 4×3 grid
+        let comms = &inst.comms;
+        assert_eq!(comms.len(), 4 + 3);
+        // Row comms have 3 members, column comms 4.
+        for row in &comms[..4] {
+            assert_eq!(row.len(), 3);
+        }
+        for col in &comms[4..] {
+            assert_eq!(col.len(), 4);
+        }
+        // Every rank appears in exactly one row and one column.
+        let mut seen = vec![0u32; 12];
+        for c in comms {
+            for &m in c {
+                seen[m as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn iteration_alternates_alltoall_and_compute() {
+        let inst = build(12, 1000.0);
+        let mut p = inst.programs.into_iter().next().unwrap();
+        let ops: Vec<_> = std::iter::from_fn(|| p.next_op()).take(4).collect();
+        assert!(matches!(ops[0], MpiOp::AllToAll { .. }));
+        assert!(matches!(ops[1], MpiOp::Compute(_)));
+        assert!(matches!(ops[2], MpiOp::AllToAll { .. }));
+        assert!(matches!(ops[3], MpiOp::Compute(_)));
+        // Row and column comms differ.
+        let (MpiOp::AllToAll { comm: a, .. }, MpiOp::AllToAll { comm: b, .. }) =
+            (ops[0], ops[2])
+        else {
+            unreachable!()
+        };
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,172 @@
+//! The stencil family: Halo3D (3-D, 6 neighbours), LQCD (4-D, 8 neighbours)
+//! and Stencil5D (5-D, up to 10 neighbours) — paper §IV, "Stencil".
+//!
+//! Each iteration posts receives from every face neighbour, sends the halo
+//! to each of them, waits for the exchange, and computes. Grids are
+//! non-periodic, so edge/corner processes have fewer neighbours — the
+//! source of Stencil5D's intra-app variance the paper remarks on (§V-C).
+
+use dfsim_mpi::MpiOp;
+
+use crate::grid::Grid;
+use crate::loopprog::LoopProgram;
+use crate::spec::{div_bytes, div_time, scale_split, AppInstance};
+
+/// Parameters of one stencil workload at paper scale.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilParams {
+    /// Grid dimensionality.
+    pub ndims: usize,
+    /// Per-neighbour message bytes.
+    pub msg_bytes: u64,
+    /// Iterations.
+    pub base_iters: u32,
+    /// Minimum iterations preserved under scaling.
+    pub min_iters: u32,
+    /// Per-iteration compute, ps.
+    pub compute_ps: u64,
+}
+
+/// Halo3D: highest injection rate of all apps (Table I: 4.4 TB/s).
+pub const HALO3D: StencilParams = StencilParams {
+    ndims: 3,
+    msg_bytes: 200_977, // peak ingress 1.15 MB over 6 neighbours
+    base_iters: 79,
+    min_iters: 8,
+    compute_ps: 30_000_000, // 30 µs: nearly continuous communication
+};
+
+/// LQCD: 4-D, large peak ingress (4.6 MB over 8 neighbours).
+pub const LQCD: StencilParams = StencilParams {
+    ndims: 4,
+    msg_bytes: 602_931,
+    base_iters: 5,
+    min_iters: 2,
+    compute_ps: 2_300_000_000, // 2.3 ms (Table I: 13.79 ms over 5 iterations)
+};
+
+/// Stencil5D: the largest peak ingress of the study (14 MB over 10
+/// neighbours).
+pub const STENCIL5D: StencilParams = StencilParams {
+    ndims: 5,
+    msg_bytes: 1_468_006,
+    base_iters: 2,
+    min_iters: 1,
+    compute_ps: 5_100_000_000, // 5.1 ms (Table I: 13.70 ms over 2 iterations)
+};
+
+/// Build a stencil app from parameters.
+pub fn build_stencil(size: u32, scale: f64, p: StencilParams) -> AppInstance {
+    let s = scale_split(p.base_iters, p.min_iters, scale);
+    let bytes = div_bytes(p.msg_bytes, s.byte_div);
+    let compute = div_time(p.compute_ps, s.byte_div);
+    let grid = Grid::balanced(size, p.ndims);
+    let programs = (0..size)
+        .map(|rank| {
+            let neighbors = grid.face_neighbors(rank);
+            LoopProgram::boxed(s.iters, move |i, buf| {
+                let tag = i as u64;
+                for &nb in &neighbors {
+                    buf.push_back(MpiOp::Irecv { src: Some(nb), tag });
+                }
+                for &nb in &neighbors {
+                    buf.push_back(MpiOp::Isend { dst: nb, bytes, tag });
+                }
+                buf.push_back(MpiOp::WaitAll);
+                buf.push_back(MpiOp::Compute(compute));
+            })
+        })
+        .collect();
+    AppInstance { programs, comms: Vec::new() }
+}
+
+/// Build Halo3D.
+pub fn build_halo3d(size: u32, scale: f64) -> AppInstance {
+    build_stencil(size, scale, HALO3D)
+}
+
+/// Build LQCD.
+pub fn build_lqcd(size: u32, scale: f64) -> AppInstance {
+    build_stencil(size, scale, LQCD)
+}
+
+/// Build Stencil5D.
+pub fn build_stencil5d(size: u32, scale: f64) -> AppInstance {
+    build_stencil(size, scale, STENCIL5D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsim_mpi::RankProgram;
+
+    fn first_iter_sends(p: &mut Box<dyn RankProgram>) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        loop {
+            match p.next_op().unwrap() {
+                MpiOp::Isend { dst, bytes, .. } => out.push((dst, bytes)),
+                MpiOp::WaitAll => return out,
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn halo3d_interior_rank_has_six_neighbors() {
+        // 27 ranks → 3×3×3; rank 13 is the center.
+        let inst = build_stencil(27, 1000.0, HALO3D);
+        let mut programs = inst.programs;
+        let sends = first_iter_sends(&mut programs[13]);
+        assert_eq!(sends.len(), 6);
+        // Corner rank 0 has 3.
+        let sends = first_iter_sends(&mut programs[0]);
+        assert_eq!(sends.len(), 3);
+    }
+
+    #[test]
+    fn lqcd_interior_rank_has_eight_neighbors() {
+        // 81 ranks → 3×3×3×3; center = (1,1,1,1) = 40.
+        let inst = build_stencil(81, 1000.0, LQCD);
+        let mut programs = inst.programs;
+        let sends = first_iter_sends(&mut programs[40]);
+        assert_eq!(sends.len(), 8);
+    }
+
+    #[test]
+    fn stencil5d_interior_rank_has_ten_neighbors() {
+        // 243 ranks → 3^5 (the paper's mixed-workload size); center = 121.
+        let inst = build_stencil(243, 1000.0, STENCIL5D);
+        let mut programs = inst.programs;
+        let sends = first_iter_sends(&mut programs[121]);
+        assert_eq!(sends.len(), 10);
+    }
+
+    #[test]
+    fn peak_ingress_scales_with_neighbor_count() {
+        // The interior-rank burst (neighbours × bytes) reproduces Table I's
+        // peak-ingress ordering within the stencil family at any scale.
+        let halo = 6 * HALO3D.msg_bytes;
+        let lqcd = 8 * LQCD.msg_bytes;
+        let st5d = 10 * STENCIL5D.msg_bytes;
+        assert!(halo < lqcd && lqcd < st5d);
+        // And matches the Table I values within 1%.
+        assert!((halo as f64 - 1.15 * 1024.0 * 1024.0).abs() / (1.15 * 1024.0 * 1024.0) < 0.01);
+        assert!((lqcd as f64 - 4.6 * 1024.0 * 1024.0).abs() / (4.6 * 1024.0 * 1024.0) < 0.01);
+        assert!((st5d as f64 - 14.0 * 1024.0 * 1024.0).abs() / (14.0 * 1024.0 * 1024.0) < 0.01);
+    }
+
+    #[test]
+    fn iterations_end_with_exchange_then_compute() {
+        let inst = build_stencil(8, 1000.0, HALO3D);
+        let mut p = inst.programs.into_iter().next().unwrap();
+        let mut ops = Vec::new();
+        while let Some(op) = p.next_op() {
+            ops.push(op);
+            if ops.len() > 16 {
+                break;
+            }
+        }
+        let wait = ops.iter().position(|o| matches!(o, MpiOp::WaitAll)).unwrap();
+        assert!(matches!(ops[wait + 1], MpiOp::Compute(_)));
+    }
+}

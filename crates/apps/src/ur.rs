@@ -1,0 +1,110 @@
+//! UR — Uniform Random background traffic (paper §IV, "Random").
+//!
+//! Every process sends a fixed-size message to a pseudo-random target each
+//! iteration. To keep the pattern balanced and deadlock-free without global
+//! matching metadata, iteration `i` uses a random cyclic shift `s_i`: rank
+//! `r` sends to `r + s_i` and receives from `r − s_i` (mod n). Destinations
+//! remain uniformly distributed over the whole machine — the property the
+//! paper uses UR for ("a system under a balanced network load").
+
+use std::sync::Arc;
+
+use dfsim_des::SimRng;
+use dfsim_mpi::MpiOp;
+
+use crate::loopprog::LoopProgram;
+use crate::spec::{div_bytes, scale_split, AppInstance};
+
+/// Paper-scale per-message size (= Table I peak ingress, one message).
+pub const MSG_BYTES: u64 = 3_072;
+/// Paper-scale iteration count on 528 nodes (≈ 11.8 GB total).
+pub const BASE_ITERS: u32 = 7_292;
+/// Per-iteration compute, ps (calibrated: Table I's 13.31 ms / 7,292
+/// iterations ≈ 1.8 µs per iteration, roughly half spent communicating).
+pub const COMPUTE_PS: u64 = 900_000;
+
+/// Build UR for `size` ranks.
+pub fn build(size: u32, scale: f64, seed: u64) -> AppInstance {
+    let s = scale_split(BASE_ITERS, 8, scale);
+    let bytes = div_bytes(MSG_BYTES, s.byte_div);
+    let compute = crate::spec::div_time(COMPUTE_PS, s.byte_div);
+    // One shared shift schedule, identical on every rank.
+    let mut rng = SimRng::new(seed ^ 0x5552_4e44); // "URND"
+    let shifts: Arc<Vec<u32>> = Arc::new(
+        (0..s.iters)
+            .map(|_| if size > 1 { rng.below(size as u64 - 1) as u32 + 1 } else { 0 })
+            .collect(),
+    );
+    let programs = (0..size)
+        .map(|rank| {
+            let shifts = Arc::clone(&shifts);
+            LoopProgram::boxed(s.iters, move |i, buf| {
+                let shift = shifts[i as usize];
+                if shift == 0 {
+                    return; // single-rank degenerate case
+                }
+                let n = size;
+                let dst = (rank + shift) % n;
+                let src = (rank + n - shift) % n;
+                buf.push_back(MpiOp::Irecv { src: Some(src), tag: i as u64 });
+                buf.push_back(MpiOp::Isend { dst, bytes, tag: i as u64 });
+                buf.push_back(MpiOp::WaitAll);
+                buf.push_back(MpiOp::Compute(compute));
+            })
+        })
+        .collect();
+    AppInstance { programs, comms: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsim_mpi::RankProgram;
+
+    #[test]
+    fn sends_match_recvs_within_iteration() {
+        let inst = build(8, 1000.0, 3);
+        // Collect the first iteration's (src, dst) pairs from all ranks.
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for (rank, mut p) in inst.programs.into_iter().enumerate() {
+            let r = p.next_op().unwrap();
+            let s = p.next_op().unwrap();
+            match (r, s) {
+                (MpiOp::Irecv { src: Some(src), .. }, MpiOp::Isend { dst, .. }) => {
+                    recvs.push((src, rank as u32));
+                    sends.push((rank as u32, dst));
+                }
+                other => panic!("unexpected ops {other:?}"),
+            }
+        }
+        sends.sort_unstable();
+        recvs.sort_unstable();
+        assert_eq!(sends, recvs, "every send has a matching recv");
+        // Nobody sends to itself.
+        assert!(sends.iter().all(|&(s, d)| s != d));
+    }
+
+    #[test]
+    fn scale_reduces_iterations_not_bytes() {
+        let inst = build(4, 64.0, 1);
+        let mut p = inst.programs.into_iter().next().unwrap();
+        let mut count = 0;
+        let mut bytes = None;
+        while let Some(op) = p.next_op() {
+            if let MpiOp::Isend { bytes: b, .. } = op {
+                count += 1;
+                bytes = Some(b);
+            }
+        }
+        assert_eq!(count, (BASE_ITERS as f64 / 64.0).round() as u32);
+        assert_eq!(bytes, Some(MSG_BYTES), "message size preserved at this scale");
+    }
+
+    #[test]
+    fn single_rank_job_is_silent() {
+        let inst = build(1, 1000.0, 9);
+        let mut p = inst.programs.into_iter().next().unwrap();
+        assert_eq!(p.next_op(), None);
+    }
+}

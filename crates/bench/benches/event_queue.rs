@@ -1,0 +1,53 @@
+//! Event-queue ablation: binary heap vs calendar queue (DESIGN.md §7).
+//!
+//! The workload mimics a network simulation's event mix: mostly
+//! short-horizon pushes (packet serialization, credits) with occasional
+//! long-horizon ones (compute wakeups).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfsim_des::calendar::CalendarQueue;
+use dfsim_des::queue::{EventQueue, PendingEvents};
+use dfsim_des::SimRng;
+
+fn churn<Q: PendingEvents<u64>>(q: &mut Q, n: u64, rng: &mut SimRng) -> u64 {
+    let mut now = 0u64;
+    let mut acc = 0u64;
+    // Prime with some pending events.
+    for i in 0..256 {
+        q.push(i * 977, i);
+    }
+    for i in 0..n {
+        // Hold-model: pop one, push one (steady-state simulation shape).
+        if let Some((t, e)) = q.pop() {
+            now = t;
+            acc = acc.wrapping_add(e);
+        }
+        let horizon = if rng.chance(0.02) { 5_000_000 } else { 40_000 };
+        q.push(now + 1 + rng.below(horizon), i);
+    }
+    acc
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_hold");
+    for n in [10_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::new("binary_heap", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let mut rng = SimRng::new(1);
+                black_box(churn(&mut q, n, &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("calendar", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = CalendarQueue::for_network();
+                let mut rng = SimRng::new(1);
+                black_box(churn(&mut q, n, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Q-table hot paths: the lookup + update executed on every Q-adaptive
+//! packet hop and feedback signal.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dfsim_network::QTable;
+use dfsim_topology::{DragonflyParams, GroupId, LinkTiming, Port, RouterId, Topology};
+
+fn bench_qtable(c: &mut Criterion) {
+    let topo = Topology::new(DragonflyParams::paper_1056()).unwrap();
+    let timing = LinkTiming::default();
+    let mut qt = QTable::new(&topo, RouterId(0), &timing, 0.2);
+
+    c.bench_function("qtable_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7);
+            black_box(qt.q1(GroupId(i % 33), Port(4 + (i % 11) as u8)))
+        })
+    });
+
+    c.bench_function("qtable_best1", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7);
+            black_box(qt.best1(GroupId(i % 33)))
+        })
+    });
+
+    c.bench_function("qtable_update", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(13);
+            qt.update1(GroupId((i % 33) as u32), Port(4 + (i % 11) as u8), 500_000 + i % 100_000);
+            black_box(qt.q1(GroupId((i % 33) as u32), Port(4)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_qtable);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Router hot path: drive a fan-in pattern through the network simulation
+//! and measure end-to-end event-processing throughput (the whole
+//! arbitration / credit / forwarding machinery).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfsim_des::queue::PendingEvents;
+use dfsim_des::sched::QueueScheduler;
+use dfsim_des::{EventQueue, SimRng};
+use dfsim_metrics::{AppId, Recorder, RecorderConfig};
+use dfsim_network::{NetworkSim, RoutingAlgo, RoutingConfig};
+use dfsim_topology::{DragonflyParams, LinkTiming, NodeId, Topology};
+
+fn run_fanin(algo: RoutingAlgo, messages: u32) -> u64 {
+    let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+    let mut rec = Recorder::new(
+        &topo,
+        RecorderConfig { record_latencies: false, ..Default::default() },
+    );
+    let mut net = NetworkSim::new(
+        topo.clone(),
+        LinkTiming::default(),
+        RoutingConfig::new(algo),
+        &SimRng::new(3),
+    );
+    let mut queue = EventQueue::new();
+    let mut effects = Vec::new();
+    let n = topo.num_nodes();
+    for i in 0..messages {
+        let src = NodeId(1 + (i % (n - 1)));
+        let mut sched = QueueScheduler::new(&mut queue);
+        net.send_message(&mut sched, &mut rec, src, NodeId(0), 2048, AppId(0));
+    }
+    let mut events = 0u64;
+    while let Some((_, ev)) = queue.pop() {
+        let mut sched = QueueScheduler::new(&mut queue);
+        net.handle(ev, &mut sched, &mut rec, &mut effects);
+        effects.clear();
+        events += 1;
+    }
+    events
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_fanin");
+    group.sample_size(20);
+    for algo in [RoutingAlgo::Minimal, RoutingAlgo::UgalG, RoutingAlgo::QAdaptive] {
+        group.bench_with_input(
+            BenchmarkId::new("fanin_512_msgs", algo.label()),
+            &algo,
+            |b, &algo| b.iter(|| black_box(run_fanin(algo, 512))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Topology hot paths: next-port lookup (executed once per packet per
+//! router) and full path walks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dfsim_topology::paths::{walk, PathPlan};
+use dfsim_topology::{DragonflyParams, GroupId, NodeId, Topology};
+
+fn bench_topology(c: &mut Criterion) {
+    let topo = Topology::new(DragonflyParams::paper_1056()).unwrap();
+    let n = topo.num_nodes();
+
+    c.bench_function("min_next_port", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i.wrapping_mul(1664525).wrapping_add(1013904223)) % (n * 263);
+            let src = dfsim_topology::RouterId(i % topo.num_routers());
+            let dst = NodeId((i * 7 + 13) % n);
+            black_box(topo.min_next_port(src, dst))
+        })
+    });
+
+    c.bench_function("walk_minimal", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(101);
+            let src = NodeId(i % n);
+            let dst = NodeId((i * 31 + 5) % n);
+            black_box(walk(&topo, src, dst, PathPlan::Minimal))
+        })
+    });
+
+    c.bench_function("walk_valiant", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(101);
+            let src = NodeId(i % n);
+            let dst = NodeId((i * 31 + 5) % n);
+            let via = GroupId((i * 13 + 7) % topo.num_groups());
+            black_box(walk(&topo, src, dst, PathPlan::NonMinimalGroup { via }))
+        })
+    });
+
+    c.bench_function("gateway_lookup", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(17);
+            let a = GroupId(i % 33);
+            let bb = GroupId((i * 7 + 1) % 33);
+            black_box(topo.gateway(a, bb))
+        })
+    });
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

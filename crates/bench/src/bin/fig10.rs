@@ -1,0 +1,97 @@
+//! **Figure 10** — mixed-workload interference: each Table II application's
+//! communication time standalone ("none") vs inside the six-app mix
+//! ("interfered"), under all four routings.
+//!
+//! Paper claims: Stencil5D <2% delay; LQCD ~17.9% under adaptive, 6.5%
+//! under Q-adaptive; the other apps average ~96% more comm time under
+//! adaptive routing, with Q-adaptive reducing interference by ~49%.
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin fig10
+//! ```
+
+use dfsim_bench::{csv_flag, routings_from_env, study_from_env, threads_from_env};
+use dfsim_core::experiments::{mixed, StudyConfig, MIXED_JOBS};
+use dfsim_core::runner::{run_placed, JobSpec};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, TextTable};
+use dfsim_network::RoutingAlgo;
+
+fn main() {
+    let study = study_from_env(64.0);
+    let routings = routings_from_env();
+    eprintln!("# Fig 10 @ scale 1/{}", study.scale);
+
+    let runs = parallel_map(routings.clone(), threads_from_env(), |routing| {
+        let cfg = StudyConfig { routing, ..study };
+        // Standalone runs at Table II sizes (same placement prefix as the
+        // mix would give them is not required by the paper; "none" is the
+        // app alone on the system).
+        let alones: Vec<_> = MIXED_JOBS
+            .iter()
+            .map(|&(kind, size)| {
+                run_placed(&cfg.sim(), &[JobSpec::sized(kind, size)], cfg.placement)
+            })
+            .collect();
+        let mix = mixed(&cfg);
+        (routing, alones, mix)
+    });
+
+    let mut t = TextTable::new(vec![
+        "App",
+        "Routing",
+        "None (ms)",
+        "Interfered (ms)",
+        "delta %",
+        "std none",
+        "std mix",
+    ]);
+    for (routing, alones, mix) in &runs {
+        for (i, &(kind, _)) in MIXED_JOBS.iter().enumerate() {
+            let a = &alones[i].apps[0];
+            let b = &mix.apps[i];
+            t.row(vec![
+                kind.name().to_string(),
+                routing.label().to_string(),
+                f(a.comm_ms.mean, 4),
+                f(b.comm_ms.mean, 4),
+                f(100.0 * (b.comm_ms.mean / a.comm_ms.mean - 1.0), 1),
+                f(a.comm_ms.std, 4),
+                f(b.comm_ms.std, 4),
+            ]);
+        }
+    }
+    if csv_flag() {
+        print!("{}", t.to_csv());
+        return;
+    }
+    println!("{}", t.render());
+
+    // Paper's summary statistics: mean interference over the five
+    // non-Stencil5D apps, adaptive vs Q-adaptive.
+    let mean_delta = |routing: RoutingAlgo| -> Option<f64> {
+        let (_, alones, mix) = runs.iter().find(|(r, ..)| *r == routing)?;
+        let mut total = 0.0;
+        let mut n = 0;
+        for (i, &(kind, _)) in MIXED_JOBS.iter().enumerate() {
+            if kind.name() == "Stencil5D" {
+                continue;
+            }
+            total += mix.apps[i].comm_ms.mean / alones[i].apps[0].comm_ms.mean - 1.0;
+            n += 1;
+        }
+        Some(100.0 * total / n as f64)
+    };
+    let adaptive: Vec<f64> = [RoutingAlgo::UgalG, RoutingAlgo::UgalN, RoutingAlgo::Par]
+        .iter()
+        .filter_map(|&r| mean_delta(r))
+        .collect();
+    if !adaptive.is_empty() {
+        let adaptive_mean = adaptive.iter().sum::<f64>() / adaptive.len() as f64;
+        println!(
+            "mean interference (non-Stencil5D apps): adaptive {:.1}% (paper ~96%), Q-adp {:.1}%",
+            adaptive_mean,
+            mean_delta(RoutingAlgo::QAdaptive).unwrap_or(f64::NAN),
+        );
+    }
+}

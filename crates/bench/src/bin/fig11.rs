@@ -1,0 +1,75 @@
+//! **Figure 11** — network stall time under the mixed workload: per-group
+//! local-link stall (the circles) and Group 0's global-link stalls (the
+//! edges), PAR vs Q-adaptive.
+//!
+//! Paper quotes: average in-group stall 31.42 ms (Q-adp) vs 59.15 ms
+//! (PAR); average global stall 0.52 vs 1.33 ms.
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin fig11
+//! ```
+
+use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_core::experiments::{mixed, StudyConfig};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, TextTable};
+use dfsim_network::RoutingAlgo;
+
+fn main() {
+    let study = study_from_env(64.0);
+    eprintln!("# Fig 11 @ scale 1/{}", study.scale);
+    let algos = [RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    let runs = parallel_map(algos.to_vec(), threads_from_env(), |routing| {
+        let cfg = StudyConfig { routing, ..study };
+        (routing, mixed(&cfg))
+    });
+
+    // Per-group local stall (circle sizes).
+    let mut t = TextTable::new(vec!["Group", "PAR local stall (ms)", "Q-adp local stall (ms)"]);
+    let par = &runs[0].1.network;
+    let qa = &runs[1].1.network;
+    for g in 0..par.local_stall_ms.len() {
+        t.row(vec![format!("G{g}"), f(par.local_stall_ms[g], 4), f(qa.local_stall_ms[g], 4)]);
+    }
+    if csv_flag() {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+
+    // Group 0's global links (edge darkness).
+    let mut t2 =
+        TextTable::new(vec!["Link", "PAR stall (ms)", "Q-adp stall (ms)"]);
+    for dst in 0..par.global_stall_ms.len() {
+        if dst == 0 {
+            continue;
+        }
+        t2.row(vec![
+            format!("G0-G{dst}"),
+            f(par.global_stall_ms[0][dst], 5),
+            f(qa.global_stall_ms[0][dst], 5),
+        ]);
+    }
+    if csv_flag() {
+        print!("{}", t2.to_csv());
+    } else {
+        println!("{}", t2.render());
+    }
+
+    println!(
+        "average local stall per group: PAR {:.4} ms vs Q-adp {:.4} ms (paper: 59.15 vs 31.42)",
+        par.local_stall_ms.iter().sum::<f64>() / par.local_stall_ms.len() as f64,
+        qa.local_stall_ms.iter().sum::<f64>() / qa.local_stall_ms.len() as f64,
+    );
+    println!(
+        "average global-link stall: PAR {:.5} ms vs Q-adp {:.5} ms (paper: 1.33 vs 0.52)",
+        par.avg_global_stall_ms, qa.avg_global_stall_ms,
+    );
+    // Hot-spot check: the paper points at hot groups under PAR.
+    let hottest = |v: &[f64]| {
+        v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, s)| (i, *s)).unwrap()
+    };
+    let (pg, ps) = hottest(&par.local_stall_ms);
+    let (qg, qs) = hottest(&qa.local_stall_ms);
+    println!("hottest group: PAR G{pg} ({ps:.4} ms) vs Q-adp G{qg} ({qs:.4} ms)");
+}

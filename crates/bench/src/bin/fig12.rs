@@ -1,0 +1,76 @@
+//! **Figure 12** — congestion-index heat map under the mixed workload:
+//! entry (i, j) is the directed global link Gi→Gj's mean-throughput /
+//! capacity ratio; the diagonal averages group-local links. PAR vs
+//! Q-adaptive.
+//!
+//! The paper reads imbalance off this map (dark rows/columns = hot
+//! groups); we print the matrices plus the mean/std summary that
+//! quantifies it.
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin fig12
+//! ```
+
+use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_core::experiments::{mixed, StudyConfig};
+use dfsim_core::sweep::parallel_map;
+use dfsim_network::RoutingAlgo;
+
+fn print_matrix(name: &str, m: &[Vec<f64>], csv: bool) {
+    println!("== {name} congestion index ==");
+    if csv {
+        for row in m {
+            println!(
+                "{}",
+                row.iter().map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(",")
+            );
+        }
+        return;
+    }
+    // Compact shaded text rendering: one character per cell.
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let max = m.iter().flatten().copied().fold(0.0f64, f64::max).max(1e-12);
+    for row in m {
+        let line: String = row
+            .iter()
+            .map(|&v| {
+                let idx = ((v / max) * (shades.len() - 1) as f64).round() as usize;
+                shades[idx.min(shades.len() - 1)]
+            })
+            .collect();
+        println!("|{line}|");
+    }
+    println!("(scale: ' '=0 .. '@'={max:.4})");
+}
+
+fn main() {
+    let study = study_from_env(64.0);
+    eprintln!("# Fig 12 @ scale 1/{}", study.scale);
+    let algos = [RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    let runs = parallel_map(algos.to_vec(), threads_from_env(), |routing| {
+        let cfg = StudyConfig { routing, ..study };
+        (routing, mixed(&cfg))
+    });
+
+    for (routing, r) in &runs {
+        print_matrix(routing.label(), &r.network.congestion, csv_flag());
+        println!(
+            "{}: mean global index {:.4}, std {:.4} (imbalance); diagonal mean {:.4}",
+            routing.label(),
+            r.network.mean_global_congestion,
+            r.network.std_global_congestion,
+            r.network.congestion.iter().enumerate().map(|(i, row)| row[i]).sum::<f64>()
+                / r.network.congestion.len() as f64,
+        );
+        println!();
+    }
+    let par = &runs[0].1.network;
+    let qa = &runs[1].1.network;
+    println!(
+        "shape check (paper §VI-B): PAR should show higher std (hot spots) than Q-adp: \
+         {:.4} vs {:.4} -> {}",
+        par.std_global_congestion,
+        qa.std_global_congestion,
+        if par.std_global_congestion > qa.std_global_congestion { "OK" } else { "MISMATCH" }
+    );
+}

@@ -1,0 +1,92 @@
+//! **Figure 13** — system-wide packet-latency distribution (mean, p95,
+//! p99) for all four routings, and aggregate network throughput along time
+//! for PAR vs Q-adaptive, under the mixed workload.
+//!
+//! Paper quotes: Q-adaptive mean 3.87 µs / p99 15.13 µs, >63% smaller than
+//! PAR's; aggregate throughput 1.27 GB/ms vs PAR's 0.94 (+35%).
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin fig13
+//! ```
+
+use dfsim_bench::{csv_flag, routings_from_env, study_from_env, threads_from_env};
+use dfsim_core::experiments::{mixed, StudyConfig};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, TextTable};
+use dfsim_network::RoutingAlgo;
+
+fn main() {
+    let study = study_from_env(64.0);
+    let routings = routings_from_env();
+    eprintln!("# Fig 13 @ scale 1/{}", study.scale);
+    let runs = parallel_map(routings, threads_from_env(), |routing| {
+        let cfg = StudyConfig { routing, ..study };
+        (routing, mixed(&cfg))
+    });
+
+    // (a) system-wide latency distribution.
+    let mut t = TextTable::new(vec![
+        "Routing",
+        "mean us",
+        "median us",
+        "p95 us",
+        "p99 us",
+        "max us",
+        "packets",
+    ]);
+    for (routing, r) in &runs {
+        let l = &r.network.system_latency_us;
+        t.row(vec![
+            routing.label().to_string(),
+            f(l.mean, 2),
+            f(l.median, 2),
+            f(l.p95, 2),
+            f(l.p99, 2),
+            f(l.max, 2),
+            format!("{}", l.n),
+        ]);
+    }
+    if csv_flag() {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+
+    // (b) aggregate throughput series, PAR vs Q-adaptive.
+    let par = runs.iter().find(|(r, _)| *r == RoutingAlgo::Par);
+    let qa = runs.iter().find(|(r, _)| *r == RoutingAlgo::QAdaptive);
+    if let (Some((_, par)), Some((_, qa))) = (par, qa) {
+        println!("== aggregate throughput (GB/ms per 0.1 ms bin) ==");
+        let mut t2 = TextTable::new(vec!["t (ms)", "PAR", "Q-adp"]);
+        let bins = par.network.system_throughput.len().max(qa.network.system_throughput.len());
+        for i in 0..bins {
+            let at = |s: &Vec<(f64, f64)>| s.get(i).map(|&(_, v)| v).unwrap_or(0.0);
+            t2.row(vec![
+                f(i as f64 * 0.1, 2),
+                f(at(&par.network.system_throughput), 3),
+                f(at(&qa.network.system_throughput), 3),
+            ]);
+        }
+        if csv_flag() {
+            print!("{}", t2.to_csv());
+        } else {
+            println!("{}", t2.render());
+        }
+        println!(
+            "mean aggregate throughput: PAR {:.3} GB/ms, Q-adp {:.3} GB/ms ({:+.1}%; paper +35.1%)",
+            par.network.mean_system_throughput,
+            qa.network.mean_system_throughput,
+            100.0
+                * (qa.network.mean_system_throughput / par.network.mean_system_throughput
+                    - 1.0),
+        );
+        println!(
+            "p99 latency: PAR {:.2} us vs Q-adp {:.2} us ({:.1}% smaller; paper >63%)",
+            par.network.system_latency_us.p99,
+            qa.network.system_latency_us.p99,
+            100.0
+                * (1.0
+                    - qa.network.system_latency_us.p99 / par.network.system_latency_us.p99),
+        );
+    }
+}

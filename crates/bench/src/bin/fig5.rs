@@ -1,0 +1,93 @@
+//! **Figure 5** — FFT3D and Halo3D network throughput along simulated
+//! time, standalone vs co-running, under PAR and Q-adaptive.
+//!
+//! Prints the four series per routing (GB/ms per 0.1 ms bin) plus the
+//! summary the paper quotes: FFT3D's interfered average throughput and the
+//! Q-adaptive/PAR ratio (paper: 2.58×).
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin fig5
+//! ```
+
+use dfsim_apps::AppKind;
+use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_core::experiments::{pairwise, StudyConfig};
+use dfsim_core::report::RunReport;
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, TextTable};
+use dfsim_network::RoutingAlgo;
+
+fn mean_tp(r: &RunReport, app: usize) -> f64 {
+    let a = &r.apps[app];
+    if a.exec_ms > 0.0 {
+        a.total_msg_mb / 1000.0 / a.exec_ms
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let study = study_from_env(64.0);
+    eprintln!("# Fig 5 @ scale 1/{}", study.scale);
+    let algos = [RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    let runs = parallel_map(algos.to_vec(), threads_from_env(), |routing| {
+        let cfg = StudyConfig { routing, ..study };
+        let fft_alone = pairwise(AppKind::FFT3D, None, &cfg);
+        let halo_alone = pairwise(AppKind::Halo3D, None, &cfg);
+        let both = pairwise(AppKind::FFT3D, Some(AppKind::Halo3D), &cfg);
+        (routing, fft_alone, halo_alone, both)
+    });
+
+    for (routing, fft_alone, halo_alone, both) in &runs {
+        println!("== {} ==", routing.label());
+        let mut t = TextTable::new(vec![
+            "t (ms)",
+            "FFT3D_alone",
+            "Halo3D_alone",
+            "FFT3D_interfered",
+            "Halo3D_interfered",
+        ]);
+        let series = [
+            &fft_alone.apps[0].throughput,
+            &halo_alone.apps[0].throughput,
+            &both.apps[0].throughput,
+            &both.apps[1].throughput,
+        ];
+        let bins = series.iter().map(|s| s.len()).max().unwrap_or(0);
+        for i in 0..bins {
+            let at = |s: &Vec<(f64, f64)>| s.get(i).map(|&(_, v)| v).unwrap_or(0.0);
+            let ts = series
+                .iter()
+                .find_map(|s| s.get(i).map(|&(t, _)| t))
+                .unwrap_or(i as f64 * 0.1);
+            t.row(vec![
+                f(ts, 2),
+                f(at(series[0]), 3),
+                f(at(series[1]), 3),
+                f(at(series[2]), 3),
+                f(at(series[3]), 3),
+            ]);
+        }
+        if csv_flag() {
+            print!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
+        println!(
+            "{}: FFT3D mean throughput alone {:.3} GB/ms, interfered {:.3} GB/ms; \
+             Halo3D alone {:.3}, interfered {:.3}",
+            routing.label(),
+            mean_tp(fft_alone, 0),
+            mean_tp(both, 0),
+            mean_tp(halo_alone, 0),
+            mean_tp(both, 1),
+        );
+        println!();
+    }
+    let par_fft = mean_tp(&runs[0].3, 0);
+    let qa_fft = mean_tp(&runs[1].3, 0);
+    println!(
+        "Q-adaptive / PAR interfered FFT3D throughput: {:.2}x (paper: 2.58x)",
+        qa_fft / par_fft
+    );
+}

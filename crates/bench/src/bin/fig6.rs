@@ -1,0 +1,81 @@
+//! **Figure 6** — FFT3D packet-latency distribution (quartiles, mean, p95,
+//! p99) standalone vs interfered by Halo3D, under PAR and Q-adaptive.
+//!
+//! The paper's claim: interfered PAR p95/p99 are 1.59×/2.01× Q-adaptive's;
+//! Q-adaptive's tail control is what saves FFT3D's communication time.
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin fig6
+//! ```
+
+use dfsim_apps::AppKind;
+use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_core::experiments::{pairwise, StudyConfig};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, TextTable};
+use dfsim_network::RoutingAlgo;
+
+fn main() {
+    let study = study_from_env(64.0);
+    eprintln!("# Fig 6 @ scale 1/{}", study.scale);
+    let cases: Vec<(RoutingAlgo, bool)> = vec![
+        (RoutingAlgo::Par, false),
+        (RoutingAlgo::QAdaptive, false),
+        (RoutingAlgo::Par, true),
+        (RoutingAlgo::QAdaptive, true),
+    ];
+    let runs = parallel_map(cases, threads_from_env(), |(routing, interfered)| {
+        let cfg = StudyConfig { routing, ..study };
+        let bg = interfered.then_some(AppKind::Halo3D);
+        (routing, interfered, pairwise(AppKind::FFT3D, bg, &cfg))
+    });
+
+    let mut t = TextTable::new(vec![
+        "Case",
+        "n",
+        "mean us",
+        "Q1 us",
+        "median us",
+        "Q3 us",
+        "p95 us",
+        "p99 us",
+        "max us",
+    ]);
+    for (routing, interfered, r) in &runs {
+        let l = &r.apps[0].latency_us;
+        let label = format!(
+            "{}_{}",
+            routing.label(),
+            if *interfered { "interfered" } else { "alone" }
+        );
+        t.row(vec![
+            label,
+            format!("{}", l.n),
+            f(l.mean, 2),
+            f(l.q1, 2),
+            f(l.median, 2),
+            f(l.q3, 2),
+            f(l.p95, 2),
+            f(l.p99, 2),
+            f(l.max, 2),
+        ]);
+    }
+    if csv_flag() {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+    let par = &runs.iter().find(|(r, i, _)| *r == RoutingAlgo::Par && *i).unwrap().2.apps[0];
+    let qa =
+        &runs.iter().find(|(r, i, _)| *r == RoutingAlgo::QAdaptive && *i).unwrap().2.apps[0];
+    println!(
+        "interfered tails: PAR p95/p99 = {:.2}/{:.2} us, Q-adp = {:.2}/{:.2} us \
+         (ratios {:.2}x / {:.2}x; paper: 1.59x / 2.01x)",
+        par.latency_us.p95,
+        par.latency_us.p99,
+        qa.latency_us.p95,
+        qa.latency_us.p99,
+        par.latency_us.p95 / qa.latency_us.p95,
+        par.latency_us.p99 / qa.latency_us.p99,
+    );
+}

@@ -1,0 +1,84 @@
+//! **Figure 7** — LQCD and Stencil5D packet latency along simulated time,
+//! standalone vs co-running (PAR and Q-adaptive).
+//!
+//! Demonstrates the peak-ingress effect (§V-C): Stencil5D, with the
+//! largest peak ingress volume, delays LQCD's packets significantly under
+//! PAR.
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin fig7
+//! ```
+
+use dfsim_apps::AppKind;
+use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_core::experiments::{pairwise, StudyConfig};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, TextTable};
+use dfsim_network::RoutingAlgo;
+
+fn main() {
+    let study = study_from_env(64.0);
+    eprintln!("# Fig 7 @ scale 1/{}", study.scale);
+    let algos = [RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    let runs = parallel_map(algos.to_vec(), threads_from_env(), |routing| {
+        let cfg = StudyConfig { routing, ..study };
+        let lqcd_alone = pairwise(AppKind::LQCD, None, &cfg);
+        let st_alone = pairwise(AppKind::Stencil5D, None, &cfg);
+        let both = pairwise(AppKind::LQCD, Some(AppKind::Stencil5D), &cfg);
+        (routing, lqcd_alone, st_alone, both)
+    });
+
+    for (app_idx, app_name) in [(0usize, "LQCD"), (1usize, "Stencil5D")] {
+        println!("== {app_name}: mean packet latency (us) per 0.1 ms bin ==");
+        let mut t = TextTable::new(vec![
+            "t (ms)",
+            "PAR_alone",
+            "Q-adp_alone",
+            "PAR_interfered",
+            "Q-adp_interfered",
+        ]);
+        let (_, par_lq, par_st, par_both) = &runs[0];
+        let (_, qa_lq, qa_st, qa_both) = &runs[1];
+        let alone_series = |r: &dfsim_core::RunReport| r.apps[0].latency_series.clone();
+        let series = [
+            if app_idx == 0 { alone_series(par_lq) } else { alone_series(par_st) },
+            if app_idx == 0 { alone_series(qa_lq) } else { alone_series(qa_st) },
+            par_both.apps[app_idx].latency_series.clone(),
+            qa_both.apps[app_idx].latency_series.clone(),
+        ];
+        let bins = series.iter().map(|s| s.len()).max().unwrap_or(0);
+        for i in 0..bins {
+            let at = |s: &Vec<(f64, f64)>| s.get(i).map(|&(_, v)| v).unwrap_or(0.0);
+            let ts =
+                series.iter().find_map(|s| s.get(i).map(|&(t, _)| t)).unwrap_or(i as f64 * 0.1);
+            t.row(vec![
+                f(ts, 2),
+                f(at(&series[0]), 2),
+                f(at(&series[1]), 2),
+                f(at(&series[2]), 2),
+                f(at(&series[3]), 2),
+            ]);
+        }
+        if csv_flag() {
+            print!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
+    }
+
+    // Paper-quoted summary: LQCD mean / p99 latency, alone vs interfered
+    // under PAR (57%/80% increases in the paper).
+    let (_, par_lq, _, par_both) = &runs[0];
+    let a = &par_lq.apps[0].latency_us;
+    let b = &par_both.apps[0].latency_us;
+    println!(
+        "PAR LQCD latency: alone mean/p99 = {:.2}/{:.2} us, interfered = {:.2}/{:.2} us \
+         (+{:.1}% / +{:.1}%; paper: +57.3% / +80.4%)",
+        a.mean,
+        a.p99,
+        b.mean,
+        b.p99,
+        100.0 * (b.mean / a.mean - 1.0),
+        100.0 * (b.p99 / a.p99 - 1.0),
+    );
+}

@@ -1,0 +1,68 @@
+//! **Figure 8** — LQCD and Stencil5D communication time, standalone vs
+//! co-running, under all four routings.
+//!
+//! Paper claims: Stencil5D (largest peak ingress) is barely affected
+//! (<3%); LQCD suffers ~49% under PAR but only ~9% under Q-adaptive.
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin fig8
+//! ```
+
+use dfsim_apps::AppKind;
+use dfsim_bench::{csv_flag, routings_from_env, study_from_env, threads_from_env};
+use dfsim_core::experiments::{pairwise, StudyConfig};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, TextTable};
+use dfsim_network::RoutingAlgo;
+
+fn main() {
+    let study = study_from_env(64.0);
+    let routings = routings_from_env();
+    eprintln!("# Fig 8 @ scale 1/{}", study.scale);
+
+    let runs = parallel_map(routings, threads_from_env(), |routing| {
+        let cfg = StudyConfig { routing, ..study };
+        let lqcd_alone = pairwise(AppKind::LQCD, None, &cfg);
+        let st_alone = pairwise(AppKind::Stencil5D, None, &cfg);
+        let both = pairwise(AppKind::LQCD, Some(AppKind::Stencil5D), &cfg);
+        (routing, lqcd_alone, st_alone, both)
+    });
+
+    let mut t = TextTable::new(vec![
+        "App",
+        "Routing",
+        "None (ms)",
+        "Interfered (ms)",
+        "delta %",
+    ]);
+    for (routing, lqcd_alone, st_alone, both) in &runs {
+        for (name, alone, pair_idx) in
+            [("LQCD", lqcd_alone, 0usize), ("Stencil5D", st_alone, 1usize)]
+        {
+            let a = alone.apps[0].comm_ms.mean;
+            let b = both.apps[pair_idx].comm_ms.mean;
+            t.row(vec![
+                name.to_string(),
+                routing.label().to_string(),
+                f(a, 4),
+                f(b, 4),
+                f(100.0 * (b / a - 1.0), 1),
+            ]);
+        }
+    }
+    if csv_flag() {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+    if let (Some(par), Some(qa)) = (
+        runs.iter().find(|(r, ..)| *r == RoutingAlgo::Par),
+        runs.iter().find(|(r, ..)| *r == RoutingAlgo::QAdaptive),
+    ) {
+        println!(
+            "LQCD interfered delta: PAR +{:.1}% (paper +49.1%), Q-adp +{:.1}% (paper +9.3%)",
+            100.0 * (par.3.apps[0].comm_ms.mean / par.1.apps[0].comm_ms.mean - 1.0),
+            100.0 * (qa.3.apps[0].comm_ms.mean / qa.1.apps[0].comm_ms.mean - 1.0),
+        );
+    }
+}

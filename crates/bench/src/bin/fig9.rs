@@ -1,0 +1,78 @@
+//! **Figure 9** — CosmoFlow and Halo3D network throughput along simulated
+//! time (computation-masking effect, §V-D).
+//!
+//! CosmoFlow's long compute intervals make Halo3D behave as if alone most
+//! of the time; CosmoFlow's allreduce pulse briefly dips Halo3D's
+//! throughput without hurting overall time.
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin fig9
+//! ```
+
+use dfsim_apps::AppKind;
+use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_core::experiments::{pairwise, StudyConfig};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, TextTable};
+use dfsim_network::RoutingAlgo;
+
+fn main() {
+    let study = study_from_env(64.0);
+    eprintln!("# Fig 9 @ scale 1/{}", study.scale);
+    let algos = [RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    let runs = parallel_map(algos.to_vec(), threads_from_env(), |routing| {
+        let cfg = StudyConfig { routing, ..study };
+        let cosmo_alone = pairwise(AppKind::CosmoFlow, None, &cfg);
+        let halo_alone = pairwise(AppKind::Halo3D, None, &cfg);
+        let both = pairwise(AppKind::CosmoFlow, Some(AppKind::Halo3D), &cfg);
+        (routing, cosmo_alone, halo_alone, both)
+    });
+
+    for (routing, cosmo_alone, halo_alone, both) in &runs {
+        println!("== {} ==", routing.label());
+        let mut t = TextTable::new(vec![
+            "t (ms)",
+            "CosmoFlow_alone",
+            "Halo3D_alone",
+            "CosmoFlow_interfered",
+            "Halo3D_interfered",
+        ]);
+        let series = [
+            &cosmo_alone.apps[0].throughput,
+            &halo_alone.apps[0].throughput,
+            &both.apps[0].throughput,
+            &both.apps[1].throughput,
+        ];
+        let bins = series.iter().map(|s| s.len()).max().unwrap_or(0);
+        for i in 0..bins {
+            let at = |s: &Vec<(f64, f64)>| s.get(i).map(|&(_, v)| v).unwrap_or(0.0);
+            let ts =
+                series.iter().find_map(|s| s.get(i).map(|&(t, _)| t)).unwrap_or(i as f64 * 0.1);
+            t.row(vec![
+                f(ts, 2),
+                f(at(series[0]), 3),
+                f(at(series[1]), 3),
+                f(at(series[2]), 3),
+                f(at(series[3]), 3),
+            ]);
+        }
+        if csv_flag() {
+            print!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
+        let delta = 100.0
+            * (both.apps[0].comm_ms.mean / cosmo_alone.apps[0].comm_ms.mean - 1.0);
+        println!(
+            "{}: CosmoFlow comm time alone {:.4} ms, interfered {:.4} ms (+{:.1}%)\n",
+            routing.label(),
+            cosmo_alone.apps[0].comm_ms.mean,
+            both.apps[0].comm_ms.mean,
+            delta
+        );
+    }
+    println!(
+        "(paper: Halo3D costs CosmoFlow ~21.9% comm time under PAR but only 4.9% under\n\
+         Q-adaptive; the interference is largely hidden by computation — §V-D)"
+    );
+}

@@ -1,0 +1,56 @@
+//! Calibration probe: standalone characteristics of every app vs Table I
+//! (injection rate, peak ingress, latency percentiles) at the current
+//! scale. Not a paper artifact — a development tool kept for transparency.
+
+use dfsim_apps::AppKind;
+use dfsim_bench::{routings_from_env, study_from_env, threads_from_env};
+use dfsim_core::experiments::{standalone, StudyConfig};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, human_bytes, TextTable};
+
+fn main() {
+    let study = study_from_env(64.0);
+    let routing = routings_from_env()[0];
+    let cfg = StudyConfig { routing, ..study };
+    println!("probe @ scale 1/{}, routing {}", cfg.scale, routing);
+
+    let reports = parallel_map(AppKind::ALL.to_vec(), threads_from_env(), |kind| {
+        (kind, standalone(kind, &cfg))
+    });
+
+    let mut t = TextTable::new(vec![
+        "App",
+        "exec ms",
+        "paper ms/scale",
+        "inj GB/s",
+        "paper GB/s",
+        "peak ingress",
+        "paper peak/scale",
+        "comm ms",
+        "lat p50 us",
+        "lat p99 us",
+        "events",
+        "wall s",
+    ]);
+    for (kind, r) in &reports {
+        let a = &r.apps[0];
+        let paper = kind.paper_row();
+        // Expected scaled-down peak: the byte divisor differs per app, so
+        // print the raw paper value for orientation only.
+        t.row(vec![
+            kind.name().to_string(),
+            f(a.exec_ms, 4),
+            f(paper.exec_ms / cfg.scale, 4),
+            f(a.inj_rate_gbs, 1),
+            f(paper.inj_rate_gbs, 1),
+            human_bytes(a.peak_ingress_bytes),
+            paper.peak_ingress.to_string(),
+            f(a.comm_ms.mean, 4),
+            f(a.latency_us.median, 2),
+            f(a.latency_us.p99, 2),
+            format!("{}", r.events),
+            f(r.wall_s, 1),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,72 @@
+//! Calibration probe: the FFT3D + Halo3D pair under every routing
+//! algorithm, with detour fractions and stall totals (development tool).
+
+use dfsim_apps::AppKind;
+use dfsim_bench::{study_from_env, threads_from_env};
+use dfsim_core::experiments::{pairwise, StudyConfig};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, TextTable};
+use dfsim_network::RoutingAlgo;
+
+fn main() {
+    let study = study_from_env(64.0);
+    let target: AppKind = std::env::var("TARGET")
+        .ok()
+        .and_then(|s| AppKind::from_name(&s))
+        .unwrap_or(AppKind::FFT3D);
+    let bg: Option<AppKind> = match std::env::var("BG") {
+        Ok(s) if s.eq_ignore_ascii_case("none") => None,
+        Ok(s) => Some(AppKind::from_name(&s).expect("unknown BG")),
+        Err(_) => Some(AppKind::Halo3D),
+    };
+    println!(
+        "probe_pair {target} + {} @ scale 1/{}",
+        bg.map(|b| b.name()).unwrap_or("none"),
+        study.scale
+    );
+
+    let algos = [
+        RoutingAlgo::Minimal,
+        RoutingAlgo::UgalG,
+        RoutingAlgo::UgalN,
+        RoutingAlgo::Par,
+        RoutingAlgo::QAdaptive,
+    ];
+    let runs = parallel_map(algos.to_vec(), threads_from_env(), |routing| {
+        let cfg = StudyConfig { routing, ..study };
+        let solo = pairwise(target, None, &cfg);
+        let pair = pairwise(target, bg, &cfg);
+        (routing, solo, pair)
+    });
+
+    let mut t = TextTable::new(vec![
+        "Routing",
+        "solo comm",
+        "pair comm",
+        "slowdown",
+        "tgt detour%",
+        "bg detour%",
+        "tgt p99 us",
+        "local stall ms",
+        "global stall ms",
+        "cong std",
+    ]);
+    for (routing, solo, pair) in &runs {
+        let tgt = &pair.apps[0];
+        let bg_detour =
+            pair.apps.iter().find(|a| a.app != 0).map(|a| a.detour_frac * 100.0).unwrap_or(0.0);
+        t.row(vec![
+            routing.label().to_string(),
+            f(solo.apps[0].comm_ms.mean, 4),
+            f(tgt.comm_ms.mean, 4),
+            f(tgt.comm_ms.mean / solo.apps[0].comm_ms.mean, 2),
+            f(tgt.detour_frac * 100.0, 1),
+            f(bg_detour, 1),
+            f(tgt.latency_us.p99, 2),
+            f(pair.network.avg_local_stall_ms, 3),
+            f(pair.network.avg_global_stall_ms, 4),
+            f(pair.network.std_global_congestion, 4),
+        ]);
+    }
+    println!("{}", t.render());
+}

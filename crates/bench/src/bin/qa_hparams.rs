@@ -1,0 +1,63 @@
+//! **Ablation** — Q-adaptive hyperparameter sweep (learning rate α,
+//! exploration ε).
+//!
+//! The reproduced text only says Q-adaptive uses "the same hyperparameters
+//! as in [14]"; this sweep documents our defaults (α = 0.2, ε = 0.005) and
+//! their sensitivity on the FFT3D + Halo3D pair.
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin qa_hparams
+//! ```
+
+use dfsim_apps::AppKind;
+use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_core::config::SimConfig;
+use dfsim_core::runner::{run_placed, JobSpec};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, TextTable};
+use dfsim_network::{QaParams, RoutingAlgo, RoutingConfig};
+
+fn main() {
+    let study = study_from_env(64.0);
+    eprintln!("# Q-adaptive hyperparameter sweep @ scale 1/{}", study.scale);
+    let mut grid: Vec<QaParams> = Vec::new();
+    for alpha in [0.05, 0.1, 0.2, 0.4] {
+        grid.push(QaParams { alpha, epsilon: 0.005 });
+    }
+    for epsilon in [0.0, 0.02, 0.1] {
+        grid.push(QaParams { alpha: 0.2, epsilon });
+    }
+    let half = study.half_nodes();
+    let runs = parallel_map(grid, threads_from_env(), |qa| {
+        let mut routing = RoutingConfig::new(RoutingAlgo::QAdaptive);
+        routing.qa = qa;
+        let cfg = SimConfig { routing, scale: study.scale, seed: study.seed, ..Default::default() };
+        let jobs = [
+            JobSpec::sized(AppKind::FFT3D, AppKind::FFT3D.preferred_size(half)),
+            JobSpec::sized(AppKind::Halo3D, AppKind::Halo3D.preferred_size(half)),
+        ];
+        (qa, run_placed(&cfg, &jobs, study.placement))
+    });
+
+    let mut t = TextTable::new(vec![
+        "alpha",
+        "epsilon",
+        "FFT3D comm (ms)",
+        "FFT3D detour %",
+        "sys p99 us",
+    ]);
+    for (qa, r) in &runs {
+        t.row(vec![
+            f(qa.alpha, 2),
+            f(qa.epsilon, 3),
+            f(r.apps[0].comm_ms.mean, 4),
+            f(r.apps[0].detour_frac * 100.0, 1),
+            f(r.network.system_latency_us.p99, 2),
+        ]);
+    }
+    if csv_flag() {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+}

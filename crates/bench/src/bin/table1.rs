@@ -1,0 +1,69 @@
+//! **Table I** — application characterization: total message volume,
+//! execution time, injection rate, peak ingress volume.
+//!
+//! Each app runs standalone on its half-system partition (LULESH on 512
+//! ranks) with random placement, exactly the configuration whose aggregate
+//! characteristics Table I reports. Paper values are printed alongside,
+//! scaled by the byte/iteration split each app uses (`DESIGN.md` §5), so
+//! the comparison is direct.
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin table1            # text
+//! SCALE=64 ROUTING=UGALg cargo run -p dfsim-bench --bin table1 --release -- --csv
+//! ```
+
+use dfsim_apps::AppKind;
+use dfsim_bench::{csv_flag, routings_from_env, study_from_env, threads_from_env};
+use dfsim_core::experiments::{standalone, StudyConfig};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, human_bytes, TextTable};
+
+fn main() {
+    let study = study_from_env(64.0);
+    let routing = routings_from_env()[0];
+    let cfg = StudyConfig { routing, ..study };
+    eprintln!("# Table I @ scale 1/{}, routing {routing}, seed {}", cfg.scale, cfg.seed);
+
+    let reports = parallel_map(AppKind::ALL.to_vec(), threads_from_env(), |kind| {
+        (kind, standalone(kind, &cfg))
+    });
+
+    let mut t = TextTable::new(vec![
+        "Pattern",
+        "App",
+        "Total Msg (MB)",
+        "paper/scale",
+        "Exec time (ms)",
+        "paper/scale",
+        "Inj. Rate (GB/s)",
+        "paper",
+        "Peak Ingress",
+        "paper (unscaled)",
+    ]);
+    for (kind, r) in &reports {
+        let a = &r.apps[0];
+        let paper = kind.paper_row();
+        t.row(vec![
+            paper.pattern.to_string(),
+            kind.name().to_string(),
+            f(a.total_msg_mb, 2),
+            f(paper.total_msg_mb / cfg.scale, 2),
+            f(a.exec_ms, 4),
+            f(paper.exec_ms / cfg.scale, 4),
+            f(a.inj_rate_gbs, 2),
+            f(paper.inj_rate_gbs, 2),
+            human_bytes(a.peak_ingress_bytes),
+            paper.peak_ingress.to_string(),
+        ]);
+    }
+    if csv_flag() {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+        println!(
+            "Shape checks: injection-rate ordering should match the paper's \
+             (Halo3D highest, CosmoFlow lowest);\npeak-ingress ordering within \
+             the stencil family should be Halo3D < LQCD < Stencil5D."
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! **Table II** — the mixed-workload job sizes, plus each job's measured
+//! standalone-at-that-size characteristics (an extension of the paper's
+//! config table that makes the mix's load composition visible).
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin table2
+//! ```
+
+use dfsim_bench::{csv_flag, routings_from_env, study_from_env, threads_from_env};
+use dfsim_core::experiments::{StudyConfig, MIXED_JOBS};
+use dfsim_core::runner::{run_placed, JobSpec};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, human_bytes, TextTable};
+
+fn main() {
+    let study = study_from_env(64.0);
+    let routing = routings_from_env()[0];
+    let cfg = StudyConfig { routing, ..study };
+    eprintln!("# Table II @ scale 1/{}, routing {routing}", cfg.scale);
+
+    // Standalone run of each job at its mixed-workload size.
+    let reports = parallel_map(MIXED_JOBS.to_vec(), threads_from_env(), |(kind, size)| {
+        let r = run_placed(
+            &cfg.sim(),
+            &[JobSpec::sized(kind, size)],
+            cfg.placement,
+        );
+        (kind, size, r)
+    });
+
+    let mut t = TextTable::new(vec![
+        "Application",
+        "Job size (paper)",
+        "Exec ms (alone)",
+        "Inj GB/s (alone)",
+        "Peak ingress",
+    ]);
+    for (kind, size, r) in &reports {
+        let a = &r.apps[0];
+        t.row(vec![
+            kind.name().to_string(),
+            format!("{size}"),
+            f(a.exec_ms, 4),
+            f(a.inj_rate_gbs, 2),
+            human_bytes(a.peak_ingress_bytes),
+        ]);
+    }
+    let total: u32 = MIXED_JOBS.iter().map(|&(_, s)| s).sum();
+    if csv_flag() {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+        println!("Total nodes: {total} (the full 1,056-node system; paper Table II).");
+    }
+}

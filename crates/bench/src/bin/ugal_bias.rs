@@ -1,0 +1,57 @@
+//! **Ablation** — UGAL minimal-path bias sweep.
+//!
+//! The paper configures adaptive routing "with zero bias towards the
+//! minimal path" (§III). This sweep shows what that choice means: positive
+//! bias suppresses Valiant detours (towards MIN behaviour), negative bias
+//! sprays more traffic non-minimally.
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin ugal_bias
+//! ```
+
+use dfsim_apps::AppKind;
+use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_core::config::SimConfig;
+use dfsim_core::runner::{run_placed, JobSpec};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, TextTable};
+use dfsim_network::{RoutingAlgo, RoutingConfig};
+
+fn main() {
+    let study = study_from_env(64.0);
+    eprintln!("# UGAL bias sweep @ scale 1/{}", study.scale);
+    let biases: Vec<i64> = vec![-4, 0, 4, 16, 64];
+    let half = study.half_nodes();
+    let runs = parallel_map(biases, threads_from_env(), |bias| {
+        let mut routing = RoutingConfig::new(RoutingAlgo::UgalG);
+        routing.ugal_bias = bias;
+        let cfg = SimConfig { routing, scale: study.scale, seed: study.seed, ..Default::default() };
+        let jobs = [
+            JobSpec::sized(AppKind::FFT3D, AppKind::FFT3D.preferred_size(half)),
+            JobSpec::sized(AppKind::Halo3D, AppKind::Halo3D.preferred_size(half)),
+        ];
+        (bias, run_placed(&cfg, &jobs, study.placement))
+    });
+
+    let mut t = TextTable::new(vec![
+        "bias (pkts)",
+        "FFT3D comm (ms)",
+        "FFT3D detour %",
+        "Halo3D detour %",
+        "sys p99 us",
+    ]);
+    for (bias, r) in &runs {
+        t.row(vec![
+            format!("{bias}"),
+            f(r.apps[0].comm_ms.mean, 4),
+            f(r.apps[0].detour_frac * 100.0, 1),
+            f(r.apps[1].detour_frac * 100.0, 1),
+            f(r.network.system_latency_us.p99, 2),
+        ]);
+    }
+    if csv_flag() {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+}

@@ -1,0 +1,46 @@
+//! Shared helpers for the reproduction binaries (one per paper table /
+//! figure) and the criterion micro-benchmarks.
+
+#![warn(missing_docs)]
+
+use dfsim_core::experiments::StudyConfig;
+use dfsim_network::RoutingAlgo;
+
+/// Read the common environment knobs: `SCALE` (workload scale divisor),
+/// `SEED`, `ROUTING` (restrict to one algorithm).
+pub fn study_from_env(default_scale: f64) -> StudyConfig {
+    let scale = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(default_scale);
+    let seed = std::env::var("SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
+    StudyConfig { scale, seed, ..Default::default() }
+}
+
+/// The routing set under study: `ROUTING=PAR` (etc.) restricts it.
+pub fn routings_from_env() -> Vec<RoutingAlgo> {
+    match std::env::var("ROUTING") {
+        Ok(name) => {
+            let all = [
+                RoutingAlgo::Minimal,
+                RoutingAlgo::UgalG,
+                RoutingAlgo::UgalN,
+                RoutingAlgo::Par,
+                RoutingAlgo::QAdaptive,
+            ];
+            let found = all
+                .into_iter()
+                .find(|r| r.label().eq_ignore_ascii_case(&name))
+                .unwrap_or_else(|| panic!("unknown ROUTING={name}"));
+            vec![found]
+        }
+        Err(_) => RoutingAlgo::PAPER_SET.to_vec(),
+    }
+}
+
+/// Whether `--csv` was passed.
+pub fn csv_flag() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Worker threads for sweeps (`THREADS`, default all cores).
+pub fn threads_from_env() -> usize {
+    std::env::var("THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}

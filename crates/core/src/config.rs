@@ -1,0 +1,112 @@
+//! Simulation configuration.
+
+use dfsim_des::Time;
+use dfsim_metrics::RecorderConfig;
+use dfsim_network::{RoutingAlgo, RoutingConfig};
+use dfsim_topology::{DragonflyParams, LinkTiming};
+
+/// Everything needed to instantiate one simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Structural topology parameters (default: the paper's 1,056-node
+    /// system).
+    pub params: DragonflyParams,
+    /// Link timing (default: paper §III constants).
+    pub timing: LinkTiming,
+    /// Routing algorithm + knobs.
+    pub routing: RoutingConfig,
+    /// Metrics granularity.
+    pub recorder: RecorderConfig,
+    /// Workload scale divisor (`DESIGN.md` §5): 1 = paper scale.
+    pub scale: f64,
+    /// Root seed: placement, per-router RNG and app randomness derive from
+    /// it, so a config is fully reproducible.
+    pub seed: u64,
+    /// Eager→rendezvous threshold of the MPI layer, bytes.
+    pub eager_threshold: u64,
+    /// Optional wall on simulated time; exceeding it marks the run
+    /// incomplete instead of hanging.
+    pub horizon: Option<Time>,
+    /// Hard cap on processed events (runaway guard).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            params: DragonflyParams::paper_1056(),
+            timing: LinkTiming::default(),
+            routing: RoutingConfig::new(RoutingAlgo::UgalG),
+            recorder: RecorderConfig::default(),
+            scale: 64.0,
+            seed: 42,
+            eager_threshold: 16 * 1024,
+            horizon: None,
+            max_events: 2_000_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with a given routing algorithm, everything else default.
+    pub fn with_routing(algo: RoutingAlgo) -> Self {
+        Self { routing: RoutingConfig::new(algo), ..Default::default() }
+    }
+
+    /// A small test configuration: 72-node Dragonfly, aggressive scaling.
+    pub fn test_tiny(algo: RoutingAlgo) -> Self {
+        Self {
+            params: DragonflyParams::tiny_72(),
+            routing: RoutingConfig::new(algo),
+            scale: 2_048.0,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.params.validate().map_err(|e| e.to_string())?;
+        if self.scale < 1.0 {
+            return Err(format!("scale must be ≥ 1, got {}", self.scale));
+        }
+        if self.timing.packet_bytes % self.timing.flit_bytes != 0 {
+            return Err("packet size must be a multiple of the flit size".into());
+        }
+        if self.max_events == 0 {
+            return Err("max_events must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_the_paper_system() {
+        let c = SimConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.params.num_nodes(), 1056);
+        assert_eq!(c.timing.bandwidth_gbps, 200);
+    }
+
+    #[test]
+    fn invalid_scale_is_rejected() {
+        let c = SimConfig { scale: 0.5, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_packet_flit_ratio_is_rejected() {
+        let mut c = SimConfig::default();
+        c.timing.packet_bytes = 500;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_config_validates() {
+        SimConfig::test_tiny(RoutingAlgo::Par).validate().unwrap();
+    }
+}

@@ -1,0 +1,186 @@
+//! The paper's experiment presets.
+//!
+//! * **Standalone** (§V, blue bars of Fig 4): one app on its half of the
+//!   1,056-node system, the other half idle.
+//! * **Pairwise** (§V, Figs 4–9): the system equally divided between a
+//!   target and a background app; random placement; the target's process-
+//!   to-node mapping identical with and without the background (same
+//!   placement seed and partition order, idle padding when the target
+//!   takes fewer than 528 nodes — LULESH's 512, paper §V).
+//! * **Mixed** (§VI, Table II, Figs 10–13): six apps of different patterns
+//!   filling all 1,056 nodes (140 + 138 + 140 + 139 + 256 + 243 = 1,056).
+
+use dfsim_apps::AppKind;
+use dfsim_network::{RoutingAlgo, RoutingConfig};
+
+use crate::config::SimConfig;
+use crate::placement::Placement;
+use crate::report::RunReport;
+use crate::runner::{run_placed, JobSpec};
+
+/// Knobs shared by a whole experiment campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Routing algorithm under test.
+    pub routing: RoutingAlgo,
+    /// Workload scale divisor.
+    pub scale: f64,
+    /// Root seed (placement + all randomness).
+    pub seed: u64,
+    /// Placement policy (paper: random).
+    pub placement: Placement,
+    /// Topology (default: the paper's 1,056-node system).
+    pub params: dfsim_topology::DragonflyParams,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self {
+            routing: RoutingAlgo::UgalG,
+            scale: 64.0,
+            seed: 42,
+            placement: Placement::Random,
+            params: dfsim_topology::DragonflyParams::paper_1056(),
+        }
+    }
+}
+
+impl StudyConfig {
+    /// The full simulation config this study implies.
+    pub fn sim(&self) -> SimConfig {
+        SimConfig {
+            routing: RoutingConfig::new(self.routing),
+            scale: self.scale,
+            seed: self.seed,
+            params: self.params,
+            ..Default::default()
+        }
+    }
+
+    /// Half the system's nodes (the pairwise partition size).
+    pub fn half_nodes(&self) -> u32 {
+        self.params.num_nodes() / 2
+    }
+}
+
+/// Table II job sizes (paper §VI).
+pub const MIXED_JOBS: [(AppKind, u32); 6] = [
+    (AppKind::FFT3D, 140),
+    (AppKind::CosmoFlow, 138),
+    (AppKind::LU, 140),
+    (AppKind::UR, 139),
+    (AppKind::LQCD, 256),
+    (AppKind::Stencil5D, 243),
+];
+
+/// Run `target` standalone on its half-system partition.
+pub fn standalone(target: AppKind, cfg: &StudyConfig) -> RunReport {
+    pairwise(target, None, cfg)
+}
+
+/// Run `target` with an optional co-running `background` on the other half
+/// of the system. `background = None` is the standalone case with an
+/// *identical* target mapping (same placement seed, same partition slice).
+pub fn pairwise(target: AppKind, background: Option<AppKind>, cfg: &StudyConfig) -> RunReport {
+    let half = cfg.half_nodes();
+    let tsize = target.preferred_size(half);
+    let mut jobs = vec![JobSpec::sized(target, tsize)];
+    if tsize < half {
+        // Keep the background's node slice at the half boundary regardless
+        // of the target's exact size (e.g. LULESH leaves 16 idle nodes).
+        jobs.push(JobSpec::idle(half - tsize));
+    }
+    if let Some(bg) = background {
+        jobs.push(JobSpec::sized(bg, bg.preferred_size(half)));
+    }
+    run_placed(&cfg.sim(), &jobs, cfg.placement)
+}
+
+/// Run the Table II mixed workload.
+pub fn mixed(cfg: &StudyConfig) -> RunReport {
+    mixed_scaled_sizes(cfg, 1.0)
+}
+
+/// Mixed workload with job sizes scaled by `size_factor` (for small-system
+/// tests; 1.0 = Table II sizes).
+pub fn mixed_scaled_sizes(cfg: &StudyConfig, size_factor: f64) -> RunReport {
+    let jobs: Vec<JobSpec> = MIXED_JOBS
+        .iter()
+        .map(|&(kind, size)| {
+            let s = ((size as f64 * size_factor).round() as u32).max(2);
+            JobSpec::sized(kind, s)
+        })
+        .collect();
+    run_placed(&cfg.sim(), &jobs, cfg.placement)
+}
+
+/// The background set of Fig 4 (legend order).
+pub const FIG4_BACKGROUNDS: [Option<AppKind>; 7] = [
+    None,
+    Some(AppKind::UR),
+    Some(AppKind::LU),
+    Some(AppKind::FFT3D),
+    Some(AppKind::CosmoFlow),
+    Some(AppKind::DL),
+    Some(AppKind::Halo3D),
+];
+
+/// The target set of Fig 4 (subplot order).
+pub const FIG4_TARGETS: [AppKind; 6] = [
+    AppKind::FFT3D,
+    AppKind::LU,
+    AppKind::LQCD,
+    AppKind::CosmoFlow,
+    AppKind::Stencil5D,
+    AppKind::LULESH,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_jobs_fill_the_machine_exactly() {
+        let total: u32 = MIXED_JOBS.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, 1_056);
+    }
+
+    #[test]
+    fn fig4_sets_match_paper() {
+        assert_eq!(FIG4_TARGETS.len(), 6);
+        assert_eq!(FIG4_BACKGROUNDS.len(), 7);
+        assert_eq!(FIG4_BACKGROUNDS[0], None);
+    }
+
+    #[test]
+    fn pairwise_on_tiny_system_completes_under_all_routings() {
+        for routing in RoutingAlgo::PAPER_SET {
+            let cfg = StudyConfig {
+                routing,
+                scale: 4_096.0,
+                seed: 11,
+                placement: Placement::Random,
+                params: dfsim_topology::DragonflyParams::tiny_72(),
+            };
+            let report = pairwise(AppKind::CosmoFlow, Some(AppKind::UR), &cfg);
+            assert!(report.completed, "{routing}: {}", report.stop_reason);
+            assert_eq!(report.apps.len(), 2);
+            assert_eq!(report.apps[0].name, "CosmoFlow");
+        }
+    }
+
+    #[test]
+    fn standalone_and_pairwise_share_target_mapping() {
+        // Indirect check: identical seeds give identical standalone target
+        // behaviour whether or not the background slot exists; the direct
+        // mapping check lives in placement::tests.
+        let cfg = StudyConfig {
+            scale: 4_096.0,
+            params: dfsim_topology::DragonflyParams::tiny_72(),
+            ..Default::default()
+        };
+        let solo1 = standalone(AppKind::LU, &cfg);
+        let solo2 = pairwise(AppKind::LU, None, &cfg);
+        assert_eq!(solo1.apps[0].comm_ms.mean, solo2.apps[0].comm_ms.mean);
+    }
+}

@@ -1,0 +1,44 @@
+//! Experiment harness of the Dragonfly workload-interference study.
+//!
+//! This crate glues the substrates together — topology, flit-timed network,
+//! MPI layer, workloads, instrumentation — into runnable experiments:
+//!
+//! * [`config`] — simulation configuration (topology, timing, routing,
+//!   scale, seeds, horizons),
+//! * [`placement`] — job-to-node placement (random, as the paper uses, plus
+//!   contiguous for the placement ablation),
+//! * [`world`] — the world event loop driving network and MPI events from
+//!   one deterministic queue,
+//! * [`runner`] — build-run-report: executes a job mix and produces a
+//!   [`report::RunReport`],
+//! * [`experiments`] — the paper's campaign presets: standalone runs,
+//!   pairwise interference (§V) and the Table II mixed workload (§VI),
+//! * [`sweep`] — deterministic parallel execution of independent runs
+//!   (crossbeam-scoped threads),
+//! * [`report`] / [`tables`] — run reports and text/CSV table rendering.
+//!
+//! ```no_run
+//! use dfsim_core::experiments::{pairwise, StudyConfig};
+//! use dfsim_apps::AppKind;
+//! use dfsim_network::RoutingAlgo;
+//!
+//! let cfg = StudyConfig { routing: RoutingAlgo::QAdaptive, ..Default::default() };
+//! let report = pairwise(AppKind::FFT3D, Some(AppKind::Halo3D), &cfg);
+//! println!("FFT3D comm time: {:.3} ms", report.apps[0].comm_ms.mean);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod placement;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+pub mod tables;
+pub mod world;
+
+pub use config::SimConfig;
+pub use report::{AppReport, NetworkReport, RunReport};
+pub use runner::{run, JobSpec};
+pub use world::{World, WorldEvent, WorldQueue};

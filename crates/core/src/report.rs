@@ -1,0 +1,153 @@
+//! Run reports: the data products the paper's tables and figures are built
+//! from.
+
+use dfsim_metrics::{LatencySummary, Stats};
+use serde::{Deserialize, Serialize};
+
+/// Per-application results of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppReport {
+    /// App name (paper spelling).
+    pub name: String,
+    /// App index within the run.
+    pub app: u16,
+    /// Ranks.
+    pub size: u32,
+    /// Communication time over ranks, milliseconds (Fig 4/8/10 bars ±
+    /// std).
+    pub comm_ms: Stats,
+    /// Application completion time, ms (Table I "Execution time").
+    pub exec_ms: f64,
+    /// Total message volume injected, MB (Table I "Total Msg").
+    pub total_msg_mb: f64,
+    /// Message injection rate, GB/s (Table I).
+    pub inj_rate_gbs: f64,
+    /// Peak ingress volume observed, bytes (Table I).
+    pub peak_ingress_bytes: u64,
+    /// Packet-latency distribution, µs (Figs 6, 7).
+    pub latency_us: LatencySummary,
+    /// Delivered-throughput series `(ms, GB/ms)` (Figs 5, 9).
+    pub throughput: Vec<(f64, f64)>,
+    /// Mean packet latency per time bin `(ms, µs)` (Fig 7).
+    pub latency_series: Vec<(f64, f64)>,
+    /// Fraction of packets delivered vs injected (1.0 when complete).
+    pub delivery_ratio: f64,
+    /// Fraction of delivered packets that travelled a non-minimal path.
+    pub detour_frac: f64,
+    /// Mean router-to-router hops per delivered packet (≤3 under MIN).
+    pub mean_hops: f64,
+}
+
+/// Network-level results of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkReport {
+    /// Sum of local-link stall time per group, ms (Fig 11 circles).
+    pub local_stall_ms: Vec<f64>,
+    /// Global-link stall time per directed group pair, ms (Fig 11 edges).
+    pub global_stall_ms: Vec<Vec<f64>>,
+    /// Mean local-link stall over groups, ms (paper §VI-B compares 31.42 vs
+    /// 59.15 ms).
+    pub avg_local_stall_ms: f64,
+    /// Mean global-link stall over used links, ms (0.52 vs 1.33 ms).
+    pub avg_global_stall_ms: f64,
+    /// Congestion-index matrix (Fig 12): diagonal = local links.
+    pub congestion: Vec<Vec<f64>>,
+    /// Mean off-diagonal congestion index.
+    pub mean_global_congestion: f64,
+    /// Std of off-diagonal congestion indices (hot-spot measure).
+    pub std_global_congestion: f64,
+    /// System-wide packet latency, µs (Fig 13a).
+    pub system_latency_us: LatencySummary,
+    /// Aggregate delivered throughput `(ms, GB/ms)` (Fig 13b).
+    pub system_throughput: Vec<(f64, f64)>,
+    /// Mean aggregate throughput over the run, GB/ms.
+    pub mean_system_throughput: f64,
+    /// Total bytes delivered, GB.
+    pub total_delivered_gb: f64,
+}
+
+/// The full result of one simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Routing algorithm label.
+    pub routing: String,
+    /// Root seed.
+    pub seed: u64,
+    /// Scale divisor.
+    pub scale: f64,
+    /// Whether every rank finished (false: horizon/event-cap hit).
+    pub completed: bool,
+    /// Why the run stopped (display form of [`crate::world::StopReason`]).
+    pub stop_reason: String,
+    /// Final simulated time, ms.
+    pub sim_ms: f64,
+    /// Events processed.
+    pub events: u64,
+    /// Host wall-clock seconds spent simulating.
+    pub wall_s: f64,
+    /// Per-app results (job order).
+    pub apps: Vec<AppReport>,
+    /// Network-level results.
+    pub network: NetworkReport,
+}
+
+impl RunReport {
+    /// The report of the app named `name`, if present.
+    pub fn app(&self, name: &str) -> Option<&AppReport> {
+        self.apps.iter().find(|a| a.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_app(name: &str) -> AppReport {
+        AppReport {
+            name: name.into(),
+            app: 0,
+            size: 4,
+            comm_ms: Stats::default(),
+            exec_ms: 1.0,
+            total_msg_mb: 2.0,
+            inj_rate_gbs: 3.0,
+            peak_ingress_bytes: 4,
+            latency_us: LatencySummary::default(),
+            throughput: vec![],
+            latency_series: vec![],
+            delivery_ratio: 1.0,
+            detour_frac: 0.0,
+            mean_hops: 0.0,
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let r = RunReport {
+            routing: "PAR".into(),
+            seed: 0,
+            scale: 1.0,
+            completed: true,
+            stop_reason: "AllFinished".into(),
+            sim_ms: 1.0,
+            events: 10,
+            wall_s: 0.1,
+            apps: vec![dummy_app("FFT3D"), dummy_app("Halo3D")],
+            network: NetworkReport {
+                local_stall_ms: vec![],
+                global_stall_ms: vec![],
+                avg_local_stall_ms: 0.0,
+                avg_global_stall_ms: 0.0,
+                congestion: vec![],
+                mean_global_congestion: 0.0,
+                std_global_congestion: 0.0,
+                system_latency_us: LatencySummary::default(),
+                system_throughput: vec![],
+                mean_system_throughput: 0.0,
+                total_delivered_gb: 0.0,
+            },
+        };
+        assert!(r.app("FFT3D").is_some());
+        assert!(r.app("LU").is_none());
+    }
+}

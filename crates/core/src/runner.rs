@@ -1,0 +1,307 @@
+//! Build–run–report: execute a job mix and produce a [`RunReport`].
+
+use std::time::Instant;
+
+use dfsim_apps::AppKind;
+use dfsim_des::{SimRng, Time, MICROSECOND, MILLISECOND};
+use dfsim_metrics::{AppId, Recorder, Stats};
+use dfsim_mpi::sim::MpiConfig;
+use dfsim_mpi::MpiSim;
+use dfsim_network::NetworkSim;
+use dfsim_topology::{LinkKind, Port, RouterId, Topology};
+
+use crate::config::SimConfig;
+use crate::placement::{place, Placement};
+use crate::report::{AppReport, NetworkReport, RunReport};
+use crate::world::{StopReason, World};
+
+/// One job of a run.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The workload.
+    pub kind: AppKind,
+    /// Ranks.
+    pub size: u32,
+    /// Idle placeholder: reserves the partition's nodes without running
+    /// anything (used to keep later jobs' node slices independent of an
+    /// earlier job's exact size, e.g. LULESH's 512 of 528).
+    pub idle: bool,
+}
+
+impl JobSpec {
+    /// Job of an explicit size.
+    pub fn sized(kind: AppKind, size: u32) -> Self {
+        Self { kind, size, idle: false }
+    }
+
+    /// An idle partition of `size` nodes.
+    pub fn idle(size: u32) -> Self {
+        Self { kind: AppKind::UR, size, idle: true }
+    }
+}
+
+/// Run `jobs` under `cfg` with the given placement policy. Jobs are placed
+/// in order on the shuffled node list, so a given `(seed, job-size prefix)`
+/// keeps earlier jobs' mappings stable when later jobs are added or removed
+/// (the paper's standalone-vs-interfered methodology).
+pub fn run_placed(cfg: &SimConfig, jobs: &[JobSpec], policy: Placement) -> RunReport {
+    cfg.validate().expect("invalid simulation config");
+    let topo = Topology::new(cfg.params).expect("validated params");
+    let sizes: Vec<u32> = jobs.iter().map(|j| j.size).collect();
+    let partitions = place(&topo, policy, &sizes, cfg.seed);
+
+    let rng = SimRng::new(cfg.seed);
+    let rec = Recorder::new(&topo, cfg.recorder);
+    let net = NetworkSim::new(topo.clone(), cfg.timing, cfg.routing, &rng);
+    let mut mpi = MpiSim::new(MpiConfig { eager_threshold: cfg.eager_threshold });
+
+    let mut app_jobs: Vec<&JobSpec> = Vec::with_capacity(jobs.len());
+    for (job, nodes) in jobs.iter().zip(partitions) {
+        if job.idle {
+            continue; // reserved but empty partition
+        }
+        let i = app_jobs.len();
+        let inst = job.kind.build(job.size, cfg.scale, cfg.seed ^ ((i as u64) << 32));
+        mpi.add_app(AppId(i as u16), nodes, inst.programs, inst.comms);
+        app_jobs.push(job);
+    }
+
+    let mut world = World::new(net, mpi, rec);
+    let wall = Instant::now();
+    let (stop, end_time) = world.run(cfg.horizon, cfg.max_events);
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    build_report(cfg, &app_jobs, &topo, &world, stop, end_time, wall_s)
+}
+
+/// Run with the paper's random placement.
+pub fn run(cfg: &SimConfig, jobs: &[JobSpec]) -> RunReport {
+    run_placed(cfg, jobs, Placement::Random)
+}
+
+fn build_report(
+    cfg: &SimConfig,
+    jobs: &[&JobSpec],
+    topo: &Topology,
+    world: &World,
+    stop: StopReason,
+    end_time: Time,
+    wall_s: f64,
+) -> RunReport {
+    let rec = &world.rec;
+    let apps = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let id = AppId(i as u16);
+            let record = rec.app(id);
+            let exec = world.mpi.app_finished_at(id).unwrap_or(end_time);
+            let comm: Vec<f64> = record
+                .map(|r| {
+                    r.rank_comm.iter().map(|&(_, c, _)| c as f64 / MILLISECOND as f64).collect()
+                })
+                .unwrap_or_default();
+            let (total_bytes, peak, latency, throughput, latency_series, ratio, detour) = record
+                .map(|r| {
+                    let lat = r.latencies.summarize();
+                    let lat_us = dfsim_metrics::LatencySummary {
+                        n: lat.n,
+                        mean: lat.mean / MICROSECOND as f64,
+                        q1: lat.q1 / MICROSECOND as f64,
+                        median: lat.median / MICROSECOND as f64,
+                        q3: lat.q3 / MICROSECOND as f64,
+                        p95: lat.p95 / MICROSECOND as f64,
+                        p99: lat.p99 / MICROSECOND as f64,
+                        max: lat.max / MICROSECOND as f64,
+                    };
+                    let series = r
+                        .latencies
+                        .binned_mean(rec.config().bin_width)
+                        .into_iter()
+                        .map(|(t, v)| {
+                            (t as f64 / MILLISECOND as f64, v / MICROSECOND as f64)
+                        })
+                        .collect();
+                    let ratio = if r.packets_injected == 0 {
+                        1.0
+                    } else {
+                        r.packets_delivered as f64 / r.packets_injected as f64
+                    };
+                    let detour = if r.packets_delivered == 0 {
+                        0.0
+                    } else {
+                        r.packets_detoured as f64 / r.packets_delivered as f64
+                    };
+                    (
+                        r.injected.total(),
+                        r.max_ingress_burst,
+                        lat_us,
+                        r.delivered.as_gb_per_ms(),
+                        series,
+                        ratio,
+                        detour,
+                    )
+                })
+                .unwrap_or((0, 0, Default::default(), vec![], vec![], 1.0, 0.0));
+            let exec_s = exec as f64 / 1e12;
+            AppReport {
+                name: job.kind.name().to_string(),
+                app: i as u16,
+                size: job.size,
+                comm_ms: Stats::of(&comm),
+                exec_ms: exec as f64 / MILLISECOND as f64,
+                total_msg_mb: total_bytes as f64 / 1e6,
+                inj_rate_gbs: if exec_s > 0.0 {
+                    total_bytes as f64 / 1e9 / exec_s
+                } else {
+                    0.0
+                },
+                peak_ingress_bytes: peak,
+                latency_us: latency,
+                throughput,
+                latency_series,
+                delivery_ratio: ratio,
+                detour_frac: detour,
+                mean_hops: record
+                    .map(|r| {
+                        if r.packets_delivered == 0 {
+                            0.0
+                        } else {
+                            r.hops_total as f64 / r.packets_delivered as f64
+                        }
+                    })
+                    .unwrap_or(0.0),
+            }
+        })
+        .collect();
+
+    let network = network_report(topo, rec, end_time, cfg);
+
+    RunReport {
+        routing: cfg.routing.algo.label().to_string(),
+        seed: cfg.seed,
+        scale: cfg.scale,
+        completed: stop == StopReason::AllFinished,
+        stop_reason: format!("{stop:?}"),
+        sim_ms: end_time as f64 / MILLISECOND as f64,
+        events: world.queue.events_processed(),
+        wall_s,
+        apps,
+        network,
+    }
+}
+
+fn network_report(
+    topo: &Topology,
+    rec: &Recorder,
+    end_time: Time,
+    cfg: &SimConfig,
+) -> NetworkReport {
+    let g = topo.num_groups() as usize;
+    let mut local_stall = vec![0.0f64; g];
+    let mut global_stall = vec![vec![0.0f64; g]; g];
+    for (router, port, kind, stats) in rec.ports().iter() {
+        let ms = stats.stall_ps as f64 / MILLISECOND as f64;
+        match kind {
+            LinkKind::Local => {
+                local_stall[topo.group_of_router(RouterId(router)).idx()] += ms;
+            }
+            LinkKind::Global => {
+                if let Some(dst) = topo.global_port_target(RouterId(router), Port(port)) {
+                    let src = topo.group_of_router(RouterId(router)).idx();
+                    global_stall[src][dst.idx()] += ms;
+                }
+            }
+            LinkKind::Terminal => {}
+        }
+    }
+    let avg_local = if g > 0 { local_stall.iter().sum::<f64>() / g as f64 } else { 0.0 };
+    let used_globals = (g * (g - 1)).max(1) as f64;
+    let avg_global =
+        global_stall.iter().flatten().sum::<f64>() / used_globals;
+
+    let elapsed = end_time.max(1);
+    let congestion = rec.congestion().index_matrix(elapsed, cfg.timing.bandwidth_gbps);
+    let lat = rec.system_latency();
+    let system_latency_us = dfsim_metrics::LatencySummary {
+        n: lat.n,
+        mean: lat.mean / MICROSECOND as f64,
+        q1: lat.q1 / MICROSECOND as f64,
+        median: lat.median / MICROSECOND as f64,
+        q3: lat.q3 / MICROSECOND as f64,
+        p95: lat.p95 / MICROSECOND as f64,
+        p99: lat.p99 / MICROSECOND as f64,
+        max: lat.max / MICROSECOND as f64,
+    };
+    let sys = rec.system_delivered();
+    NetworkReport {
+        local_stall_ms: local_stall,
+        global_stall_ms: global_stall,
+        avg_local_stall_ms: avg_local,
+        avg_global_stall_ms: avg_global,
+        congestion,
+        mean_global_congestion: rec
+            .congestion()
+            .mean_global_index(elapsed, cfg.timing.bandwidth_gbps),
+        std_global_congestion: rec
+            .congestion()
+            .std_global_index(elapsed, cfg.timing.bandwidth_gbps),
+        mean_system_throughput: sys.mean_gb_per_ms(elapsed),
+        system_throughput: sys.as_gb_per_ms(),
+        total_delivered_gb: sys.total() as f64 / 1e9,
+        system_latency_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsim_network::RoutingAlgo;
+
+    #[test]
+    fn tiny_standalone_run_completes() {
+        let cfg = SimConfig::test_tiny(RoutingAlgo::UgalG);
+        let report = run(&cfg, &[JobSpec::sized(AppKind::UR, 36)]);
+        assert!(report.completed, "stop: {}", report.stop_reason);
+        assert_eq!(report.apps.len(), 1);
+        let app = &report.apps[0];
+        assert_eq!(app.name, "UR");
+        assert!(app.exec_ms > 0.0);
+        assert!(app.total_msg_mb > 0.0);
+        assert!((app.delivery_ratio - 1.0).abs() < 1e-9);
+        assert!(app.comm_ms.n == 36);
+    }
+
+    #[test]
+    fn pairwise_tiny_run_reports_both_apps() {
+        let cfg = SimConfig::test_tiny(RoutingAlgo::QAdaptive);
+        let report = run(
+            &cfg,
+            &[JobSpec::sized(AppKind::CosmoFlow, 36), JobSpec::sized(AppKind::UR, 36)],
+        );
+        assert!(report.completed, "stop: {}", report.stop_reason);
+        assert_eq!(report.apps.len(), 2);
+        assert!(report.network.total_delivered_gb > 0.0);
+        assert!(report.network.system_latency_us.n > 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let cfg = SimConfig::test_tiny(RoutingAlgo::Par);
+        let a = run(&cfg, &[JobSpec::sized(AppKind::LU, 36)]);
+        let b = run(&cfg, &[JobSpec::sized(AppKind::LU, 36)]);
+        assert_eq!(a.sim_ms, b.sim_ms);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.apps[0].comm_ms.mean, b.apps[0].comm_ms.mean);
+        assert_eq!(a.apps[0].peak_ingress_bytes, b.apps[0].peak_ingress_bytes);
+    }
+
+    #[test]
+    fn horizon_marks_run_incomplete() {
+        let mut cfg = SimConfig::test_tiny(RoutingAlgo::UgalN);
+        cfg.horizon = Some(1_000); // 1 ns: nothing finishes
+        let report = run(&cfg, &[JobSpec::sized(AppKind::Halo3D, 36)]);
+        assert!(!report.completed);
+        assert_eq!(report.stop_reason, "Horizon");
+    }
+}

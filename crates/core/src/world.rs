@@ -1,0 +1,247 @@
+//! The world event loop: one deterministic queue driving network and MPI.
+
+use dfsim_des::queue::PendingEvents;
+use dfsim_des::{EventQueue, Scheduler, Time};
+use dfsim_metrics::Recorder;
+use dfsim_mpi::{MpiEvent, MpiSim};
+use dfsim_network::{NetEffect, NetEvent, NetworkSim};
+
+/// The union of all event types in a simulation.
+#[derive(Debug)]
+pub enum WorldEvent {
+    /// A network event.
+    Net(NetEvent),
+    /// An MPI event.
+    Mpi(MpiEvent),
+}
+
+/// The world queue: lifts network and MPI events into [`WorldEvent`] and
+/// satisfies both scheduler contracts at once (what [`dfsim_mpi::WorldSched`]
+/// requires).
+#[derive(Debug, Default)]
+pub struct WorldQueue {
+    inner: EventQueue<WorldEvent>,
+}
+
+impl WorldQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, WorldEvent)> {
+        self.inner.pop()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.inner.now()
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.inner.events_processed()
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Scheduler<NetEvent> for WorldQueue {
+    fn now(&self) -> Time {
+        self.inner.now()
+    }
+    fn at(&mut self, time: Time, event: NetEvent) {
+        self.inner.push(time, WorldEvent::Net(event));
+    }
+}
+
+impl Scheduler<MpiEvent> for WorldQueue {
+    fn now(&self) -> Time {
+        self.inner.now()
+    }
+    fn at(&mut self, time: Time, event: MpiEvent) {
+        self.inner.push(time, WorldEvent::Mpi(event));
+    }
+}
+
+/// Why a world run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every application rank finished.
+    AllFinished,
+    /// The simulated-time horizon was exceeded.
+    Horizon,
+    /// The event cap was exceeded (runaway guard).
+    EventCap,
+    /// The queue drained without completion (a stuck workload — indicates
+    /// a matching bug in an app program).
+    Drained,
+}
+
+/// A fully assembled simulation.
+pub struct World {
+    /// The network model.
+    pub net: NetworkSim,
+    /// The MPI engine.
+    pub mpi: MpiSim,
+    /// The metrics sink.
+    pub rec: Recorder,
+    /// The event queue.
+    pub queue: WorldQueue,
+    effects: Vec<NetEffect>,
+}
+
+impl World {
+    /// Assemble a world.
+    pub fn new(net: NetworkSim, mpi: MpiSim, rec: Recorder) -> Self {
+        Self { net, mpi, rec, queue: WorldQueue::new(), effects: Vec::new() }
+    }
+
+    /// Start all ranks and run until completion, horizon or event cap.
+    /// Returns the stop reason and the final simulated time.
+    pub fn run(&mut self, horizon: Option<Time>, max_events: u64) -> (StopReason, Time) {
+        let Self { net, mpi, rec, queue, effects } = self;
+        mpi.start(queue, net, rec);
+        if mpi.all_finished() {
+            return (StopReason::AllFinished, queue.now());
+        }
+        let mut processed: u64 = 0;
+        while let Some((t, ev)) = queue.pop() {
+            if let Some(h) = horizon {
+                if t > h {
+                    return (StopReason::Horizon, t);
+                }
+            }
+            match ev {
+                WorldEvent::Net(e) => {
+                    net.handle(e, queue, rec, effects);
+                    if !effects.is_empty() {
+                        for eff in effects.drain(..) {
+                            mpi.on_net_effect(eff, queue, net, rec);
+                        }
+                    }
+                }
+                WorldEvent::Mpi(e) => mpi.handle(e, queue, net, rec),
+            }
+            processed += 1;
+            if processed >= max_events {
+                return (StopReason::EventCap, queue.now());
+            }
+            if mpi.all_finished() {
+                return (StopReason::AllFinished, queue.now());
+            }
+        }
+        if mpi.all_finished() {
+            (StopReason::AllFinished, queue.now())
+        } else {
+            (StopReason::Drained, queue.now())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsim_des::SimRng;
+    use dfsim_metrics::{AppId, RecorderConfig};
+    use dfsim_mpi::MpiOp;
+    use dfsim_network::{RoutingAlgo, RoutingConfig};
+    use dfsim_topology::{DragonflyParams, LinkTiming, NodeId, Topology};
+
+    fn mk_world() -> World {
+        let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+        let rec = Recorder::new(&topo, RecorderConfig::default());
+        let net = NetworkSim::new(
+            topo,
+            LinkTiming::default(),
+            RoutingConfig::new(RoutingAlgo::Par),
+            &SimRng::new(1),
+        );
+        World::new(net, MpiSim::default(), rec)
+    }
+
+    #[test]
+    fn empty_world_finishes_instantly() {
+        let mut w = mk_world();
+        let (reason, t) = w.run(None, 1_000);
+        assert_eq!(reason, StopReason::AllFinished);
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn simple_exchange_runs_to_completion() {
+        let mut w = mk_world();
+        w.mpi.add_app(
+            AppId(0),
+            vec![NodeId(0), NodeId(50)],
+            vec![
+                Box::new(vec![MpiOp::Send { dst: 1, bytes: 2048, tag: 0 }].into_iter()),
+                Box::new(vec![MpiOp::Recv { src: Some(0), tag: 0 }].into_iter()),
+            ],
+            vec![],
+        );
+        let (reason, t) = w.run(None, 10_000_000);
+        assert_eq!(reason, StopReason::AllFinished);
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn horizon_stops_runaway_workloads() {
+        let mut w = mk_world();
+        // Receiver waits for a message nobody sends.
+        w.mpi.add_app(
+            AppId(0),
+            vec![NodeId(0), NodeId(9)],
+            vec![
+                Box::new(vec![MpiOp::Compute(1_000_000_000)].into_iter()), // 1 ms
+                Box::new(vec![MpiOp::Recv { src: Some(0), tag: 99 }].into_iter()),
+            ],
+            vec![],
+        );
+        let (reason, _) = w.run(Some(500_000), 10_000_000);
+        // The compute event fires beyond the 0.5 µs horizon.
+        assert_eq!(reason, StopReason::Horizon);
+    }
+
+    #[test]
+    fn stuck_matching_reports_drained() {
+        let mut w = mk_world();
+        w.mpi.add_app(
+            AppId(0),
+            vec![NodeId(0)],
+            vec![Box::new(vec![MpiOp::Recv { src: Some(0), tag: 1 }].into_iter())],
+            vec![],
+        );
+        let (reason, _) = w.run(None, 10_000_000);
+        assert_eq!(reason, StopReason::Drained);
+    }
+
+    #[test]
+    fn event_cap_guards_against_runaway() {
+        let mut w = mk_world();
+        w.mpi.add_app(
+            AppId(0),
+            vec![NodeId(0), NodeId(40)],
+            vec![
+                Box::new(
+                    (0..10_000).map(|i| MpiOp::Send { dst: 1, bytes: 4096, tag: i }).collect::<Vec<_>>().into_iter(),
+                ),
+                Box::new(
+                    (0..10_000).map(|i| MpiOp::Recv { src: Some(0), tag: i }).collect::<Vec<_>>().into_iter(),
+                ),
+            ],
+            vec![],
+        );
+        let (reason, _) = w.run(None, 100);
+        assert_eq!(reason, StopReason::EventCap);
+    }
+}

@@ -1,0 +1,32 @@
+//! Discrete-event simulation kernel for the Dragonfly interference study.
+//!
+//! This crate is the substitute for the SST simulation core used by the paper
+//! (see `DESIGN.md` §5). It provides:
+//!
+//! * a picosecond time base exact for all the paper's link constants
+//!   ([`time`]),
+//! * two interchangeable pending-event sets — a binary heap and a calendar
+//!   queue — behind the [`queue::PendingEvents`] trait ([`queue`],
+//!   [`calendar`]),
+//! * a tiny scheduler abstraction so sub-models (network, MPI) can schedule
+//!   their own event types while a single world queue drives the simulation
+//!   ([`sched`]),
+//! * deterministic, splittable random-number utilities so every simulation is
+//!   reproducible from one seed ([`rng`]).
+//!
+//! The kernel is intentionally sequential: the study parallelizes across
+//! independent simulations (configuration sweeps), not within one simulation,
+//! which keeps event semantics exactly deterministic.
+
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod queue;
+pub mod rng;
+pub mod sched;
+pub mod time;
+
+pub use queue::{EventQueue, PendingEvents};
+pub use rng::SimRng;
+pub use sched::Scheduler;
+pub use time::{Time, GIGABIT_PER_SEC, MICROSECOND, MILLISECOND, NANOSECOND, PICOSECOND, SECOND};

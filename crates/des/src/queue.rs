@@ -1,0 +1,207 @@
+//! Pending-event set: the core data structure of the simulator.
+//!
+//! The default implementation is a binary heap over `(time, seq)` where `seq`
+//! is a monotonically increasing tie-breaker, guaranteeing a deterministic
+//! total order: events at equal timestamps pop in scheduling order. An
+//! alternative calendar-queue implementation lives in [`crate::calendar`];
+//! both are benchmarked against each other in the `dfsim-bench` crate
+//! (event-queue ablation from `DESIGN.md` §7).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// An event tagged with its firing time and scheduling sequence number.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// Absolute firing time in picoseconds.
+    pub time: Time,
+    /// Tie-breaker: events scheduled earlier fire earlier at equal `time`.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Abstraction over pending-event sets so the world loop can swap
+/// implementations (binary heap vs calendar queue).
+pub trait PendingEvents<E> {
+    /// Insert an event at absolute time `time`.
+    ///
+    /// `time` must be `>=` the time of the last popped event (no scheduling
+    /// into the past); implementations may debug-assert this.
+    fn push(&mut self, time: Time, event: E);
+    /// Remove and return the earliest event, `(time, event)`.
+    fn pop(&mut self) -> Option<(Time, E)>;
+    /// Earliest pending timestamp, if any.
+    fn peek_time(&self) -> Option<Time>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Binary-heap pending-event set with deterministic FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: Time,
+    popped: u64,
+    pushed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue starting at time zero.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0, now: 0, popped: 0, pushed: 0 }
+    }
+
+    /// Create an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(cap), next_seq: 0, now: 0, popped: 0, pushed: 0 }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of events popped so far (for run statistics).
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Total number of events pushed so far.
+    #[inline]
+    pub fn events_scheduled(&self) -> u64 {
+        self.pushed
+    }
+}
+
+impl<E> PendingEvents<E> for EventQueue<E> {
+    #[inline]
+    fn push(&mut self, time: Time, event: E) {
+        debug_assert!(time >= self.now, "scheduling into the past: {time} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(Time, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "time went backwards");
+        self.now = s.time;
+        self.popped += 1;
+        Some((s.time, s.event))
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(5, ());
+        q.push(5, ());
+        q.push(7, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.pop();
+        assert_eq!(q.now(), 7);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = EventQueue::new();
+        q.push(1, ());
+        q.push(2, ());
+        q.pop();
+        assert_eq!(q.events_scheduled(), 2);
+        assert_eq!(q.events_processed(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(10, 10u64);
+        q.push(40, 40);
+        assert_eq!(q.pop(), Some((10, 10)));
+        // Now = 10; schedule more in the future.
+        q.push(20, 20);
+        q.push(30, 30);
+        assert_eq!(q.pop(), Some((20, 20)));
+        assert_eq!(q.pop(), Some((30, 30)));
+        assert_eq!(q.pop(), Some((40, 40)));
+    }
+}

@@ -1,0 +1,193 @@
+//! Deterministic random-number utilities.
+//!
+//! Every simulation is reproducible from a single `u64` seed. Sub-systems
+//! (placement, each router's routing RNG, each application's traffic RNG)
+//! derive independent streams with [`SimRng::derive`], so adding randomness
+//! in one component never perturbs another — a property the determinism
+//! integration test relies on.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded, splittable wrapper around [`SmallRng`].
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create from a root seed.
+    pub fn new(seed: u64) -> Self {
+        Self { inner: SmallRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child stream for a named sub-system.
+    ///
+    /// The label is hashed (FNV-1a) together with the parent seed, so the
+    /// child stream depends only on `(seed, label)` — not on how much the
+    /// parent has been used.
+    pub fn derive(&self, label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::new(h)
+    }
+
+    /// Derive an independent child stream indexed by an integer (e.g. one
+    /// stream per router or per rank).
+    pub fn derive_idx(&self, label: &str, idx: u64) -> Self {
+        let base = self.derive(label);
+        let mut h = base.seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(idx.wrapping_add(1));
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        Self::new(h)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform usize in `[0, n)`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli draw.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    #[inline]
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Choose `k` distinct indices from `[0, n)` (k must be ≤ n).
+    pub fn choose_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot choose {k} distinct from {n}");
+        if k * 4 >= n {
+            let mut all: Vec<usize> = (0..n).collect();
+            self.shuffle(&mut all);
+            all.truncate(k);
+            all
+        } else {
+            let mut picked = Vec::with_capacity(k);
+            while picked.len() < k {
+                let c = self.index(n);
+                if !picked.contains(&c) {
+                    picked.push(c);
+                }
+            }
+            picked
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derive_is_stable_and_independent_of_parent_use() {
+        let parent = SimRng::new(7);
+        let mut used = SimRng::new(7);
+        let _ = used.next_u64();
+        let mut c1 = parent.derive("router");
+        let mut c2 = used.derive("router");
+        assert_eq!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn derived_labels_differ() {
+        let parent = SimRng::new(7);
+        let mut a = parent.derive("a");
+        let mut b = parent.derive("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn derive_idx_streams_differ() {
+        let parent = SimRng::new(7);
+        let mut a = parent.derive_idx("router", 0);
+        let mut b = parent.derive_idx("router", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_and_index_in_range() {
+        let mut r = SimRng::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            assert!(r.index(3) < 3);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(3);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_distinct_is_distinct() {
+        let mut r = SimRng::new(5);
+        for k in [0usize, 1, 2, 5, 50, 100] {
+            let picked = r.choose_distinct(100, k);
+            assert_eq!(picked.len(), k);
+            let mut s = picked.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), k, "duplicates for k={k}");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Scheduler abstraction.
+//!
+//! Sub-models (the network, the MPI layer) define their own event enums and
+//! schedule through a [`Scheduler`] of that event type; the world loop in
+//! `dfsim-core` wraps the single global [`crate::EventQueue`] with adapters
+//! that lift sub-model events into the world event enum. This keeps the
+//! crates decoupled without trait objects or callbacks in the hot path.
+
+use crate::time::Time;
+
+/// Something that can schedule events of type `E` at absolute times.
+pub trait Scheduler<E> {
+    /// Current simulation time.
+    fn now(&self) -> Time;
+    /// Schedule `event` at absolute time `time` (must be `>= now()`).
+    fn at(&mut self, time: Time, event: E);
+    /// Schedule `event` after a relative `delay`.
+    fn after(&mut self, delay: Time, event: E) {
+        self.at(self.now().saturating_add(delay), event);
+    }
+}
+
+/// A scheduler adapter that maps events of type `A` into a parent scheduler
+/// of type `B` through a conversion function.
+pub struct MapScheduler<'a, S, F> {
+    parent: &'a mut S,
+    lift: F,
+}
+
+impl<'a, S, F> MapScheduler<'a, S, F> {
+    /// Wrap `parent`, lifting scheduled events with `lift`.
+    pub fn new(parent: &'a mut S, lift: F) -> Self {
+        Self { parent, lift }
+    }
+}
+
+impl<A, B, S: Scheduler<B>, F: FnMut(A) -> B> Scheduler<A> for MapScheduler<'_, S, F> {
+    #[inline]
+    fn now(&self) -> Time {
+        self.parent.now()
+    }
+
+    #[inline]
+    fn at(&mut self, time: Time, event: A) {
+        self.parent.at(time, (self.lift)(event));
+    }
+}
+
+/// Direct scheduler over an [`crate::EventQueue`] (used in tests and in the
+/// world loop itself).
+pub struct QueueScheduler<'a, E> {
+    queue: &'a mut crate::EventQueue<E>,
+}
+
+impl<'a, E> QueueScheduler<'a, E> {
+    /// Wrap a queue.
+    pub fn new(queue: &'a mut crate::EventQueue<E>) -> Self {
+        Self { queue }
+    }
+}
+
+impl<E> Scheduler<E> for QueueScheduler<'_, E> {
+    #[inline]
+    fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    #[inline]
+    fn at(&mut self, time: Time, event: E) {
+        use crate::queue::PendingEvents;
+        self.queue.push(time, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::PendingEvents;
+    use crate::EventQueue;
+
+    #[derive(Debug, PartialEq)]
+    enum World {
+        Net(u32),
+        Mpi(&'static str),
+    }
+
+    #[test]
+    fn map_scheduler_lifts_events() {
+        let mut q: EventQueue<World> = EventQueue::new();
+        {
+            let mut root = QueueScheduler::new(&mut q);
+            let mut net = MapScheduler::new(&mut root, World::Net);
+            net.at(10, 1);
+            net.after(5, 2); // now() == 0 → fires at 5
+        }
+        {
+            let mut root = QueueScheduler::new(&mut q);
+            let mut mpi = MapScheduler::new(&mut root, World::Mpi);
+            mpi.at(7, "hello");
+        }
+        assert_eq!(q.pop(), Some((5, World::Net(2))));
+        assert_eq!(q.pop(), Some((7, World::Mpi("hello"))));
+        assert_eq!(q.pop(), Some((10, World::Net(1))));
+    }
+
+    #[test]
+    fn after_is_relative_to_clock() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(100, 0);
+        q.pop(); // clock = 100
+        let mut s = QueueScheduler::new(&mut q);
+        s.after(20, 1);
+        assert_eq!(q.pop(), Some((120, 1)));
+    }
+}

@@ -1,0 +1,121 @@
+//! Simulation time base.
+//!
+//! All simulation timestamps are `u64` **picoseconds**. The paper's link
+//! constants are exact in this base:
+//!
+//! * one 128 B flit at 200 Gb/s serializes in 5.12 ns = 5 120 ps,
+//! * one 512 B packet (4 flits) in 20.48 ns = 20 480 ps,
+//! * local-link propagation is 30 ns = 30 000 ps,
+//! * global-link propagation is 300 ns = 300 000 ps.
+//!
+//! A `u64` of picoseconds covers ~213 days of simulated time, far beyond the
+//! paper's ~15 ms runs.
+
+/// Simulation timestamp / duration in picoseconds.
+pub type Time = u64;
+
+/// One picosecond (the base unit).
+pub const PICOSECOND: Time = 1;
+/// One nanosecond in picoseconds.
+pub const NANOSECOND: Time = 1_000;
+/// One microsecond in picoseconds.
+pub const MICROSECOND: Time = 1_000_000;
+/// One millisecond in picoseconds.
+pub const MILLISECOND: Time = 1_000_000_000;
+/// One second in picoseconds.
+pub const SECOND: Time = 1_000_000_000_000;
+
+/// One gigabit per second expressed as bits per second (helper for
+/// [`serialization_time`]).
+pub const GIGABIT_PER_SEC: u64 = 1_000_000_000;
+
+/// Time to serialize `bytes` onto a link of `gbps` gigabits per second,
+/// rounded up to the next picosecond.
+///
+/// ```
+/// use dfsim_des::time::serialization_time;
+/// // One 128-byte flit on a 200 Gb/s link: 1024 bits / 200 Gb/s = 5.12 ns.
+/// assert_eq!(serialization_time(128, 200), 5_120);
+/// // One 512-byte packet: 20.48 ns.
+/// assert_eq!(serialization_time(512, 200), 20_480);
+/// ```
+#[inline]
+pub const fn serialization_time(bytes: u64, gbps: u64) -> Time {
+    // bits * (1e12 ps/s) / (gbps * 1e9 bit/s)  ==  bits * 1000 / gbps.
+    let bits = bytes * 8;
+    (bits * 1000).div_ceil(gbps)
+}
+
+/// Convert a picosecond timestamp to fractional milliseconds (for reports).
+#[inline]
+pub fn as_millis(t: Time) -> f64 {
+    t as f64 / MILLISECOND as f64
+}
+
+/// Convert a picosecond timestamp to fractional microseconds (for reports).
+#[inline]
+pub fn as_micros(t: Time) -> f64 {
+    t as f64 / MICROSECOND as f64
+}
+
+/// Convert fractional milliseconds to picoseconds (for configs).
+#[inline]
+pub fn from_millis(ms: f64) -> Time {
+    (ms * MILLISECOND as f64).round() as Time
+}
+
+/// Convert fractional microseconds to picoseconds (for configs).
+#[inline]
+pub fn from_micros(us: f64) -> Time {
+    (us * MICROSECOND as f64).round() as Time
+}
+
+/// Bandwidth·time product: how many whole bytes a `gbps` link moves in `t`.
+#[inline]
+pub const fn bytes_in(t: Time, gbps: u64) -> u64 {
+    // gbps * 1e9 bit/s * t ps / 1e12 ps/s / 8 bit/B == gbps * t / 8000.
+    gbps * t / 8000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_and_packet_serialization_match_paper_constants() {
+        assert_eq!(serialization_time(128, 200), 5_120);
+        assert_eq!(serialization_time(512, 200), 20_480);
+        // 4 flits back-to-back equal one packet.
+        assert_eq!(4 * serialization_time(128, 200), serialization_time(512, 200));
+    }
+
+    #[test]
+    fn serialization_rounds_up() {
+        // 1 byte at 3 Gb/s = 8000/3 ps = 2666.67 → 2667.
+        assert_eq!(serialization_time(1, 3), 2_667);
+    }
+
+    #[test]
+    fn unit_constants_are_consistent() {
+        assert_eq!(NANOSECOND, 1_000 * PICOSECOND);
+        assert_eq!(MICROSECOND, 1_000 * NANOSECOND);
+        assert_eq!(MILLISECOND, 1_000 * MICROSECOND);
+        assert_eq!(SECOND, 1_000 * MILLISECOND);
+    }
+
+    #[test]
+    fn millis_round_trip() {
+        let t = from_millis(13.31);
+        assert!((as_millis(t) - 13.31).abs() < 1e-9);
+        let u = from_micros(4.08);
+        assert!((as_micros(u) - 4.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bytes_in_matches_serialization_inverse() {
+        // In 20_480 ps a 200 Gb/s link moves exactly one 512 B packet.
+        assert_eq!(bytes_in(20_480, 200), 512);
+        // One millisecond of 200 Gb/s is 25 MB.
+        assert_eq!(bytes_in(MILLISECOND, 200), 25_000_000);
+    }
+}

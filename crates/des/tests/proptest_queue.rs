@@ -1,0 +1,83 @@
+//! Property tests: both pending-event sets realize the same deterministic
+//! total order — sorted by time, FIFO within a timestamp.
+
+use dfsim_des::calendar::CalendarQueue;
+use dfsim_des::queue::{EventQueue, PendingEvents};
+use proptest::prelude::*;
+
+/// A workload: a sequence of push(delay)/pop commands.
+#[derive(Debug, Clone)]
+enum Cmd {
+    Push(u64),
+    Pop,
+}
+
+fn cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    prop::collection::vec(
+        prop_oneof![3 => (0u64..10_000).prop_map(Cmd::Push), 2 => Just(Cmd::Pop)],
+        1..400,
+    )
+}
+
+fn run<Q: PendingEvents<u64>>(q: &mut Q, cmds: &[Cmd]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut now = 0u64;
+    let mut id = 0u64;
+    for c in cmds {
+        match c {
+            Cmd::Push(d) => {
+                q.push(now + d, id);
+                id += 1;
+            }
+            Cmd::Pop => {
+                if let Some((t, e)) = q.pop() {
+                    now = t;
+                    out.push((t, e));
+                }
+            }
+        }
+    }
+    while let Some((t, e)) = q.pop() {
+        out.push((t, e));
+    }
+    out
+}
+
+proptest! {
+    /// The heap pops a non-decreasing time sequence and every pushed event
+    /// exactly once.
+    #[test]
+    fn heap_is_total_order(cmds in cmds()) {
+        let mut q = EventQueue::new();
+        let out = run(&mut q, &cmds);
+        for w in out.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+        }
+        let mut ids: Vec<u64> = out.iter().map(|&(_, e)| e).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), out.len(), "duplicate or lost events");
+    }
+
+    /// The calendar queue produces exactly the heap's order on any workload.
+    #[test]
+    fn calendar_matches_heap(cmds in cmds(), width in 1u64..512, nbuckets in 2usize..64) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new(width, nbuckets);
+        let a = run(&mut heap, &cmds);
+        let b = run(&mut cal, &cmds);
+        prop_assert_eq!(a, b);
+    }
+
+    /// FIFO tie-break: two events at the same timestamp pop in push order.
+    #[test]
+    fn fifo_within_timestamp(n in 1usize..200, t in 0u64..1_000_000) {
+        let mut q = EventQueue::new();
+        for i in 0..n as u64 {
+            q.push(t, i);
+        }
+        for i in 0..n as u64 {
+            prop_assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Instrumentation layer — the paper's "IO module" (§III).
+//!
+//! The paper enhances SST with an IO module that records any performance
+//! counter at any frequency: per-packet detail (source, destination, send and
+//! receive times, forwarding path), per-application link usage, and
+//! application-level timestamps. This crate is that module for our simulator:
+//!
+//! * [`recorder::Recorder`] — the single sink every component reports into,
+//! * [`series`] — binned time series (throughput along simulated time,
+//!   Figs 5/9/13b),
+//! * [`hist`] — latency sample pools with quantiles (Figs 6/7/13a),
+//! * [`stall`] — per-port stall/busy/traffic accounting (Fig 11),
+//! * [`congestion`] — the group-pair congestion-index matrix (Fig 12),
+//! * [`summary`] — mean/std/min/max helpers used by every table.
+//!
+//! Recording is allocation-light: counters are dense vectors indexed by
+//! (router, port) or by time bin, and latency samples append to per-app
+//! vectors. Everything is plain data so reports can be serialized.
+
+#![warn(missing_docs)]
+
+pub mod congestion;
+pub mod hist;
+pub mod recorder;
+pub mod series;
+pub mod stall;
+pub mod summary;
+
+pub use congestion::CongestionMatrix;
+pub use hist::{LatencySummary, SamplePool};
+pub use recorder::{AppId, Recorder, RecorderConfig};
+pub use series::BinSeries;
+pub use stall::PortStats;
+pub use summary::Stats;

@@ -1,0 +1,388 @@
+//! The [`Recorder`]: the single sink every simulation component reports into.
+//!
+//! The network simulation reports packet injections/deliveries, per-port
+//! stalls and forwards; the MPI layer reports per-rank communication time and
+//! ingress bursts. The experiment harness then reads the aggregates to build
+//! the paper's tables and figures. All recording paths are branch-light and
+//! allocation-free after warm-up, so instrumentation does not distort the
+//! simulation hot loop.
+
+use dfsim_des::{Time, MILLISECOND};
+use dfsim_topology::{LinkKind, Port, RouterId, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::congestion::CongestionMatrix;
+use crate::hist::SamplePool;
+use crate::series::BinSeries;
+use crate::stall::PortTable;
+
+/// Identifies one application (job) within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub u16);
+
+impl AppId {
+    /// Raw index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for AppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// Recorder configuration: what to collect and at which granularity —
+/// the "flexibly configured IO module" of paper §III.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RecorderConfig {
+    /// Time-series bin width (default 0.1 ms, matching the paper's plots).
+    pub bin_width: Time,
+    /// Record every packet latency sample (needed by Figs 6, 7, 13a).
+    pub record_latencies: bool,
+    /// Record per-port stall/forward counters (needed by Figs 11, 12).
+    pub record_ports: bool,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        Self { bin_width: MILLISECOND / 10, record_latencies: true, record_ports: true }
+    }
+}
+
+/// Per-application aggregates.
+#[derive(Debug, Clone)]
+pub struct AppRecord {
+    /// Bytes handed to NICs over time.
+    pub injected: BinSeries,
+    /// Bytes delivered to destination nodes over time.
+    pub delivered: BinSeries,
+    /// Packet latency samples `(deliver time, latency ps)`.
+    pub latencies: SamplePool,
+    /// Packets injected.
+    pub packets_injected: u64,
+    /// Packets delivered.
+    pub packets_delivered: u64,
+    /// Delivered packets that took a non-minimal (Valiant) path.
+    pub packets_detoured: u64,
+    /// Histogram of router-to-router hops per delivered packet (index =
+    /// hop count, saturating at the last bucket).
+    pub hops_histogram: [u64; 9],
+    /// Sum of hops over delivered packets (for the mean).
+    pub hops_total: u64,
+    /// Largest single ingress burst a rank posted (peak ingress volume), B.
+    pub max_ingress_burst: u64,
+    /// Per-rank `(rank, comm time ps, exec time ps)` records.
+    pub rank_comm: Vec<(u32, Time, Time)>,
+}
+
+impl AppRecord {
+    fn new(bin_width: Time) -> Self {
+        Self {
+            injected: BinSeries::new(bin_width),
+            delivered: BinSeries::new(bin_width),
+            latencies: SamplePool::new(),
+            packets_injected: 0,
+            packets_delivered: 0,
+            packets_detoured: 0,
+            hops_histogram: [0; 9],
+            hops_total: 0,
+            max_ingress_burst: 0,
+            rank_comm: Vec::new(),
+        }
+    }
+}
+
+/// The metrics sink (see module docs).
+#[derive(Debug)]
+pub struct Recorder {
+    cfg: RecorderConfig,
+    topo: Topology,
+    apps: Vec<AppRecord>,
+    ports: PortTable,
+    congestion: CongestionMatrix,
+}
+
+impl Recorder {
+    /// Build a recorder for a topology.
+    pub fn new(topo: &Topology, cfg: RecorderConfig) -> Self {
+        let radix = topo.radix() as usize;
+        let routers = topo.num_routers() as usize;
+        let kinds = {
+            let t = topo.clone();
+            move |p: u8| t.port_kind(Port(p))
+        };
+        Self {
+            cfg,
+            topo: topo.clone(),
+            apps: Vec::new(),
+            ports: PortTable::new(routers, radix, kinds),
+            congestion: CongestionMatrix::new(
+                topo.num_groups() as usize,
+                topo.params().routers_per_group as u64,
+            ),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RecorderConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn app_mut(&mut self, app: AppId) -> &mut AppRecord {
+        let idx = app.idx();
+        while self.apps.len() <= idx {
+            self.apps.push(AppRecord::new(self.cfg.bin_width));
+        }
+        &mut self.apps[idx]
+    }
+
+    // ---- network-side hooks ----------------------------------------------
+
+    /// A packet of `bytes` entered the network at `t`.
+    #[inline]
+    pub fn packet_injected(&mut self, app: AppId, t: Time, bytes: u32) {
+        let a = self.app_mut(app);
+        a.injected.add(t, bytes as u64);
+        a.packets_injected += 1;
+    }
+
+    /// A packet injected at `inject` was delivered at `deliver`. `detoured`
+    /// marks packets that travelled a non-minimal path.
+    #[inline]
+    pub fn packet_delivered(&mut self, app: AppId, inject: Time, deliver: Time, bytes: u32) {
+        self.packet_delivered_routed(app, inject, deliver, bytes, false)
+    }
+
+    /// [`Recorder::packet_delivered`] with the non-minimal-path flag and
+    /// the traversed router-to-router hop count.
+    #[inline]
+    pub fn packet_delivered_routed(
+        &mut self,
+        app: AppId,
+        inject: Time,
+        deliver: Time,
+        bytes: u32,
+        detoured: bool,
+    ) {
+        self.packet_delivered_full(app, inject, deliver, bytes, detoured, 0)
+    }
+
+    /// Full delivery record: detour flag plus hop count (the per-packet
+    /// "forwarding path" detail of the paper's IO module, aggregated).
+    #[inline]
+    pub fn packet_delivered_full(
+        &mut self,
+        app: AppId,
+        inject: Time,
+        deliver: Time,
+        bytes: u32,
+        detoured: bool,
+        hops: u8,
+    ) {
+        let record_lat = self.cfg.record_latencies;
+        let a = self.app_mut(app);
+        a.delivered.add(deliver, bytes as u64);
+        a.packets_delivered += 1;
+        if detoured {
+            a.packets_detoured += 1;
+        }
+        let bucket = (hops as usize).min(a.hops_histogram.len() - 1);
+        a.hops_histogram[bucket] += 1;
+        a.hops_total += hops as u64;
+        if record_lat {
+            a.latencies.record(deliver, deliver.saturating_sub(inject));
+        }
+    }
+
+    /// A packet at `(router, port)` was head-of-line blocked for `dur` ps.
+    #[inline]
+    pub fn port_stalled(&mut self, router: RouterId, port: Port, dur: Time) {
+        if self.cfg.record_ports {
+            self.ports.add_stall(router.0, port.0, dur);
+        }
+    }
+
+    /// A packet of `bytes` was forwarded out of `(router, port)`, occupying
+    /// the link for `busy` ps.
+    #[inline]
+    pub fn packet_forwarded(&mut self, router: RouterId, port: Port, busy: Time, bytes: u32) {
+        if !self.cfg.record_ports {
+            return;
+        }
+        self.ports.add_forward(router.0, port.0, busy, bytes as u64);
+        match self.topo.port_kind(port) {
+            LinkKind::Local => {
+                let g = self.topo.group_of_router(router);
+                self.congestion.add_local(g.idx(), bytes as u64);
+            }
+            LinkKind::Global => {
+                if let Some(dst) = self.topo.global_port_target(router, port) {
+                    let src = self.topo.group_of_router(router);
+                    self.congestion.add_global(src.idx(), dst.idx(), bytes as u64);
+                }
+            }
+            LinkKind::Terminal => {}
+        }
+    }
+
+    // ---- MPI-side hooks ----------------------------------------------------
+
+    /// A rank posted `bytes` of consecutive messages in one burst; tracks the
+    /// application's peak ingress volume (paper §IV).
+    #[inline]
+    pub fn ingress_burst(&mut self, app: AppId, bytes: u64) {
+        let a = self.app_mut(app);
+        if bytes > a.max_ingress_burst {
+            a.max_ingress_burst = bytes;
+        }
+    }
+
+    /// Final per-rank communication/execution times.
+    pub fn rank_finished(&mut self, app: AppId, rank: u32, comm: Time, exec: Time) {
+        self.app_mut(app).rank_comm.push((rank, comm, exec));
+    }
+
+    // ---- read side ---------------------------------------------------------
+
+    /// Per-app aggregates (index = app id); apps never touched are absent.
+    pub fn apps(&self) -> &[AppRecord] {
+        &self.apps
+    }
+
+    /// Aggregates for one app, if it recorded anything.
+    pub fn app(&self, app: AppId) -> Option<&AppRecord> {
+        self.apps.get(app.idx())
+    }
+
+    /// The per-port counter table.
+    pub fn ports(&self) -> &PortTable {
+        &self.ports
+    }
+
+    /// The congestion byte matrix.
+    pub fn congestion(&self) -> &CongestionMatrix {
+        &self.congestion
+    }
+
+    /// System-wide delivered-bytes series (sum over apps).
+    pub fn system_delivered(&self) -> BinSeries {
+        let mut out = BinSeries::new(self.cfg.bin_width);
+        for a in &self.apps {
+            out.merge(&a.delivered);
+        }
+        out
+    }
+
+    /// System-wide latency summary (all apps pooled).
+    pub fn system_latency(&self) -> crate::hist::LatencySummary {
+        let mut pool = SamplePool::new();
+        for a in &self.apps {
+            for &(t, v) in a.latencies.samples() {
+                pool.record(t, v);
+            }
+        }
+        pool.summarize()
+    }
+
+    /// Sanity invariant: packets delivered never exceed packets injected.
+    pub fn conservation_ok(&self) -> bool {
+        self.apps.iter().all(|a| a.packets_delivered <= a.packets_injected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsim_topology::DragonflyParams;
+
+    fn rec() -> Recorder {
+        let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+        Recorder::new(&topo, RecorderConfig::default())
+    }
+
+    #[test]
+    fn packet_lifecycle_updates_app_counters() {
+        let mut r = rec();
+        let app = AppId(0);
+        r.packet_injected(app, 1_000, 512);
+        r.packet_delivered(app, 1_000, 5_000, 512);
+        let a = r.app(app).unwrap();
+        assert_eq!(a.packets_injected, 1);
+        assert_eq!(a.packets_delivered, 1);
+        assert_eq!(a.injected.total(), 512);
+        assert_eq!(a.delivered.total(), 512);
+        assert_eq!(a.latencies.samples(), &[(5_000, 4_000)]);
+        assert!(r.conservation_ok());
+    }
+
+    #[test]
+    fn latency_recording_can_be_disabled() {
+        let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+        let mut r = Recorder::new(
+            &topo,
+            RecorderConfig { record_latencies: false, ..Default::default() },
+        );
+        r.packet_delivered(AppId(0), 0, 10, 512);
+        assert!(r.app(AppId(0)).unwrap().latencies.is_empty());
+    }
+
+    #[test]
+    fn forwards_feed_congestion_matrix() {
+        let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+        let mut r = Recorder::new(&topo, RecorderConfig::default());
+        // Router 0, group 0. Port 2 is the first local port (p=2);
+        // global ports start at 2 + 3 = 5.
+        r.packet_forwarded(RouterId(0), Port(2), 20_480, 512);
+        let gw = topo.gateway(dfsim_topology::GroupId(0), dfsim_topology::GroupId(1)).unwrap();
+        r.packet_forwarded(gw.0, gw.1, 20_480, 512);
+        assert_eq!(r.congestion().local(0), 512);
+        assert_eq!(r.congestion().global(0, 1), 512);
+        assert_eq!(r.ports().total_bytes(LinkKind::Local), 512);
+        assert_eq!(r.ports().total_bytes(LinkKind::Global), 512);
+    }
+
+    #[test]
+    fn ingress_burst_keeps_max() {
+        let mut r = rec();
+        r.ingress_burst(AppId(1), 100);
+        r.ingress_burst(AppId(1), 50);
+        r.ingress_burst(AppId(1), 300);
+        assert_eq!(r.app(AppId(1)).unwrap().max_ingress_burst, 300);
+        // App 0 slot exists (dense vec) but recorded nothing.
+        assert_eq!(r.app(AppId(0)).unwrap().max_ingress_burst, 0);
+    }
+
+    #[test]
+    fn system_series_sums_apps() {
+        let mut r = rec();
+        r.packet_delivered(AppId(0), 0, 10, 100);
+        r.packet_delivered(AppId(1), 0, 10, 200);
+        assert_eq!(r.system_delivered().total(), 300);
+        assert_eq!(r.system_latency().n, 2);
+    }
+
+    #[test]
+    fn hop_histogram_accumulates() {
+        let mut r = rec();
+        r.packet_delivered_full(AppId(0), 0, 10, 512, false, 3);
+        r.packet_delivered_full(AppId(0), 0, 20, 512, true, 6);
+        r.packet_delivered_full(AppId(0), 0, 30, 512, false, 200); // saturates
+        let a = r.app(AppId(0)).unwrap();
+        assert_eq!(a.hops_histogram[3], 1);
+        assert_eq!(a.hops_histogram[6], 1);
+        assert_eq!(a.hops_histogram[8], 1);
+        assert_eq!(a.hops_total, 3 + 6 + 200);
+        assert_eq!(a.packets_detoured, 1);
+    }
+
+    #[test]
+    fn rank_comm_records() {
+        let mut r = rec();
+        r.rank_finished(AppId(0), 3, 1_000, 2_000);
+        assert_eq!(r.app(AppId(0)).unwrap().rank_comm, vec![(3, 1_000, 2_000)]);
+    }
+}

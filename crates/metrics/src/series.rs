@@ -1,0 +1,141 @@
+//! Binned time series for throughput-along-time figures (Figs 5, 9, 13b).
+
+use dfsim_des::{Time, MILLISECOND};
+use serde::{Deserialize, Serialize};
+
+/// Accumulates a quantity (bytes) into fixed-width time bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinSeries {
+    width: Time,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl BinSeries {
+    /// New series with bins of `width` picoseconds.
+    pub fn new(width: Time) -> Self {
+        assert!(width > 0, "bin width must be positive");
+        Self { width, bins: Vec::new(), total: 0 }
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> Time {
+        self.width
+    }
+
+    /// Add `amount` at time `t`.
+    #[inline]
+    pub fn add(&mut self, t: Time, amount: u64) {
+        let idx = (t / self.width) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] += amount;
+        self.total += amount;
+    }
+
+    /// Total accumulated amount.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw per-bin totals.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Number of bins (highest touched bin + 1).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The series as `(bin start ms, GB per ms)` points — the unit of the
+    /// paper's throughput plots.
+    pub fn as_gb_per_ms(&self) -> Vec<(f64, f64)> {
+        let width_ms = self.width as f64 / MILLISECOND as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (i as f64 * width_ms, b as f64 / 1e9 / width_ms))
+            .collect()
+    }
+
+    /// Mean rate in GB/ms over `[0, horizon)`; measures average throughput.
+    pub fn mean_gb_per_ms(&self, horizon: Time) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        self.total as f64 / 1e9 / (horizon as f64 / MILLISECOND as f64)
+    }
+
+    /// Peak single-bin rate in GB/ms.
+    pub fn peak_gb_per_ms(&self) -> f64 {
+        let width_ms = self.width as f64 / MILLISECOND as f64;
+        self.bins.iter().copied().max().unwrap_or(0) as f64 / 1e9 / width_ms
+    }
+
+    /// Elementwise sum of two series (must share the bin width).
+    pub fn merge(&mut self, other: &BinSeries) {
+        assert_eq!(self.width, other.width, "bin width mismatch");
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0);
+        }
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_accumulate_by_index() {
+        let mut s = BinSeries::new(100);
+        s.add(0, 1);
+        s.add(99, 2);
+        s.add(100, 4);
+        s.add(250, 8);
+        assert_eq!(s.bins(), &[3, 4, 8]);
+        assert_eq!(s.total(), 15);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn gb_per_ms_conversion() {
+        // 1 GB in a 1 ms bin = 1 GB/ms.
+        let mut s = BinSeries::new(MILLISECOND);
+        s.add(0, 1_000_000_000);
+        let pts = s.as_gb_per_ms();
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].1 - 1.0).abs() < 1e-12);
+        assert!((s.peak_gb_per_ms() - 1.0).abs() < 1e-12);
+        assert!((s.mean_gb_per_ms(2 * MILLISECOND) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = BinSeries::new(10);
+        a.add(0, 1);
+        let mut b = BinSeries::new(10);
+        b.add(25, 3);
+        a.merge(&b);
+        assert_eq!(a.bins(), &[1, 0, 3]);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width mismatch")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = BinSeries::new(10);
+        let b = BinSeries::new(20);
+        a.merge(&b);
+    }
+}

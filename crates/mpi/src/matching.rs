@@ -1,0 +1,173 @@
+//! MPI message matching: posted receives and unexpected messages.
+//!
+//! Matching is on `(source, tag)` with wildcard source, FIFO within a
+//! matching class (MPI's non-overtaking rule for our single-threaded
+//! ranks). Rendezvous RTS envelopes queue like messages: a posted receive
+//! can match either an already-arrived eager payload or a pending RTS.
+
+use std::collections::VecDeque;
+
+use dfsim_topology::NodeId;
+
+use crate::op::Tag;
+
+/// A posted (pending) receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostedRecv {
+    /// Accepted source world rank (`None` = any).
+    pub src: Option<u32>,
+    /// Required tag.
+    pub tag: Tag,
+    /// The receive request to complete.
+    pub req: u32,
+}
+
+/// An arrived-but-unmatched envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unexpected {
+    /// Sending world rank.
+    pub src: u32,
+    /// Message tag.
+    pub tag: Tag,
+    /// What arrived.
+    pub kind: UnexpectedKind,
+}
+
+/// Payload of an unexpected envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnexpectedKind {
+    /// Eager data fully buffered at the receiver: a matching receive
+    /// completes immediately.
+    Eager,
+    /// A rendezvous request-to-send: a matching receive triggers the CTS.
+    Rts {
+        /// The sender's node (CTS destination).
+        sender_node: NodeId,
+        /// The sender's request id (echoed through CTS and data).
+        send_req: u32,
+        /// Payload size that will follow.
+        bytes: u64,
+    },
+}
+
+/// Per-rank matching state.
+#[derive(Debug, Default)]
+pub struct MatchQueues {
+    posted: VecDeque<PostedRecv>,
+    unexpected: VecDeque<Unexpected>,
+}
+
+impl MatchQueues {
+    /// Empty queues.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An envelope arrived: match it against the oldest compatible posted
+    /// receive, or queue it as unexpected.
+    pub fn arrive(&mut self, env: Unexpected) -> Option<PostedRecv> {
+        let pos = self
+            .posted
+            .iter()
+            .position(|p| p.tag == env.tag && p.src.map_or(true, |s| s == env.src));
+        match pos {
+            Some(i) => self.posted.remove(i),
+            None => {
+                self.unexpected.push_back(env);
+                None
+            }
+        }
+    }
+
+    /// A receive was posted: match it against the oldest compatible
+    /// unexpected envelope, or queue it.
+    pub fn post(&mut self, recv: PostedRecv) -> Option<Unexpected> {
+        let pos = self
+            .unexpected
+            .iter()
+            .position(|u| u.tag == recv.tag && recv.src.map_or(true, |s| s == u.src));
+        match pos {
+            Some(i) => self.unexpected.remove(i),
+            None => {
+                self.posted.push_back(recv);
+                None
+            }
+        }
+    }
+
+    /// Outstanding posted receives (diagnostics).
+    pub fn posted_len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Queued unexpected envelopes (diagnostics).
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eager(src: u32, tag: Tag) -> Unexpected {
+        Unexpected { src, tag, kind: UnexpectedKind::Eager }
+    }
+
+    #[test]
+    fn arrival_matches_posted_by_src_and_tag() {
+        let mut q = MatchQueues::new();
+        assert_eq!(q.post(PostedRecv { src: Some(3), tag: 7, req: 0 }), None);
+        assert_eq!(q.arrive(eager(2, 7)), None, "wrong source must not match");
+        let hit = q.arrive(eager(3, 7)).unwrap();
+        assert_eq!(hit.req, 0);
+        assert_eq!(q.posted_len(), 0);
+        assert_eq!(q.unexpected_len(), 1, "the src-2 envelope stays queued");
+    }
+
+    #[test]
+    fn wildcard_source_matches_anything() {
+        let mut q = MatchQueues::new();
+        q.post(PostedRecv { src: None, tag: 1, req: 9 });
+        let hit = q.arrive(eager(42, 1)).unwrap();
+        assert_eq!(hit.req, 9);
+    }
+
+    #[test]
+    fn post_drains_unexpected_fifo() {
+        let mut q = MatchQueues::new();
+        assert_eq!(q.arrive(eager(1, 5)), None);
+        assert_eq!(q.arrive(eager(1, 5)), None);
+        // FIFO within the matching class.
+        let first = q.post(PostedRecv { src: Some(1), tag: 5, req: 0 }).unwrap();
+        assert_eq!(first.src, 1);
+        assert_eq!(q.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn tags_partition_matching() {
+        let mut q = MatchQueues::new();
+        q.post(PostedRecv { src: None, tag: 10, req: 0 });
+        assert_eq!(q.arrive(eager(0, 11)), None);
+        assert!(q.arrive(eager(0, 10)).is_some());
+    }
+
+    #[test]
+    fn rts_envelopes_queue_and_match() {
+        let mut q = MatchQueues::new();
+        let rts = Unexpected {
+            src: 4,
+            tag: 2,
+            kind: UnexpectedKind::Rts { sender_node: NodeId(40), send_req: 17, bytes: 1 << 20 },
+        };
+        assert_eq!(q.arrive(rts), None);
+        let hit = q.post(PostedRecv { src: Some(4), tag: 2, req: 3 }).unwrap();
+        match hit.kind {
+            UnexpectedKind::Rts { send_req, bytes, .. } => {
+                assert_eq!(send_req, 17);
+                assert_eq!(bytes, 1 << 20);
+            }
+            other => panic!("expected RTS, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Per-rank execution state: the micro-op stack, the request table, and
+//! blocking/communication-time accounting.
+
+use dfsim_des::Time;
+
+use crate::matching::MatchQueues;
+use crate::op::{RankProgram, Tag};
+
+/// Internal executable steps. Rank programs emit [`crate::op::MpiOp`]s;
+/// collectives expand into these, and point-to-point ops map 1:1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Busy compute.
+    Compute(Time),
+    /// Non-blocking send.
+    Isend {
+        /// Destination world rank.
+        dst: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// Tag.
+        tag: Tag,
+    },
+    /// Blocking send (= Isend + wait on that request).
+    Send {
+        /// Destination world rank.
+        dst: u32,
+        /// Payload bytes.
+        bytes: u64,
+        /// Tag.
+        tag: Tag,
+    },
+    /// Non-blocking receive.
+    Irecv {
+        /// Source world rank (`None` = any).
+        src: Option<u32>,
+        /// Tag.
+        tag: Tag,
+    },
+    /// Blocking receive.
+    Recv {
+        /// Source world rank (`None` = any).
+        src: Option<u32>,
+        /// Tag.
+        tag: Tag,
+    },
+    /// Wait for all outstanding requests.
+    WaitAll,
+}
+
+/// Why a rank is suspended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Block {
+    /// Busy computing (not communication time).
+    Compute,
+    /// Waiting for every outstanding request (`WaitAll` / finalize).
+    AllReqs,
+    /// Waiting for one specific request (blocking send/recv).
+    Req(u32),
+}
+
+/// Lifecycle of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqState {
+    /// Issued, not complete.
+    Pending,
+    /// Rendezvous receive matched (CTS sent), data still in flight.
+    Matched,
+    /// Complete.
+    Complete,
+}
+
+/// Dense per-rank request table.
+#[derive(Debug, Default)]
+pub struct ReqTable {
+    states: Vec<ReqState>,
+    outstanding: u32,
+}
+
+impl ReqTable {
+    /// Issue a new pending request.
+    pub fn issue(&mut self) -> u32 {
+        let id = self.states.len() as u32;
+        self.states.push(ReqState::Pending);
+        self.outstanding += 1;
+        id
+    }
+
+    /// Mark a rendezvous receive as matched (still outstanding).
+    pub fn mark_matched(&mut self, req: u32) {
+        let s = &mut self.states[req as usize];
+        debug_assert_eq!(*s, ReqState::Pending);
+        *s = ReqState::Matched;
+    }
+
+    /// Complete a request; returns `false` if it was already complete.
+    pub fn complete(&mut self, req: u32) -> bool {
+        let s = &mut self.states[req as usize];
+        if *s == ReqState::Complete {
+            return false;
+        }
+        *s = ReqState::Complete;
+        self.outstanding -= 1;
+        true
+    }
+
+    /// Whether a request has completed.
+    pub fn is_complete(&self, req: u32) -> bool {
+        self.states[req as usize] == ReqState::Complete
+    }
+
+    /// Requests issued but not complete.
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+}
+
+/// Full state of one rank.
+pub struct RankState {
+    /// The application program driving this rank.
+    pub program: Box<dyn RankProgram>,
+    /// Pending micro-ops, stored reversed (pop from the back).
+    pub stack: Vec<MicroOp>,
+    /// Posted-receive / unexpected-message queues.
+    pub match_q: MatchQueues,
+    /// Request table.
+    pub reqs: ReqTable,
+    /// Why the rank is suspended, if it is.
+    pub blocked: Option<Block>,
+    /// When the current block started.
+    pub blocked_since: Time,
+    /// Accumulated time blocked inside MPI calls (the paper's
+    /// "communication time").
+    pub comm_time: Time,
+    /// Bytes of sends issued since the rank last blocked (peak-ingress
+    /// burst accumulator).
+    pub burst: u64,
+    /// Per-communicator collective sequence numbers.
+    pub coll_seq: Vec<u32>,
+    /// Set once the program is exhausted and all requests have drained.
+    pub finished_at: Option<Time>,
+    /// Program exhausted; draining outstanding requests.
+    pub finishing: bool,
+}
+
+impl std::fmt::Debug for RankState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankState")
+            .field("stack_len", &self.stack.len())
+            .field("blocked", &self.blocked)
+            .field("outstanding", &self.reqs.outstanding())
+            .field("comm_time", &self.comm_time)
+            .field("finished_at", &self.finished_at)
+            .finish()
+    }
+}
+
+impl RankState {
+    /// Fresh rank state for a program; `num_comms` sizes the collective
+    /// sequence table.
+    pub fn new(program: Box<dyn RankProgram>, num_comms: usize) -> Self {
+        Self {
+            program,
+            stack: Vec::new(),
+            match_q: MatchQueues::new(),
+            reqs: ReqTable::default(),
+            blocked: None,
+            blocked_since: 0,
+            comm_time: 0,
+            burst: 0,
+            coll_seq: vec![0; num_comms],
+            finished_at: None,
+            finishing: false,
+        }
+    }
+
+    /// Whether this rank has fully finished.
+    pub fn is_finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lifecycle() {
+        let mut t = ReqTable::default();
+        let a = t.issue();
+        let b = t.issue();
+        assert_eq!(t.outstanding(), 2);
+        assert!(!t.is_complete(a));
+        assert!(t.complete(a));
+        assert!(!t.complete(a), "double-complete must be rejected");
+        assert_eq!(t.outstanding(), 1);
+        t.mark_matched(b);
+        assert_eq!(t.outstanding(), 1, "matched is still outstanding");
+        assert!(t.complete(b));
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
+    fn rank_state_initializes_clean() {
+        let prog = Vec::<crate::op::MpiOp>::new().into_iter();
+        let r = RankState::new(Box::new(prog), 3);
+        assert!(!r.is_finished());
+        assert_eq!(r.coll_seq, vec![0, 0, 0]);
+        assert_eq!(r.comm_time, 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests on the collective engine driven end-to-end through a
+//! real network: random communicator shapes and payloads must terminate
+//! with exactly the algorithmically expected wire traffic.
+
+use dfsim_des::queue::PendingEvents;
+use dfsim_des::{EventQueue, Scheduler, SimRng, Time};
+use dfsim_metrics::{AppId, Recorder, RecorderConfig};
+use dfsim_mpi::{CommId, MpiEvent, MpiOp, MpiSim, RankProgram};
+use dfsim_network::{NetEvent, NetworkSim, RoutingAlgo, RoutingConfig};
+use dfsim_topology::{DragonflyParams, LinkTiming, NodeId, Topology};
+use proptest::prelude::*;
+
+enum WE {
+    Net(NetEvent),
+    Mpi(MpiEvent),
+}
+
+struct WS<'a> {
+    q: &'a mut EventQueue<WE>,
+}
+impl Scheduler<NetEvent> for WS<'_> {
+    fn now(&self) -> Time {
+        self.q.now()
+    }
+    fn at(&mut self, t: Time, e: NetEvent) {
+        self.q.push(t, WE::Net(e));
+    }
+}
+impl Scheduler<MpiEvent> for WS<'_> {
+    fn now(&self) -> Time {
+        self.q.now()
+    }
+    fn at(&mut self, t: Time, e: MpiEvent) {
+        self.q.push(t, WE::Mpi(e));
+    }
+}
+
+/// Run a per-rank op list through the full MPI + network stack; returns
+/// total wire bytes delivered.
+fn run_ops(n: u32, seed: u64, ops: Vec<Vec<MpiOp>>) -> u64 {
+    let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+    let mut rec = Recorder::new(&topo, RecorderConfig::default());
+    let mut net = NetworkSim::new(
+        topo.clone(),
+        LinkTiming::default(),
+        RoutingConfig::new(RoutingAlgo::UgalG),
+        &SimRng::new(seed),
+    );
+    let mut mpi = MpiSim::default();
+    let mut rng = SimRng::new(seed ^ 0xc0ffee);
+    let mut nodes: Vec<NodeId> = (0..topo.num_nodes()).map(NodeId).collect();
+    rng.shuffle(&mut nodes);
+    nodes.truncate(n as usize);
+    let programs: Vec<Box<dyn RankProgram>> =
+        ops.into_iter().map(|o| Box::new(o.into_iter()) as Box<dyn RankProgram>).collect();
+    mpi.add_app(AppId(0), nodes, programs, vec![]);
+    let mut q: EventQueue<WE> = EventQueue::new();
+    {
+        let mut s = WS { q: &mut q };
+        mpi.start(&mut s, &mut net, &mut rec);
+    }
+    let mut effects = Vec::new();
+    let mut steps = 0u64;
+    while let Some((_, ev)) = q.pop() {
+        match ev {
+            WE::Net(e) => {
+                let mut s = WS { q: &mut q };
+                net.handle(e, &mut s, &mut rec, &mut effects);
+                for eff in effects.drain(..) {
+                    let mut s = WS { q: &mut q };
+                    mpi.on_net_effect(eff, &mut s, &mut net, &mut rec);
+                }
+            }
+            WE::Mpi(e) => {
+                let mut s = WS { q: &mut q };
+                mpi.handle(e, &mut s, &mut net, &mut rec);
+            }
+        }
+        steps += 1;
+        assert!(steps < 50_000_000, "runaway");
+    }
+    assert!(mpi.all_finished(), "collective deadlocked");
+    rec.app(AppId(0)).map(|a| a.delivered.total()).unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Alltoall moves exactly n·(n−1)·bytes on the wire and terminates.
+    #[test]
+    fn alltoall_wire_volume(n in 2u32..12, bytes in 1u64..10_000, seed in 0u64..500) {
+        let ops: Vec<Vec<MpiOp>> =
+            (0..n).map(|_| vec![MpiOp::AllToAll { comm: CommId::WORLD, bytes }]).collect();
+        let wire = run_ops(n, seed, ops);
+        prop_assert_eq!(wire, n as u64 * (n as u64 - 1) * bytes);
+    }
+
+    /// Allreduce moves exactly 2·(n−1)·bytes (tree up + down) plus, for
+    /// rendezvous-sized payloads, one RTS + CTS control packet (2 × 64 B)
+    /// per message.
+    #[test]
+    fn allreduce_wire_volume(n in 2u32..16, bytes in 1u64..100_000, seed in 0u64..500) {
+        let ops: Vec<Vec<MpiOp>> =
+            (0..n).map(|_| vec![MpiOp::AllReduce { comm: CommId::WORLD, bytes }]).collect();
+        let wire = run_ops(n, seed, ops);
+        let msgs = 2 * (n as u64 - 1);
+        let ctrl = if bytes > 16 * 1024 { 128 } else { 0 };
+        prop_assert_eq!(wire, msgs * (bytes + ctrl));
+    }
+
+    /// Reduce and Bcast each move (n−1)·(bytes + control), from/to any root.
+    #[test]
+    fn reduce_bcast_wire_volume(n in 2u32..12, root in 0u32..12, bytes in 1u64..50_000) {
+        let root = root % n;
+        let ctrl = if bytes > 16 * 1024 { 128 } else { 0 };
+        let reduce: Vec<Vec<MpiOp>> =
+            (0..n).map(|_| vec![MpiOp::Reduce { comm: CommId::WORLD, root, bytes }]).collect();
+        prop_assert_eq!(run_ops(n, 1, reduce), (n as u64 - 1) * (bytes + ctrl));
+        let bcast: Vec<Vec<MpiOp>> =
+            (0..n).map(|_| vec![MpiOp::Bcast { comm: CommId::WORLD, root, bytes }]).collect();
+        prop_assert_eq!(run_ops(n, 2, bcast), (n as u64 - 1) * (bytes + ctrl));
+    }
+
+    /// Back-to-back collectives on one communicator never cross-match.
+    #[test]
+    fn repeated_collectives_terminate(n in 2u32..10, reps in 1usize..5, seed in 0u64..200) {
+        let ops: Vec<Vec<MpiOp>> = (0..n)
+            .map(|_| {
+                let mut v = Vec::new();
+                for _ in 0..reps {
+                    v.push(MpiOp::AllReduce { comm: CommId::WORLD, bytes: 2_000 });
+                    v.push(MpiOp::Barrier { comm: CommId::WORLD });
+                }
+                v
+            })
+            .collect();
+        let wire = run_ops(n, seed, ops);
+        // Allreduce payloads + barrier control packets.
+        let expected = reps as u64 * (2 * (n as u64 - 1) * 2_000 + 2 * (n as u64 - 1) * 64);
+        prop_assert_eq!(wire, expected);
+    }
+}

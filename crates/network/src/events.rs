@@ -1,0 +1,99 @@
+//! Network events and the effects surfaced to the layer above.
+
+use dfsim_des::Time;
+use dfsim_topology::{GroupId, NodeId, Port, RouterId};
+
+use crate::packet::{MessageId, Packet};
+
+/// Internal network events, driven by the world event loop.
+#[derive(Debug, Clone)]
+pub enum NetEvent {
+    /// The NIC of `node` should try to inject its next packet.
+    NicPump {
+        /// Injecting node.
+        node: NodeId,
+    },
+    /// A packet fully arrived at a router input `(port, vc)`.
+    PacketArrive {
+        /// Receiving router.
+        router: RouterId,
+        /// Input port.
+        port: Port,
+        /// Input virtual channel.
+        vc: u8,
+        /// The packet.
+        packet: Packet,
+    },
+    /// An output link finished serializing a packet.
+    OutputFree {
+        /// Router owning the output.
+        router: RouterId,
+        /// Output port that became free.
+        port: Port,
+    },
+    /// A downstream buffer slot was freed for `(port, vc)` of `router`.
+    Credit {
+        /// Router receiving the credit.
+        router: RouterId,
+        /// Output port the credit belongs to.
+        port: Port,
+        /// Virtual channel the credit belongs to.
+        vc: u8,
+    },
+    /// The router freed a slot of `node`'s terminal input buffer.
+    NodeCredit {
+        /// Node whose NIC regains one credit.
+        node: NodeId,
+    },
+    /// A packet fully arrived at its destination node.
+    DeliverPacket {
+        /// Destination node.
+        node: NodeId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// Loop-back delivery of a self-addressed message (src == dst).
+    LocalDeliver {
+        /// The message.
+        msg: MessageId,
+    },
+    /// The NIC finished serializing the last packet of a message.
+    SendDone {
+        /// The message.
+        msg: MessageId,
+    },
+    /// Q-adaptive feedback: the downstream neighbour reports a remaining-
+    /// delivery-time sample for `(dst_group, dst_local)` through `port`.
+    QFeedback {
+        /// Router whose Q-table is updated.
+        router: RouterId,
+        /// The output port the sample applies to.
+        port: Port,
+        /// Destination group of the sampled packet.
+        dst_group: GroupId,
+        /// Destination router's local index within its group (level-2 key).
+        dst_local: u32,
+        /// Observed transit + estimated remaining time, picoseconds.
+        sample: Time,
+    },
+}
+
+/// Effects the network hands back to the transport user (the MPI layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEffect {
+    /// The last byte of a message left the source NIC (local completion —
+    /// an eager send's buffer is reusable).
+    MessageInjected {
+        /// The message.
+        msg: MessageId,
+        /// Completion time.
+        at: Time,
+    },
+    /// The last packet of a message reached the destination node.
+    MessageDelivered {
+        /// The message.
+        msg: MessageId,
+        /// Delivery time.
+        at: Time,
+    },
+}

@@ -1,0 +1,121 @@
+//! Per-node NIC: message send queues and packetization.
+//!
+//! The NIC serializes packets onto the terminal uplink (same bandwidth as
+//! network links) and respects the router's terminal input-buffer credits,
+//! so injection is back-pressured exactly like any other hop. Messages are
+//! injected in FIFO order; a message's packets are contiguous on the wire.
+
+use std::collections::VecDeque;
+
+use dfsim_des::Time;
+use dfsim_metrics::AppId;
+use dfsim_topology::NodeId;
+
+use crate::packet::MessageId;
+
+/// One queued outgoing message.
+#[derive(Debug, Clone, Copy)]
+pub struct SendMsg {
+    /// Transport message id.
+    pub msg: MessageId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Owning application.
+    pub app: AppId,
+    /// Bytes not yet packetized. Zero-byte (control) messages are stored as
+    /// `control_bytes` so they still emit one packet.
+    pub bytes_left: u64,
+}
+
+/// Per-node injection state.
+#[derive(Debug)]
+pub struct Nic {
+    /// Owning node.
+    pub node: NodeId,
+    /// Credits towards the router's terminal input buffer.
+    pub credits: u32,
+    /// Uplink busy horizon.
+    pub busy_until: Time,
+    /// FIFO of outgoing messages.
+    pub sendq: VecDeque<SendMsg>,
+    /// A `NicPump` event is already scheduled for the uplink-free time.
+    pub pump_pending: bool,
+    /// Total bytes this NIC has serialized (diagnostics).
+    pub bytes_injected: u64,
+}
+
+impl Nic {
+    /// Fresh NIC with a full credit allowance.
+    pub fn new(node: NodeId, credits: u32) -> Self {
+        Self {
+            node,
+            credits,
+            busy_until: 0,
+            sendq: VecDeque::new(),
+            pump_pending: false,
+            bytes_injected: 0,
+        }
+    }
+
+    /// Enqueue a message for injection.
+    pub fn enqueue(&mut self, msg: MessageId, dst: NodeId, app: AppId, bytes: u64) {
+        self.sendq.push_back(SendMsg { msg, dst, app, bytes_left: bytes });
+    }
+
+    /// Whether nothing remains to inject.
+    pub fn is_idle(&self) -> bool {
+        self.sendq.is_empty()
+    }
+
+    /// Carve the next packet (up to `packet_bytes`) off the head message.
+    /// Returns `(msg meta, payload bytes, message finished)`. `None` when
+    /// the queue is empty.
+    pub fn next_packet(&mut self, packet_bytes: u32, control_bytes: u32) -> Option<(SendMsg, u32, bool)> {
+        let head = self.sendq.front_mut()?;
+        let meta = *head;
+        let take = if head.bytes_left == 0 {
+            control_bytes // zero-byte message: single control packet
+        } else {
+            head.bytes_left.min(packet_bytes as u64) as u32
+        };
+        head.bytes_left = head.bytes_left.saturating_sub(take as u64);
+        let done = head.bytes_left == 0;
+        if done {
+            self.sendq.pop_front();
+        }
+        self.bytes_injected += take as u64;
+        Some((meta, take, done))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carves_packets_fifo_with_tail() {
+        let mut nic = Nic::new(NodeId(0), 30);
+        nic.enqueue(MessageId(1), NodeId(5), AppId(0), 1100);
+        nic.enqueue(MessageId(2), NodeId(6), AppId(0), 10);
+        let (m, b, done) = nic.next_packet(512, 64).unwrap();
+        assert_eq!((m.msg, b, done), (MessageId(1), 512, false));
+        let (_, b, done) = nic.next_packet(512, 64).unwrap();
+        assert_eq!((b, done), (512, false));
+        let (_, b, done) = nic.next_packet(512, 64).unwrap();
+        assert_eq!((b, done), (76, true));
+        let (m, b, done) = nic.next_packet(512, 64).unwrap();
+        assert_eq!((m.msg, b, done), (MessageId(2), 10, true));
+        assert!(nic.next_packet(512, 64).is_none());
+        assert!(nic.is_idle());
+        assert_eq!(nic.bytes_injected, 1100 + 10);
+    }
+
+    #[test]
+    fn zero_byte_message_is_one_control_packet() {
+        let mut nic = Nic::new(NodeId(0), 30);
+        nic.enqueue(MessageId(7), NodeId(1), AppId(0), 0);
+        let (m, b, done) = nic.next_packet(512, 64).unwrap();
+        assert_eq!((m.msg, b, done), (MessageId(7), 64, true));
+        assert!(nic.is_idle());
+    }
+}

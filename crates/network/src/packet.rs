@@ -1,0 +1,189 @@
+//! Packets and transport-level messages.
+
+use dfsim_des::Time;
+use dfsim_metrics::AppId;
+use dfsim_topology::paths::RouteProgress;
+use dfsim_topology::{NodeId, Port};
+
+/// Identifies one transport message (a contiguous byte range between two
+/// nodes). Message ids are dense and allocated sequentially by the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u64);
+
+impl MessageId {
+    /// Raw index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for MessageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Per-packet routing state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteState {
+    /// Not yet decided — the packet is fresh at its source router.
+    Fresh,
+    /// A committed path plan. `revisable` allows PAR to re-evaluate the
+    /// minimal decision at downstream routers of the source group.
+    Planned {
+        /// The plan plus Valiant progress.
+        progress: RouteProgress,
+        /// PAR-style in-source-group revision still allowed.
+        revisable: bool,
+    },
+    /// Q-adaptive is still deciding hop-by-hop within the source group.
+    QDeciding {
+        /// Local (intra-source-group) hops taken so far; bounded at 2.
+        local_hops: u8,
+    },
+}
+
+/// One network packet. Packets carry their own routing state so routers stay
+/// stateless with respect to in-flight traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct Packet {
+    /// Globally unique packet id (diagnostics).
+    pub id: u64,
+    /// The message this packet belongs to.
+    pub msg: MessageId,
+    /// Owning application (for per-app accounting).
+    pub app: AppId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload bytes carried (≤ packet size; the message tail may be short).
+    pub bytes: u32,
+    /// Injection timestamp (NIC handed the first flit to the wire).
+    pub injected_at: Time,
+    /// Arrival time at the router currently buffering the packet (drives
+    /// stall accounting and Q-adaptive transit samples).
+    pub arrived_at_hop: Time,
+    /// Router-to-router channels traversed so far (= VC index of next hop).
+    pub hops: u8,
+    /// Routing state.
+    pub state: RouteState,
+    /// Output port chosen at the current router (cached across blocked
+    /// retries so an adaptive decision is made once per router).
+    pub cached_port: Option<Port>,
+}
+
+impl Packet {
+    /// Whether the packet has ever been routed non-minimally (used by
+    /// reports; derived from the plan).
+    pub fn took_detour(&self) -> bool {
+        match self.state {
+            RouteState::Planned { progress, .. } => progress.plan.is_nonminimal(),
+            _ => false,
+        }
+    }
+}
+
+/// Split a message of `bytes` into packet payload sizes given the maximum
+/// packet payload `packet_bytes`. Zero-byte messages (pure control, e.g.
+/// rendezvous RTS/CTS) still occupy one minimum-size control packet.
+pub fn packetize(bytes: u64, packet_bytes: u32, control_bytes: u32) -> PacketSizes {
+    PacketSizes { remaining: bytes, packet_bytes, control_bytes, emitted_any: false }
+}
+
+/// Iterator over the packet payload sizes of one message.
+#[derive(Debug, Clone)]
+pub struct PacketSizes {
+    remaining: u64,
+    packet_bytes: u32,
+    control_bytes: u32,
+    emitted_any: bool,
+}
+
+impl PacketSizes {
+    /// Total number of packets this message will produce.
+    pub fn count(bytes: u64, packet_bytes: u32) -> u32 {
+        if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(packet_bytes as u64) as u32
+        }
+    }
+}
+
+impl Iterator for PacketSizes {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            if self.emitted_any {
+                return None;
+            }
+            // Zero-byte message: one control packet.
+            self.emitted_any = true;
+            return Some(self.control_bytes);
+        }
+        self.emitted_any = true;
+        let take = self.remaining.min(self.packet_bytes as u64) as u32;
+        self.remaining -= take as u64;
+        Some(take)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packetize_splits_with_short_tail() {
+        let sizes: Vec<u32> = packetize(1200, 512, 64).collect();
+        assert_eq!(sizes, vec![512, 512, 176]);
+        assert_eq!(PacketSizes::count(1200, 512), 3);
+    }
+
+    #[test]
+    fn packetize_exact_multiple() {
+        let sizes: Vec<u32> = packetize(1024, 512, 64).collect();
+        assert_eq!(sizes, vec![512, 512]);
+        assert_eq!(PacketSizes::count(1024, 512), 2);
+    }
+
+    #[test]
+    fn packetize_zero_byte_message_is_one_control_packet() {
+        let sizes: Vec<u32> = packetize(0, 512, 64).collect();
+        assert_eq!(sizes, vec![64]);
+        assert_eq!(PacketSizes::count(0, 512), 1);
+    }
+
+    #[test]
+    fn packetize_small_message() {
+        let sizes: Vec<u32> = packetize(1, 512, 64).collect();
+        assert_eq!(sizes, vec![1]);
+    }
+
+    #[test]
+    fn detour_flag_follows_plan() {
+        use dfsim_topology::paths::PathPlan;
+        use dfsim_topology::GroupId;
+        let mut p = Packet {
+            id: 0,
+            msg: MessageId(0),
+            app: AppId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            bytes: 512,
+            injected_at: 0,
+            arrived_at_hop: 0,
+            hops: 0,
+            state: RouteState::Fresh,
+            cached_port: None,
+        };
+        assert!(!p.took_detour());
+        p.state = RouteState::Planned {
+            progress: RouteProgress::new(PathPlan::NonMinimalGroup { via: GroupId(3) }),
+            revisable: false,
+        };
+        assert!(p.took_detour());
+    }
+}

@@ -1,0 +1,210 @@
+//! UGAL: Universal Globally-Adaptive Load-balanced routing.
+//!
+//! The source router compares the (unique) minimal path against the best of
+//! `nonmin_samples` randomly sampled Valiant paths by first-hop queue
+//! occupancy; the packet goes minimal iff
+//! `q_min ≤ 2·q_nonmin + bias` (paper §II-B: "when the best minimal path
+//! queue occupancy is less than twice of the best non-minimal path queue
+//! occupancy, the packet is minimally forwarded"). UGALg then routes
+//! minimally inside the intermediate group while UGALn first visits a random
+//! router there (§II-B).
+
+use dfsim_des::Time;
+use dfsim_topology::paths::{port_toward_group, PathPlan};
+use dfsim_topology::{GroupId, LinkTiming, Topology};
+
+use crate::packet::Packet;
+use crate::router::Router;
+use crate::routing::RoutingConfig;
+
+/// Source-router UGAL decision. `node_valiant` selects the UGALn variant.
+pub fn choose_plan(
+    router: &mut Router,
+    topo: &Topology,
+    timing: &LinkTiming,
+    cfg: &RoutingConfig,
+    now: Time,
+    pkt: &Packet,
+    node_valiant: bool,
+) -> PathPlan {
+    let src_group = topo.group_of_router(router.id);
+    let dst_group = topo.group_of_node(pkt.dst);
+    let groups = topo.num_groups();
+    if src_group == dst_group || groups < 3 {
+        // Intra-group traffic (or no possible detour) goes minimally: a
+        // single local hop cannot be beaten by a Valiant path here.
+        return PathPlan::Minimal;
+    }
+
+    let pser = timing.packet_serialize();
+    let p_min = topo.min_next_port(router.id, pkt.dst);
+    let q_min = router.congestion_packets(p_min, now, timing.buffer_packets, pser);
+
+    let best = sample_detour(router, topo, timing, cfg, now, src_group, dst_group);
+    let Some((q_non, via)) = best else {
+        return PathPlan::Minimal;
+    };
+
+    if (q_min as i64) <= 2 * q_non as i64 + cfg.ugal_bias {
+        PathPlan::Minimal
+    } else if node_valiant {
+        let a = topo.params().routers_per_group;
+        let via_router = topo.router_in_group(via, router.rng.below(a as u64) as u32);
+        PathPlan::NonMinimalRouter { via: via_router }
+    } else {
+        PathPlan::NonMinimalGroup { via }
+    }
+}
+
+/// Sample `nonmin_samples` intermediate groups and return the least-congested
+/// candidate as `(queue occupancy, group)`.
+pub(crate) fn sample_detour(
+    router: &mut Router,
+    topo: &Topology,
+    timing: &LinkTiming,
+    cfg: &RoutingConfig,
+    now: Time,
+    src_group: GroupId,
+    dst_group: GroupId,
+) -> Option<(u64, GroupId)> {
+    let groups = topo.num_groups();
+    let pser = timing.packet_serialize();
+    let mut best: Option<(u64, GroupId)> = None;
+    for _ in 0..cfg.nonmin_samples {
+        // Rejection-sample an intermediate group distinct from both ends.
+        let via = loop {
+            let g = GroupId(router.rng.below(groups as u64) as u32);
+            if g != src_group && g != dst_group {
+                break g;
+            }
+        };
+        let first_hop = port_toward_group(topo, router.id, via);
+        let q = router.congestion_packets(first_hop, now, timing.buffer_packets, pser);
+        if best.map_or(true, |(bq, _)| q < bq) {
+            best = Some((q, via));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{MessageId, RouteState};
+    use dfsim_des::SimRng;
+    use dfsim_metrics::AppId;
+    use dfsim_topology::{DragonflyParams, NodeId, RouterId};
+
+    fn setup() -> (Topology, Router, RoutingConfig, LinkTiming) {
+        let topo = Topology::new(DragonflyParams::paper_1056()).unwrap();
+        let router = Router::new(&topo, RouterId(0), 6, 30, None, SimRng::new(7));
+        (topo, router, RoutingConfig::default(), LinkTiming::default())
+    }
+
+    fn pkt(dst: u32) -> Packet {
+        Packet {
+            id: 0,
+            msg: MessageId(0),
+            app: AppId(0),
+            src: NodeId(0),
+            dst: NodeId(dst),
+            bytes: 512,
+            injected_at: 0,
+            arrived_at_hop: 0,
+            hops: 0,
+            state: RouteState::Fresh,
+            cached_port: None,
+        }
+    }
+
+    #[test]
+    fn uncongested_network_routes_minimally() {
+        let (topo, mut r, cfg, timing) = setup();
+        let p = pkt(1000);
+        for _ in 0..50 {
+            let plan = choose_plan(&mut r, &topo, &timing, &cfg, 0, &p, false);
+            assert_eq!(plan, PathPlan::Minimal);
+        }
+    }
+
+    #[test]
+    fn congested_minimal_port_triggers_detour() {
+        let (topo, mut r, cfg, timing) = setup();
+        let p = pkt(1000);
+        let p_min = topo.min_next_port(r.id, p.dst);
+        // Exhaust downstream credits on the minimal first hop.
+        for vc in 0..6u8 {
+            for _ in 0..30 {
+                r.take_credit(p_min, vc);
+            }
+        }
+        let mut nonmin = 0;
+        for _ in 0..50 {
+            if choose_plan(&mut r, &topo, &timing, &cfg, 0, &p, false).is_nonminimal() {
+                nonmin += 1;
+            }
+        }
+        assert_eq!(nonmin, 50, "a fully backed-up minimal port must always lose");
+    }
+
+    #[test]
+    fn node_valiant_picks_router_level_via() {
+        let (topo, mut r, cfg, timing) = setup();
+        let p = pkt(1000);
+        let p_min = topo.min_next_port(r.id, p.dst);
+        for vc in 0..6u8 {
+            for _ in 0..30 {
+                r.take_credit(p_min, vc);
+            }
+        }
+        match choose_plan(&mut r, &topo, &timing, &cfg, 0, &p, true) {
+            PathPlan::NonMinimalRouter { via } => {
+                let vg = topo.group_of_router(via);
+                assert_ne!(vg, topo.group_of_node(p.src));
+                assert_ne!(vg, topo.group_of_node(p.dst));
+            }
+            other => panic!("expected router-level detour, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_group_always_minimal() {
+        let (topo, mut r, cfg, timing) = setup();
+        let p = pkt(20); // node 20 → router 5, group 0 (same as src)
+        assert_eq!(choose_plan(&mut r, &topo, &timing, &cfg, 0, &p, true), PathPlan::Minimal);
+    }
+
+    #[test]
+    fn bias_shifts_the_threshold() {
+        let (topo, mut r, mut cfg, timing) = setup();
+        // Huge positive bias: minimal always wins even when congested.
+        cfg.ugal_bias = 1_000_000;
+        let p = pkt(1000);
+        let p_min = topo.min_next_port(r.id, p.dst);
+        for vc in 0..6u8 {
+            for _ in 0..30 {
+                r.take_credit(p_min, vc);
+            }
+        }
+        assert_eq!(choose_plan(&mut r, &topo, &timing, &cfg, 0, &p, false), PathPlan::Minimal);
+    }
+
+    #[test]
+    fn detour_sampler_avoids_endpoint_groups() {
+        let (topo, mut r, cfg, timing) = setup();
+        for _ in 0..100 {
+            let (_, via) = sample_detour(
+                &mut r,
+                &topo,
+                &timing,
+                &cfg,
+                0,
+                GroupId(0),
+                GroupId(31),
+            )
+            .unwrap();
+            assert_ne!(via, GroupId(0));
+            assert_ne!(via, GroupId(31));
+        }
+    }
+}

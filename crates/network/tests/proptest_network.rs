@@ -1,0 +1,85 @@
+//! Property tests over the network simulation: packet conservation, byte
+//! conservation and drain-to-idle for random traffic under every routing
+//! algorithm.
+
+use dfsim_des::queue::PendingEvents;
+use dfsim_des::sched::QueueScheduler;
+use dfsim_des::{EventQueue, SimRng};
+use dfsim_metrics::{AppId, Recorder, RecorderConfig};
+use dfsim_network::{NetEffect, NetEvent, NetworkSim, RoutingAlgo, RoutingConfig};
+use dfsim_topology::{DragonflyParams, LinkTiming, NodeId, Topology};
+use proptest::prelude::*;
+
+fn algo_strategy() -> impl Strategy<Value = RoutingAlgo> {
+    prop_oneof![
+        Just(RoutingAlgo::Minimal),
+        Just(RoutingAlgo::UgalG),
+        Just(RoutingAlgo::UgalN),
+        Just(RoutingAlgo::Par),
+        Just(RoutingAlgo::QAdaptive),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever traffic we offer, every message is delivered exactly once,
+    /// every injected byte is delivered, and the network drains to idle.
+    #[test]
+    fn conservation_under_random_traffic(
+        algo in algo_strategy(),
+        seed in 0u64..1_000,
+        n_msgs in 1usize..60,
+        max_bytes in 1u64..8_192,
+    ) {
+        let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+        let mut rec = Recorder::new(&topo, RecorderConfig::default());
+        let mut net = NetworkSim::new(
+            topo.clone(),
+            LinkTiming::default(),
+            RoutingConfig::new(algo),
+            &SimRng::new(seed),
+        );
+        let mut rng = SimRng::new(seed ^ 0xdead_beef);
+        let mut queue: EventQueue<NetEvent> = EventQueue::new();
+        let mut effects: Vec<NetEffect> = Vec::new();
+
+        let n = topo.num_nodes() as u64;
+        let mut sent = Vec::new();
+        let mut wire_bytes = 0u64;
+        for _ in 0..n_msgs {
+            let src = NodeId(rng.below(n) as u32);
+            let dst = NodeId(rng.below(n) as u32);
+            let bytes = rng.below(max_bytes);
+            let mut sched = QueueScheduler::new(&mut queue);
+            let msg = net.send_message(&mut sched, &mut rec, src, dst, bytes, AppId(0));
+            sent.push(msg);
+            if src != dst {
+                wire_bytes += if bytes == 0 { 64 } else { bytes };
+            }
+        }
+
+        let mut steps = 0u64;
+        while let Some((_, ev)) = queue.pop() {
+            let mut sched = QueueScheduler::new(&mut queue);
+            net.handle(ev, &mut sched, &mut rec, &mut effects);
+            steps += 1;
+            prop_assert!(steps < 20_000_000, "runaway simulation");
+        }
+
+        // Exactly one delivery per message.
+        for msg in &sent {
+            let count = effects
+                .iter()
+                .filter(|e| matches!(e, NetEffect::MessageDelivered { msg: m, .. } if m == msg))
+                .count();
+            prop_assert_eq!(count, 1, "{} delivered {} times under {}", msg, count, algo);
+        }
+        prop_assert!(net.is_idle());
+        prop_assert!(rec.conservation_ok());
+        if let Some(app) = rec.app(AppId(0)) {
+            prop_assert_eq!(app.packets_injected, app.packets_delivered);
+            prop_assert_eq!(app.delivered.total(), wire_bytes);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Minimal and non-minimal (Valiant) path plans.
+//!
+//! A packet's route is described by a [`PathPlan`] chosen at injection (and
+//! possibly revised by PAR/Q-adaptive inside the source group) plus a
+//! progress flag. Given the plan, the next output port at every router is a
+//! pure function of the topology — [`RouteProgress::next_port`] — which the
+//! network crate calls per hop. The same function powers the path property
+//! tests (bounded hop counts, VC monotonicity).
+
+use crate::ids::{GroupId, NodeId, Port, RouterId};
+use crate::topo::{Endpoint, Topology};
+
+/// How a packet intends to reach its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathPlan {
+    /// The unique minimal path (≤3 router hops).
+    Minimal,
+    /// Valiant via an intermediate *group*; minimal inside it (UGALg-style).
+    NonMinimalGroup {
+        /// Intermediate group (≠ source group, ≠ destination group).
+        via: GroupId,
+    },
+    /// Valiant via a specific intermediate *router* (UGALn-style: avoids
+    /// local congestion in the intermediate group by first visiting a random
+    /// router there).
+    NonMinimalRouter {
+        /// Intermediate router to visit before heading to the destination.
+        via: RouterId,
+    },
+}
+
+impl PathPlan {
+    /// Whether this plan is non-minimal.
+    #[inline]
+    pub fn is_nonminimal(&self) -> bool {
+        !matches!(self, PathPlan::Minimal)
+    }
+}
+
+/// One traversed channel: the router we were at and the output port taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Router the packet departed from.
+    pub router: RouterId,
+    /// Output port taken.
+    pub port: Port,
+}
+
+/// A plan plus progress (has the Valiant via-point been reached?).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteProgress {
+    /// The (possibly revised) path plan.
+    pub plan: PathPlan,
+    /// Set once the intermediate group/router has been visited.
+    pub via_done: bool,
+}
+
+impl RouteProgress {
+    /// Fresh progress for a plan.
+    pub fn new(plan: PathPlan) -> Self {
+        Self { plan, via_done: false }
+    }
+
+    /// The output port to take at `current`, updating progress. The caller
+    /// guarantees `current` is not the destination node's router *or* the
+    /// port returned is that router's terminal port.
+    pub fn next_port(&mut self, topo: &Topology, current: RouterId, dst: NodeId) -> Port {
+        match self.plan {
+            PathPlan::Minimal => topo.min_next_port(current, dst),
+            PathPlan::NonMinimalGroup { via } => {
+                if !self.via_done {
+                    let here = topo.group_of_router(current);
+                    if here == via || here == topo.group_of_node(dst) {
+                        // Reached the intermediate group (or the destination
+                        // group early): continue minimally.
+                        self.via_done = true;
+                        return topo.min_next_port(current, dst);
+                    }
+                    return port_toward_group(topo, current, via);
+                }
+                topo.min_next_port(current, dst)
+            }
+            PathPlan::NonMinimalRouter { via } => {
+                if !self.via_done {
+                    if current == via || topo.group_of_router(current) == topo.group_of_node(dst)
+                    {
+                        self.via_done = true;
+                        return topo.min_next_port(current, dst);
+                    }
+                    return port_toward_router(topo, current, via);
+                }
+                topo.min_next_port(current, dst)
+            }
+        }
+    }
+}
+
+/// Next port from `current` minimally towards any router of `target` group
+/// (`target` ≠ current group).
+pub fn port_toward_group(topo: &Topology, current: RouterId, target: GroupId) -> Port {
+    let here = topo.group_of_router(current);
+    debug_assert_ne!(here, target);
+    let (gw, gw_port) = topo.gateway(here, target).expect("distinct groups");
+    if gw == current {
+        gw_port
+    } else {
+        topo.local_port(current, gw).expect("gateway within my group")
+    }
+}
+
+/// Next port from `current` minimally towards `target` router
+/// (`target` ≠ `current`).
+pub fn port_toward_router(topo: &Topology, current: RouterId, target: RouterId) -> Port {
+    debug_assert_ne!(current, target);
+    let here = topo.group_of_router(current);
+    let there = topo.group_of_router(target);
+    if here == there {
+        topo.local_port(current, target).expect("same-group peer")
+    } else {
+        port_toward_group(topo, current, there)
+    }
+}
+
+/// Walk a full path from `src` to `dst` under `plan`, returning every
+/// traversed channel. Used by tests and the path benchmarks; the live
+/// simulator routes hop-by-hop instead.
+pub fn walk(topo: &Topology, src: NodeId, dst: NodeId, plan: PathPlan) -> Vec<Hop> {
+    let mut hops = Vec::with_capacity(8);
+    let mut progress = RouteProgress::new(plan);
+    let mut current = topo.router_of_node(src);
+    loop {
+        let port = progress.next_port(topo, current, dst);
+        hops.push(Hop { router: current, port });
+        match topo.endpoint(current, port).expect("routed onto a connected port") {
+            Endpoint::Node(n) => {
+                debug_assert_eq!(n, dst);
+                return hops;
+            }
+            Endpoint::Router { router, .. } => {
+                current = router;
+                assert!(hops.len() <= 8, "path exceeded hop bound: {hops:?}");
+            }
+        }
+    }
+}
+
+/// Upper bound on router-to-router hops for any legal plan (see the VC
+/// sizing argument in `DESIGN.md` §2: l,g,l,l,g,l plus the terminal hop).
+pub const MAX_ROUTER_HOPS: usize = 6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DragonflyParams;
+    use crate::LinkKind;
+
+    fn paper() -> Topology {
+        Topology::new(DragonflyParams::paper_1056()).unwrap()
+    }
+
+    /// Router-to-router hops of a walk (excludes the final terminal hop).
+    fn router_hops(topo: &Topology, hops: &[Hop]) -> usize {
+        hops.iter().filter(|h| topo.port_kind(h.port) != LinkKind::Terminal).count()
+    }
+
+    #[test]
+    fn minimal_walk_is_at_most_three_router_hops() {
+        let t = paper();
+        for (s, d) in [(0u32, 1055u32), (0, 4), (0, 1), (17, 930), (500, 501)] {
+            let hops = walk(&t, NodeId(s), NodeId(d), PathPlan::Minimal);
+            assert!(router_hops(&t, &hops) <= 3, "{s}->{d}: {hops:?}");
+            // Last hop is always the terminal ejection.
+            let last = hops.last().unwrap();
+            assert_eq!(t.port_kind(last.port), LinkKind::Terminal);
+        }
+    }
+
+    #[test]
+    fn same_router_pair_is_terminal_only() {
+        let t = paper();
+        let hops = walk(&t, NodeId(0), NodeId(1), PathPlan::Minimal);
+        assert_eq!(hops.len(), 1);
+        assert_eq!(t.port_kind(hops[0].port), LinkKind::Terminal);
+    }
+
+    #[test]
+    fn nonminimal_group_passes_through_via() {
+        let t = paper();
+        let src = NodeId(0); // group 0
+        let dst = NodeId(1000); // group 31
+        let via = GroupId(12);
+        let hops = walk(&t, src, dst, PathPlan::NonMinimalGroup { via });
+        let visited: Vec<GroupId> =
+            hops.iter().map(|h| t.group_of_router(h.router)).collect();
+        assert!(visited.contains(&via), "path never entered via group: {visited:?}");
+        assert!(router_hops(&t, &hops) <= MAX_ROUTER_HOPS);
+    }
+
+    #[test]
+    fn nonminimal_router_visits_exact_router() {
+        let t = paper();
+        let src = NodeId(0);
+        let dst = NodeId(1000);
+        let via = RouterId(100); // group 12, local index 4
+        let hops = walk(&t, src, dst, PathPlan::NonMinimalRouter { via });
+        assert!(hops.iter().any(|h| h.router == via), "never visited {via}: {hops:?}");
+        assert!(router_hops(&t, &hops) <= MAX_ROUTER_HOPS);
+    }
+
+    #[test]
+    fn nonminimal_to_same_group_degrades_gracefully() {
+        // via group == destination group: plan should settle minimally.
+        let t = paper();
+        let src = NodeId(0);
+        let dst = NodeId(1000);
+        let via = t.group_of_node(dst);
+        let hops = walk(&t, src, dst, PathPlan::NonMinimalGroup { via });
+        assert!(router_hops(&t, &hops) <= 3 + 1);
+    }
+
+    #[test]
+    fn via_done_flips_once() {
+        let t = paper();
+        let mut p = RouteProgress::new(PathPlan::NonMinimalGroup { via: GroupId(5) });
+        assert!(!p.via_done);
+        // Standing inside the via group → flips and routes minimally.
+        let r_in_via = t.router_in_group(GroupId(5), 0);
+        let _ = p.next_port(&t, r_in_via, NodeId(900));
+        assert!(p.via_done);
+    }
+}

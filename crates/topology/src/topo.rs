@@ -1,0 +1,447 @@
+//! The [`Topology`] object: port maps and link endpoints.
+//!
+//! Port layout on every router (radix `p + (a−1) + h`):
+//!
+//! ```text
+//! [0, p)              terminal ports, one per attached node
+//! [p, p+a−1)          local ports, ordered by peer local index (self skipped)
+//! [p+a−1, radix)      global ports
+//! ```
+//!
+//! Global-link arrangement ("relative" / consecutive scheme): within group
+//! `i`, global channel `c ∈ [0, a·h)` — channel `c` lives on router with
+//! local index `c / h`, global port `c % h` — connects to group
+//! `j = (i + c + 1) mod g`. The reverse direction uses group `j`'s channel
+//! `(i − j − 1) mod g`, so the pairing is symmetric and every group pair
+//! shares exactly one bidirectional global link when `g = a·h + 1`
+//! (the paper's configuration).
+
+use crate::ids::{GroupId, LinkKind, NodeId, Port, RouterId};
+use crate::params::{DragonflyParams, TopologyError};
+
+/// What is attached at the far side of a router port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A compute node (terminal port).
+    Node(NodeId),
+    /// Another router, entered through `port` on that router.
+    Router {
+        /// Peer router.
+        router: RouterId,
+        /// The peer's port for this same link (for credit return).
+        port: Port,
+    },
+}
+
+/// An immutable, validated Dragonfly topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    params: DragonflyParams,
+}
+
+impl Topology {
+    /// Build and validate a topology.
+    pub fn new(params: DragonflyParams) -> Result<Self, TopologyError> {
+        params.validate()?;
+        Ok(Self { params })
+    }
+
+    /// The structural parameters.
+    #[inline]
+    pub fn params(&self) -> &DragonflyParams {
+        &self.params
+    }
+
+    /// Total nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.params.num_nodes()
+    }
+
+    /// Total routers.
+    #[inline]
+    pub fn num_routers(&self) -> u32 {
+        self.params.num_routers()
+    }
+
+    /// Total groups.
+    #[inline]
+    pub fn num_groups(&self) -> u32 {
+        self.params.groups
+    }
+
+    /// Router radix.
+    #[inline]
+    pub fn radix(&self) -> u8 {
+        self.params.radix() as u8
+    }
+
+    // ---- structural maps -------------------------------------------------
+
+    /// The router a node is attached to.
+    #[inline]
+    pub fn router_of_node(&self, n: NodeId) -> RouterId {
+        RouterId(n.0 / self.params.nodes_per_router)
+    }
+
+    /// The group a router belongs to.
+    #[inline]
+    pub fn group_of_router(&self, r: RouterId) -> GroupId {
+        GroupId(r.0 / self.params.routers_per_group)
+    }
+
+    /// The group a node belongs to.
+    #[inline]
+    pub fn group_of_node(&self, n: NodeId) -> GroupId {
+        self.group_of_router(self.router_of_node(n))
+    }
+
+    /// A router's index within its group.
+    #[inline]
+    pub fn local_index(&self, r: RouterId) -> u32 {
+        r.0 % self.params.routers_per_group
+    }
+
+    /// Router from `(group, local index)`.
+    #[inline]
+    pub fn router_in_group(&self, g: GroupId, local_idx: u32) -> RouterId {
+        debug_assert!(local_idx < self.params.routers_per_group);
+        RouterId(g.0 * self.params.routers_per_group + local_idx)
+    }
+
+    /// The nodes attached to a router.
+    pub fn nodes_of_router(&self, r: RouterId) -> impl Iterator<Item = NodeId> {
+        let p = self.params.nodes_per_router;
+        (r.0 * p..(r.0 + 1) * p).map(NodeId)
+    }
+
+    /// The routers of a group.
+    pub fn routers_of_group(&self, g: GroupId) -> impl Iterator<Item = RouterId> {
+        let a = self.params.routers_per_group;
+        (g.0 * a..(g.0 + 1) * a).map(RouterId)
+    }
+
+    // ---- port classification ---------------------------------------------
+
+    /// Classify a port.
+    #[inline]
+    pub fn port_kind(&self, port: Port) -> LinkKind {
+        let p = port.0 as u32;
+        if p < self.params.first_local_port() {
+            LinkKind::Terminal
+        } else if p < self.params.first_global_port() {
+            LinkKind::Local
+        } else {
+            LinkKind::Global
+        }
+    }
+
+    /// Terminal port of `node` on its own router.
+    #[inline]
+    pub fn terminal_port(&self, n: NodeId) -> Port {
+        Port((n.0 % self.params.nodes_per_router) as u8)
+    }
+
+    /// The local port on `from` that reaches `to` (same group, `from ≠ to`).
+    pub fn local_port(&self, from: RouterId, to: RouterId) -> Option<Port> {
+        if from == to || self.group_of_router(from) != self.group_of_router(to) {
+            return None;
+        }
+        let me = self.local_index(from);
+        let peer = self.local_index(to);
+        let slot = if peer < me { peer } else { peer - 1 };
+        Some(Port((self.params.first_local_port() + slot) as u8))
+    }
+
+    /// The global channel index `c ∈ [0, a·h)` of a router's global port.
+    #[inline]
+    fn global_channel(&self, r: RouterId, port: Port) -> u32 {
+        debug_assert_eq!(self.port_kind(port), LinkKind::Global);
+        self.local_index(r) * self.params.globals_per_router
+            + (port.0 as u32 - self.params.first_global_port())
+    }
+
+    /// The destination group of a global port, or `None` if the port is
+    /// unused (only possible when `g < a·h + 1`).
+    pub fn global_port_target(&self, r: RouterId, port: Port) -> Option<GroupId> {
+        let c = self.global_channel(r, port);
+        if c >= self.params.groups - 1 {
+            return None;
+        }
+        let g = self.group_of_router(r).0;
+        Some(GroupId((g + c + 1) % self.params.groups))
+    }
+
+    /// The `(router, global port)` in `src` group owning the single global
+    /// link towards `dst` group (`src ≠ dst`).
+    pub fn gateway(&self, src: GroupId, dst: GroupId) -> Option<(RouterId, Port)> {
+        if src == dst || src.0 >= self.params.groups || dst.0 >= self.params.groups {
+            return None;
+        }
+        let g = self.params.groups;
+        let c = (dst.0 + g - src.0 - 1) % g; // (dst - src - 1) mod g
+        debug_assert!(c < g - 1);
+        let h = self.params.globals_per_router;
+        let router = self.router_in_group(src, c / h);
+        let port = Port((self.params.first_global_port() + c % h) as u8);
+        Some((router, port))
+    }
+
+    /// What is attached at the far end of `(router, port)`. `None` for a
+    /// disconnected global port.
+    pub fn endpoint(&self, r: RouterId, port: Port) -> Option<Endpoint> {
+        match self.port_kind(port) {
+            LinkKind::Terminal => {
+                let n = NodeId(r.0 * self.params.nodes_per_router + port.0 as u32);
+                Some(Endpoint::Node(n))
+            }
+            LinkKind::Local => {
+                let me = self.local_index(r);
+                let slot = port.0 as u32 - self.params.first_local_port();
+                let peer_idx = if slot < me { slot } else { slot + 1 };
+                let peer = self.router_in_group(self.group_of_router(r), peer_idx);
+                let back = self.local_port(peer, r).expect("local links are symmetric");
+                Some(Endpoint::Router { router: peer, port: back })
+            }
+            LinkKind::Global => {
+                let dst_group = self.global_port_target(r, port)?;
+                let (peer, back) =
+                    self.gateway(dst_group, self.group_of_router(r)).expect("reverse gateway");
+                Some(Endpoint::Router { router: peer, port: back })
+            }
+        }
+    }
+
+    // ---- minimal routing -------------------------------------------------
+
+    /// The next port along the (unique) minimal path from `current` towards
+    /// `dst_node`. Returns the terminal port when `dst_node` hangs off
+    /// `current`.
+    pub fn min_next_port(&self, current: RouterId, dst_node: NodeId) -> Port {
+        let dst_router = self.router_of_node(dst_node);
+        if dst_router == current {
+            return self.terminal_port(dst_node);
+        }
+        let my_group = self.group_of_router(current);
+        let dst_group = self.group_of_router(dst_router);
+        if my_group == dst_group {
+            return self.local_port(current, dst_router).expect("same-group local link");
+        }
+        let (gw, gw_port) = self.gateway(my_group, dst_group).expect("distinct groups");
+        if gw == current {
+            gw_port
+        } else {
+            self.local_port(current, gw).expect("gateway is in my group")
+        }
+    }
+
+    /// Number of router-to-router hops on the minimal path between two
+    /// routers (0, 1, 2 or 3).
+    pub fn min_router_hops(&self, from: RouterId, to: RouterId) -> u8 {
+        if from == to {
+            return 0;
+        }
+        let gf = self.group_of_router(from);
+        let gt = self.group_of_router(to);
+        if gf == gt {
+            return 1;
+        }
+        let (gw_src, _) = self.gateway(gf, gt).expect("distinct groups");
+        let (gw_dst, _) = self.gateway(gt, gf).expect("distinct groups");
+        let mut hops = 1; // the global hop
+        if gw_src != from {
+            hops += 1;
+        }
+        if gw_dst != to {
+            hops += 1;
+        }
+        hops
+    }
+
+    /// All connected ports of a router, with endpoints.
+    pub fn ports(&self, r: RouterId) -> impl Iterator<Item = (Port, Endpoint)> + '_ {
+        (0..self.radix()).filter_map(move |p| {
+            let port = Port(p);
+            self.endpoint(r, port).map(|e| (port, e))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper() -> Topology {
+        Topology::new(DragonflyParams::paper_1056()).unwrap()
+    }
+
+    fn tiny() -> Topology {
+        Topology::new(DragonflyParams::tiny_72()).unwrap()
+    }
+
+    #[test]
+    fn node_router_group_maps() {
+        let t = paper();
+        assert_eq!(t.router_of_node(NodeId(0)), RouterId(0));
+        assert_eq!(t.router_of_node(NodeId(5)), RouterId(1));
+        assert_eq!(t.group_of_router(RouterId(7)), GroupId(0));
+        assert_eq!(t.group_of_router(RouterId(8)), GroupId(1));
+        assert_eq!(t.group_of_node(NodeId(1055)), GroupId(32));
+        assert_eq!(t.local_index(RouterId(13)), 5);
+    }
+
+    #[test]
+    fn port_kinds_partition_radix() {
+        let t = paper();
+        let mut terminals = 0;
+        let mut locals = 0;
+        let mut globals = 0;
+        for p in 0..t.radix() {
+            match t.port_kind(Port(p)) {
+                LinkKind::Terminal => terminals += 1,
+                LinkKind::Local => locals += 1,
+                LinkKind::Global => globals += 1,
+            }
+        }
+        assert_eq!((terminals, locals, globals), (4, 7, 4));
+    }
+
+    #[test]
+    fn local_ports_skip_self_and_are_symmetric() {
+        let t = paper();
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let ra = RouterId(a);
+                let rb = RouterId(b);
+                if a == b {
+                    assert_eq!(t.local_port(ra, rb), None);
+                    continue;
+                }
+                let pab = t.local_port(ra, rb).unwrap();
+                match t.endpoint(ra, pab).unwrap() {
+                    Endpoint::Router { router, port } => {
+                        assert_eq!(router, rb);
+                        assert_eq!(t.endpoint(rb, port).unwrap(), Endpoint::Router {
+                            router: ra,
+                            port: pab
+                        });
+                    }
+                    other => panic!("expected router endpoint, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_group_pair_has_exactly_one_global_link() {
+        let t = paper();
+        let g = t.num_groups();
+        for i in 0..g {
+            for j in 0..g {
+                if i == j {
+                    assert_eq!(t.gateway(GroupId(i), GroupId(j)), None);
+                    continue;
+                }
+                let (r, p) = t.gateway(GroupId(i), GroupId(j)).unwrap();
+                assert_eq!(t.group_of_router(r), GroupId(i));
+                assert_eq!(t.global_port_target(r, p), Some(GroupId(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn global_links_are_symmetric() {
+        let t = paper();
+        for i in 0..t.num_groups() {
+            for j in 0..t.num_groups() {
+                if i == j {
+                    continue;
+                }
+                let (r, p) = t.gateway(GroupId(i), GroupId(j)).unwrap();
+                let Endpoint::Router { router, port } = t.endpoint(r, p).unwrap() else {
+                    panic!("global port must face a router");
+                };
+                assert_eq!(t.group_of_router(router), GroupId(j));
+                assert_eq!(
+                    t.endpoint(router, port).unwrap(),
+                    Endpoint::Router { router: r, port: p }
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_system_has_no_unused_global_ports() {
+        let t = paper();
+        for r in 0..t.num_routers() {
+            for p in 11..15u8 {
+                assert!(t.global_port_target(RouterId(r), Port(p)).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_endpoints_round_trip() {
+        let t = tiny();
+        for n in 0..t.num_nodes() {
+            let node = NodeId(n);
+            let r = t.router_of_node(node);
+            let p = t.terminal_port(node);
+            assert_eq!(t.endpoint(r, p), Some(Endpoint::Node(node)));
+        }
+    }
+
+    #[test]
+    fn min_next_port_walks_at_most_three_router_hops() {
+        let t = paper();
+        // Farthest case: src not gateway, dst not gateway.
+        let src = NodeId(0); // router 0, group 0
+        // Choose dst in group 16 whose router is not the gateway.
+        let dst_group = GroupId(16);
+        let (gw_src, _) = t.gateway(GroupId(0), dst_group).unwrap();
+        assert_ne!(gw_src, RouterId(0), "pick a case where a local hop is needed");
+        let (gw_dst, _) = t.gateway(dst_group, GroupId(0)).unwrap();
+        // dst router: some router in group 16 that is not gw_dst.
+        let dst_router = t
+            .routers_of_group(dst_group)
+            .find(|&r| r != gw_dst)
+            .unwrap();
+        let dst = t.nodes_of_router(dst_router).next().unwrap();
+
+        let mut current = t.router_of_node(src);
+        let mut hops = 0;
+        loop {
+            let port = t.min_next_port(current, dst);
+            match t.endpoint(current, port).unwrap() {
+                Endpoint::Node(n) => {
+                    assert_eq!(n, dst);
+                    break;
+                }
+                Endpoint::Router { router, .. } => {
+                    current = router;
+                    hops += 1;
+                    assert!(hops <= 3, "minimal path exceeded 3 router hops");
+                }
+            }
+        }
+        assert_eq!(hops, 3);
+        assert_eq!(t.min_router_hops(t.router_of_node(src), dst_router), 3);
+    }
+
+    #[test]
+    fn min_router_hops_cases() {
+        let t = paper();
+        assert_eq!(t.min_router_hops(RouterId(0), RouterId(0)), 0);
+        assert_eq!(t.min_router_hops(RouterId(0), RouterId(5)), 1);
+        // Gateway-to-gateway across groups is exactly 1 hop.
+        let (gw01, _) = t.gateway(GroupId(0), GroupId(1)).unwrap();
+        let (gw10, _) = t.gateway(GroupId(1), GroupId(0)).unwrap();
+        assert_eq!(t.min_router_hops(gw01, gw10), 1);
+    }
+
+    #[test]
+    fn ports_enumerates_full_radix_for_paper_system() {
+        let t = paper();
+        assert_eq!(t.ports(RouterId(100)).count(), 15);
+    }
+}

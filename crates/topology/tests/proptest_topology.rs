@@ -1,0 +1,161 @@
+//! Property tests over arbitrary valid (g, a, p, h) Dragonflies: wiring
+//! bijectivity, link symmetry, and path-plan hop bounds.
+
+use dfsim_topology::paths::{walk, PathPlan, MAX_ROUTER_HOPS};
+use dfsim_topology::{
+    DragonflyParams, Endpoint, GroupId, LinkKind, NodeId, RouterId, Topology,
+};
+use proptest::prelude::*;
+
+/// Strategy: valid structural parameters, kept small enough to enumerate.
+fn params() -> impl Strategy<Value = DragonflyParams> {
+    (2u32..12, 2u32..6, 1u32..4, 1u32..4)
+        .prop_map(|(groups, a, p, h)| DragonflyParams {
+            groups,
+            routers_per_group: a,
+            nodes_per_router: p,
+            globals_per_router: h,
+        })
+        .prop_filter("connectivity", |p| p.validate().is_ok())
+}
+
+proptest! {
+    /// Every connected port pair is symmetric: the far end of my far end is
+    /// me, on the same port I started from.
+    #[test]
+    fn links_are_involutions(params in params()) {
+        let t = Topology::new(params).unwrap();
+        for r in 0..t.num_routers() {
+            let r = RouterId(r);
+            for (port, ep) in t.ports(r) {
+                match ep {
+                    Endpoint::Node(n) => {
+                        prop_assert_eq!(t.router_of_node(n), r);
+                        prop_assert_eq!(t.terminal_port(n), port);
+                    }
+                    Endpoint::Router { router, port: back } => {
+                        prop_assert_ne!(router, r);
+                        let Some(Endpoint::Router { router: r2, port: p2 }) =
+                            t.endpoint(router, back) else {
+                            return Err(TestCaseError::fail("dangling reverse link"));
+                        };
+                        prop_assert_eq!(r2, r);
+                        prop_assert_eq!(p2, port);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Gateways exist for every ordered group pair and carry the link to the
+    /// claimed destination group.
+    #[test]
+    fn gateways_cover_all_group_pairs(params in params()) {
+        let t = Topology::new(params).unwrap();
+        for i in 0..t.num_groups() {
+            for j in 0..t.num_groups() {
+                if i == j { continue; }
+                let (r, p) = t.gateway(GroupId(i), GroupId(j)).expect("gateway exists");
+                prop_assert_eq!(t.group_of_router(r), GroupId(i));
+                prop_assert_eq!(t.global_port_target(r, p), Some(GroupId(j)));
+                prop_assert_eq!(t.port_kind(p), LinkKind::Global);
+            }
+        }
+    }
+
+    /// Each group's used global channels hit every other group exactly once.
+    #[test]
+    fn global_channels_are_a_bijection(params in params()) {
+        let t = Topology::new(params).unwrap();
+        for g in 0..t.num_groups() {
+            let mut seen = vec![0u32; t.num_groups() as usize];
+            for r in t.routers_of_group(GroupId(g)) {
+                for (port, _) in t.ports(r) {
+                    if t.port_kind(port) == LinkKind::Global {
+                        if let Some(dst) = t.global_port_target(r, port) {
+                            seen[dst.idx()] += 1;
+                        }
+                    }
+                }
+            }
+            for (dst, count) in seen.iter().enumerate() {
+                if dst as u32 == g {
+                    prop_assert_eq!(*count, 0, "self-link in group {}", g);
+                } else {
+                    prop_assert_eq!(*count, 1, "group {} -> {}: {} links", g, dst, count);
+                }
+            }
+        }
+    }
+
+    /// Minimal paths terminate within 3 router hops for every node pair of a
+    /// random sample, and the hop count matches `min_router_hops`.
+    #[test]
+    fn minimal_paths_are_short(params in params(), seed in 0u64..1_000) {
+        let t = Topology::new(params).unwrap();
+        let n = t.num_nodes() as u64;
+        let src = NodeId(((seed * 7919) % n) as u32);
+        let dst = NodeId(((seed * 104_729 + 13) % n) as u32);
+        let hops = walk(&t, src, dst, PathPlan::Minimal);
+        let router_hops = hops
+            .iter()
+            .filter(|h| t.port_kind(h.port) != LinkKind::Terminal)
+            .count();
+        prop_assert!(router_hops <= 3);
+        prop_assert_eq!(
+            router_hops as u8,
+            t.min_router_hops(t.router_of_node(src), t.router_of_node(dst))
+        );
+    }
+
+    /// Non-minimal plans stay within the VC-sized hop bound and actually
+    /// visit the requested via point when it is distinct from both ends.
+    #[test]
+    fn nonminimal_paths_bounded(params in params(), seed in 0u64..1_000) {
+        let t = Topology::new(params).unwrap();
+        let n = t.num_nodes() as u64;
+        let src = NodeId(((seed * 31) % n) as u32);
+        let dst = NodeId(((seed * 37 + 5) % n) as u32);
+        let via_g = GroupId(((seed * 41 + 3) % t.num_groups() as u64) as u32);
+        let hops = walk(&t, src, dst, PathPlan::NonMinimalGroup { via: via_g });
+        let rh = hops.iter().filter(|h| t.port_kind(h.port) != LinkKind::Terminal).count();
+        prop_assert!(rh <= MAX_ROUTER_HOPS, "{} hops", rh);
+
+        let via_r = RouterId(((seed * 43 + 7) % t.num_routers() as u64) as u32);
+        let hops = walk(&t, src, dst, PathPlan::NonMinimalRouter { via: via_r });
+        let rh = hops.iter().filter(|h| t.port_kind(h.port) != LinkKind::Terminal).count();
+        prop_assert!(rh <= MAX_ROUTER_HOPS, "{} hops", rh);
+        // The via router is only guaranteed to be visited when the detour is
+        // not short-circuited: distinct src/dst groups and a via outside both.
+        if t.group_of_node(src) != t.group_of_node(dst)
+            && t.group_of_router(via_r) != t.group_of_node(src)
+            && t.group_of_router(via_r) != t.group_of_node(dst)
+        {
+            prop_assert!(hops.iter().any(|h| h.router == via_r));
+        }
+    }
+
+    /// `min_next_port` always returns a connected port that makes progress
+    /// (the walk from any router terminates).
+    #[test]
+    fn min_next_port_always_progresses(params in params(), seed in 0u64..500) {
+        let t = Topology::new(params).unwrap();
+        let n = t.num_nodes() as u64;
+        let dst = NodeId(((seed * 11 + 1) % n) as u32);
+        for r in 0..t.num_routers() {
+            let mut current = RouterId(r);
+            for _ in 0..5 {
+                let port = t.min_next_port(current, dst);
+                match t.endpoint(current, port) {
+                    Some(Endpoint::Node(node)) => {
+                        prop_assert_eq!(node, dst);
+                        break;
+                    }
+                    Some(Endpoint::Router { router, .. }) => current = router,
+                    None => return Err(TestCaseError::fail("routed onto dangling port")),
+                }
+            }
+            prop_assert_eq!(current, t.router_of_node(dst));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Peek inside Q-adaptive's learning: run traffic through the network
+//! directly (no MPI layer) and dump one router's two-level Q-table before
+//! and after, showing how congestion reshapes the learned delivery-time
+//! estimates (paper Fig 2).
+//!
+//! ```sh
+//! cargo run --release --example qtable_inspect
+//! ```
+
+use dragonfly_interference::des::queue::PendingEvents;
+use dragonfly_interference::des::sched::QueueScheduler;
+use dragonfly_interference::des::EventQueue;
+use dragonfly_interference::network::{NetEvent, QTable};
+use dragonfly_interference::prelude::*;
+use dragonfly_interference::topology::{GroupId, Port, RouterId};
+
+fn main() {
+    let topo = Topology::new(DragonflyParams::paper_1056()).unwrap();
+    let timing = LinkTiming::default();
+    let cfg = RoutingConfig::new(RoutingAlgo::QAdaptive);
+    let rng = SimRng::new(7);
+    let mut rec = Recorder::new(&topo, RecorderConfig::default());
+    let mut net = NetworkSim::new(topo.clone(), timing, cfg, &rng);
+    let mut queue: EventQueue<NetEvent> = EventQueue::new();
+
+    let fresh = QTable::new(&topo, RouterId(0), &timing, cfg.qa.alpha);
+
+    // Hammer the direct G0→G1 link with traffic from group 0's nodes to
+    // group 1's nodes, plus background from group 2.
+    let mut traffic_rng = SimRng::new(99);
+    let mut effects = Vec::new();
+    for round in 0..400u32 {
+        for src in 0..32u32 {
+            let dst = 32 + traffic_rng.index(32) as u32; // group 1 nodes
+            let mut sched = QueueScheduler::new(&mut queue);
+            net.send_message(
+                &mut sched,
+                &mut rec,
+                NodeId(src),
+                NodeId(dst),
+                4096,
+                AppId(0),
+            );
+        }
+        let _ = round;
+        // Drain a slice of events between bursts.
+        for _ in 0..4_000 {
+            let Some((_, ev)) = queue.pop() else { break };
+            let mut sched = QueueScheduler::new(&mut queue);
+            net.handle(ev, &mut sched, &mut rec, &mut effects);
+            effects.clear();
+        }
+    }
+    while let Some((_, ev)) = queue.pop() {
+        let mut sched = QueueScheduler::new(&mut queue);
+        net.handle(ev, &mut sched, &mut rec, &mut effects);
+        effects.clear();
+    }
+
+    let learned = net.router(RouterId(0)).qtable.as_ref().expect("Q-adaptive router");
+    println!("router r0 (group 0), destination group G1 — Q-values per port (ns):");
+    println!("{:<8} {:>6} {:>12} {:>12} {:>9}", "port", "kind", "initial", "learned", "delta%");
+    for p in 4..topo.radix() {
+        let port = Port(p);
+        let kind = topo.port_kind(port);
+        let q0 = fresh.q1(GroupId(1), port) / 1000.0;
+        let q1 = learned.q1(GroupId(1), port) / 1000.0;
+        println!(
+            "{:<8} {:>6} {:>12.1} {:>12.1} {:>8.1}%",
+            format!("{port}"),
+            format!("{kind}"),
+            q0,
+            q1,
+            100.0 * (q1 / q0 - 1.0),
+        );
+    }
+    println!();
+    println!(
+        "the direct global port's learned estimate should have inflated (it carried\n\
+         all the load), while detour ports stay near their static estimates —\n\
+         exactly the signal Q-adaptive routes by."
+    );
+    let delivered = rec.app(AppId(0)).map(|a| a.packets_delivered).unwrap_or(0);
+    println!("({delivered} packets delivered during the exercise)");
+}

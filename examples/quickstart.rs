@@ -1,0 +1,65 @@
+//! Quickstart: simulate one application on the paper's 1,056-node
+//! Dragonfly, then co-run it with an aggressive background and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Environment knobs: `SCALE` (workload scale divisor, default 256 for a
+//! fast demo), `SEED`.
+
+use dragonfly_interference::prelude::*;
+
+fn main() {
+    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(256.0);
+    let seed: u64 = std::env::var("SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    println!("Dragonfly 1,056 nodes (33 groups x 8 routers x 4 nodes), scale 1/{scale}");
+    println!();
+
+    let cfg = StudyConfig { routing: RoutingAlgo::Par, scale, seed, ..Default::default() };
+
+    // 1. FFT3D alone on half the system.
+    let solo = standalone(AppKind::FFT3D, &cfg);
+    let fft_solo = &solo.apps[0];
+    println!(
+        "FFT3D alone      : comm {:>7.3} ms (±{:.3}), exec {:>7.3} ms, {} packets in {:.1}s wall",
+        fft_solo.comm_ms.mean,
+        fft_solo.comm_ms.std,
+        fft_solo.exec_ms,
+        fft_solo.latency_us.n,
+        solo.wall_s,
+    );
+
+    // 2. FFT3D with Halo3D (the paper's most aggressive background).
+    let pair = pairwise(AppKind::FFT3D, Some(AppKind::Halo3D), &cfg);
+    let fft = &pair.apps[0];
+    println!(
+        "FFT3D + Halo3D   : comm {:>7.3} ms (±{:.3}), exec {:>7.3} ms",
+        fft.comm_ms.mean, fft.comm_ms.std, fft.exec_ms
+    );
+    let slowdown = fft.comm_ms.mean / fft_solo.comm_ms.mean;
+    println!("                   interference slowdown: {slowdown:.2}x (PAR routing)");
+    println!();
+
+    // 3. The same pair under Q-adaptive routing.
+    let cfg_q = StudyConfig { routing: RoutingAlgo::QAdaptive, ..cfg };
+    let solo_q = standalone(AppKind::FFT3D, &cfg_q);
+    let pair_q = pairwise(AppKind::FFT3D, Some(AppKind::Halo3D), &cfg_q);
+    let fft_q = &pair_q.apps[0];
+    println!(
+        "Q-adaptive alone : comm {:>7.3} ms (±{:.3})",
+        solo_q.apps[0].comm_ms.mean, solo_q.apps[0].comm_ms.std
+    );
+    println!(
+        "Q-adaptive + bg  : comm {:>7.3} ms (±{:.3})",
+        fft_q.comm_ms.mean, fft_q.comm_ms.std
+    );
+    let saving = 100.0 * (1.0 - fft_q.comm_ms.mean / fft.comm_ms.mean);
+    println!("                   Q-adaptive saves {saving:.1}% of FFT3D's communication time");
+    println!();
+    println!(
+        "(paper: Halo3D delays FFT3D 2.7x under adaptive routing; Q-adaptive cuts the\n\
+         interfered communication time by up to 42.63% — §V-A)"
+    );
+}

@@ -1,0 +1,240 @@
+//! `dfsim` — command-line driver for the Dragonfly interference simulator.
+//!
+//! ```text
+//! dfsim standalone <APP> [options]
+//! dfsim pairwise <TARGET> <BACKGROUND|none> [options]
+//! dfsim mixed [options]
+//! dfsim apps                      # list workloads with Table I data
+//! dfsim topo [options]            # print topology facts
+//!
+//! options:
+//!   --routing <MIN|UGALg|UGALn|PAR|Q-adp>   (default UGALg)
+//!   --scale <f64>                           (default 64)
+//!   --seed <u64>                            (default 42)
+//!   --groups <g> --routers <a> --nodes <p> --globals <h>
+//!   --contiguous                            (placement; default random)
+//!   --csv                                   (machine-readable output)
+//! ```
+
+use dragonfly_interference::prelude::*;
+
+/// Parsed command-line options.
+struct Opts {
+    routing: RoutingAlgo,
+    scale: f64,
+    seed: u64,
+    params: DragonflyParams,
+    placement: Placement,
+    csv: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dfsim <standalone APP | pairwise TARGET BG | mixed | apps | topo> \
+         [--routing R] [--scale S] [--seed N] [--groups g --routers a --nodes p --globals h] \
+         [--contiguous] [--csv]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_routing(s: &str) -> RoutingAlgo {
+    [
+        RoutingAlgo::Minimal,
+        RoutingAlgo::UgalG,
+        RoutingAlgo::UgalN,
+        RoutingAlgo::Par,
+        RoutingAlgo::QAdaptive,
+    ]
+    .into_iter()
+    .find(|r| r.label().eq_ignore_ascii_case(s))
+    .unwrap_or_else(|| {
+        eprintln!("unknown routing '{s}' (MIN, UGALg, UGALn, PAR, Q-adp)");
+        std::process::exit(2)
+    })
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        routing: RoutingAlgo::UgalG,
+        scale: 64.0,
+        seed: 42,
+        params: DragonflyParams::paper_1056(),
+        placement: Placement::Random,
+        csv: false,
+    };
+    let mut i = 0;
+    let mut value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--routing" => o.routing = parse_routing(&value(&mut i)),
+            "--scale" => o.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--groups" => o.params.groups = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--routers" => {
+                o.params.routers_per_group = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--nodes" => {
+                o.params.nodes_per_router = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--globals" => {
+                o.params.globals_per_router = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--contiguous" => o.placement = Placement::Contiguous,
+            "--csv" => o.csv = true,
+            other => {
+                eprintln!("unknown option '{other}'");
+                usage()
+            }
+        }
+        i += 1;
+    }
+    if let Err(e) = o.params.validate() {
+        eprintln!("invalid topology: {e}");
+        std::process::exit(2);
+    }
+    o
+}
+
+fn study(o: &Opts) -> StudyConfig {
+    StudyConfig {
+        routing: o.routing,
+        scale: o.scale,
+        seed: o.seed,
+        placement: o.placement,
+        params: o.params,
+    }
+}
+
+fn print_report(report: &RunReport, csv: bool) {
+    let mut t = TextTable::new(vec![
+        "App",
+        "ranks",
+        "comm (ms)",
+        "±std",
+        "exec (ms)",
+        "inj GB/s",
+        "detour %",
+        "mean hops",
+        "lat p50 us",
+        "lat p99 us",
+    ]);
+    for a in &report.apps {
+        t.row(vec![
+            a.name.clone(),
+            a.size.to_string(),
+            format!("{:.4}", a.comm_ms.mean),
+            format!("{:.4}", a.comm_ms.std),
+            format!("{:.4}", a.exec_ms),
+            format!("{:.1}", a.inj_rate_gbs),
+            format!("{:.1}", a.detour_frac * 100.0),
+            format!("{:.2}", a.mean_hops),
+            format!("{:.2}", a.latency_us.median),
+            format!("{:.2}", a.latency_us.p99),
+        ]);
+    }
+    if csv {
+        print!("{}", t.to_csv());
+        return;
+    }
+    println!("{}", t.render());
+    let n = &report.network;
+    println!(
+        "routing {} | sim {:.4} ms | {} events | wall {:.1}s | {}",
+        report.routing,
+        report.sim_ms,
+        report.events,
+        report.wall_s,
+        if report.completed { "completed" } else { &report.stop_reason }
+    );
+    println!(
+        "network: agg throughput {:.3} GB/ms | sys p99 {:.2} us | local stall {:.4} ms/group | \
+         cong std {:.4}",
+        n.mean_system_throughput,
+        n.system_latency_us.p99,
+        n.avg_local_stall_ms,
+        n.std_global_congestion
+    );
+}
+
+fn app_or_die(name: &str) -> AppKind {
+    AppKind::from_name(name).unwrap_or_else(|| {
+        eprintln!("unknown app '{name}' (try: dfsim apps)");
+        std::process::exit(2)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "apps" => {
+            let mut t = TextTable::new(vec![
+                "App",
+                "Pattern",
+                "Total Msg (MB)",
+                "Exec (ms)",
+                "Inj rate (GB/s)",
+                "Peak ingress",
+            ]);
+            for k in AppKind::ALL {
+                let p = k.paper_row();
+                t.row(vec![
+                    k.name().to_string(),
+                    p.pattern.to_string(),
+                    format!("{:.2}", p.total_msg_mb),
+                    format!("{:.2}", p.exec_ms),
+                    format!("{:.2}", p.inj_rate_gbs),
+                    p.peak_ingress.to_string(),
+                ]);
+            }
+            println!("{}", t.render());
+            println!("(paper-scale Table I characteristics on 528 nodes)");
+        }
+        "topo" => {
+            let o = parse_opts(&args[1..]);
+            let topo = Topology::new(o.params).expect("validated");
+            println!(
+                "Dragonfly g={} a={} p={} h={}: {} nodes, {} routers, radix {}",
+                o.params.groups,
+                o.params.routers_per_group,
+                o.params.nodes_per_router,
+                o.params.globals_per_router,
+                topo.num_nodes(),
+                topo.num_routers(),
+                topo.radix(),
+            );
+            println!(
+                "links: {} global (1 per group pair), {} local per group, diameter 3 router hops",
+                o.params.groups * (o.params.groups - 1) / 2,
+                o.params.routers_per_group * (o.params.routers_per_group - 1) / 2,
+            );
+        }
+        "standalone" => {
+            let app = app_or_die(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let o = parse_opts(&args[2..]);
+            let report = standalone(app, &study(&o));
+            print_report(&report, o.csv);
+        }
+        "pairwise" => {
+            let target = app_or_die(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
+            let bg_arg = args.get(2).map(String::as_str).unwrap_or_else(|| usage());
+            let bg = if bg_arg.eq_ignore_ascii_case("none") {
+                None
+            } else {
+                Some(app_or_die(bg_arg))
+            };
+            let o = parse_opts(&args[3..]);
+            let report = pairwise(target, bg, &study(&o));
+            print_report(&report, o.csv);
+        }
+        "mixed" => {
+            let o = parse_opts(&args[1..]);
+            let report = mixed(&study(&o));
+            print_report(&report, o.csv);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,56 @@
+//! # dragonfly-interference
+//!
+//! A from-scratch Rust reproduction of *"Study of Workload Interference
+//! with Intelligent Routing on Dragonfly"* (Kang, Wang, Lan — SC 2022):
+//! a flit-timed discrete-event simulator of a 1,056-node Dragonfly with
+//! adaptive (UGALg/UGALn/PAR) and reinforcement-learning (Q-adaptive)
+//! routing, a simulated MPI layer, the paper's nine workloads, and the
+//! complete interference-analysis harness regenerating every table and
+//! figure of the paper's evaluation.
+//!
+//! The facade re-exports each subsystem crate:
+//!
+//! * [`des`] — discrete-event kernel (time, event queues, RNG),
+//! * [`topology`] — the Dragonfly structure,
+//! * [`metrics`] — the instrumentation "IO module",
+//! * [`network`] — routers, VCs, credit flow control, routing algorithms,
+//! * [`mpi`] — rank programs, matching, collectives, rendezvous,
+//! * [`apps`] — UR, LU, FFT3D, Halo3D, LQCD, Stencil5D, CosmoFlow, DL,
+//!   LULESH,
+//! * [`core`] — configs, placement, the world loop, experiment presets.
+//!
+//! Quick start (see `examples/quickstart.rs`):
+//!
+//! ```no_run
+//! use dragonfly_interference::prelude::*;
+//!
+//! let cfg = StudyConfig { routing: RoutingAlgo::QAdaptive, ..Default::default() };
+//! let report = pairwise(AppKind::FFT3D, Some(AppKind::Halo3D), &cfg);
+//! println!(
+//!     "FFT3D comm time under Halo3D interference: {:.3} ms (±{:.3})",
+//!     report.apps[0].comm_ms.mean,
+//!     report.apps[0].comm_ms.std
+//! );
+//! ```
+
+pub use dfsim_apps as apps;
+pub use dfsim_core as core;
+pub use dfsim_des as des;
+pub use dfsim_metrics as metrics;
+pub use dfsim_mpi as mpi;
+pub use dfsim_network as network;
+pub use dfsim_topology as topology;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use dfsim_apps::{AppInstance, AppKind};
+    pub use dfsim_core::experiments::{mixed, pairwise, standalone, StudyConfig};
+    pub use dfsim_core::placement::Placement;
+    pub use dfsim_core::runner::{run, run_placed, JobSpec};
+    pub use dfsim_core::tables::TextTable;
+    pub use dfsim_core::{AppReport, NetworkReport, RunReport, SimConfig};
+    pub use dfsim_des::{SimRng, Time, MICROSECOND, MILLISECOND, NANOSECOND};
+    pub use dfsim_metrics::{AppId, LatencySummary, Recorder, RecorderConfig, Stats};
+    pub use dfsim_network::{NetworkSim, QaParams, RoutingAlgo, RoutingConfig};
+    pub use dfsim_topology::{DragonflyParams, LinkTiming, NodeId, Topology};
+}

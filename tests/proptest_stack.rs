@@ -1,0 +1,89 @@
+//! Property tests over the full stack: random workloads on the tiny
+//! Dragonfly must always terminate, conserve packets, and produce
+//! self-consistent reports, under every routing algorithm.
+
+use dragonfly_interference::prelude::*;
+use proptest::prelude::*;
+
+fn algo() -> impl Strategy<Value = RoutingAlgo> {
+    prop_oneof![
+        Just(RoutingAlgo::Minimal),
+        Just(RoutingAlgo::UgalG),
+        Just(RoutingAlgo::UgalN),
+        Just(RoutingAlgo::Par),
+        Just(RoutingAlgo::QAdaptive),
+    ]
+}
+
+fn any_app() -> impl Strategy<Value = AppKind> {
+    prop_oneof![
+        Just(AppKind::UR),
+        Just(AppKind::LU),
+        Just(AppKind::FFT3D),
+        Just(AppKind::Halo3D),
+        Just(AppKind::LQCD),
+        Just(AppKind::Stencil5D),
+        Just(AppKind::CosmoFlow),
+        Just(AppKind::DL),
+        Just(AppKind::LULESH),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any single app at any size/seed/routing completes with a loss-free,
+    /// internally consistent report.
+    #[test]
+    fn single_app_always_terminates(
+        algo in algo(),
+        kind in any_app(),
+        seed in 0u64..1_000,
+        raw_size in 4u32..36,
+    ) {
+        let size = kind.preferred_size(raw_size);
+        prop_assume!(size >= 2);
+        let mut cfg = SimConfig::test_tiny(algo);
+        cfg.seed = seed;
+        let report = run(&cfg, &[JobSpec::sized(kind, size)]);
+        prop_assert!(report.completed, "{kind} under {algo}: {}", report.stop_reason);
+        let a = &report.apps[0];
+        prop_assert!((a.delivery_ratio - 1.0).abs() < 1e-9, "packet loss");
+        prop_assert!(a.comm_ms.mean <= a.exec_ms + 1e-9);
+        prop_assert!(a.latency_us.q1 <= a.latency_us.p99 + 1e-9);
+        prop_assert!(a.detour_frac >= 0.0 && a.detour_frac <= 1.0);
+    }
+
+    /// Any pair of apps co-runs to completion; both stay loss-free.
+    #[test]
+    fn app_pairs_always_terminate(
+        algo in algo(),
+        a in any_app(),
+        b in any_app(),
+        seed in 0u64..1_000,
+    ) {
+        let sa = a.preferred_size(36);
+        let sb = b.preferred_size(36);
+        let mut cfg = SimConfig::test_tiny(algo);
+        cfg.seed = seed;
+        let report = run(&cfg, &[JobSpec::sized(a, sa), JobSpec::sized(b, sb)]);
+        prop_assert!(report.completed, "{a}+{b} under {algo}: {}", report.stop_reason);
+        for app in &report.apps {
+            prop_assert!((app.delivery_ratio - 1.0).abs() < 1e-9, "{} lost packets", app.name);
+        }
+    }
+
+    /// The seed fully determines the outcome (bitwise determinism).
+    #[test]
+    fn reports_are_deterministic(algo in algo(), seed in 0u64..100) {
+        let mut cfg = SimConfig::test_tiny(algo);
+        cfg.seed = seed;
+        let jobs = [JobSpec::sized(AppKind::Halo3D, 27)];
+        let x = run(&cfg, &jobs);
+        let y = run(&cfg, &jobs);
+        prop_assert_eq!(x.events, y.events);
+        prop_assert_eq!(x.sim_ms, y.sim_ms);
+        prop_assert_eq!(x.apps[0].comm_ms.mean, y.apps[0].comm_ms.mean);
+        prop_assert_eq!(x.apps[0].latency_us.p99, y.apps[0].latency_us.p99);
+    }
+}
