@@ -70,7 +70,6 @@ pub fn build_dl(size: u32, scale: f64) -> AppInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dfsim_mpi::RankProgram;
 
     #[test]
     fn rounds_alternate_compute_and_allreduce() {

@@ -57,7 +57,6 @@ pub fn build(size: u32, scale: f64) -> AppInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dfsim_mpi::RankProgram;
 
     #[test]
     fn communicators_partition_rows_and_columns() {
@@ -72,7 +71,7 @@ mod tests {
             assert_eq!(col.len(), 4);
         }
         // Every rank appears in exactly one row and one column.
-        let mut seen = vec![0u32; 12];
+        let mut seen = [0u32; 12];
         for c in comms {
             for &m in c {
                 seen[m as usize] += 1;
@@ -91,8 +90,7 @@ mod tests {
         assert!(matches!(ops[2], MpiOp::AllToAll { .. }));
         assert!(matches!(ops[3], MpiOp::Compute(_)));
         // Row and column comms differ.
-        let (MpiOp::AllToAll { comm: a, .. }, MpiOp::AllToAll { comm: b, .. }) =
-            (ops[0], ops[2])
+        let (MpiOp::AllToAll { comm: a, .. }, MpiOp::AllToAll { comm: b, .. }) = (ops[0], ops[2])
         else {
             unreachable!()
         };

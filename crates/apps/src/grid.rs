@@ -20,7 +20,7 @@ fn prime_factors(mut n: u32) -> Vec<u32> {
     let mut fs = Vec::new();
     let mut d = 2;
     while d * d <= n {
-        while n % d == 0 {
+        while n.is_multiple_of(d) {
             fs.push(d);
             n /= d;
         }

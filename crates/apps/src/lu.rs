@@ -63,7 +63,7 @@ mod tests {
 
     #[test]
     fn corner_ranks_have_asymmetric_ops() {
-        let inst = build(16, 100.0, /* 4×4 grid */);
+        let inst = build(16, 100.0 /* 4×4 grid */);
         let mut programs = inst.programs;
         // Rank 0 = (0,0): no recvs, two sends.
         let ops = drain_one_iter(&mut programs[0]);

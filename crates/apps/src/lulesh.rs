@@ -61,10 +61,8 @@ pub fn build(size: u32, scale: f64) -> AppInstance {
                     }
                 }
             }
-            let sweep_up: Vec<u32> =
-                (0..3).filter_map(|d| grid.neighbor(rank, d, -1)).collect();
-            let sweep_down: Vec<u32> =
-                (0..3).filter_map(|d| grid.neighbor(rank, d, 1)).collect();
+            let sweep_up: Vec<u32> = (0..3).filter_map(|d| grid.neighbor(rank, d, -1)).collect();
+            let sweep_down: Vec<u32> = (0..3).filter_map(|d| grid.neighbor(rank, d, 1)).collect();
             LoopProgram::boxed(s.iters, move |i, buf| {
                 // Phase 1: 26-point halo exchange.
                 let tag = (i as u64) << 2;
@@ -95,7 +93,6 @@ pub fn build(size: u32, scale: f64) -> AppInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dfsim_mpi::RankProgram;
 
     #[test]
     fn interior_rank_peak_ingress_matches_table1() {

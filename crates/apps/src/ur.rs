@@ -59,7 +59,6 @@ pub fn build(size: u32, scale: f64, seed: u64) -> AppInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dfsim_mpi::RankProgram;
 
     #[test]
     fn sends_match_recvs_within_iteration() {

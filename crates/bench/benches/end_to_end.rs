@@ -6,15 +6,12 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dfsim_apps::AppKind;
 use dfsim_core::config::SimConfig;
-use dfsim_core::runner::{run_placed, JobSpec};
 use dfsim_core::placement::Placement;
+use dfsim_core::runner::{run_placed, JobSpec};
 use dfsim_network::{RoutingAlgo, RoutingConfig};
 
 fn run_once(algo: RoutingAlgo) -> u64 {
-    let cfg = SimConfig {
-        routing: RoutingConfig::new(algo),
-        ..SimConfig::test_tiny(algo)
-    };
+    let cfg = SimConfig { routing: RoutingConfig::new(algo), ..SimConfig::test_tiny(algo) };
     let report = run_placed(
         &cfg,
         &[JobSpec::sized(AppKind::UR, 36), JobSpec::sized(AppKind::Halo3D, 36)],

@@ -5,9 +5,14 @@
 //! long-horizon ones (compute wakeups).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfsim_apps::AppKind;
+use dfsim_core::config::SimConfig;
+use dfsim_core::placement::Placement;
+use dfsim_core::runner::{run_placed, JobSpec};
 use dfsim_des::calendar::CalendarQueue;
-use dfsim_des::queue::{EventQueue, PendingEvents};
+use dfsim_des::queue::{EventQueue, PendingEvents, QueueBackend};
 use dfsim_des::SimRng;
+use dfsim_network::RoutingAlgo;
 
 fn churn<Q: PendingEvents<u64>>(q: &mut Q, n: u64, rng: &mut SimRng) -> u64 {
     let mut now = 0u64;
@@ -26,6 +31,33 @@ fn churn<Q: PendingEvents<u64>>(q: &mut Q, n: u64, rng: &mut SimRng) -> u64 {
         q.push(now + 1 + rng.below(horizon), i);
     }
     acc
+}
+
+/// The same ablation through the real hot path: a full tiny-Dragonfly
+/// pairwise run with the world loop monomorphized over each backend
+/// (`SimConfig::queue`), exactly what the fig/table binaries execute.
+fn bench_world_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_world");
+    group.sample_size(10);
+    for backend in QueueBackend::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("ur_halo3d_tiny72", backend),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    let cfg = SimConfig::test_tiny(RoutingAlgo::UgalG).with_queue(backend);
+                    let report = run_placed(
+                        &cfg,
+                        &[JobSpec::sized(AppKind::UR, 36), JobSpec::sized(AppKind::Halo3D, 36)],
+                        Placement::Random,
+                    );
+                    assert!(report.completed);
+                    black_box(report.events)
+                })
+            },
+        );
+    }
+    group.finish();
 }
 
 fn bench_queues(c: &mut Criterion) {
@@ -49,5 +81,5 @@ fn bench_queues(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queues);
+criterion_group!(benches, bench_queues, bench_world_loop);
 criterion_main!(benches);

@@ -12,10 +12,8 @@ use dfsim_topology::{DragonflyParams, LinkTiming, NodeId, Topology};
 
 fn run_fanin(algo: RoutingAlgo, messages: u32) -> u64 {
     let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
-    let mut rec = Recorder::new(
-        &topo,
-        RecorderConfig { record_latencies: false, ..Default::default() },
-    );
+    let mut rec =
+        Recorder::new(&topo, RecorderConfig { record_latencies: false, ..Default::default() });
     let mut net = NetworkSim::new(
         topo.clone(),
         LinkTiming::default(),

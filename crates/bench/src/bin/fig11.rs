@@ -38,8 +38,7 @@ fn main() {
     }
 
     // Group 0's global links (edge darkness).
-    let mut t2 =
-        TextTable::new(vec!["Link", "PAR stall (ms)", "Q-adp stall (ms)"]);
+    let mut t2 = TextTable::new(vec!["Link", "PAR stall (ms)", "Q-adp stall (ms)"]);
     for dst in 0..par.global_stall_ms.len() {
         if dst == 0 {
             continue;

@@ -20,10 +20,7 @@ fn print_matrix(name: &str, m: &[Vec<f64>], csv: bool) {
     println!("== {name} congestion index ==");
     if csv {
         for row in m {
-            println!(
-                "{}",
-                row.iter().map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(",")
-            );
+            println!("{}", row.iter().map(|v| format!("{v:.4}")).collect::<Vec<_>>().join(","));
         }
         return;
     }

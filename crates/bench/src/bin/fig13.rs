@@ -76,17 +76,13 @@ fn main() {
             "mean aggregate throughput: PAR {:.3} GB/ms, Q-adp {:.3} GB/ms ({:+.1}%; paper +35.1%)",
             par.network.mean_system_throughput,
             qa.network.mean_system_throughput,
-            100.0
-                * (qa.network.mean_system_throughput / par.network.mean_system_throughput
-                    - 1.0),
+            100.0 * (qa.network.mean_system_throughput / par.network.mean_system_throughput - 1.0),
         );
         println!(
             "p99 latency: PAR {:.2} us vs Q-adp {:.2} us ({:.1}% smaller; paper >63%)",
             par.network.system_latency_us.p99,
             qa.network.system_latency_us.p99,
-            100.0
-                * (1.0
-                    - qa.network.system_latency_us.p99 / par.network.system_latency_us.p99),
+            100.0 * (1.0 - qa.network.system_latency_us.p99 / par.network.system_latency_us.p99),
         );
     }
 }

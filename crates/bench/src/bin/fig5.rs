@@ -56,10 +56,8 @@ fn main() {
         let bins = series.iter().map(|s| s.len()).max().unwrap_or(0);
         for i in 0..bins {
             let at = |s: &Vec<(f64, f64)>| s.get(i).map(|&(_, v)| v).unwrap_or(0.0);
-            let ts = series
-                .iter()
-                .find_map(|s| s.get(i).map(|&(t, _)| t))
-                .unwrap_or(i as f64 * 0.1);
+            let ts =
+                series.iter().find_map(|s| s.get(i).map(|&(t, _)| t)).unwrap_or(i as f64 * 0.1);
             t.row(vec![
                 f(ts, 2),
                 f(at(series[0]), 3),

@@ -43,11 +43,8 @@ fn main() {
     ]);
     for (routing, interfered, r) in &runs {
         let l = &r.apps[0].latency_us;
-        let label = format!(
-            "{}_{}",
-            routing.label(),
-            if *interfered { "interfered" } else { "alone" }
-        );
+        let label =
+            format!("{}_{}", routing.label(), if *interfered { "interfered" } else { "alone" });
         t.row(vec![
             label,
             format!("{}", l.n),
@@ -66,8 +63,7 @@ fn main() {
         println!("{}", t.render());
     }
     let par = &runs.iter().find(|(r, i, _)| *r == RoutingAlgo::Par && *i).unwrap().2.apps[0];
-    let qa =
-        &runs.iter().find(|(r, i, _)| *r == RoutingAlgo::QAdaptive && *i).unwrap().2.apps[0];
+    let qa = &runs.iter().find(|(r, i, _)| *r == RoutingAlgo::QAdaptive && *i).unwrap().2.apps[0];
     println!(
         "interfered tails: PAR p95/p99 = {:.2}/{:.2} us, Q-adp = {:.2}/{:.2} us \
          (ratios {:.2}x / {:.2}x; paper: 1.59x / 2.01x)",

@@ -28,13 +28,7 @@ fn main() {
         (routing, lqcd_alone, st_alone, both)
     });
 
-    let mut t = TextTable::new(vec![
-        "App",
-        "Routing",
-        "None (ms)",
-        "Interfered (ms)",
-        "delta %",
-    ]);
+    let mut t = TextTable::new(vec!["App", "Routing", "None (ms)", "Interfered (ms)", "delta %"]);
     for (routing, lqcd_alone, st_alone, both) in &runs {
         for (name, alone, pair_idx) in
             [("LQCD", lqcd_alone, 0usize), ("Stencil5D", st_alone, 1usize)]

@@ -61,8 +61,7 @@ fn main() {
         } else {
             println!("{}", t.render());
         }
-        let delta = 100.0
-            * (both.apps[0].comm_ms.mean / cosmo_alone.apps[0].comm_ms.mean - 1.0);
+        let delta = 100.0 * (both.apps[0].comm_ms.mean / cosmo_alone.apps[0].comm_ms.mean - 1.0);
         println!(
             "{}: CosmoFlow comm time alone {:.4} ms, interfered {:.4} ms (+{:.1}%)\n",
             routing.label(),

@@ -10,10 +10,8 @@ use dfsim_network::RoutingAlgo;
 
 fn main() {
     let study = study_from_env(64.0);
-    let target: AppKind = std::env::var("TARGET")
-        .ok()
-        .and_then(|s| AppKind::from_name(&s))
-        .unwrap_or(AppKind::FFT3D);
+    let target: AppKind =
+        std::env::var("TARGET").ok().and_then(|s| AppKind::from_name(&s)).unwrap_or(AppKind::FFT3D);
     let bg: Option<AppKind> = match std::env::var("BG") {
         Ok(s) if s.eq_ignore_ascii_case("none") => None,
         Ok(s) => Some(AppKind::from_name(&s).expect("unknown BG")),

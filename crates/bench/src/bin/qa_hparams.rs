@@ -39,13 +39,8 @@ fn main() {
         (qa, run_placed(&cfg, &jobs, study.placement))
     });
 
-    let mut t = TextTable::new(vec![
-        "alpha",
-        "epsilon",
-        "FFT3D comm (ms)",
-        "FFT3D detour %",
-        "sys p99 us",
-    ]);
+    let mut t =
+        TextTable::new(vec!["alpha", "epsilon", "FFT3D comm (ms)", "FFT3D detour %", "sys p99 us"]);
     for (qa, r) in &runs {
         t.row(vec![
             f(qa.alpha, 2),

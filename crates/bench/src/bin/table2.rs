@@ -20,11 +20,7 @@ fn main() {
 
     // Standalone run of each job at its mixed-workload size.
     let reports = parallel_map(MIXED_JOBS.to_vec(), threads_from_env(), |(kind, size)| {
-        let r = run_placed(
-            &cfg.sim(),
-            &[JobSpec::sized(kind, size)],
-            cfg.placement,
-        );
+        let r = run_placed(&cfg.sim(), &[JobSpec::sized(kind, size)], cfg.placement);
         (kind, size, r)
     });
 

@@ -7,11 +7,19 @@ use dfsim_core::experiments::StudyConfig;
 use dfsim_network::RoutingAlgo;
 
 /// Read the common environment knobs: `SCALE` (workload scale divisor),
-/// `SEED`, `ROUTING` (restrict to one algorithm).
+/// `SEED`, `ROUTING` (restrict to one algorithm), `QUEUE`
+/// (`heap`/`calendar` event-queue backend).
 pub fn study_from_env(default_scale: f64) -> StudyConfig {
     let scale = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(default_scale);
     let seed = std::env::var("SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
-    StudyConfig { scale, seed, ..Default::default() }
+    let queue = match std::env::var("QUEUE") {
+        Ok(name) => name.parse().unwrap_or_else(|e: String| {
+            eprintln!("{e}");
+            std::process::exit(2)
+        }),
+        Err(_) => dfsim_des::QueueBackend::default(),
+    };
+    StudyConfig { scale, seed, queue, ..Default::default() }
 }
 
 /// The routing set under study: `ROUTING=PAR` (etc.) restricts it.

@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use dfsim_des::Time;
+use dfsim_des::{QueueBackend, Time};
 use dfsim_metrics::RecorderConfig;
 use dfsim_network::{RoutingAlgo, RoutingConfig};
 use dfsim_topology::{DragonflyParams, LinkTiming};
@@ -29,6 +29,10 @@ pub struct SimConfig {
     pub horizon: Option<Time>,
     /// Hard cap on processed events (runaway guard).
     pub max_events: u64,
+    /// Pending-event-set implementation driving the world loop. Both
+    /// backends produce identical reports for a given config; the knob
+    /// exists for the event-queue performance ablation.
+    pub queue: QueueBackend,
 }
 
 impl Default for SimConfig {
@@ -43,11 +47,17 @@ impl Default for SimConfig {
             eager_threshold: 16 * 1024,
             horizon: None,
             max_events: 2_000_000_000,
+            queue: QueueBackend::default(),
         }
     }
 }
 
 impl SimConfig {
+    /// This config, switched onto another queue backend.
+    pub fn with_queue(self, queue: QueueBackend) -> Self {
+        Self { queue, ..self }
+    }
+
     /// Config with a given routing algorithm, everything else default.
     pub fn with_routing(algo: RoutingAlgo) -> Self {
         Self { routing: RoutingConfig::new(algo), ..Default::default() }
@@ -70,7 +80,7 @@ impl SimConfig {
         if self.scale < 1.0 {
             return Err(format!("scale must be ≥ 1, got {}", self.scale));
         }
-        if self.timing.packet_bytes % self.timing.flit_bytes != 0 {
+        if !self.timing.packet_bytes.is_multiple_of(self.timing.flit_bytes) {
             return Err("packet size must be a multiple of the flit size".into());
         }
         if self.max_events == 0 {

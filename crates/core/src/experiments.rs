@@ -11,6 +11,7 @@
 //!   filling all 1,056 nodes (140 + 138 + 140 + 139 + 256 + 243 = 1,056).
 
 use dfsim_apps::AppKind;
+use dfsim_des::QueueBackend;
 use dfsim_network::{RoutingAlgo, RoutingConfig};
 
 use crate::config::SimConfig;
@@ -31,6 +32,9 @@ pub struct StudyConfig {
     pub placement: Placement,
     /// Topology (default: the paper's 1,056-node system).
     pub params: dfsim_topology::DragonflyParams,
+    /// Event-queue backend of the world loop (report-invariant; a
+    /// performance knob for the ablation).
+    pub queue: QueueBackend,
 }
 
 impl Default for StudyConfig {
@@ -41,6 +45,7 @@ impl Default for StudyConfig {
             seed: 42,
             placement: Placement::Random,
             params: dfsim_topology::DragonflyParams::paper_1056(),
+            queue: QueueBackend::default(),
         }
     }
 }
@@ -53,6 +58,7 @@ impl StudyConfig {
             scale: self.scale,
             seed: self.seed,
             params: self.params,
+            queue: self.queue,
             ..Default::default()
         }
     }
@@ -161,6 +167,7 @@ mod tests {
                 seed: 11,
                 placement: Placement::Random,
                 params: dfsim_topology::DragonflyParams::tiny_72(),
+                ..Default::default()
             };
             let report = pairwise(AppKind::CosmoFlow, Some(AppKind::UR), &cfg);
             assert!(report.completed, "{routing}: {}", report.stop_reason);

@@ -23,18 +23,9 @@ pub enum Placement {
 
 /// Assign `sizes[i]` nodes to each job under the policy. Returns one node
 /// list per job; `sizes` must sum to at most the node count.
-pub fn place(
-    topo: &Topology,
-    policy: Placement,
-    sizes: &[u32],
-    seed: u64,
-) -> Vec<Vec<NodeId>> {
+pub fn place(topo: &Topology, policy: Placement, sizes: &[u32], seed: u64) -> Vec<Vec<NodeId>> {
     let total: u32 = sizes.iter().sum();
-    assert!(
-        total <= topo.num_nodes(),
-        "jobs need {total} nodes, system has {}",
-        topo.num_nodes()
-    );
+    assert!(total <= topo.num_nodes(), "jobs need {total} nodes, system has {}", topo.num_nodes());
     let mut nodes: Vec<NodeId> = (0..topo.num_nodes()).map(NodeId).collect();
     if policy == Placement::Random {
         let mut rng = SimRng::new(seed).derive("placement");

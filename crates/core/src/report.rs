@@ -71,6 +71,9 @@ pub struct NetworkReport {
 pub struct RunReport {
     /// Routing algorithm label.
     pub routing: String,
+    /// Event-queue backend label (`heap`/`calendar`); every other field is
+    /// invariant under this choice.
+    pub queue: String,
     /// Root seed.
     pub seed: u64,
     /// Scale divisor.
@@ -125,6 +128,7 @@ mod tests {
     fn lookup_by_name() {
         let r = RunReport {
             routing: "PAR".into(),
+            queue: "heap".into(),
             seed: 0,
             scale: 1.0,
             completed: true,

@@ -3,7 +3,8 @@
 use std::time::Instant;
 
 use dfsim_apps::AppKind;
-use dfsim_des::{SimRng, Time, MICROSECOND, MILLISECOND};
+use dfsim_des::queue::{PendingEvents, SimQueue};
+use dfsim_des::{CalendarQueue, EventQueue, QueueBackend, SimRng, Time, MICROSECOND, MILLISECOND};
 use dfsim_metrics::{AppId, Recorder, Stats};
 use dfsim_mpi::sim::MpiConfig;
 use dfsim_mpi::MpiSim;
@@ -13,7 +14,7 @@ use dfsim_topology::{LinkKind, Port, RouterId, Topology};
 use crate::config::SimConfig;
 use crate::placement::{place, Placement};
 use crate::report::{AppReport, NetworkReport, RunReport};
-use crate::world::{StopReason, World};
+use crate::world::{StopReason, World, WorldEvent};
 
 /// One job of a run.
 #[derive(Debug, Clone)]
@@ -44,7 +45,24 @@ impl JobSpec {
 /// in order on the shuffled node list, so a given `(seed, job-size prefix)`
 /// keeps earlier jobs' mappings stable when later jobs are added or removed
 /// (the paper's standalone-vs-interfered methodology).
+///
+/// The world loop is monomorphized over the event-queue backend selected by
+/// [`SimConfig::queue`]; both backends realize the same deterministic event
+/// order, so the report depends only on the rest of the config.
 pub fn run_placed(cfg: &SimConfig, jobs: &[JobSpec], policy: Placement) -> RunReport {
+    match cfg.queue {
+        QueueBackend::BinaryHeap => run_placed_on::<EventQueue<WorldEvent>>(cfg, jobs, policy),
+        QueueBackend::Calendar => run_placed_on::<CalendarQueue<WorldEvent>>(cfg, jobs, policy),
+    }
+}
+
+/// [`run_placed`] on a concrete queue backend `Q`.
+fn run_placed_on<Q: SimQueue<WorldEvent>>(
+    cfg: &SimConfig,
+    jobs: &[JobSpec],
+    policy: Placement,
+) -> RunReport {
+    debug_assert_eq!(Q::BACKEND, cfg.queue, "backend dispatch out of sync with config");
     cfg.validate().expect("invalid simulation config");
     let topo = Topology::new(cfg.params).expect("validated params");
     let sizes: Vec<u32> = jobs.iter().map(|j| j.size).collect();
@@ -66,7 +84,7 @@ pub fn run_placed(cfg: &SimConfig, jobs: &[JobSpec], policy: Placement) -> RunRe
         app_jobs.push(job);
     }
 
-    let mut world = World::new(net, mpi, rec);
+    let mut world = World::<Q>::new(net, mpi, rec);
     let wall = Instant::now();
     let (stop, end_time) = world.run(cfg.horizon, cfg.max_events);
     let wall_s = wall.elapsed().as_secs_f64();
@@ -79,11 +97,11 @@ pub fn run(cfg: &SimConfig, jobs: &[JobSpec]) -> RunReport {
     run_placed(cfg, jobs, Placement::Random)
 }
 
-fn build_report(
+fn build_report<Q: PendingEvents<WorldEvent>>(
     cfg: &SimConfig,
     jobs: &[&JobSpec],
     topo: &Topology,
-    world: &World,
+    world: &World<Q>,
     stop: StopReason,
     end_time: Time,
     wall_s: f64,
@@ -118,9 +136,7 @@ fn build_report(
                         .latencies
                         .binned_mean(rec.config().bin_width)
                         .into_iter()
-                        .map(|(t, v)| {
-                            (t as f64 / MILLISECOND as f64, v / MICROSECOND as f64)
-                        })
+                        .map(|(t, v)| (t as f64 / MILLISECOND as f64, v / MICROSECOND as f64))
                         .collect();
                     let ratio = if r.packets_injected == 0 {
                         1.0
@@ -151,11 +167,7 @@ fn build_report(
                 comm_ms: Stats::of(&comm),
                 exec_ms: exec as f64 / MILLISECOND as f64,
                 total_msg_mb: total_bytes as f64 / 1e6,
-                inj_rate_gbs: if exec_s > 0.0 {
-                    total_bytes as f64 / 1e9 / exec_s
-                } else {
-                    0.0
-                },
+                inj_rate_gbs: if exec_s > 0.0 { total_bytes as f64 / 1e9 / exec_s } else { 0.0 },
                 peak_ingress_bytes: peak,
                 latency_us: latency,
                 throughput,
@@ -179,6 +191,7 @@ fn build_report(
 
     RunReport {
         routing: cfg.routing.algo.label().to_string(),
+        queue: cfg.queue.label().to_string(),
         seed: cfg.seed,
         scale: cfg.scale,
         completed: stop == StopReason::AllFinished,
@@ -217,8 +230,7 @@ fn network_report(
     }
     let avg_local = if g > 0 { local_stall.iter().sum::<f64>() / g as f64 } else { 0.0 };
     let used_globals = (g * (g - 1)).max(1) as f64;
-    let avg_global =
-        global_stall.iter().flatten().sum::<f64>() / used_globals;
+    let avg_global = global_stall.iter().flatten().sum::<f64>() / used_globals;
 
     let elapsed = end_time.max(1);
     let congestion = rec.congestion().index_matrix(elapsed, cfg.timing.bandwidth_gbps);
@@ -275,10 +287,8 @@ mod tests {
     #[test]
     fn pairwise_tiny_run_reports_both_apps() {
         let cfg = SimConfig::test_tiny(RoutingAlgo::QAdaptive);
-        let report = run(
-            &cfg,
-            &[JobSpec::sized(AppKind::CosmoFlow, 36), JobSpec::sized(AppKind::UR, 36)],
-        );
+        let report =
+            run(&cfg, &[JobSpec::sized(AppKind::CosmoFlow, 36), JobSpec::sized(AppKind::UR, 36)]);
         assert!(report.completed, "stop: {}", report.stop_reason);
         assert_eq!(report.apps.len(), 2);
         assert!(report.network.total_delivered_gb > 0.0);

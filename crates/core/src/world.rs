@@ -1,6 +1,14 @@
 //! The world event loop: one deterministic queue driving network and MPI.
+//!
+//! The queue backend is a type parameter (defaulting to the binary heap),
+//! selected at runtime from [`crate::config::SimConfig::queue`] by
+//! [`crate::runner::run_placed`] — the event-queue ablation runs the real
+//! hot path, not a synthetic harness. Both backends realize the identical
+//! deterministic `(time, seq)` total order, so a run's report is invariant
+//! under the backend choice (the `backend_equivalence` integration test
+//! pins this).
 
-use dfsim_des::queue::PendingEvents;
+use dfsim_des::queue::{PendingEvents, SimQueue};
 use dfsim_des::{EventQueue, Scheduler, Time};
 use dfsim_metrics::Recorder;
 use dfsim_mpi::{MpiEvent, MpiSim};
@@ -15,20 +23,31 @@ pub enum WorldEvent {
     Mpi(MpiEvent),
 }
 
+/// The default (binary-heap) world queue backend.
+pub type DefaultBackend = EventQueue<WorldEvent>;
+
 /// The world queue: lifts network and MPI events into [`WorldEvent`] and
 /// satisfies both scheduler contracts at once (what [`dfsim_mpi::WorldSched`]
-/// requires).
-#[derive(Debug, Default)]
-pub struct WorldQueue {
-    inner: EventQueue<WorldEvent>,
+/// requires), over any [`PendingEvents`] backend.
+#[derive(Debug)]
+pub struct WorldQueue<Q = DefaultBackend> {
+    inner: Q,
 }
 
-impl WorldQueue {
-    /// Empty queue.
+impl<Q: SimQueue<WorldEvent>> WorldQueue<Q> {
+    /// Empty queue with the backend's simulation-tuned defaults.
     pub fn new() -> Self {
-        Self::default()
+        Self { inner: Q::for_simulation() }
     }
+}
 
+impl<Q: SimQueue<WorldEvent>> Default for WorldQueue<Q> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Q: PendingEvents<WorldEvent>> WorldQueue<Q> {
     /// Pop the earliest event.
     pub fn pop(&mut self) -> Option<(Time, WorldEvent)> {
         self.inner.pop()
@@ -55,7 +74,7 @@ impl WorldQueue {
     }
 }
 
-impl Scheduler<NetEvent> for WorldQueue {
+impl<Q: PendingEvents<WorldEvent>> Scheduler<NetEvent> for WorldQueue<Q> {
     fn now(&self) -> Time {
         self.inner.now()
     }
@@ -64,7 +83,7 @@ impl Scheduler<NetEvent> for WorldQueue {
     }
 }
 
-impl Scheduler<MpiEvent> for WorldQueue {
+impl<Q: PendingEvents<WorldEvent>> Scheduler<MpiEvent> for WorldQueue<Q> {
     fn now(&self) -> Time {
         self.inner.now()
     }
@@ -87,8 +106,8 @@ pub enum StopReason {
     Drained,
 }
 
-/// A fully assembled simulation.
-pub struct World {
+/// A fully assembled simulation, generic over the event-queue backend.
+pub struct World<Q = DefaultBackend> {
     /// The network model.
     pub net: NetworkSim,
     /// The MPI engine.
@@ -96,16 +115,18 @@ pub struct World {
     /// The metrics sink.
     pub rec: Recorder,
     /// The event queue.
-    pub queue: WorldQueue,
+    pub queue: WorldQueue<Q>,
     effects: Vec<NetEffect>,
 }
 
-impl World {
-    /// Assemble a world.
+impl<Q: SimQueue<WorldEvent>> World<Q> {
+    /// Assemble a world on this backend.
     pub fn new(net: NetworkSim, mpi: MpiSim, rec: Recorder) -> Self {
         Self { net, mpi, rec, queue: WorldQueue::new(), effects: Vec::new() }
     }
+}
 
+impl<Q: PendingEvents<WorldEvent>> World<Q> {
     /// Start all ranks and run until completion, horizon or event cap.
     /// Returns the stop reason and the final simulated time.
     pub fn run(&mut self, horizon: Option<Time>, max_events: u64) -> (StopReason, Time) {
@@ -233,10 +254,16 @@ mod tests {
             vec![NodeId(0), NodeId(40)],
             vec![
                 Box::new(
-                    (0..10_000).map(|i| MpiOp::Send { dst: 1, bytes: 4096, tag: i }).collect::<Vec<_>>().into_iter(),
+                    (0..10_000)
+                        .map(|i| MpiOp::Send { dst: 1, bytes: 4096, tag: i })
+                        .collect::<Vec<_>>()
+                        .into_iter(),
                 ),
                 Box::new(
-                    (0..10_000).map(|i| MpiOp::Recv { src: Some(0), tag: i }).collect::<Vec<_>>().into_iter(),
+                    (0..10_000)
+                        .map(|i| MpiOp::Recv { src: Some(0), tag: i })
+                        .collect::<Vec<_>>()
+                        .into_iter(),
                 ),
             ],
             vec![],

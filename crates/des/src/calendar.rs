@@ -11,7 +11,7 @@
 //! Within a bucket events are kept sorted by `(time, seq)` insertion, so the
 //! pop order is exactly the same deterministic total order as the heap's.
 
-use crate::queue::PendingEvents;
+use crate::queue::{PendingEvents, QueueBackend, SimQueue};
 use crate::time::Time;
 
 /// A single scheduled entry within a bucket.
@@ -37,6 +37,8 @@ pub struct CalendarQueue<E> {
     len: usize,
     next_seq: u64,
     now: Time,
+    popped: u64,
+    pushed: u64,
 }
 
 impl<E> CalendarQueue<E> {
@@ -57,6 +59,8 @@ impl<E> CalendarQueue<E> {
             len: 0,
             next_seq: 0,
             now: 0,
+            popped: 0,
+            pushed: 0,
         }
     }
 
@@ -79,9 +83,8 @@ impl<E> CalendarQueue<E> {
 
     /// Sorted insert keeping each bucket ordered by (time, seq).
     fn insert_sorted(bucket: &mut Vec<Entry<E>>, entry: Entry<E>) {
-        let pos = bucket
-            .binary_search_by(|e| (e.time, e.seq).cmp(&(entry.time, entry.seq)))
-            .unwrap_err();
+        let pos =
+            bucket.binary_search_by(|e| (e.time, e.seq).cmp(&(entry.time, entry.seq))).unwrap_err();
         bucket.insert(pos, entry);
     }
 }
@@ -94,6 +97,7 @@ impl<E> PendingEvents<E> for CalendarQueue<E> {
         let idx = self.bucket_index(time);
         Self::insert_sorted(&mut self.buckets[idx], Entry { time, seq, event });
         self.len += 1;
+        self.pushed += 1;
     }
 
     fn pop(&mut self) -> Option<(Time, E)> {
@@ -110,6 +114,7 @@ impl<E> PendingEvents<E> for CalendarQueue<E> {
                 if first.time < day_end {
                     let e = bucket.remove(0);
                     self.len -= 1;
+                    self.popped += 1;
                     self.now = e.time;
                     return Some((e.time, e.event));
                 }
@@ -121,9 +126,7 @@ impl<E> PendingEvents<E> for CalendarQueue<E> {
             self.day_start += self.width;
             scanned += 1;
             if scanned >= n {
-                let min_t = self
-                    .min_pending_time()
-                    .expect("len > 0 but no pending events");
+                let min_t = self.min_pending_time().expect("len > 0 but no pending events");
                 self.cursor = ((min_t / self.width) as usize) % n;
                 self.day_start = (min_t / self.width) * self.width;
                 scanned = 0;
@@ -138,6 +141,29 @@ impl<E> PendingEvents<E> for CalendarQueue<E> {
     #[inline]
     fn len(&self) -> usize {
         self.len
+    }
+
+    #[inline]
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    #[inline]
+    fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    #[inline]
+    fn events_scheduled(&self) -> u64 {
+        self.pushed
+    }
+}
+
+impl<E> SimQueue<E> for CalendarQueue<E> {
+    const BACKEND: QueueBackend = QueueBackend::Calendar;
+
+    fn for_simulation() -> Self {
+        Self::for_network()
     }
 }
 
@@ -208,7 +234,7 @@ mod tests {
         let mut pending = 0i64;
         for step in 0..20_000 {
             if pending == 0 || (rng.gen_bool(0.6) && pending < 512) {
-                let t = now + rng.gen_range(0..5_000);
+                let t = now + rng.gen_range(0..5_000u64);
                 heap.push(t, step);
                 cal.push(t, step);
                 pending += 1;

@@ -26,7 +26,8 @@ pub mod rng;
 pub mod sched;
 pub mod time;
 
-pub use queue::{EventQueue, PendingEvents};
+pub use calendar::CalendarQueue;
+pub use queue::{EventQueue, PendingEvents, QueueBackend, SimQueue};
 pub use rng::SimRng;
 pub use sched::Scheduler;
 pub use time::{Time, GIGABIT_PER_SEC, MICROSECOND, MILLISECOND, NANOSECOND, PICOSECOND, SECOND};

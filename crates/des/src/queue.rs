@@ -41,6 +41,52 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Which pending-event set a simulation runs on.
+///
+/// Threaded from `SimConfig` through the world loop so the event-queue
+/// ablation (`DESIGN.md` §7) exercises the real hot path, not a synthetic
+/// harness: both backends realize the identical deterministic total order,
+/// so reports are bit-for-bit equal across backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueueBackend {
+    /// `O(log n)` binary heap ([`EventQueue`]), the default.
+    #[default]
+    BinaryHeap,
+    /// `O(1)`-amortized calendar queue ([`crate::calendar::CalendarQueue`]).
+    Calendar,
+}
+
+impl QueueBackend {
+    /// Every selectable backend (ablation sweeps iterate this).
+    pub const ALL: [QueueBackend; 2] = [QueueBackend::BinaryHeap, QueueBackend::Calendar];
+
+    /// Short stable name (CLI flags, bench labels, report fields).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueBackend::BinaryHeap => "heap",
+            QueueBackend::Calendar => "calendar",
+        }
+    }
+}
+
+impl std::fmt::Display for QueueBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for QueueBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "heap" | "binary-heap" | "binary_heap" | "binaryheap" => Ok(QueueBackend::BinaryHeap),
+            "calendar" | "calendar-queue" | "calendar_queue" => Ok(QueueBackend::Calendar),
+            other => Err(format!("unknown queue backend '{other}' (heap, calendar)")),
+        }
+    }
+}
+
 /// Abstraction over pending-event sets so the world loop can swap
 /// implementations (binary heap vs calendar queue).
 pub trait PendingEvents<E> {
@@ -58,6 +104,30 @@ pub trait PendingEvents<E> {
     /// Whether no events are pending.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+    /// The time of the most recently popped event (the simulation clock).
+    fn now(&self) -> Time;
+    /// Total events popped so far (run statistics).
+    fn events_processed(&self) -> u64;
+    /// Total events pushed so far (run statistics).
+    fn events_scheduled(&self) -> u64;
+}
+
+/// A pending-event set constructible with defaults tuned for the Dragonfly
+/// simulation — what a [`QueueBackend`] value resolves to at the type level.
+pub trait SimQueue<E>: PendingEvents<E> + Sized {
+    /// The backend knob this implementation realizes.
+    const BACKEND: QueueBackend;
+
+    /// Construct with simulation-appropriate defaults.
+    fn for_simulation() -> Self;
+}
+
+impl<E> SimQueue<E> for EventQueue<E> {
+    const BACKEND: QueueBackend = QueueBackend::BinaryHeap;
+
+    fn for_simulation() -> Self {
+        Self::new()
     }
 }
 
@@ -134,6 +204,21 @@ impl<E> PendingEvents<E> for EventQueue<E> {
     #[inline]
     fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    #[inline]
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    #[inline]
+    fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    #[inline]
+    fn events_scheduled(&self) -> u64 {
+        self.pushed
     }
 }
 

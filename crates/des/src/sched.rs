@@ -6,6 +6,7 @@
 //! that lift sub-model events into the world event enum. This keeps the
 //! crates decoupled without trait objects or callbacks in the hot path.
 
+use crate::queue::PendingEvents;
 use crate::time::Time;
 
 /// Something that can schedule events of type `E` at absolute times.
@@ -46,20 +47,20 @@ impl<A, B, S: Scheduler<B>, F: FnMut(A) -> B> Scheduler<A> for MapScheduler<'_, 
     }
 }
 
-/// Direct scheduler over an [`crate::EventQueue`] (used in tests and in the
-/// world loop itself).
-pub struct QueueScheduler<'a, E> {
-    queue: &'a mut crate::EventQueue<E>,
+/// Direct scheduler over any [`PendingEvents`] backend (used in tests, the
+/// benches, and the world loop itself).
+pub struct QueueScheduler<'a, Q> {
+    queue: &'a mut Q,
 }
 
-impl<'a, E> QueueScheduler<'a, E> {
+impl<'a, Q> QueueScheduler<'a, Q> {
     /// Wrap a queue.
-    pub fn new(queue: &'a mut crate::EventQueue<E>) -> Self {
+    pub fn new(queue: &'a mut Q) -> Self {
         Self { queue }
     }
 }
 
-impl<E> Scheduler<E> for QueueScheduler<'_, E> {
+impl<E, Q: PendingEvents<E>> Scheduler<E> for QueueScheduler<'_, Q> {
     #[inline]
     fn now(&self) -> Time {
         self.queue.now()
@@ -67,7 +68,6 @@ impl<E> Scheduler<E> for QueueScheduler<'_, E> {
 
     #[inline]
     fn at(&mut self, time: Time, event: E) {
-        use crate::queue::PendingEvents;
         self.queue.push(time, event);
     }
 }

@@ -322,10 +322,8 @@ mod tests {
     #[test]
     fn latency_recording_can_be_disabled() {
         let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
-        let mut r = Recorder::new(
-            &topo,
-            RecorderConfig { record_latencies: false, ..Default::default() },
-        );
+        let mut r =
+            Recorder::new(&topo, RecorderConfig { record_latencies: false, ..Default::default() });
         r.packet_delivered(AppId(0), 0, 10, 512);
         assert!(r.app(AppId(0)).unwrap().latencies.is_empty());
     }

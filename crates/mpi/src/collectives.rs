@@ -58,9 +58,7 @@ impl Collective {
         match *op {
             MpiOp::AllToAll { comm, bytes } => Some((comm, Collective::AllToAll { bytes })),
             MpiOp::AllReduce { comm, bytes } => Some((comm, Collective::AllReduce { bytes })),
-            MpiOp::Reduce { comm, root, bytes } => {
-                Some((comm, Collective::Reduce { root, bytes }))
-            }
+            MpiOp::Reduce { comm, root, bytes } => Some((comm, Collective::Reduce { root, bytes })),
             MpiOp::Bcast { comm, root, bytes } => Some((comm, Collective::Bcast { root, bytes })),
             MpiOp::Barrier { comm } => Some((comm, Collective::Barrier)),
             _ => None,
@@ -265,10 +263,8 @@ mod tests {
         let members: Vec<u32> = (0..7).collect();
         let ops = expand(Collective::AllReduce { bytes: 64 }, CommId(0), &members, 0, 0);
         let first_wait = ops.iter().position(|o| matches!(o, MicroOp::WaitAll)).unwrap();
-        let recvs_before = ops[..first_wait]
-            .iter()
-            .filter(|o| matches!(o, MicroOp::Irecv { .. }))
-            .count();
+        let recvs_before =
+            ops[..first_wait].iter().filter(|o| matches!(o, MicroOp::Irecv { .. })).count();
         assert_eq!(recvs_before, 2);
     }
 

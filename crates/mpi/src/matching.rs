@@ -66,10 +66,8 @@ impl MatchQueues {
     /// An envelope arrived: match it against the oldest compatible posted
     /// receive, or queue it as unexpected.
     pub fn arrive(&mut self, env: Unexpected) -> Option<PostedRecv> {
-        let pos = self
-            .posted
-            .iter()
-            .position(|p| p.tag == env.tag && p.src.map_or(true, |s| s == env.src));
+        let pos =
+            self.posted.iter().position(|p| p.tag == env.tag && p.src.is_none_or(|s| s == env.src));
         match pos {
             Some(i) => self.posted.remove(i),
             None => {
@@ -85,7 +83,7 @@ impl MatchQueues {
         let pos = self
             .unexpected
             .iter()
-            .position(|u| u.tag == recv.tag && recv.src.map_or(true, |s| s == u.src));
+            .position(|u| u.tag == recv.tag && recv.src.is_none_or(|s| s == u.src));
         match pos {
             Some(i) => self.unexpected.remove(i),
             None => {

@@ -117,12 +117,16 @@ impl MpiSim {
         while self.apps.len() <= idx {
             self.apps.push(None);
         }
-        self.apps[idx] =
-            Some(AppState { nodes, comms, ranks, unfinished: n, finished_at: None });
+        self.apps[idx] = Some(AppState { nodes, comms, ranks, unfinished: n, finished_at: None });
     }
 
     /// Start every registered rank (call once at t = 0).
-    pub fn start<S: WorldSched>(&mut self, sched: &mut S, net: &mut NetworkSim, rec: &mut Recorder) {
+    pub fn start<S: WorldSched>(
+        &mut self,
+        sched: &mut S,
+        net: &mut NetworkSim,
+        rec: &mut Recorder,
+    ) {
         for a in 0..self.apps.len() {
             if self.apps[a].is_none() {
                 continue;
@@ -354,6 +358,7 @@ impl MpiSim {
 
     /// Post a receive; may complete immediately against an unexpected eager
     /// message, or trigger the CTS of a queued RTS.
+    #[allow(clippy::too_many_arguments)]
     fn do_recv<S: WorldSched>(
         &mut self,
         app: AppId,
@@ -378,7 +383,18 @@ impl MpiSim {
                 ..
             }) => {
                 state.reqs.mark_matched(req);
-                self.send_cts(app, rts_src, sender_node, send_req, rank, req, bytes, sched, net, rec);
+                self.send_cts(
+                    app,
+                    rts_src,
+                    sender_node,
+                    send_req,
+                    rank,
+                    req,
+                    bytes,
+                    sched,
+                    net,
+                    rec,
+                );
             }
         }
         req
@@ -401,10 +417,7 @@ impl MpiSim {
     ) {
         let my_node = self.app_mut(app).nodes[recv_rank as usize];
         let msg = net.send_message(sched, rec, my_node, sender_node, 0, app);
-        self.set_meta(
-            msg,
-            MsgMeta::Cts { app, sender_rank, send_req, recv_rank, recv_req, bytes },
-        );
+        self.set_meta(msg, MsgMeta::Cts { app, sender_rank, send_req, recv_rank, recv_req, bytes });
     }
 
     /// Record the rank's accumulated ingress burst (peak-ingress metric).
@@ -493,31 +506,35 @@ impl MpiSim {
         match meta {
             MsgMeta::EagerData { app, src_rank, dst_rank, tag, .. } => {
                 let state = self.rank_mut(app, dst_rank);
-                match state.match_q.arrive(Unexpected {
+                if let Some(recv) = state.match_q.arrive(Unexpected {
                     src: src_rank,
                     tag,
                     kind: UnexpectedKind::Eager,
                 }) {
-                    Some(recv) => self.complete_req(app, dst_rank, recv.req, sched, net, rec),
-                    None => {}
+                    self.complete_req(app, dst_rank, recv.req, sched, net, rec);
                 }
             }
             MsgMeta::Rts { app, src_rank, dst_rank, tag, bytes, send_req } => {
                 let sender_node = self.app_mut(app).nodes[src_rank as usize];
                 let state = self.rank_mut(app, dst_rank);
-                match state.match_q.arrive(Unexpected {
+                if let Some(recv) = state.match_q.arrive(Unexpected {
                     src: src_rank,
                     tag,
                     kind: UnexpectedKind::Rts { sender_node, send_req, bytes },
                 }) {
-                    Some(recv) => {
-                        state.reqs.mark_matched(recv.req);
-                        self.send_cts(
-                            app, src_rank, sender_node, send_req, dst_rank, recv.req, bytes,
-                            sched, net, rec,
-                        );
-                    }
-                    None => {}
+                    state.reqs.mark_matched(recv.req);
+                    self.send_cts(
+                        app,
+                        src_rank,
+                        sender_node,
+                        send_req,
+                        dst_rank,
+                        recv.req,
+                        bytes,
+                        sched,
+                        net,
+                        rec,
+                    );
                 }
             }
             MsgMeta::Cts { app, sender_rank, send_req, recv_rank, recv_req, bytes } => {
@@ -622,7 +639,7 @@ mod tests {
                 }
                 steps += 1;
                 assert!(steps < 50_000_000, "runaway");
-                if steps % 1024 == 0 && self.mpi.all_finished() {
+                if steps.is_multiple_of(1024) && self.mpi.all_finished() {
                     break;
                 }
                 let _ = t;

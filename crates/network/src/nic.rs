@@ -70,7 +70,11 @@ impl Nic {
     /// Carve the next packet (up to `packet_bytes`) off the head message.
     /// Returns `(msg meta, payload bytes, message finished)`. `None` when
     /// the queue is empty.
-    pub fn next_packet(&mut self, packet_bytes: u32, control_bytes: u32) -> Option<(SendMsg, u32, bool)> {
+    pub fn next_packet(
+        &mut self,
+        packet_bytes: u32,
+        control_bytes: u32,
+    ) -> Option<(SendMsg, u32, bool)> {
         let head = self.sendq.front_mut()?;
         let meta = *head;
         let take = if head.bytes_left == 0 {

@@ -56,8 +56,7 @@ impl QTable {
 
         for p in 0..radix as u8 {
             let port = Port(p);
-            let Some(Endpoint::Router { router: next, .. }) = topo.endpoint(router, port)
-            else {
+            let Some(Endpoint::Router { router: next, .. }) = topo.endpoint(router, port) else {
                 continue; // terminal or disconnected: stays INFINITY
             };
             let hop_cost = match topo.port_kind(port) {

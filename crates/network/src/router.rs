@@ -88,7 +88,7 @@ impl Router {
                     PortPeer::Router(..) => buffer_packets,
                     _ => 0,
                 };
-                std::iter::repeat(c).take(nvcs)
+                std::iter::repeat_n(c, nvcs)
             })
             .collect();
         Self {

@@ -134,10 +134,7 @@ pub fn decide(
                 let src_group = topo.group_of_node(pkt.src);
                 let here = topo.group_of_router(router.id);
                 let mut revisable = revisable && here == src_group;
-                if revisable
-                    && cfg.algo == RoutingAlgo::Par
-                    && progress.plan == PathPlan::Minimal
-                {
+                if revisable && cfg.algo == RoutingAlgo::Par && progress.plan == PathPlan::Minimal {
                     if let Some(plan) = par::revise(router, topo, timing, cfg, now, pkt) {
                         progress = RouteProgress::new(plan);
                         revisable = false;

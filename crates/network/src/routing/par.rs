@@ -34,8 +34,7 @@ pub fn revise(
     let pser = timing.packet_serialize();
     let p_min = topo.min_next_port(router.id, pkt.dst);
     let q_min = router.congestion_packets(p_min, now, timing.buffer_packets, pser);
-    let (q_non, via) =
-        ugal::sample_detour(router, topo, timing, cfg, now, src_group, dst_group)?;
+    let (q_non, via) = ugal::sample_detour(router, topo, timing, cfg, now, src_group, dst_group)?;
     if (q_min as i64) <= 2 * q_non as i64 + cfg.ugal_bias {
         return None;
     }

@@ -92,17 +92,13 @@ pub fn step(
             }
             LinkKind::Terminal => continue,
         };
-        let q = router
-            .qtable
-            .as_ref()
-            .expect("Q-adaptive router has a Q-table")
-            .q1(dst_group, port);
+        let q =
+            router.qtable.as_ref().expect("Q-adaptive router has a Q-table").q1(dst_group, port);
         if !q.is_finite() {
             continue;
         }
-        let queue_delay = router.congestion_packets(port, now, timing.buffer_packets, pser)
-            as f64
-            * pser as f64;
+        let queue_delay =
+            router.congestion_packets(port, now, timing.buffer_packets, pser) as f64 * pser as f64;
         cands.push((port, commit, queue_delay + q));
     }
 
@@ -197,7 +193,8 @@ mod tests {
     #[test]
     fn congested_direct_port_diverts() {
         let (topo, mut r, cfg, timing) = setup(0);
-        let dst = topo.nodes_of_router(RouterId(8)).next().unwrap(); // group 1 via port 11
+        // Destination in group 1, reached via port 11.
+        let dst = topo.nodes_of_router(RouterId(8)).next().unwrap();
         // Saturate the direct port's downstream credits so its queue delay
         // dominates any detour estimate.
         for vc in 0..6u8 {

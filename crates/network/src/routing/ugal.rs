@@ -80,7 +80,7 @@ pub(crate) fn sample_detour(
         };
         let first_hop = port_toward_group(topo, router.id, via);
         let q = router.congestion_packets(first_hop, now, timing.buffer_packets, pser);
-        if best.map_or(true, |(bq, _)| q < bq) {
+        if best.is_none_or(|(bq, _)| q < bq) {
             best = Some((q, via));
         }
     }
@@ -193,16 +193,8 @@ mod tests {
     fn detour_sampler_avoids_endpoint_groups() {
         let (topo, mut r, cfg, timing) = setup();
         for _ in 0..100 {
-            let (_, via) = sample_detour(
-                &mut r,
-                &topo,
-                &timing,
-                &cfg,
-                0,
-                GroupId(0),
-                GroupId(31),
-            )
-            .unwrap();
+            let (_, via) =
+                sample_detour(&mut r, &topo, &timing, &cfg, 0, GroupId(0), GroupId(31)).unwrap();
             assert_ne!(via, GroupId(0));
             assert_ne!(via, GroupId(31));
         }

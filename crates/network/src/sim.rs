@@ -75,9 +75,8 @@ impl NetworkSim {
                 )
             })
             .collect();
-        let nics = (0..topo.num_nodes())
-            .map(|n| Nic::new(NodeId(n), timing.buffer_packets))
-            .collect();
+        let nics =
+            (0..topo.num_nodes()).map(|n| Nic::new(NodeId(n), timing.buffer_packets)).collect();
         let flit_time = timing.serialize(timing.flit_bytes);
         Self {
             topo,
@@ -264,8 +263,7 @@ impl NetworkSim {
                     if self.routers[router.idx()].busy_until(port) > now {
                         break; // someone re-occupied the link
                     }
-                    let Some((ip, ivc)) = self.routers[router.idx()].pop_link_waiter(port)
-                    else {
+                    let Some((ip, ivc)) = self.routers[router.idx()].pop_link_waiter(port) else {
                         break;
                     };
                     self.try_service(router, ip, ivc, sched, rec);
@@ -341,8 +339,7 @@ impl NetworkSim {
         now: Time,
         sched: &mut impl Scheduler<NetEvent>,
     ) {
-        let PortPeer::Router(up_router, up_port) = self.routers[router.idx()].peer(in_port)
-        else {
+        let PortPeer::Router(up_router, up_port) = self.routers[router.idx()].peer(in_port) else {
             return; // came from a NIC: no upstream Q-table
         };
         let transit = now.saturating_sub(packet.arrived_at_hop);
@@ -371,10 +368,8 @@ impl NetworkSim {
         if dst_router == router {
             return term;
         }
-        let qt = self.routers[router.idx()]
-            .qtable
-            .as_ref()
-            .expect("Q-adaptive routers carry Q-tables");
+        let qt =
+            self.routers[router.idx()].qtable.as_ref().expect("Q-adaptive routers carry Q-tables");
         let dst_group = self.topo.group_of_router(dst_router);
         let est = if self.topo.group_of_router(router) == dst_group {
             qt.best2(self.topo.local_index(dst_router))
@@ -480,10 +475,7 @@ impl NetworkSim {
                 sched.at(now + prop, NetEvent::Credit { router: ur, port: uport, vc: in_vc });
             }
             PortPeer::Node(n) => {
-                sched.at(
-                    now + self.timing.terminal_latency_ps,
-                    NetEvent::NodeCredit { node: n },
-                );
+                sched.at(now + self.timing.terminal_latency_ps, NetEvent::NodeCredit { node: n });
             }
             PortPeer::Unconnected => unreachable!("packet entered via unconnected port"),
         }
@@ -642,7 +634,7 @@ mod tests {
         assert!(h.delivered(msg).is_some());
         assert_eq!(h.net.in_flight(), 0);
         // No packets ever touched the wire (the app slot may not even exist).
-        assert!(h.rec.app(AppId(0)).map_or(true, |a| a.packets_injected == 0));
+        assert!(h.rec.app(AppId(0)).is_none_or(|a| a.packets_injected == 0));
     }
 
     #[test]
@@ -672,12 +664,7 @@ mod tests {
         let app = h.rec.app(AppId(0)).unwrap();
         assert_eq!(app.packets_delivered, 19 * 4);
         // The hot ejection port must have accumulated stall time.
-        let total_stall: u64 = h
-            .rec
-            .ports()
-            .iter()
-            .map(|(_, _, _, s)| s.stall_ps)
-            .sum();
+        let total_stall: u64 = h.rec.ports().iter().map(|(_, _, _, s)| s.stall_ps).sum();
         assert!(total_stall > 0, "expected head-of-line blocking under fan-in");
     }
 

@@ -82,8 +82,7 @@ impl RouteProgress {
             }
             PathPlan::NonMinimalRouter { via } => {
                 if !self.via_done {
-                    if current == via || topo.group_of_router(current) == topo.group_of_node(dst)
-                    {
+                    if current == via || topo.group_of_router(current) == topo.group_of_node(dst) {
                         self.via_done = true;
                         return topo.min_next_port(current, dst);
                     }
@@ -190,8 +189,7 @@ mod tests {
         let dst = NodeId(1000); // group 31
         let via = GroupId(12);
         let hops = walk(&t, src, dst, PathPlan::NonMinimalGroup { via });
-        let visited: Vec<GroupId> =
-            hops.iter().map(|h| t.group_of_router(h.router)).collect();
+        let visited: Vec<GroupId> = hops.iter().map(|h| t.group_of_router(h.router)).collect();
         assert!(visited.contains(&via), "path never entered via group: {visited:?}");
         assert!(router_hops(&t, &hops) <= MAX_ROUTER_HOPS);
     }

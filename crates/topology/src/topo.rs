@@ -321,10 +321,10 @@ mod tests {
                 match t.endpoint(ra, pab).unwrap() {
                     Endpoint::Router { router, port } => {
                         assert_eq!(router, rb);
-                        assert_eq!(t.endpoint(rb, port).unwrap(), Endpoint::Router {
-                            router: ra,
-                            port: pab
-                        });
+                        assert_eq!(
+                            t.endpoint(rb, port).unwrap(),
+                            Endpoint::Router { router: ra, port: pab }
+                        );
                     }
                     other => panic!("expected router endpoint, got {other:?}"),
                 }
@@ -394,18 +394,16 @@ mod tests {
     #[test]
     fn min_next_port_walks_at_most_three_router_hops() {
         let t = paper();
-        // Farthest case: src not gateway, dst not gateway.
-        let src = NodeId(0); // router 0, group 0
+        // Farthest case: src not gateway, dst not gateway. Node 0 sits on
+        // router 0 of group 0.
+        let src = NodeId(0);
         // Choose dst in group 16 whose router is not the gateway.
         let dst_group = GroupId(16);
         let (gw_src, _) = t.gateway(GroupId(0), dst_group).unwrap();
         assert_ne!(gw_src, RouterId(0), "pick a case where a local hop is needed");
         let (gw_dst, _) = t.gateway(dst_group, GroupId(0)).unwrap();
         // dst router: some router in group 16 that is not gw_dst.
-        let dst_router = t
-            .routers_of_group(dst_group)
-            .find(|&r| r != gw_dst)
-            .unwrap();
+        let dst_router = t.routers_of_group(dst_group).find(|&r| r != gw_dst).unwrap();
         let dst = t.nodes_of_router(dst_router).next().unwrap();
 
         let mut current = t.router_of_node(src);

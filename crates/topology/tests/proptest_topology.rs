@@ -2,9 +2,7 @@
 //! bijectivity, link symmetry, and path-plan hop bounds.
 
 use dfsim_topology::paths::{walk, PathPlan, MAX_ROUTER_HOPS};
-use dfsim_topology::{
-    DragonflyParams, Endpoint, GroupId, LinkKind, NodeId, RouterId, Topology,
-};
+use dfsim_topology::{DragonflyParams, Endpoint, GroupId, LinkKind, NodeId, RouterId, Topology};
 use proptest::prelude::*;
 
 /// Strategy: valid structural parameters, kept small enough to enumerate.

@@ -33,14 +33,7 @@ fn main() {
         for src in 0..32u32 {
             let dst = 32 + traffic_rng.index(32) as u32; // group 1 nodes
             let mut sched = QueueScheduler::new(&mut queue);
-            net.send_message(
-                &mut sched,
-                &mut rec,
-                NodeId(src),
-                NodeId(dst),
-                4096,
-                AppId(0),
-            );
+            net.send_message(&mut sched, &mut rec, NodeId(src), NodeId(dst), 4096, AppId(0));
         }
         let _ = round;
         // Drain a slice of events between bursts.

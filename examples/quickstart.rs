@@ -51,10 +51,7 @@ fn main() {
         "Q-adaptive alone : comm {:>7.3} ms (±{:.3})",
         solo_q.apps[0].comm_ms.mean, solo_q.apps[0].comm_ms.std
     );
-    println!(
-        "Q-adaptive + bg  : comm {:>7.3} ms (±{:.3})",
-        fft_q.comm_ms.mean, fft_q.comm_ms.std
-    );
+    println!("Q-adaptive + bg  : comm {:>7.3} ms (±{:.3})", fft_q.comm_ms.mean, fft_q.comm_ms.std);
     let saving = 100.0 * (1.0 - fft_q.comm_ms.mean / fft.comm_ms.mean);
     println!("                   Q-adaptive saves {saving:.1}% of FFT3D's communication time");
     println!();

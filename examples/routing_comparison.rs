@@ -9,10 +9,7 @@
 use dragonfly_interference::prelude::*;
 
 fn main() {
-    let app = std::env::args()
-        .nth(1)
-        .and_then(|s| AppKind::from_name(&s))
-        .unwrap_or(AppKind::LU);
+    let app = std::env::args().nth(1).and_then(|s| AppKind::from_name(&s)).unwrap_or(AppKind::LU);
     let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(128.0);
     println!("{app} standalone on 528 nodes @ scale 1/{scale}");
 

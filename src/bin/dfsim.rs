@@ -13,6 +13,7 @@
 //!   --seed <u64>                            (default 42)
 //!   --groups <g> --routers <a> --nodes <p> --globals <h>
 //!   --contiguous                            (placement; default random)
+//!   --queue <heap|calendar>                 (event-queue backend; default heap)
 //!   --csv                                   (machine-readable output)
 //! ```
 
@@ -25,6 +26,7 @@ struct Opts {
     seed: u64,
     params: DragonflyParams,
     placement: Placement,
+    queue: QueueBackend,
     csv: bool,
 }
 
@@ -32,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: dfsim <standalone APP | pairwise TARGET BG | mixed | apps | topo> \
          [--routing R] [--scale S] [--seed N] [--groups g --routers a --nodes p --globals h] \
-         [--contiguous] [--csv]"
+         [--contiguous] [--queue heap|calendar] [--csv]"
     );
     std::process::exit(2)
 }
@@ -60,10 +62,11 @@ fn parse_opts(args: &[String]) -> Opts {
         seed: 42,
         params: DragonflyParams::paper_1056(),
         placement: Placement::Random,
+        queue: QueueBackend::default(),
         csv: false,
     };
     let mut i = 0;
-    let mut value = |i: &mut usize| -> String {
+    let value = |i: &mut usize| -> String {
         *i += 1;
         args.get(*i).cloned().unwrap_or_else(|| usage())
     };
@@ -83,6 +86,12 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.params.globals_per_router = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--contiguous" => o.placement = Placement::Contiguous,
+            "--queue" => {
+                o.queue = value(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2)
+                })
+            }
             "--csv" => o.csv = true,
             other => {
                 eprintln!("unknown option '{other}'");
@@ -105,6 +114,7 @@ fn study(o: &Opts) -> StudyConfig {
         seed: o.seed,
         placement: o.placement,
         params: o.params,
+        queue: o.queue,
     }
 }
 
@@ -221,11 +231,8 @@ fn main() {
         "pairwise" => {
             let target = app_or_die(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
             let bg_arg = args.get(2).map(String::as_str).unwrap_or_else(|| usage());
-            let bg = if bg_arg.eq_ignore_ascii_case("none") {
-                None
-            } else {
-                Some(app_or_die(bg_arg))
-            };
+            let bg =
+                if bg_arg.eq_ignore_ascii_case("none") { None } else { Some(app_or_die(bg_arg)) };
             let o = parse_opts(&args[3..]);
             let report = pairwise(target, bg, &study(&o));
             print_report(&report, o.csv);

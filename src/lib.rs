@@ -49,7 +49,7 @@ pub mod prelude {
     pub use dfsim_core::runner::{run, run_placed, JobSpec};
     pub use dfsim_core::tables::TextTable;
     pub use dfsim_core::{AppReport, NetworkReport, RunReport, SimConfig};
-    pub use dfsim_des::{SimRng, Time, MICROSECOND, MILLISECOND, NANOSECOND};
+    pub use dfsim_des::{QueueBackend, SimRng, Time, MICROSECOND, MILLISECOND, NANOSECOND};
     pub use dfsim_metrics::{AppId, LatencySummary, Recorder, RecorderConfig, Stats};
     pub use dfsim_network::{NetworkSim, QaParams, RoutingAlgo, RoutingConfig};
     pub use dfsim_topology::{DragonflyParams, LinkTiming, NodeId, Topology};

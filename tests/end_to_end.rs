@@ -25,10 +25,7 @@ fn every_app_completes_standalone_under_every_routing() {
             let a = &report.apps[0];
             assert!(a.exec_ms > 0.0, "{kind}: zero exec time");
             assert!(a.total_msg_mb > 0.0, "{kind}: no traffic");
-            assert!(
-                (a.delivery_ratio - 1.0).abs() < 1e-9,
-                "{kind} under {routing}: lost packets"
-            );
+            assert!((a.delivery_ratio - 1.0).abs() < 1e-9, "{kind} under {routing}: lost packets");
             assert_eq!(a.comm_ms.n as u32, size, "{kind}: missing rank records");
         }
     }
@@ -43,17 +40,12 @@ fn interference_slows_the_target() {
     let mut cfg = tiny_cfg(RoutingAlgo::UgalG);
     cfg.scale = 128.0;
     let alone = run(&cfg, &[JobSpec::sized(AppKind::FFT3D, 36)]);
-    let pair = run(
-        &cfg,
-        &[JobSpec::sized(AppKind::FFT3D, 36), JobSpec::sized(AppKind::Halo3D, 36)],
-    );
+    let pair =
+        run(&cfg, &[JobSpec::sized(AppKind::FFT3D, 36), JobSpec::sized(AppKind::Halo3D, 36)]);
     assert!(alone.completed && pair.completed);
     let a = alone.apps[0].comm_ms.mean;
     let b = pair.apps[0].comm_ms.mean;
-    assert!(
-        b > a * 1.02,
-        "expected visible interference: alone {a:.5} ms vs co-run {b:.5} ms"
-    );
+    assert!(b > a * 1.02, "expected visible interference: alone {a:.5} ms vs co-run {b:.5} ms");
 }
 
 #[test]
@@ -86,10 +78,7 @@ fn different_seeds_change_placement_and_results() {
 fn byte_conservation_across_the_stack() {
     // Everything the apps inject is delivered; recorder totals agree.
     let cfg = tiny_cfg(RoutingAlgo::Par);
-    let report = run(
-        &cfg,
-        &[JobSpec::sized(AppKind::Halo3D, 36), JobSpec::sized(AppKind::DL, 36)],
-    );
+    let report = run(&cfg, &[JobSpec::sized(AppKind::Halo3D, 36), JobSpec::sized(AppKind::DL, 36)]);
     assert!(report.completed);
     for a in &report.apps {
         assert!((a.delivery_ratio - 1.0).abs() < 1e-9, "{}: loss", a.name);
@@ -101,14 +90,9 @@ fn byte_conservation_across_the_stack() {
 fn paper_system_smoke_runs_quickly_at_high_scale() {
     // One real 1,056-node run (aggressively scaled) to cover paper-size
     // structures in CI.
-    let cfg = SimConfig {
-        scale: 4_096.0,
-        ..SimConfig::with_routing(RoutingAlgo::QAdaptive)
-    };
-    let report = run(
-        &cfg,
-        &[JobSpec::sized(AppKind::FFT3D, 528), JobSpec::sized(AppKind::UR, 528)],
-    );
+    let cfg = SimConfig { scale: 4_096.0, ..SimConfig::with_routing(RoutingAlgo::QAdaptive) };
+    let report =
+        run(&cfg, &[JobSpec::sized(AppKind::FFT3D, 528), JobSpec::sized(AppKind::UR, 528)]);
     assert!(report.completed, "{}", report.stop_reason);
     assert_eq!(report.apps.len(), 2);
     assert!(report.network.system_latency_us.n > 0);
@@ -157,6 +141,7 @@ fn mixed_workload_preset_completes_on_tiny_system() {
             seed: 5,
             placement: Placement::Random,
             params: DragonflyParams::tiny_72(),
+            ..Default::default()
         };
         // Scale Table II sizes down to the 72-node system (factor 1/16).
         let report = mixed_scaled_sizes(&cfg, 1.0 / 16.0);
@@ -175,6 +160,7 @@ fn contiguous_placement_reduces_interference() {
         seed: 3,
         placement: Placement::Random,
         params: DragonflyParams::tiny_72(),
+        ..Default::default()
     };
     let random = pairwise(AppKind::CosmoFlow, Some(AppKind::Halo3D), &base);
     let contiguous = pairwise(
@@ -185,8 +171,5 @@ fn contiguous_placement_reduces_interference() {
     assert!(random.completed && contiguous.completed);
     let r = random.apps[0].comm_ms.mean;
     let c = contiguous.apps[0].comm_ms.mean;
-    assert!(
-        c < r,
-        "contiguous ({c:.5} ms) should isolate better than random ({r:.5} ms)"
-    );
+    assert!(c < r, "contiguous ({c:.5} ms) should isolate better than random ({r:.5} ms)");
 }

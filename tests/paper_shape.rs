@@ -15,6 +15,7 @@ fn study(routing: RoutingAlgo) -> StudyConfig {
         seed: 42,
         placement: Placement::Random,
         params: DragonflyParams::balanced(3),
+        ..Default::default()
     }
 }
 
@@ -53,11 +54,7 @@ fn qadaptive_beats_adaptive_under_interference() {
     // Paper headline: Q-adaptive reduces interfered communication time vs
     // PAR (up to 42.63% in the paper).
     let par = pairwise(AppKind::FFT3D, Some(AppKind::Halo3D), &study(RoutingAlgo::Par));
-    let qa = pairwise(
-        AppKind::FFT3D,
-        Some(AppKind::Halo3D),
-        &study(RoutingAlgo::QAdaptive),
-    );
+    let qa = pairwise(AppKind::FFT3D, Some(AppKind::Halo3D), &study(RoutingAlgo::QAdaptive));
     let p = par.apps[0].comm_ms.mean;
     let q = qa.apps[0].comm_ms.mean;
     assert!(q < p, "Q-adaptive ({q:.4} ms) must beat PAR ({p:.4} ms) for interfered FFT3D");
@@ -119,11 +116,7 @@ fn qadaptive_wastes_less_global_bandwidth() {
     // deliver identical payloads, so a lower mean global congestion index
     // means less wasted global bandwidth.
     let par = pairwise(AppKind::FFT3D, Some(AppKind::Halo3D), &study(RoutingAlgo::Par));
-    let qa = pairwise(
-        AppKind::FFT3D,
-        Some(AppKind::Halo3D),
-        &study(RoutingAlgo::QAdaptive),
-    );
+    let qa = pairwise(AppKind::FFT3D, Some(AppKind::Halo3D), &study(RoutingAlgo::QAdaptive));
     assert!(
         qa.network.mean_global_congestion < par.network.mean_global_congestion,
         "Q-adp mean global congestion {:.4} should undercut PAR's {:.4}",

@@ -1,0 +1,225 @@
+//! Offline vendored stub of the `criterion` API surface this workspace
+//! uses. It actually measures: each `Bencher::iter` call is calibrated to
+//! a target batch duration, several batches are timed, and the best
+//! (lowest-noise) per-iteration time is reported.
+//!
+//! Output is one line per benchmark in both a human form and a
+//! machine-greppable `BENCH_RESULT {"id": ..., "ns_per_iter": ...}` form
+//! that `scripts`/CI can collect into baseline files. No statistics,
+//! plots, or baselines beyond that — swap in real criterion when a
+//! registry is reachable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        let mut b = Bencher { ns_per_iter: f64::NAN, samples: 10 };
+        f(&mut b);
+        self.record(id, b.ns_per_iter);
+        self
+    }
+
+    fn record(&mut self, id: String, ns: f64) {
+        println!("{id:<50} time: {:>12} /iter", format_ns(ns));
+        println!("BENCH_RESULT {{\"id\": \"{id}\", \"ns_per_iter\": {ns:.1}}}");
+        self.results.push((id, ns));
+    }
+
+    /// Print the collected results (called by `criterion_group!`).
+    pub fn final_summary(&self) {
+        println!("\n{} benchmarks measured", self.results.len());
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed batches (small values keep slow end-to-end
+    /// benches fast).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let mut b = Bencher { ns_per_iter: f64::NAN, samples: self.sample_size };
+        f(&mut b, input);
+        self.c.record(full, b.ns_per_iter);
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        let mut b = Bencher { ns_per_iter: f64::NAN, samples: self.sample_size };
+        f(&mut b);
+        self.c.record(full, b.ns_per_iter);
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Label `name` with parameter `param` (rendered `name/param`).
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self(format!("{}/{}", name.into(), param))
+    }
+
+    /// Label from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Times a closure; handed to every benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    ns_per_iter: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measure `f`: calibrate a batch size to ~60 ms, then time
+    /// `self.samples` batches and keep the fastest per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm caches and lazy statics
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(60);
+        let batch = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+        }
+        self.ns_per_iter = best;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Entry point running benchmark groups (CLI flags are accepted and
+/// ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut x = 0u64;
+                for i in 0..100 {
+                    x = x.wrapping_add(black_box(i));
+                }
+                x
+            })
+        });
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].1.is_finite() && c.results[0].1 > 0.0);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &n| b.iter(|| black_box(n * 2)));
+        g.finish();
+        assert_eq!(c.results[0].0, "g/f/7");
+    }
+}

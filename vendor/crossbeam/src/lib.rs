@@ -1,0 +1,122 @@
+//! Offline vendored stub of `crossbeam::scope`.
+//!
+//! Provides exactly the scoped-thread API `dfsim-core`'s sweep module uses:
+//! [`scope`] hands the closure a [`Scope`] whose `spawn` takes closures that
+//! borrow the caller's stack (`'env`), and every spawned thread is joined
+//! before `scope` returns — the same guarantee real crossbeam gives.
+//!
+//! Internally this extends closure lifetimes to `'static` so they can ride
+//! `std::thread::spawn`; soundness rests on the unconditional join loop
+//! below, which never lets a worker outlive the borrowed environment.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// Panic payload of a worker thread.
+pub type Payload = Box<dyn Any + Send + 'static>;
+
+/// A scope in which threads borrowing the environment may be spawned.
+pub struct Scope<'env> {
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    // Invariant over 'env, as in real crossbeam.
+    _marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Spawn a worker that may borrow the environment. The worker is joined
+    /// before [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        let scope_ptr = self as *const Scope<'env> as usize;
+        let call: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            // SAFETY: `scope` (and everything `'env` it borrows) outlives
+            // this thread because `scope()` joins all handles before
+            // returning, and `Scope` itself lives on `scope()`'s frame.
+            let scope = unsafe { &*(scope_ptr as *const Scope<'env>) };
+            f(scope);
+        });
+        // SAFETY: only the lifetime is transmuted ('env -> 'static); the
+        // join loop in `scope()` guarantees the closure never runs after
+        // 'env ends.
+        let call: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(call) };
+        let handle = std::thread::spawn(call);
+        self.handles.lock().unwrap().push(handle);
+    }
+}
+
+/// Run `f` with a [`Scope`]; join every spawned thread before returning.
+/// `Err` carries the first worker panic, as in crossbeam.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope { handles: Mutex::new(Vec::new()), _marker: PhantomData };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    let mut first_panic: Option<Payload> = None;
+    // Workers may spawn more workers; drain until quiescent.
+    loop {
+        let drained: Vec<JoinHandle<()>> = std::mem::take(scope.handles.lock().unwrap().as_mut());
+        if drained.is_empty() {
+            break;
+        }
+        for h in drained {
+            if let Err(p) = h.join() {
+                first_panic.get_or_insert(p);
+            }
+        }
+    }
+    match (result, first_panic) {
+        (Ok(r), None) => Ok(r),
+        (Ok(_), Some(p)) => Err(p),
+        (Err(p), _) => std::panic::resume_unwind(p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn workers_borrow_the_stack() {
+        let total = AtomicU64::new(0);
+        scope(|s| {
+            for i in 0..8u64 {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn worker_panic_is_reported() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_is_joined() {
+        let hits = AtomicU64::new(0);
+        scope(|s| {
+            let hits = &hits;
+            s.spawn(move |inner| {
+                inner.spawn(move |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

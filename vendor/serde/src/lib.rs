@@ -1,0 +1,19 @@
+//! Offline vendored stub of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its report and config
+//! types so they are ready for a JSON/CSV backend, but the container has no
+//! crates.io access and nothing actually serializes yet (there is no
+//! `serde_json` in the tree). This stub keeps the derive annotations
+//! compiling: the traits are markers and the derive macros expand to empty
+//! impls. Swap in real `serde` by flipping the `[workspace.dependencies]`
+//! entry once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

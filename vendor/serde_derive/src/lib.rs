@@ -1,0 +1,49 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stub.
+//!
+//! Expands to marker-trait impls for plain (non-generic) types and to
+//! nothing when the type has generics — the workspace only derives on
+//! concrete report/config structs, and the marker traits carry no methods.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the type name following the `struct`/`enum` keyword and whether a
+/// generic parameter list follows it.
+fn type_name(input: TokenStream) -> Option<(String, bool)> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let generic = matches!(
+                        iter.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Derive a marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some((name, false)) => format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap(),
+        _ => TokenStream::new(),
+    }
+}
+
+/// Derive a marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some((name, false)) => {
+            format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap()
+        }
+        _ => TokenStream::new(),
+    }
+}
