@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod allreduce;
+pub mod arrivals;
 pub mod fft3d;
 pub mod grid;
 pub mod loopprog;
@@ -30,5 +31,6 @@ pub mod spec;
 pub mod stencil;
 pub mod ur;
 
+pub use arrivals::{parse_arrival_list, poisson_arrivals, ArrivalSpec};
 pub use loopprog::LoopProgram;
 pub use spec::{AppInstance, AppKind, PaperRow};

@@ -1,0 +1,259 @@
+//! **Churn** — job-churn interference sweep: Poisson arrivals × routing ×
+//! placement, with an interference matrix attributed to co-residency
+//! intervals (the paper's Fig. 8 question — "who hurts whom?" — but under
+//! dynamic job arrival/departure instead of static pairing).
+//!
+//! For every `(arrival rate, routing, placement)` cell a scenario of `JOBS`
+//! Poisson arrivals runs to completion under FCFS (or backfill) admission;
+//! the per-job wait/slowdown land in the run report. The matrix cell
+//! `(target, other)` is the overlap-weighted mean slowdown of completed
+//! `target` jobs during intervals when a job of kind `other` was
+//! co-resident — windowed attribution via [`dfsim_metrics::Span`].
+//!
+//! ```sh
+//! cargo run --release -p dfsim-bench --bin churn
+//! RATES=0.5,2 JOBS=16 APPS=UR,LQCD cargo run --release -p dfsim-bench --bin churn
+//! cargo run --release -p dfsim-bench --bin churn -- --smoke   # CI smoke
+//! ```
+//!
+//! Env knobs: `SCALE`, `SEED`, `QUEUE`, `ROUTING`, `THREADS` (shared with
+//! the fig binaries), plus `RATES` (jobs per simulated ms), `JOBS` (count
+//! per scenario), `APPS` (workload cycle), `SIZES` (node counts drawn per
+//! job), `SCHED` (`fcfs`/`backfill`).
+
+use dfsim_apps::AppKind;
+use dfsim_bench::{
+    csv_flag, die, parse_app_list, routings_from_env, study_from_env, threads_from_env,
+};
+use dfsim_core::experiments::StudyConfig;
+use dfsim_core::placement::Placement;
+use dfsim_core::scenario::{run_scenario, Scenario, SchedPolicy};
+use dfsim_core::sweep::parallel_map;
+use dfsim_core::tables::{f, TextTable};
+use dfsim_core::RunReport;
+use dfsim_des::{QueueBackend, Time, MILLISECOND};
+use dfsim_metrics::Span;
+use dfsim_network::RoutingAlgo;
+
+/// Comma-separated list from an env var; a malformed entry exits with a
+/// message naming the variable.
+fn env_list<T: std::str::FromStr + Clone>(key: &str, default: &[T]) -> Vec<T> {
+    match std::env::var(key) {
+        Ok(s) => s
+            .split(',')
+            .filter(|p| !p.trim().is_empty())
+            .map(|p| {
+                p.trim()
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid {key} entry '{}'", p.trim())))
+            })
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// `[start, finish)` of a completed (or started) job, picoseconds.
+fn job_span(start_ms: Option<f64>, finish_ms: Option<f64>) -> Option<Span> {
+    let ps = |ms: f64| (ms * MILLISECOND as f64).round() as Time;
+    match (start_ms, finish_ms) {
+        (Some(s), Some(e)) => Some(Span::new(ps(s), ps(e))),
+        _ => None,
+    }
+}
+
+/// Overlap-weighted mean slowdown of completed `row` jobs while co-resident
+/// with `col` jobs, over all runs. `None` when the pair never co-resided.
+fn interference_matrix(reports: &[&RunReport], kinds: &[AppKind]) -> Vec<Vec<Option<f64>>> {
+    let k = kinds.len();
+    let idx = |name: &str| kinds.iter().position(|a| a.name() == name);
+    let mut acc = vec![vec![0.0f64; k]; k];
+    let mut weight = vec![vec![0.0f64; k]; k];
+    for r in reports {
+        let spans: Vec<Option<Span>> =
+            r.jobs.iter().map(|j| job_span(j.start_ms, j.finish_ms)).collect();
+        for (i, ji) in r.jobs.iter().enumerate() {
+            let (Some(row), Some(si), true) = (idx(&ji.name), spans[i], ji.completed) else {
+                continue;
+            };
+            for (j2, jj) in r.jobs.iter().enumerate() {
+                if i == j2 {
+                    continue;
+                }
+                let (Some(col), Some(sj)) = (idx(&jj.name), spans[j2]) else { continue };
+                let o = si.overlap_duration(&sj) as f64;
+                if o > 0.0 {
+                    acc[row][col] += ji.slowdown * o;
+                    weight[row][col] += o;
+                }
+            }
+        }
+    }
+    (0..k)
+        .map(|r| (0..k).map(|c| (weight[r][c] > 0.0).then(|| acc[r][c] / weight[r][c])).collect())
+        .collect()
+}
+
+fn smoke() -> ! {
+    let mut cfg = dfsim_core::SimConfig::test_tiny(RoutingAlgo::UgalG);
+    cfg.seed = 7;
+    // High arrival rate so arrivals outpace the µs-scale tiny jobs and the
+    // smoke exercises queueing, not just spawn/teardown.
+    let scenario = Scenario::poisson(7, 500.0, 6, &[AppKind::UR, AppKind::CosmoFlow], &[18, 36]);
+    let heap = run_scenario(
+        &cfg.with_queue(QueueBackend::BinaryHeap),
+        &scenario,
+        SchedPolicy::Fcfs,
+        Placement::Random,
+    );
+    let cal = run_scenario(
+        &cfg.with_queue(QueueBackend::Calendar),
+        &scenario,
+        SchedPolicy::Fcfs,
+        Placement::Random,
+    );
+    let completed = heap.completed_jobs().count();
+    println!(
+        "churn smoke: {completed}/{} jobs completed, mean wait {:.4} ms, mean slowdown {:.3}, \
+         {} events (heap) vs {} events (calendar)",
+        heap.jobs.len(),
+        heap.mean_wait_ms(),
+        heap.mean_slowdown(),
+        heap.events,
+        cal.events,
+    );
+    if completed == 0 {
+        die("churn smoke FAILED: no job completed");
+    }
+    let jobs_match = heap.jobs.iter().zip(&cal.jobs).all(|(h, c)| {
+        h.wait_ms == c.wait_ms && h.slowdown == c.slowdown && h.finish_ms == c.finish_ms
+    });
+    let apps_match = heap
+        .apps
+        .iter()
+        .zip(&cal.apps)
+        .all(|(h, c)| h.comm_ms.mean == c.comm_ms.mean && h.exec_ms == c.exec_ms);
+    if heap.events != cal.events
+        || heap.sim_ms != cal.sim_ms
+        || heap.jobs.len() != cal.jobs.len()
+        || heap.network.total_delivered_gb != cal.network.total_delivered_gb
+        || !jobs_match
+        || !apps_match
+    {
+        die("churn smoke FAILED: backends diverged");
+    }
+    std::process::exit(0)
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    }
+    let study = study_from_env(256.0);
+    let routings = routings_from_env();
+    // Default rates chosen so inter-arrival gaps are comparable to the
+    // scaled job durations (~0.03–0.2 ms at 1/256): the low rate drains,
+    // the high one queues.
+    let rates: Vec<f64> = env_list("RATES", &[20.0, 60.0]);
+    let jobs: u32 = std::env::var("JOBS").ok().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let kinds = match std::env::var("APPS") {
+        Ok(s) => parse_app_list(&s).unwrap_or_else(|e| die(&e)),
+        Err(_) => vec![AppKind::UR, AppKind::CosmoFlow, AppKind::LQCD, AppKind::FFT3D],
+    };
+    let nodes = study.params.num_nodes();
+    // Quarter- and half-machine jobs: a couple of co-residents fill the
+    // system, so admission actually queues at the high rate.
+    let sizes = env_list("SIZES", &[nodes / 4, nodes / 2]);
+    let sched: SchedPolicy = std::env::var("SCHED")
+        .map(|s| s.parse().unwrap_or_else(|e: String| die(&e)))
+        .unwrap_or_default();
+    if rates.is_empty() || kinds.is_empty() || sizes.is_empty() || jobs == 0 {
+        die("RATES, APPS and SIZES must be non-empty and JOBS positive");
+    }
+    if rates.iter().any(|&r| r <= 0.0 || r.is_nan()) {
+        die("every RATES entry must be a positive arrival rate (jobs/ms)");
+    }
+    // Every cell draws from the same kind/size pools, so one representative
+    // scenario validates them all before the sweep starts (clean message
+    // instead of a mid-sweep panic on e.g. SIZES larger than the machine).
+    if let Err(e) = Scenario::poisson(study.seed, rates[0], jobs, &kinds, &sizes).validate(nodes) {
+        die(&e);
+    }
+    let placements = [Placement::Random, Placement::Contiguous];
+
+    eprintln!(
+        "# churn @ scale 1/{}, seed {}, {} jobs/scenario, sched {}, {} rates x {} routings x 2 \
+         placements",
+        study.scale,
+        study.seed,
+        jobs,
+        sched.label(),
+        rates.len(),
+        routings.len(),
+    );
+
+    let mut cells: Vec<(f64, RoutingAlgo, Placement)> = Vec::new();
+    for &rate in &rates {
+        for &routing in &routings {
+            for placement in placements {
+                cells.push((rate, routing, placement));
+            }
+        }
+    }
+    let kinds_for_runs = kinds.clone();
+    let results = parallel_map(cells, threads_from_env(), move |(rate, routing, placement)| {
+        let cfg = StudyConfig { routing, ..study }.sim();
+        let scenario = Scenario::poisson(study.seed, rate, jobs, &kinds_for_runs, &sizes);
+        let report = run_scenario(&cfg, &scenario, sched, placement);
+        (rate, routing, placement, report)
+    });
+
+    let mut t = TextTable::new(vec![
+        "Rate (jobs/ms)",
+        "Routing",
+        "Placement",
+        "Done",
+        "Mean wait (ms)",
+        "Mean slowdown",
+        "Sim (ms)",
+        "ok",
+    ]);
+    for (rate, routing, placement, r) in &results {
+        t.row(vec![
+            f(*rate, 2),
+            routing.label().to_string(),
+            format!("{placement:?}"),
+            format!("{}/{}", r.completed_jobs().count(), r.jobs.len()),
+            f(r.mean_wait_ms(), 4),
+            f(r.mean_slowdown(), 3),
+            f(r.sim_ms, 4),
+            if r.completed { "y".into() } else { r.stop_reason.clone() },
+        ]);
+    }
+    if csv_flag() {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.render());
+    }
+
+    // Per-routing interference matrix under churn (aggregated over rates
+    // and placements): rows = target kind, cols = co-resident kind.
+    for &routing in &routings {
+        let of_routing: Vec<&RunReport> =
+            results.iter().filter(|(_, r, _, _)| *r == routing).map(|(_, _, _, rep)| rep).collect();
+        let m = interference_matrix(&of_routing, &kinds);
+        let mut header = vec!["Target \\ Co-res".to_string()];
+        header.extend(kinds.iter().map(|k| k.name().to_string()));
+        let mut mt = TextTable::new(header);
+        for (ri, row) in m.iter().enumerate() {
+            let mut cells = vec![kinds[ri].name().to_string()];
+            cells.extend(row.iter().map(|c| c.map_or("-".to_string(), |v| f(v, 3))));
+            mt.row(cells);
+        }
+        if csv_flag() {
+            print!("{}", mt.to_csv());
+        } else {
+            println!("\nInterference under churn — {} (overlap-weighted slowdown):", routing);
+            println!("{}", mt.render());
+        }
+    }
+}

@@ -12,7 +12,9 @@
 //! ```
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{csv_flag, routings_from_env, study_from_env, threads_from_env};
+use dfsim_bench::{
+    csv_flag, die, parse_app_list, routings_from_env, study_from_env, threads_from_env,
+};
 use dfsim_core::experiments::{pairwise, StudyConfig, FIG4_BACKGROUNDS, FIG4_TARGETS};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
@@ -22,10 +24,7 @@ fn main() {
     let study = study_from_env(128.0);
     let routings = routings_from_env();
     let targets: Vec<AppKind> = match std::env::var("TARGETS") {
-        Ok(s) => s
-            .split(',')
-            .map(|n| AppKind::from_name(n.trim()).unwrap_or_else(|| panic!("unknown app {n}")))
-            .collect(),
+        Ok(s) => parse_app_list(&s).unwrap_or_else(|e| die(&e)),
         Err(_) => FIG4_TARGETS.to_vec(),
     };
     eprintln!(

@@ -3,8 +3,54 @@
 
 #![warn(missing_docs)]
 
+use dfsim_apps::AppKind;
 use dfsim_core::experiments::StudyConfig;
 use dfsim_network::RoutingAlgo;
+
+/// Every selectable routing algorithm (the paper set plus MIN).
+pub const ALL_ROUTINGS: [RoutingAlgo; 5] = [
+    RoutingAlgo::Minimal,
+    RoutingAlgo::UgalG,
+    RoutingAlgo::UgalN,
+    RoutingAlgo::Par,
+    RoutingAlgo::QAdaptive,
+];
+
+/// Parse a routing-algorithm name; the error lists the valid names.
+pub fn parse_routing(name: &str) -> Result<RoutingAlgo, String> {
+    ALL_ROUTINGS.into_iter().find(|r| r.label().eq_ignore_ascii_case(name)).ok_or_else(|| {
+        let valid: Vec<&str> = ALL_ROUTINGS.iter().map(|r| r.label()).collect();
+        format!("unknown routing '{name}' (valid: {})", valid.join(", "))
+    })
+}
+
+/// Parse a comma-separated workload list; the error lists the valid names.
+/// An effectively empty list is an error — a misconfigured `TARGETS`/`APPS`
+/// env var must not silently turn a sweep into a no-op.
+pub fn parse_app_list(s: &str) -> Result<Vec<AppKind>, String> {
+    let apps: Vec<AppKind> = s
+        .split(',')
+        .filter(|n| !n.trim().is_empty())
+        .map(|n| {
+            let n = n.trim();
+            AppKind::from_name(n).ok_or_else(|| {
+                let valid: Vec<&str> = AppKind::ALL.iter().map(|k| k.name()).collect();
+                format!("unknown app '{n}' (valid: {})", valid.join(", "))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if apps.is_empty() {
+        return Err("empty app list".into());
+    }
+    Ok(apps)
+}
+
+/// Exit with a usage error (uniform handling of bad env/CLI values in the
+/// reproduction binaries: a clear message, not a panic with a backtrace).
+pub fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
 
 /// Read the common environment knobs: `SCALE` (workload scale divisor),
 /// `SEED`, `ROUTING` (restrict to one algorithm), `QUEUE`
@@ -13,34 +59,25 @@ pub fn study_from_env(default_scale: f64) -> StudyConfig {
     let scale = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(default_scale);
     let seed = std::env::var("SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
     let queue = match std::env::var("QUEUE") {
-        Ok(name) => name.parse().unwrap_or_else(|e: String| {
-            eprintln!("{e}");
-            std::process::exit(2)
-        }),
+        Ok(name) => name.parse().unwrap_or_else(|e: String| die(&e)),
         Err(_) => dfsim_des::QueueBackend::default(),
     };
     StudyConfig { scale, seed, queue, ..Default::default() }
 }
 
-/// The routing set under study: `ROUTING=PAR` (etc.) restricts it.
-pub fn routings_from_env() -> Vec<RoutingAlgo> {
+/// The routing set under study: `ROUTING=PAR` (etc.) restricts it. Fallible
+/// form of [`routings_from_env`] for callers that report errors themselves.
+pub fn try_routings_from_env() -> Result<Vec<RoutingAlgo>, String> {
     match std::env::var("ROUTING") {
-        Ok(name) => {
-            let all = [
-                RoutingAlgo::Minimal,
-                RoutingAlgo::UgalG,
-                RoutingAlgo::UgalN,
-                RoutingAlgo::Par,
-                RoutingAlgo::QAdaptive,
-            ];
-            let found = all
-                .into_iter()
-                .find(|r| r.label().eq_ignore_ascii_case(&name))
-                .unwrap_or_else(|| panic!("unknown ROUTING={name}"));
-            vec![found]
-        }
-        Err(_) => RoutingAlgo::PAPER_SET.to_vec(),
+        Ok(name) => Ok(vec![parse_routing(&name)?]),
+        Err(_) => Ok(RoutingAlgo::PAPER_SET.to_vec()),
     }
+}
+
+/// The routing set under study: `ROUTING=PAR` (etc.) restricts it. An
+/// unknown name exits with a message listing the valid ones.
+pub fn routings_from_env() -> Vec<RoutingAlgo> {
+    try_routings_from_env().unwrap_or_else(|e| die(&e))
 }
 
 /// Whether `--csv` was passed.
@@ -51,4 +88,37 @@ pub fn csv_flag() -> bool {
 /// Worker threads for sweeps (`THREADS`, default all cores).
 pub fn threads_from_env() -> usize {
     std::env::var("THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_names_parse_case_insensitively() {
+        for r in ALL_ROUTINGS {
+            assert_eq!(parse_routing(r.label()).unwrap(), r);
+            assert_eq!(parse_routing(&r.label().to_uppercase()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn unknown_routing_error_lists_valid_names() {
+        let err = parse_routing("warp-speed").unwrap_err();
+        assert!(err.contains("warp-speed"), "{err}");
+        for r in ALL_ROUTINGS {
+            assert!(err.contains(r.label()), "error must list {}: {err}", r.label());
+        }
+    }
+
+    #[test]
+    fn app_lists_parse_and_report_errors() {
+        let apps = parse_app_list("UR, lu ,FFT3D,").unwrap();
+        assert_eq!(apps, vec![AppKind::UR, AppKind::LU, AppKind::FFT3D]);
+        let err = parse_app_list("UR,Quake").unwrap_err();
+        assert!(err.contains("Quake"), "{err}");
+        assert!(err.contains("LULESH") && err.contains("CosmoFlow"), "{err}");
+        assert!(parse_app_list("").is_err(), "empty list must not be a silent no-op");
+        assert!(parse_app_list(" , ,").is_err());
+    }
 }

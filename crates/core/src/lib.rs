@@ -11,6 +11,8 @@
 //!   one deterministic queue,
 //! * [`runner`] — build-run-report: executes a job mix and produces a
 //!   [`report::RunReport`],
+//! * [`scenario`] — dynamic churn: timed job arrivals, FCFS/backfill
+//!   admission, node reclamation, and `run_scenario`,
 //! * [`experiments`] — the paper's campaign presets: standalone runs,
 //!   pairwise interference (§V) and the Table II mixed workload (§VI),
 //! * [`sweep`] — deterministic parallel execution of independent runs
@@ -34,11 +36,13 @@ pub mod experiments;
 pub mod placement;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod sweep;
 pub mod tables;
 pub mod world;
 
 pub use config::SimConfig;
-pub use report::{AppReport, NetworkReport, RunReport};
+pub use report::{AppReport, JobReport, NetworkReport, RunReport};
 pub use runner::{run, JobSpec};
+pub use scenario::{run_scenario, Scenario, SchedPolicy};
 pub use world::{World, WorldEvent, WorldQueue};

@@ -66,6 +66,36 @@ pub struct NetworkReport {
     pub total_delivered_gb: f64,
 }
 
+/// Per-job scheduling outcome of a scenario (churn) run. Static runs leave
+/// the list empty: every job starts at t = 0 and the per-app data lives in
+/// [`AppReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Job index (arrival order).
+    pub job: u32,
+    /// Workload name.
+    pub name: String,
+    /// Ranks / nodes requested.
+    pub size: u32,
+    /// Arrival time, ms.
+    pub arrival_ms: f64,
+    /// Admission (start) time, ms; `None` if the job never started.
+    pub start_ms: Option<f64>,
+    /// Completion time, ms; `None` if the job never finished.
+    pub finish_ms: Option<f64>,
+    /// Queue wait: start − arrival (up to the run's end for jobs that never
+    /// started), ms.
+    pub wait_ms: f64,
+    /// Service time: finish − start, ms (0 if never started).
+    pub run_ms: f64,
+    /// Response time: finish − arrival, ms.
+    pub response_ms: f64,
+    /// Slowdown: response / service (1.0 for a job admitted instantly).
+    pub slowdown: f64,
+    /// Whether every rank of the job finished.
+    pub completed: bool,
+}
+
 /// The full result of one simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -90,6 +120,9 @@ pub struct RunReport {
     pub wall_s: f64,
     /// Per-app results (job order).
     pub apps: Vec<AppReport>,
+    /// Per-job scheduling outcomes (scenario runs only; empty for static
+    /// runs).
+    pub jobs: Vec<JobReport>,
     /// Network-level results.
     pub network: NetworkReport,
 }
@@ -98,6 +131,31 @@ impl RunReport {
     /// The report of the app named `name`, if present.
     pub fn app(&self, name: &str) -> Option<&AppReport> {
         self.apps.iter().find(|a| a.name == name)
+    }
+
+    /// Jobs that ran to completion (scenario runs).
+    pub fn completed_jobs(&self) -> impl Iterator<Item = &JobReport> {
+        self.jobs.iter().filter(|j| j.completed)
+    }
+
+    /// Mean wait time over completed jobs, ms (NaN if none completed).
+    pub fn mean_wait_ms(&self) -> f64 {
+        let (mut sum, mut n) = (0.0, 0u32);
+        for j in self.completed_jobs() {
+            sum += j.wait_ms;
+            n += 1;
+        }
+        sum / n as f64
+    }
+
+    /// Mean slowdown over completed jobs (NaN if none completed).
+    pub fn mean_slowdown(&self) -> f64 {
+        let (mut sum, mut n) = (0.0, 0u32);
+        for j in self.completed_jobs() {
+            sum += j.slowdown;
+            n += 1;
+        }
+        sum / n as f64
     }
 }
 
@@ -137,6 +195,7 @@ mod tests {
             events: 10,
             wall_s: 0.1,
             apps: vec![dummy_app("FFT3D"), dummy_app("Halo3D")],
+            jobs: vec![],
             network: NetworkReport {
                 local_stall_ms: vec![],
                 global_stall_ms: vec![],

@@ -13,8 +13,12 @@ use dfsim_topology::{LinkKind, Port, RouterId, Topology};
 
 use crate::config::SimConfig;
 use crate::placement::{place, Placement};
-use crate::report::{AppReport, NetworkReport, RunReport};
+use crate::report::{AppReport, JobReport, NetworkReport, RunReport};
 use crate::world::{StopReason, World, WorldEvent};
+
+// The runner-level entry points into dynamic scenarios; the types they
+// take live in [`crate::scenario`].
+pub use crate::scenario::{run_scenario, run_scenario_with};
 
 /// One job of a run.
 #[derive(Debug, Clone)]
@@ -89,7 +93,8 @@ fn run_placed_on<Q: SimQueue<WorldEvent>>(
     let (stop, end_time) = world.run(cfg.horizon, cfg.max_events);
     let wall_s = wall.elapsed().as_secs_f64();
 
-    build_report(cfg, &app_jobs, &topo, &world, stop, end_time, wall_s)
+    let starts = vec![0; app_jobs.len()]; // static runs: everything starts at t = 0
+    build_report(cfg, &app_jobs, &topo, &world, stop, end_time, wall_s, &starts, Vec::new())
 }
 
 /// Run with the paper's random placement.
@@ -97,7 +102,12 @@ pub fn run(cfg: &SimConfig, jobs: &[JobSpec]) -> RunReport {
     run_placed(cfg, jobs, Placement::Random)
 }
 
-fn build_report<Q: PendingEvents<WorldEvent>>(
+/// Assemble the [`RunReport`] of a finished world. `starts[i]` is job `i`'s
+/// admission time (0 for static runs), subtracted so `exec_ms` is service
+/// time, not absolute finish time; `job_reports` carries the per-job churn
+/// outcomes (empty for static runs).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_report<Q: PendingEvents<WorldEvent>>(
     cfg: &SimConfig,
     jobs: &[&JobSpec],
     topo: &Topology,
@@ -105,7 +115,10 @@ fn build_report<Q: PendingEvents<WorldEvent>>(
     stop: StopReason,
     end_time: Time,
     wall_s: f64,
+    starts: &[Time],
+    job_reports: Vec<JobReport>,
 ) -> RunReport {
+    debug_assert_eq!(jobs.len(), starts.len());
     let rec = &world.rec;
     let apps = jobs
         .iter()
@@ -113,7 +126,7 @@ fn build_report<Q: PendingEvents<WorldEvent>>(
         .map(|(i, job)| {
             let id = AppId(i as u16);
             let record = rec.app(id);
-            let exec = world.mpi.app_finished_at(id).unwrap_or(end_time);
+            let exec = world.mpi.app_finished_at(id).unwrap_or(end_time).saturating_sub(starts[i]);
             let comm: Vec<f64> = record
                 .map(|r| {
                     r.rank_comm.iter().map(|&(_, c, _)| c as f64 / MILLISECOND as f64).collect()
@@ -200,6 +213,7 @@ fn build_report<Q: PendingEvents<WorldEvent>>(
         events: world.queue.events_processed(),
         wall_s,
         apps,
+        jobs: job_reports,
         network,
     }
 }

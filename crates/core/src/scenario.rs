@@ -1,0 +1,706 @@
+//! Dynamic (churn) scenarios: timed job arrivals, a pluggable job
+//! scheduler, and the scenario run loop.
+//!
+//! The paper studies interference between *statically co-placed* pairs —
+//! every job starts at t = 0 and the machine never changes. A production
+//! system has **churn**: jobs arrive, queue while the machine is full, run,
+//! and depart, so the set of co-resident (and therefore interfering)
+//! workloads changes over time. This module adds that layer without
+//! touching the deterministic core:
+//!
+//! * a [`Scenario`] is a timed stream of job arrivals (explicit lists,
+//!   parsed specs, or Poisson-process synthesis from the seeded RNG),
+//! * a [`Scheduler`] decides which queued jobs to admit whenever nodes free
+//!   up ([`Fcfs`] implements first-come-first-served with optional
+//!   backfill),
+//! * a [`JobTable`] owns the job → partition mapping: it places admitted
+//!   jobs onto the free-node pool with the existing [`Placement`] policies
+//!   and reclaims nodes at teardown,
+//! * [`run_scenario`] drives everything through the world event queue via
+//!   the DES job-lifecycle events ([`JobEvent::Spawn`] /
+//!   [`JobEvent::Teardown`]), so both queue backends realize the identical
+//!   total order and scenario reports are bit-identical across backends —
+//!   exactly like static runs.
+//!
+//! Per-job wait, service and slowdown land in
+//! [`crate::report::RunReport::jobs`]; the `churn` bench binary combines
+//! them with the windowed metrics ([`dfsim_metrics::Span`]) into an
+//! interference matrix under churn.
+
+use std::time::Instant;
+
+use dfsim_apps::arrivals::ArrivalSpec;
+use dfsim_apps::AppKind;
+use dfsim_des::queue::{PendingEvents, SimQueue};
+use dfsim_des::{
+    CalendarQueue, EventQueue, JobEvent, JobId, QueueBackend, Scheduler as EventScheduler, SimRng,
+    Time, MILLISECOND,
+};
+use dfsim_metrics::{AppId, Recorder};
+use dfsim_mpi::sim::MpiConfig;
+use dfsim_mpi::MpiSim;
+use dfsim_network::NetworkSim;
+use dfsim_topology::{NodeId, Topology};
+
+use crate::config::SimConfig;
+use crate::placement::Placement;
+use crate::report::{JobReport, RunReport};
+use crate::runner::{build_report, JobSpec};
+use crate::world::{StopReason, World, WorldEvent};
+
+/// One timed job arrival.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// The job (idle placeholders are not allowed in scenarios).
+    pub spec: JobSpec,
+    /// Arrival time, picoseconds.
+    pub at: Time,
+}
+
+/// A timed stream of job arrivals (sorted by arrival time).
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    /// Arrivals in time order.
+    pub arrivals: Vec<Arrival>,
+}
+
+impl Scenario {
+    /// Build from arrivals (sorted by time; ties keep input order).
+    pub fn new(mut arrivals: Vec<Arrival>) -> Self {
+        arrivals.sort_by_key(|a| a.at);
+        Self { arrivals }
+    }
+
+    /// Build from parsed/generated [`ArrivalSpec`]s.
+    pub fn from_specs(specs: &[ArrivalSpec]) -> Self {
+        Self::new(
+            specs
+                .iter()
+                .map(|s| Arrival { spec: JobSpec::sized(s.kind, s.size), at: s.at })
+                .collect(),
+        )
+    }
+
+    /// Parse the compact text form, e.g. `"UR:36@0,LU:16@0.5ms"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(Self::from_specs(&dfsim_apps::arrivals::parse_arrival_list(s)?))
+    }
+
+    /// Poisson-process arrivals at `rate_per_ms` jobs per simulated
+    /// millisecond from the deterministic RNG stream of `seed`, cycling
+    /// `kinds` and drawing sizes from `sizes`.
+    pub fn poisson(
+        seed: u64,
+        rate_per_ms: f64,
+        count: u32,
+        kinds: &[AppKind],
+        sizes: &[u32],
+    ) -> Self {
+        Self::from_specs(&dfsim_apps::arrivals::poisson_arrivals(
+            seed,
+            rate_per_ms,
+            count,
+            kinds,
+            sizes,
+        ))
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the scenario has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Check the scenario can run on a machine of `num_nodes` nodes.
+    pub fn validate(&self, num_nodes: u32) -> Result<(), String> {
+        if self.arrivals.len() > u16::MAX as usize {
+            return Err(format!("too many jobs ({} > {})", self.arrivals.len(), u16::MAX));
+        }
+        for (i, a) in self.arrivals.iter().enumerate() {
+            if a.spec.idle {
+                return Err(format!("job {i}: idle placeholders are not allowed in scenarios"));
+            }
+            if a.spec.size == 0 {
+                return Err(format!("job {i}: empty job"));
+            }
+            if a.spec.size > num_nodes {
+                return Err(format!(
+                    "job {i} ({}) needs {} nodes, system has {num_nodes}",
+                    a.spec.kind, a.spec.size
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A queued job as seen by a [`Scheduler`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedJob {
+    /// The job.
+    pub job: JobId,
+    /// Nodes requested.
+    pub size: u32,
+    /// Arrival time, ps.
+    pub arrival: Time,
+}
+
+/// A job-admission policy: decides which queued jobs start whenever the
+/// machine's free-node count changes (an arrival or a teardown).
+///
+/// Contract: `select` receives the waiting queue in arrival order and the
+/// current free-node count; it returns *strictly increasing* indices into
+/// `waiting` whose sizes sum to at most `free`. The scenario loop admits
+/// them in that order at the current simulation time. Implementations must
+/// be deterministic — admission decisions feed the event order that the
+/// backend-equivalence guarantee relies on.
+pub trait Scheduler {
+    /// Stable policy name (reports, CLI).
+    fn name(&self) -> &'static str;
+
+    /// Choose which waiting jobs to admit now.
+    fn select(&mut self, waiting: &[QueuedJob], free: u32) -> Vec<usize>;
+}
+
+/// First-come-first-served admission, optionally with backfill.
+///
+/// Without backfill the queue blocks behind its head: jobs are admitted in
+/// arrival order until the first one that does not fit. With backfill,
+/// later jobs that fit into the remaining free nodes may jump the blocked
+/// head (EASY-style backfill without reservations — fine for a simulator
+/// where jobs have no user-supplied runtime estimates).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fcfs {
+    /// Allow smaller jobs to jump a blocked queue head.
+    pub backfill: bool,
+}
+
+impl Scheduler for Fcfs {
+    fn name(&self) -> &'static str {
+        if self.backfill {
+            "fcfs+backfill"
+        } else {
+            "fcfs"
+        }
+    }
+
+    fn select(&mut self, waiting: &[QueuedJob], free: u32) -> Vec<usize> {
+        let mut picks = Vec::new();
+        let mut free = free;
+        for (i, j) in waiting.iter().enumerate() {
+            if j.size <= free {
+                picks.push(i);
+                free -= j.size;
+            } else if !self.backfill {
+                break;
+            }
+        }
+        picks
+    }
+}
+
+/// Named admission policies (CLI/env selectable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Strict first-come-first-served.
+    #[default]
+    Fcfs,
+    /// FCFS with backfill.
+    Backfill,
+}
+
+impl SchedPolicy {
+    /// Every selectable policy.
+    pub const ALL: [SchedPolicy; 2] = [SchedPolicy::Fcfs, SchedPolicy::Backfill];
+
+    /// Short stable name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fcfs => "fcfs",
+            SchedPolicy::Backfill => "backfill",
+        }
+    }
+
+    /// The scheduler this policy names.
+    pub fn scheduler(&self) -> Fcfs {
+        Fcfs { backfill: *self == SchedPolicy::Backfill }
+    }
+}
+
+impl std::fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for SchedPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fcfs" => Ok(SchedPolicy::Fcfs),
+            "backfill" | "fcfs+backfill" | "easy" => Ok(SchedPolicy::Backfill),
+            other => Err(format!("unknown scheduler '{other}' (fcfs, backfill)")),
+        }
+    }
+}
+
+/// Lifecycle state of one scenario job.
+#[derive(Debug, Clone)]
+struct JobEntry {
+    spec: JobSpec,
+    arrival: Time,
+    start: Option<Time>,
+    finish: Option<Time>,
+    nodes: Vec<NodeId>,
+}
+
+/// The owned job → partition mapping of a scenario run: tracks each job's
+/// lifecycle, the waiting queue, and the free-node pool that admitted jobs
+/// draw from and finished jobs return to.
+#[derive(Debug)]
+pub struct JobTable {
+    entries: Vec<JobEntry>,
+    /// Waiting queue, arrival order.
+    waiting: Vec<JobId>,
+    /// Free nodes, kept sorted ascending so placement is deterministic.
+    free: Vec<NodeId>,
+    policy: Placement,
+    seed: u64,
+    done: usize,
+}
+
+impl JobTable {
+    /// Build for a scenario on `topo` with all nodes free.
+    pub fn new(topo: &Topology, scenario: &Scenario, policy: Placement, seed: u64) -> Self {
+        Self {
+            entries: scenario
+                .arrivals
+                .iter()
+                .map(|a| JobEntry {
+                    spec: a.spec.clone(),
+                    arrival: a.at,
+                    start: None,
+                    finish: None,
+                    nodes: Vec::new(),
+                })
+                .collect(),
+            waiting: Vec::new(),
+            free: (0..topo.num_nodes()).map(NodeId).collect(),
+            policy,
+            seed,
+            done: 0,
+        }
+    }
+
+    /// Free nodes available right now.
+    pub fn free_count(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Jobs currently waiting, in arrival order.
+    pub fn waiting_view(&self) -> Vec<QueuedJob> {
+        self.waiting
+            .iter()
+            .map(|&j| {
+                let e = &self.entries[j.idx()];
+                QueuedJob { job: j, size: e.spec.size, arrival: e.arrival }
+            })
+            .collect()
+    }
+
+    /// Whether the waiting queue is empty.
+    pub fn waiting_is_empty(&self) -> bool {
+        self.waiting.is_empty()
+    }
+
+    /// Whether every job has finished.
+    pub fn all_done(&self) -> bool {
+        self.done == self.entries.len()
+    }
+
+    /// The job's spec.
+    pub fn spec(&self, job: JobId) -> &JobSpec {
+        &self.entries[job.idx()].spec
+    }
+
+    /// The nodes a running (or finished) job occupies, rank order.
+    pub fn nodes(&self, job: JobId) -> &[NodeId] {
+        &self.entries[job.idx()].nodes
+    }
+
+    /// A job arrived: push it onto the waiting queue.
+    fn enqueue(&mut self, job: JobId) {
+        debug_assert!(self.entries[job.idx()].start.is_none());
+        self.waiting.push(job);
+    }
+
+    /// Admit a waiting job at time `now`: remove it from the queue, carve
+    /// its partition out of the free pool under the placement policy, and
+    /// return the node list (rank order).
+    fn admit(&mut self, job: JobId, now: Time) -> Vec<NodeId> {
+        let pos = self.waiting.iter().position(|&j| j == job).expect("job not waiting");
+        self.waiting.remove(pos);
+        let size = self.entries[job.idx()].spec.size as usize;
+        assert!(size <= self.free.len(), "scheduler over-admitted: {size} > {}", self.free.len());
+        let nodes: Vec<NodeId> = match self.policy {
+            Placement::Random => {
+                // One independent stream per job id, so the mapping depends
+                // only on (seed, job, free pool) — not on admission history.
+                let mut rng = SimRng::new(self.seed).derive_idx("scenario-place", job.0 as u64);
+                let mut sel = rng.choose_distinct(self.free.len(), size);
+                sel.sort_unstable();
+                let nodes = sel.iter().map(|&i| self.free[i]).collect();
+                for &i in sel.iter().rev() {
+                    self.free.remove(i);
+                }
+                nodes
+            }
+            Placement::Contiguous => self.free.drain(..size).collect(),
+        };
+        let e = &mut self.entries[job.idx()];
+        e.start = Some(now);
+        e.nodes = nodes.clone();
+        nodes
+    }
+
+    /// A job's last rank finished.
+    fn mark_finished(&mut self, job: JobId, t: Time) {
+        let e = &mut self.entries[job.idx()];
+        debug_assert!(e.start.is_some() && e.finish.is_none());
+        e.finish = Some(t);
+        self.done += 1;
+    }
+
+    /// Return a finished job's nodes to the free pool.
+    fn reclaim(&mut self, job: JobId) {
+        let e = &mut self.entries[job.idx()];
+        debug_assert!(e.finish.is_some(), "reclaiming an unfinished job");
+        self.free.extend(e.nodes.iter().copied());
+        self.free.sort_unstable_by_key(|n| n.0);
+    }
+
+    /// Admission start times per job (`end` for jobs that never started) —
+    /// what the report builder subtracts to get per-job execution time.
+    pub fn start_times(&self, end: Time) -> Vec<Time> {
+        self.entries.iter().map(|e| e.start.unwrap_or(end)).collect()
+    }
+
+    /// Per-job scheduling outcomes for the report.
+    pub fn job_reports(&self, end: Time) -> Vec<JobReport> {
+        let ms = |t: Time| t as f64 / MILLISECOND as f64;
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let wait = e.start.unwrap_or(end).saturating_sub(e.arrival);
+                let run = match (e.start, e.finish) {
+                    (Some(s), Some(f)) => f - s,
+                    _ => 0,
+                };
+                let response = e.finish.map_or(0, |f| f - e.arrival);
+                JobReport {
+                    job: i as u32,
+                    name: e.spec.kind.name().to_string(),
+                    size: e.spec.size,
+                    arrival_ms: ms(e.arrival),
+                    start_ms: e.start.map(ms),
+                    finish_ms: e.finish.map(ms),
+                    wait_ms: ms(wait),
+                    run_ms: ms(run),
+                    response_ms: ms(response),
+                    slowdown: if run > 0 { response as f64 / run as f64 } else { 1.0 },
+                    completed: e.finish.is_some(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Run `scenario` under `cfg`: jobs spawn at their arrival times (queueing
+/// under `policy_sched` when the machine is full), run on partitions placed
+/// by `placement`, and release their nodes on completion. Dispatches to the
+/// queue backend selected by [`SimConfig::queue`]; reports are bit-identical
+/// across backends.
+pub fn run_scenario(
+    cfg: &SimConfig,
+    scenario: &Scenario,
+    policy_sched: SchedPolicy,
+    placement: Placement,
+) -> RunReport {
+    let mut sched = policy_sched.scheduler();
+    run_scenario_with(cfg, scenario, &mut sched, placement)
+}
+
+/// [`run_scenario`] with a caller-supplied [`Scheduler`] implementation.
+pub fn run_scenario_with(
+    cfg: &SimConfig,
+    scenario: &Scenario,
+    sched: &mut dyn Scheduler,
+    placement: Placement,
+) -> RunReport {
+    match cfg.queue {
+        QueueBackend::BinaryHeap => {
+            run_scenario_on::<EventQueue<WorldEvent>>(cfg, scenario, sched, placement)
+        }
+        QueueBackend::Calendar => {
+            run_scenario_on::<CalendarQueue<WorldEvent>>(cfg, scenario, sched, placement)
+        }
+    }
+}
+
+fn run_scenario_on<Q: SimQueue<WorldEvent>>(
+    cfg: &SimConfig,
+    scenario: &Scenario,
+    sched: &mut dyn Scheduler,
+    placement: Placement,
+) -> RunReport {
+    debug_assert_eq!(Q::BACKEND, cfg.queue, "backend dispatch out of sync with config");
+    cfg.validate().expect("invalid simulation config");
+    let topo = Topology::new(cfg.params).expect("validated params");
+    scenario.validate(topo.num_nodes()).expect("invalid scenario");
+
+    let rng = SimRng::new(cfg.seed);
+    let rec = Recorder::new(&topo, cfg.recorder);
+    let net = NetworkSim::new(topo.clone(), cfg.timing, cfg.routing, &rng);
+    let mpi = MpiSim::new(MpiConfig { eager_threshold: cfg.eager_threshold });
+
+    let mut world = World::<Q>::new(net, mpi, rec);
+    let mut table = JobTable::new(&topo, scenario, placement, cfg.seed);
+    for (i, a) in scenario.arrivals.iter().enumerate() {
+        EventScheduler::<JobEvent>::at(&mut world.queue, a.at, JobEvent::Spawn(JobId(i as u32)));
+    }
+
+    let wall = Instant::now();
+    let (stop, end_time) = scenario_loop(cfg, &mut world, &mut table, sched);
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let specs: Vec<&JobSpec> = scenario.arrivals.iter().map(|a| &a.spec).collect();
+    let starts = table.start_times(end_time);
+    let jobs = table.job_reports(end_time);
+    build_report(cfg, &specs, &topo, &world, stop, end_time, wall_s, &starts, jobs)
+}
+
+/// The churn event loop: [`crate::world::World::run`] plus job-lifecycle
+/// handling. Admission runs whenever the free pool can have grown (spawn
+/// or teardown); finished apps are detected right after the event that
+/// completed them, so teardown events land at the completion timestamp in
+/// both backends' identical total order.
+fn scenario_loop<Q: PendingEvents<WorldEvent>>(
+    cfg: &SimConfig,
+    world: &mut World<Q>,
+    table: &mut JobTable,
+    sched: &mut dyn Scheduler,
+) -> (StopReason, Time) {
+    let World { net, mpi, rec, queue, effects } = world;
+    let mut finished: Vec<AppId> = Vec::new();
+    let mut processed: u64 = 0;
+    while let Some((t, ev)) = queue.pop() {
+        if let Some(h) = cfg.horizon {
+            if t > h {
+                return (StopReason::Horizon, t);
+            }
+        }
+        match crate::world::dispatch_core(net, mpi, rec, queue, effects, ev) {
+            None => {}
+            Some(JobEvent::Spawn(job)) => {
+                table.enqueue(job);
+                try_admit(cfg, table, sched, mpi, net, rec, queue);
+            }
+            Some(JobEvent::Teardown(job)) => {
+                table.reclaim(job);
+                try_admit(cfg, table, sched, mpi, net, rec, queue);
+            }
+        }
+        mpi.drain_finished(&mut finished);
+        if !finished.is_empty() {
+            for app in finished.drain(..) {
+                let job = JobId(app.0 as u32);
+                table.mark_finished(job, queue.now());
+                EventScheduler::<JobEvent>::at(queue, queue.now(), JobEvent::Teardown(job));
+            }
+        }
+        processed += 1;
+        if processed >= cfg.max_events {
+            return (StopReason::EventCap, queue.now());
+        }
+        if table.all_done() {
+            return (StopReason::AllFinished, queue.now());
+        }
+    }
+    if table.all_done() {
+        (StopReason::AllFinished, queue.now())
+    } else {
+        (StopReason::Drained, queue.now())
+    }
+}
+
+/// One admission pass: ask the scheduler which waiting jobs fit, then spawn
+/// each onto its freshly placed partition at the current time.
+fn try_admit<Q: PendingEvents<WorldEvent>>(
+    cfg: &SimConfig,
+    table: &mut JobTable,
+    sched: &mut dyn Scheduler,
+    mpi: &mut MpiSim,
+    net: &mut NetworkSim,
+    rec: &mut Recorder,
+    queue: &mut crate::world::WorldQueue<Q>,
+) {
+    if table.waiting_is_empty() {
+        return;
+    }
+    let waiting = table.waiting_view();
+    let picks = sched.select(&waiting, table.free_count());
+    if picks.is_empty() {
+        return;
+    }
+    debug_assert!(picks.windows(2).all(|w| w[0] < w[1]), "picks must be strictly increasing");
+    debug_assert!(
+        picks.iter().map(|&i| waiting[i].size).sum::<u32>() <= table.free_count(),
+        "scheduler over-admitted"
+    );
+    let now = queue.now();
+    for &i in &picks {
+        let job = waiting[i].job;
+        let nodes = table.admit(job, now);
+        let spec = table.spec(job);
+        let inst = spec.kind.build(spec.size, cfg.scale, cfg.seed ^ ((job.0 as u64) << 32));
+        let app = AppId(job.0 as u16);
+        mpi.add_app(app, nodes, inst.programs, inst.comms);
+        mpi.start_app(app, queue, net, rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsim_network::RoutingAlgo;
+
+    fn queued(sizes: &[u32]) -> Vec<QueuedJob> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| QueuedJob { job: JobId(i as u32), size, arrival: i as Time })
+            .collect()
+    }
+
+    #[test]
+    fn fcfs_blocks_behind_queue_head() {
+        let mut s = Fcfs { backfill: false };
+        // Head needs 10, only 8 free: nothing may start.
+        assert!(s.select(&queued(&[10, 4, 2]), 8).is_empty());
+        // Head fits, second blocks, third never considered.
+        assert_eq!(s.select(&queued(&[6, 10, 2]), 8), vec![0]);
+    }
+
+    #[test]
+    fn backfill_jumps_a_blocked_head() {
+        let mut s = Fcfs { backfill: true };
+        assert_eq!(s.select(&queued(&[10, 4, 2]), 8), vec![1, 2]);
+        // Backfill still respects remaining capacity.
+        assert_eq!(s.select(&queued(&[10, 7, 2]), 8), vec![1]);
+    }
+
+    #[test]
+    fn sched_policy_round_trips() {
+        for p in SchedPolicy::ALL {
+            assert_eq!(p.label().parse::<SchedPolicy>().unwrap(), p);
+        }
+        assert!("mystery".parse::<SchedPolicy>().is_err());
+        assert!(!SchedPolicy::Fcfs.scheduler().backfill);
+        assert!(SchedPolicy::Backfill.scheduler().backfill);
+    }
+
+    #[test]
+    fn scenario_parse_and_validate() {
+        let s = Scenario::parse("UR:36@0,LU:16@0.5ms").unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.validate(72).is_ok());
+        assert!(s.validate(20).is_err(), "36 > 20 nodes must be rejected");
+        let idle = Scenario::new(vec![Arrival { spec: JobSpec::idle(4), at: 0 }]);
+        assert!(idle.validate(72).is_err());
+    }
+
+    #[test]
+    fn job_table_places_and_reclaims() {
+        let topo = Topology::new(dfsim_topology::DragonflyParams::tiny_72()).unwrap();
+        let scenario = Scenario::parse("UR:30@0,LU:30@0,FFT3D:30@0").unwrap();
+        let mut t = JobTable::new(&topo, &scenario, Placement::Random, 9);
+        assert_eq!(t.free_count(), 72);
+        t.enqueue(JobId(0));
+        t.enqueue(JobId(1));
+        let a = t.admit(JobId(0), 100);
+        let b = t.admit(JobId(1), 100);
+        assert_eq!(a.len(), 30);
+        assert_eq!(t.free_count(), 12);
+        // Partitions are disjoint.
+        let mut all: Vec<u32> = a.iter().chain(b.iter()).map(|n| n.0).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 60);
+        // Third job cannot fit until a reclaim.
+        t.enqueue(JobId(2));
+        assert!(Fcfs::default().select(&t.waiting_view(), t.free_count()).is_empty());
+        t.mark_finished(JobId(0), 500);
+        t.reclaim(JobId(0));
+        assert_eq!(t.free_count(), 42);
+        let c = t.admit(JobId(2), 600);
+        assert_eq!(c.len(), 30);
+        assert!(!t.all_done());
+    }
+
+    #[test]
+    fn tiny_churn_scenario_completes_with_job_metrics() {
+        let cfg = SimConfig::test_tiny(RoutingAlgo::UgalG);
+        // Arrivals 10 ns apart: the first two fill all 72 nodes, so LU must
+        // queue until one of them finishes.
+        let scenario = Scenario::parse("UR:36@0,CosmoFlow:36@10ns,LU:36@20ns").unwrap();
+        let report = run_scenario(&cfg, &scenario, SchedPolicy::Fcfs, Placement::Random);
+        assert!(report.completed, "stop: {}", report.stop_reason);
+        assert_eq!(report.jobs.len(), 3);
+        for j in &report.jobs {
+            assert!(j.completed, "{} never finished", j.name);
+            assert!(j.run_ms > 0.0);
+            assert!(j.slowdown >= 1.0 - 1e-12, "{}: slowdown {}", j.name, j.slowdown);
+        }
+        // 36+36+36 = 108 > 72 nodes: the third job must have queued.
+        let lu = report.jobs.iter().find(|j| j.name == "LU").unwrap();
+        assert!(lu.wait_ms > 0.0, "LU should have waited for free nodes");
+        assert!(lu.slowdown > 1.0);
+        // Every app produced traffic and a per-rank comm record.
+        for a in &report.apps {
+            assert!(a.total_msg_mb > 0.0, "{} moved no bytes", a.name);
+            assert_eq!(a.comm_ms.n, 36);
+        }
+    }
+
+    #[test]
+    fn churn_determinism_same_seed_same_report() {
+        let cfg = SimConfig::test_tiny(RoutingAlgo::Par);
+        let scenario = Scenario::poisson(11, 50.0, 6, &[AppKind::UR, AppKind::LU], &[18, 36]);
+        let a = run_scenario(&cfg, &scenario, SchedPolicy::Backfill, Placement::Random);
+        let b = run_scenario(&cfg, &scenario, SchedPolicy::Backfill, Placement::Random);
+        assert_eq!(a.sim_ms, b.sim_ms);
+        assert_eq!(a.events, b.events);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.wait_ms, y.wait_ms);
+            assert_eq!(x.slowdown, y.slowdown);
+        }
+    }
+
+    #[test]
+    fn horizon_leaves_unfinished_jobs_marked() {
+        let mut cfg = SimConfig::test_tiny(RoutingAlgo::UgalN);
+        cfg.horizon = Some(1_000); // 1 ns: nothing can finish
+        let scenario = Scenario::parse("UR:36@0").unwrap();
+        let report = run_scenario(&cfg, &scenario, SchedPolicy::Fcfs, Placement::Random);
+        assert!(!report.completed);
+        assert_eq!(report.jobs.len(), 1);
+        assert!(!report.jobs[0].completed);
+        assert!(report.jobs[0].finish_ms.is_none());
+    }
+}

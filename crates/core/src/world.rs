@@ -9,7 +9,7 @@
 //! pins this).
 
 use dfsim_des::queue::{PendingEvents, SimQueue};
-use dfsim_des::{EventQueue, Scheduler, Time};
+use dfsim_des::{EventQueue, JobEvent, Scheduler, Time};
 use dfsim_metrics::Recorder;
 use dfsim_mpi::{MpiEvent, MpiSim};
 use dfsim_network::{NetEffect, NetEvent, NetworkSim};
@@ -21,6 +21,9 @@ pub enum WorldEvent {
     Net(NetEvent),
     /// An MPI event.
     Mpi(MpiEvent),
+    /// A job-lifecycle event (only scheduled by scenario runs; see
+    /// [`crate::scenario`]).
+    Job(JobEvent),
 }
 
 /// The default (binary-heap) world queue backend.
@@ -92,6 +95,49 @@ impl<Q: PendingEvents<WorldEvent>> Scheduler<MpiEvent> for WorldQueue<Q> {
     }
 }
 
+impl<Q: PendingEvents<WorldEvent>> Scheduler<JobEvent> for WorldQueue<Q> {
+    fn now(&self) -> Time {
+        self.inner.now()
+    }
+    fn at(&mut self, time: Time, event: JobEvent) {
+        self.inner.push(time, WorldEvent::Job(event));
+    }
+}
+
+/// Dispatch one popped event into the sub-models. Network and MPI events
+/// are consumed (including the ordered network-effect drain); job events
+/// are returned to the caller, since only the scenario loop knows how to
+/// handle them. Shared by [`World::run`] and the scenario loop so the
+/// dispatch semantics — in particular the effect-drain ordering that the
+/// backend-equivalence guarantee rides on — can never diverge between the
+/// two.
+#[inline]
+pub(crate) fn dispatch_core<Q: PendingEvents<WorldEvent>>(
+    net: &mut NetworkSim,
+    mpi: &mut MpiSim,
+    rec: &mut Recorder,
+    queue: &mut WorldQueue<Q>,
+    effects: &mut Vec<NetEffect>,
+    ev: WorldEvent,
+) -> Option<JobEvent> {
+    match ev {
+        WorldEvent::Net(e) => {
+            net.handle(e, queue, rec, effects);
+            if !effects.is_empty() {
+                for eff in effects.drain(..) {
+                    mpi.on_net_effect(eff, queue, net, rec);
+                }
+            }
+            None
+        }
+        WorldEvent::Mpi(e) => {
+            mpi.handle(e, queue, net, rec);
+            None
+        }
+        WorldEvent::Job(e) => Some(e),
+    }
+}
+
 /// Why a world run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -116,7 +162,8 @@ pub struct World<Q = DefaultBackend> {
     pub rec: Recorder,
     /// The event queue.
     pub queue: WorldQueue<Q>,
-    effects: Vec<NetEffect>,
+    /// Scratch buffer for network effects (shared with the scenario loop).
+    pub(crate) effects: Vec<NetEffect>,
 }
 
 impl<Q: SimQueue<WorldEvent>> World<Q> {
@@ -142,16 +189,9 @@ impl<Q: PendingEvents<WorldEvent>> World<Q> {
                     return (StopReason::Horizon, t);
                 }
             }
-            match ev {
-                WorldEvent::Net(e) => {
-                    net.handle(e, queue, rec, effects);
-                    if !effects.is_empty() {
-                        for eff in effects.drain(..) {
-                            mpi.on_net_effect(eff, queue, net, rec);
-                        }
-                    }
-                }
-                WorldEvent::Mpi(e) => mpi.handle(e, queue, net, rec),
+            if let Some(e) = dispatch_core(net, mpi, rec, queue, effects, ev) {
+                debug_assert!(false, "job event {e:?} in a static run; use run_scenario");
+                let _ = e;
             }
             processed += 1;
             if processed >= max_events {

@@ -1,0 +1,62 @@
+//! Job-lifecycle event kinds for dynamic (churn) scenarios.
+//!
+//! A static run launches every workload at t = 0, but a churn scenario has
+//! jobs arriving, queueing and departing while others run. The DES kernel
+//! therefore knows two job-lifecycle event kinds: a **spawn** (the job's
+//! arrival instant — whether it starts immediately is the job scheduler's
+//! decision) and a **teardown** (the instant a finished job's nodes are
+//! reclaimed). The world loop in `dfsim-core` lifts these into its world
+//! event enum exactly like network and MPI events, so both queue backends
+//! realize the same deterministic `(time, seq)` order for job churn too.
+
+/// Identifies one job of a scenario (its index in arrival order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// Raw index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Job-lifecycle events driven through the world queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent {
+    /// The job arrived and asks to be scheduled (it may queue if the
+    /// machine is full).
+    Spawn(JobId),
+    /// The job finished; its nodes return to the free pool and queued jobs
+    /// get another admission chance.
+    Teardown(JobId),
+}
+
+impl JobEvent {
+    /// The job this event concerns.
+    #[inline]
+    pub fn job(self) -> JobId {
+        match self {
+            JobEvent::Spawn(j) | JobEvent::Teardown(j) => j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_accessor_and_display() {
+        assert_eq!(JobEvent::Spawn(JobId(3)).job(), JobId(3));
+        assert_eq!(JobEvent::Teardown(JobId(7)).job(), JobId(7));
+        assert_eq!(JobId(2).to_string(), "job2");
+        assert_eq!(JobId(2).idx(), 2);
+    }
+}

@@ -12,7 +12,9 @@
 //!   their own event types while a single world queue drives the simulation
 //!   ([`sched`]),
 //! * deterministic, splittable random-number utilities so every simulation is
-//!   reproducible from one seed ([`rng`]).
+//!   reproducible from one seed ([`rng`]),
+//! * job-lifecycle event kinds (spawn/teardown) for dynamic churn scenarios
+//!   ([`job`]).
 //!
 //! The kernel is intentionally sequential: the study parallelizes across
 //! independent simulations (configuration sweeps), not within one simulation,
@@ -21,12 +23,14 @@
 #![warn(missing_docs)]
 
 pub mod calendar;
+pub mod job;
 pub mod queue;
 pub mod rng;
 pub mod sched;
 pub mod time;
 
 pub use calendar::CalendarQueue;
+pub use job::{JobEvent, JobId};
 pub use queue::{EventQueue, PendingEvents, QueueBackend, SimQueue};
 pub use rng::SimRng;
 pub use sched::Scheduler;

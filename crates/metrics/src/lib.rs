@@ -11,7 +11,9 @@
 //! * [`hist`] — latency sample pools with quantiles (Figs 6/7/13a),
 //! * [`stall`] — per-port stall/busy/traffic accounting (Fig 11),
 //! * [`congestion`] — the group-pair congestion-index matrix (Fig 12),
-//! * [`summary`] — mean/std/min/max helpers used by every table.
+//! * [`summary`] — mean/std/min/max helpers used by every table,
+//! * [`window`] — time spans and overlap math for attributing interference
+//!   to co-residency intervals under churn.
 //!
 //! Recording is allocation-light: counters are dense vectors indexed by
 //! (router, port) or by time bin, and latency samples append to per-app
@@ -25,6 +27,7 @@ pub mod recorder;
 pub mod series;
 pub mod stall;
 pub mod summary;
+pub mod window;
 
 pub use congestion::CongestionMatrix;
 pub use hist::{LatencySummary, SamplePool};
@@ -32,3 +35,4 @@ pub use recorder::{AppId, Recorder, RecorderConfig};
 pub use series::BinSeries;
 pub use stall::PortStats;
 pub use summary::Stats;
+pub use window::{co_residency, Span};

@@ -79,6 +79,39 @@ impl BinSeries {
         self.bins.iter().copied().max().unwrap_or(0) as f64 / 1e9 / width_ms
     }
 
+    /// Total amount recorded in bins overlapping `[from, to)`, pro-rating
+    /// the boundary bins by their covered fraction. This is the windowed
+    /// read used to attribute traffic to a co-residency interval of two
+    /// jobs in a churn scenario.
+    pub fn total_between(&self, from: Time, to: Time) -> f64 {
+        if to <= from || self.bins.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        let first = (from / self.width) as usize;
+        let last = ((to - 1) / self.width) as usize;
+        if first >= self.bins.len() {
+            return 0.0;
+        }
+        for idx in first..=last.min(self.bins.len() - 1) {
+            let bin_start = idx as Time * self.width;
+            let bin_end = bin_start + self.width;
+            let covered = to.min(bin_end).saturating_sub(from.max(bin_start));
+            sum += self.bins[idx] as f64 * (covered as f64 / self.width as f64);
+        }
+        sum
+    }
+
+    /// Mean rate over the window `[from, to)` in GB/ms (0 for an empty
+    /// window).
+    pub fn rate_between_gb_per_ms(&self, from: Time, to: Time) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let ms = (to - from) as f64 / MILLISECOND as f64;
+        self.total_between(from, to) / 1e9 / ms
+    }
+
     /// Elementwise sum of two series (must share the bin width).
     pub fn merge(&mut self, other: &BinSeries) {
         assert_eq!(self.width, other.width, "bin width mismatch");
@@ -137,5 +170,41 @@ mod tests {
         let mut a = BinSeries::new(10);
         let b = BinSeries::new(20);
         a.merge(&b);
+    }
+
+    #[test]
+    fn total_between_prorates_boundary_bins() {
+        let mut s = BinSeries::new(100);
+        s.add(0, 100); // bin 0
+        s.add(150, 200); // bin 1
+        s.add(250, 400); // bin 2
+                         // Whole range.
+        assert!((s.total_between(0, 300) - 700.0).abs() < 1e-9);
+        // Half of bin 0 only.
+        assert!((s.total_between(0, 50) - 50.0).abs() < 1e-9);
+        // Half of bin 0 + all of bin 1 + half of bin 2.
+        assert!((s.total_between(50, 250) - (50.0 + 200.0 + 200.0)).abs() < 1e-9);
+        // Window beyond the data.
+        assert!((s.total_between(300, 1_000)).abs() < 1e-9);
+        // Empty/inverted windows.
+        assert_eq!(s.total_between(10, 10), 0.0);
+        assert_eq!(s.total_between(20, 10), 0.0);
+    }
+
+    #[test]
+    fn total_between_on_empty_series_is_zero() {
+        let s = BinSeries::new(100);
+        assert_eq!(s.total_between(0, 50), 0.0);
+        assert_eq!(s.rate_between_gb_per_ms(0, 50), 0.0);
+    }
+
+    #[test]
+    fn rate_between_is_windowed_mean() {
+        // 2 GB in the first ms, nothing afterwards.
+        let mut s = BinSeries::new(MILLISECOND);
+        s.add(0, 2_000_000_000);
+        assert!((s.rate_between_gb_per_ms(0, MILLISECOND) - 2.0).abs() < 1e-12);
+        assert!((s.rate_between_gb_per_ms(0, 2 * MILLISECOND) - 1.0).abs() < 1e-12);
+        assert_eq!(s.rate_between_gb_per_ms(5, 5), 0.0);
     }
 }

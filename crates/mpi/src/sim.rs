@@ -80,6 +80,9 @@ pub struct MpiSim {
     cfg: MpiConfig,
     apps: Vec<Option<AppState>>,
     meta: Vec<Option<MsgMeta>>,
+    /// Apps whose last rank finished since the last [`MpiSim::drain_finished`]
+    /// call (the churn loop reclaims their nodes).
+    newly_finished: Vec<AppId>,
 }
 
 impl Default for MpiSim {
@@ -91,7 +94,7 @@ impl Default for MpiSim {
 impl MpiSim {
     /// Build an empty engine.
     pub fn new(cfg: MpiConfig) -> Self {
-        Self { cfg, apps: Vec::new(), meta: Vec::new() }
+        Self { cfg, apps: Vec::new(), meta: Vec::new(), newly_finished: Vec::new() }
     }
 
     /// Register an application: `nodes[r]` is the node of world rank `r`,
@@ -128,13 +131,34 @@ impl MpiSim {
         rec: &mut Recorder,
     ) {
         for a in 0..self.apps.len() {
-            if self.apps[a].is_none() {
-                continue;
+            if self.apps[a].is_some() {
+                self.start_app(AppId(a as u16), sched, net, rec);
             }
-            let n = self.apps[a].as_ref().unwrap().ranks.len();
-            for r in 0..n as u32 {
-                self.advance(AppId(a as u16), r, sched, net, rec);
-            }
+        }
+    }
+
+    /// Start one registered application's ranks at the current simulation
+    /// time (mid-run spawn for churn scenarios; equivalent to [`MpiSim::start`]
+    /// for apps registered before t = 0).
+    pub fn start_app<S: WorldSched>(
+        &mut self,
+        app: AppId,
+        sched: &mut S,
+        net: &mut NetworkSim,
+        rec: &mut Recorder,
+    ) {
+        let n = self.apps[app.idx()].as_ref().expect("unknown app").ranks.len();
+        for r in 0..n as u32 {
+            self.advance(app, r, sched, net, rec);
+        }
+    }
+
+    /// Move the apps whose last rank finished since the previous call into
+    /// `out` (appending). The churn loop polls this after every event; the
+    /// vector is almost always empty, so the call is branch-cheap.
+    pub fn drain_finished(&mut self, out: &mut Vec<AppId>) {
+        if !self.newly_finished.is_empty() {
+            out.append(&mut self.newly_finished);
         }
     }
 
@@ -470,6 +494,7 @@ impl MpiSim {
         a.unfinished -= 1;
         if a.unfinished == 0 {
             a.finished_at = Some(t);
+            self.newly_finished.push(app);
         }
     }
 

@@ -133,6 +133,75 @@ proptest! {
         }
     }
 
+    /// Minimal hop counts form a metric-like structure: symmetric, zero
+    /// exactly on the diagonal, and bounded by the Dragonfly diameter 3.
+    #[test]
+    fn min_router_hops_symmetric_and_bounded(params in params(), seed in 0u64..1_000) {
+        let t = Topology::new(params).unwrap();
+        let n = t.num_routers() as u64;
+        let a = RouterId(((seed * 53) % n) as u32);
+        let b = RouterId(((seed * 59 + 11) % n) as u32);
+        let ab = t.min_router_hops(a, b);
+        let ba = t.min_router_hops(b, a);
+        prop_assert_eq!(ab, ba, "asymmetric hop metric {} vs {}", a.0, b.0);
+        prop_assert!(ab <= 3);
+        prop_assert_eq!(ab == 0, a == b, "zero hops iff same router");
+    }
+
+    /// Every walk, under every plan, terminates in a *connected* path: each
+    /// hop's far end is the next hop's router, the last hop ejects at the
+    /// destination terminal, and the minimal plan never revisits a router.
+    #[test]
+    fn walks_are_connected_and_terminate(params in params(), seed in 0u64..1_000) {
+        let t = Topology::new(params).unwrap();
+        let n = t.num_nodes() as u64;
+        let src = NodeId(((seed * 61) % n) as u32);
+        let dst = NodeId(((seed * 67 + 3) % n) as u32);
+        let via_g = GroupId(((seed * 71 + 1) % t.num_groups() as u64) as u32);
+        let via_r = RouterId(((seed * 73 + 2) % t.num_routers() as u64) as u32);
+        let plans = [
+            PathPlan::Minimal,
+            PathPlan::NonMinimalGroup { via: via_g },
+            PathPlan::NonMinimalRouter { via: via_r },
+        ];
+        for plan in plans {
+            let hops = walk(&t, src, dst, plan);
+            prop_assert!(!hops.is_empty());
+            prop_assert_eq!(hops[0].router, t.router_of_node(src));
+            for w in hops.windows(2) {
+                let Some(Endpoint::Router { router, .. }) = t.endpoint(w[0].router, w[0].port)
+                else {
+                    return Err(TestCaseError::fail("mid-path hop not router-to-router"));
+                };
+                prop_assert_eq!(router, w[1].router, "disconnected path under {:?}", plan);
+            }
+            let last = hops.last().unwrap();
+            prop_assert_eq!(last.router, t.router_of_node(dst));
+            prop_assert_eq!(t.endpoint(last.router, last.port), Some(Endpoint::Node(dst)));
+            if plan == PathPlan::Minimal {
+                let mut routers: Vec<u32> = hops.iter().map(|h| h.router.0).collect();
+                routers.sort_unstable();
+                routers.dedup();
+                prop_assert_eq!(routers.len(), hops.len(), "minimal path revisited a router");
+            }
+        }
+    }
+
+    /// Node/router/group id mappings agree with each other for every node.
+    #[test]
+    fn node_router_group_mappings_agree(params in params()) {
+        let t = Topology::new(params).unwrap();
+        for n in 0..t.num_nodes() {
+            let node = NodeId(n);
+            let r = t.router_of_node(node);
+            prop_assert_eq!(t.group_of_node(node), t.group_of_router(r));
+            // The terminal port walks back to the node.
+            let p = t.terminal_port(node);
+            prop_assert_eq!(t.endpoint(r, p), Some(Endpoint::Node(node)));
+            prop_assert_eq!(t.port_kind(p), LinkKind::Terminal);
+        }
+    }
+
     /// `min_next_port` always returns a connected port that makes progress
     /// (the walk from any router terminates).
     #[test]

@@ -4,8 +4,12 @@
 //! dfsim standalone <APP> [options]
 //! dfsim pairwise <TARGET> <BACKGROUND|none> [options]
 //! dfsim mixed [options]
+//! dfsim scenario <ARRIVALS|poisson> [options]   # churn: timed job stream
 //! dfsim apps                      # list workloads with Table I data
 //! dfsim topo [options]            # print topology facts
+//!
+//! `ARRIVALS` is a comma-separated list `APP:SIZE@TIME` (e.g.
+//! `UR:36@0,LU:16@0.5ms`); `poisson` synthesizes arrivals from the seed.
 //!
 //! options:
 //!   --routing <MIN|UGALg|UGALn|PAR|Q-adp>   (default UGALg)
@@ -15,6 +19,10 @@
 //!   --contiguous                            (placement; default random)
 //!   --queue <heap|calendar>                 (event-queue backend; default heap)
 //!   --csv                                   (machine-readable output)
+//! scenario options:
+//!   --sched <fcfs|backfill>                 (admission policy; default fcfs)
+//!   --rate <jobs/ms> --jobs <N>             (poisson generator; default 1, 8)
+//!   --apps <LIST> --sizes <LIST>            (poisson kinds/sizes cycles)
 //! ```
 
 use dragonfly_interference::prelude::*;
@@ -28,13 +36,19 @@ struct Opts {
     placement: Placement,
     queue: QueueBackend,
     csv: bool,
+    sched: SchedPolicy,
+    rate: f64,
+    jobs: u32,
+    apps: Vec<AppKind>,
+    sizes: Vec<u32>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dfsim <standalone APP | pairwise TARGET BG | mixed | apps | topo> \
-         [--routing R] [--scale S] [--seed N] [--groups g --routers a --nodes p --globals h] \
-         [--contiguous] [--queue heap|calendar] [--csv]"
+        "usage: dfsim <standalone APP | pairwise TARGET BG | mixed | scenario ARRIVALS | apps | \
+         topo> [--routing R] [--scale S] [--seed N] [--groups g --routers a --nodes p \
+         --globals h] [--contiguous] [--queue heap|calendar] [--sched fcfs|backfill] \
+         [--rate R --jobs N --apps LIST --sizes LIST] [--csv]"
     );
     std::process::exit(2)
 }
@@ -64,6 +78,11 @@ fn parse_opts(args: &[String]) -> Opts {
         placement: Placement::Random,
         queue: QueueBackend::default(),
         csv: false,
+        sched: SchedPolicy::default(),
+        rate: 1.0,
+        jobs: 8,
+        apps: vec![AppKind::UR, AppKind::CosmoFlow, AppKind::LU],
+        sizes: Vec::new(), // default derived from the topology below
     };
     let mut i = 0;
     let value = |i: &mut usize| -> String {
@@ -91,6 +110,21 @@ fn parse_opts(args: &[String]) -> Opts {
                     eprintln!("{e}");
                     std::process::exit(2)
                 })
+            }
+            "--sched" => {
+                o.sched = value(&mut i).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2)
+                })
+            }
+            "--rate" => o.rate = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--jobs" => o.jobs = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--apps" => o.apps = value(&mut i).split(',').map(|n| app_or_die(n.trim())).collect(),
+            "--sizes" => {
+                o.sizes = value(&mut i)
+                    .split(',')
+                    .map(|n| n.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect()
             }
             "--csv" => o.csv = true,
             other => {
@@ -169,6 +203,49 @@ fn print_report(report: &RunReport, csv: bool) {
     );
 }
 
+fn print_jobs(report: &RunReport, csv: bool) {
+    if report.jobs.is_empty() {
+        return;
+    }
+    let mut t = TextTable::new(vec![
+        "Job",
+        "App",
+        "nodes",
+        "arrive ms",
+        "start ms",
+        "finish ms",
+        "wait ms",
+        "slowdown",
+        "ok",
+    ]);
+    let opt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.4}"));
+    for j in &report.jobs {
+        t.row(vec![
+            j.job.to_string(),
+            j.name.clone(),
+            j.size.to_string(),
+            format!("{:.4}", j.arrival_ms),
+            opt(j.start_ms),
+            opt(j.finish_ms),
+            format!("{:.4}", j.wait_ms),
+            format!("{:.3}", j.slowdown),
+            if j.completed { "y".to_string() } else { "n".to_string() },
+        ]);
+    }
+    if csv {
+        print!("{}", t.to_csv());
+        return;
+    }
+    println!("{}", t.render());
+    println!(
+        "jobs: {}/{} completed | mean wait {:.4} ms | mean slowdown {:.3}",
+        report.completed_jobs().count(),
+        report.jobs.len(),
+        report.mean_wait_ms(),
+        report.mean_slowdown()
+    );
+}
+
 fn app_or_die(name: &str) -> AppKind {
     AppKind::from_name(name).unwrap_or_else(|| {
         eprintln!("unknown app '{name}' (try: dfsim apps)");
@@ -241,6 +318,37 @@ fn main() {
             let o = parse_opts(&args[1..]);
             let report = mixed(&study(&o));
             print_report(&report, o.csv);
+        }
+        "scenario" => {
+            let arg = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let o = parse_opts(&args[2..]);
+            let scenario = if arg.eq_ignore_ascii_case("poisson") {
+                if o.rate <= 0.0 || o.rate.is_nan() || o.jobs == 0 || o.apps.is_empty() {
+                    eprintln!("--rate must be positive, --jobs nonzero, --apps non-empty");
+                    std::process::exit(2);
+                }
+                let sizes = if o.sizes.is_empty() {
+                    vec![(o.params.num_nodes() / 4).max(2)]
+                } else {
+                    o.sizes.clone()
+                };
+                Scenario::poisson(o.seed, o.rate, o.jobs, &o.apps, &sizes)
+            } else {
+                Scenario::parse(arg).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2)
+                })
+            };
+            // Reject bad user input (oversized/zero-size jobs) with a clean
+            // message instead of run_scenario's internal panic.
+            if let Err(e) = scenario.validate(o.params.num_nodes()) {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+            let cfg = study(&o).sim();
+            let report = run_scenario(&cfg, &scenario, o.sched, o.placement);
+            print_report(&report, o.csv);
+            print_jobs(&report, o.csv);
         }
         _ => usage(),
     }

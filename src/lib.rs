@@ -43,12 +43,13 @@ pub use dfsim_topology as topology;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    pub use dfsim_apps::{AppInstance, AppKind};
+    pub use dfsim_apps::{AppInstance, AppKind, ArrivalSpec};
     pub use dfsim_core::experiments::{mixed, pairwise, standalone, StudyConfig};
     pub use dfsim_core::placement::Placement;
     pub use dfsim_core::runner::{run, run_placed, JobSpec};
+    pub use dfsim_core::scenario::{run_scenario, Scenario, SchedPolicy};
     pub use dfsim_core::tables::TextTable;
-    pub use dfsim_core::{AppReport, NetworkReport, RunReport, SimConfig};
+    pub use dfsim_core::{AppReport, JobReport, NetworkReport, RunReport, SimConfig};
     pub use dfsim_des::{QueueBackend, SimRng, Time, MICROSECOND, MILLISECOND, NANOSECOND};
     pub use dfsim_metrics::{AppId, LatencySummary, Recorder, RecorderConfig, Stats};
     pub use dfsim_network::{NetworkSim, QaParams, RoutingAlgo, RoutingConfig};
