@@ -1,18 +1,33 @@
-//! Event-queue ablation: binary heap vs calendar queue (DESIGN.md §7).
+//! Event-queue ablation: binary heap vs fixed vs self-tuning calendar
+//! queue (DESIGN.md §7).
 //!
-//! The workload mimics a network simulation's event mix: mostly
-//! short-horizon pushes (packet serialization, credits) with occasional
-//! long-horizon ones (compute wakeups).
+//! Three tiers, increasingly close to production:
+//!
+//! * **hold** — the classic pop-one/push-one steady-state model with the
+//!   network's event mix (short-horizon pushes plus ~2% far-horizon
+//!   compute wake-ups, the pattern that defeats a mistuned fixed calendar),
+//! * **world** — a full tiny-Dragonfly pairwise run with the world loop
+//!   monomorphized over each backend (`SimConfig::queue`),
+//! * **churn** — a Poisson job-arrival scenario (`run_scenario`): ns-scale
+//!   traffic plus ms-scale arrivals in one pending set.
+//!
+//! `DFSIM_BENCH_SMOKE=1` shrinks every tier to a few-second CI smoke run
+//! (the CI workflow uses it to catch queue regressions early).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dfsim_apps::AppKind;
 use dfsim_core::config::SimConfig;
 use dfsim_core::placement::Placement;
 use dfsim_core::runner::{run_placed, JobSpec};
+use dfsim_core::scenario::{run_scenario, Scenario, SchedPolicy};
 use dfsim_des::calendar::CalendarQueue;
 use dfsim_des::queue::{EventQueue, PendingEvents, QueueBackend};
 use dfsim_des::SimRng;
 use dfsim_network::RoutingAlgo;
+
+fn smoke() -> bool {
+    std::env::var("DFSIM_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
 
 fn churn<Q: PendingEvents<u64>>(q: &mut Q, n: u64, rng: &mut SimRng) -> u64 {
     let mut now = 0u64;
@@ -33,12 +48,44 @@ fn churn<Q: PendingEvents<u64>>(q: &mut Q, n: u64, rng: &mut SimRng) -> u64 {
     acc
 }
 
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_hold");
+    if smoke() {
+        group.sample_size(3);
+    }
+    let sizes: &[u64] = if smoke() { &[2_000] } else { &[10_000, 100_000] };
+    for &n in sizes {
+        group.bench_with_input(BenchmarkId::new("binary_heap", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let mut rng = SimRng::new(1);
+                black_box(churn(&mut q, n, &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("calendar", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = CalendarQueue::for_network();
+                let mut rng = SimRng::new(1);
+                black_box(churn(&mut q, n, &mut rng))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("calendar_auto", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = CalendarQueue::auto();
+                let mut rng = SimRng::new(1);
+                black_box(churn(&mut q, n, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The same ablation through the real hot path: a full tiny-Dragonfly
 /// pairwise run with the world loop monomorphized over each backend
 /// (`SimConfig::queue`), exactly what the fig/table binaries execute.
 fn bench_world_loop(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue_world");
-    group.sample_size(10);
+    group.sample_size(if smoke() { 2 } else { 10 });
     for backend in QueueBackend::ALL {
         group.bench_with_input(
             BenchmarkId::new("ur_halo3d_tiny72", backend),
@@ -60,26 +107,38 @@ fn bench_world_loop(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_queues(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue_hold");
-    for n in [10_000u64, 100_000] {
-        group.bench_with_input(BenchmarkId::new("binary_heap", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut q = EventQueue::new();
-                let mut rng = SimRng::new(1);
-                black_box(churn(&mut q, n, &mut rng))
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("calendar", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut q = CalendarQueue::for_network();
-                let mut rng = SimRng::new(1);
-                black_box(churn(&mut q, n, &mut rng))
-            })
-        });
+/// The churn-scenario-driven mix: Poisson arrivals over four workload kinds
+/// through `run_scenario` — ms-scale job events co-pending with ns-scale
+/// packet traffic, the widest time-scale spread the simulator produces.
+fn bench_churn_scenario(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue_churn");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    let jobs = if smoke() { 4 } else { 10 };
+    for backend in QueueBackend::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("poisson_tiny72", backend),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    let mut cfg = SimConfig::test_tiny(RoutingAlgo::UgalG).with_queue(backend);
+                    cfg.seed = 7;
+                    let scenario = Scenario::poisson(
+                        7,
+                        500.0,
+                        jobs,
+                        &[AppKind::UR, AppKind::CosmoFlow, AppKind::LU, AppKind::FFT3D],
+                        &[18, 36],
+                    );
+                    let report =
+                        run_scenario(&cfg, &scenario, SchedPolicy::Fcfs, Placement::Random);
+                    assert!(report.completed);
+                    black_box(report.events)
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_queues, bench_world_loop);
+criterion_group!(benches, bench_queues, bench_world_loop, bench_churn_scenario);
 criterion_main!(benches);

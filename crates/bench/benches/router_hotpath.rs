@@ -11,11 +11,11 @@ use dfsim_network::{NetworkSim, RoutingAlgo, RoutingConfig};
 use dfsim_topology::{DragonflyParams, LinkTiming, NodeId, Topology};
 
 fn run_fanin(algo: RoutingAlgo, messages: u32) -> u64 {
-    let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+    let topo = std::sync::Arc::new(Topology::new(DragonflyParams::tiny_72()).unwrap());
     let mut rec =
         Recorder::new(&topo, RecorderConfig { record_latencies: false, ..Default::default() });
     let mut net = NetworkSim::new(
-        topo.clone(),
+        std::sync::Arc::clone(&topo),
         LinkTiming::default(),
         RoutingConfig::new(algo),
         &SimRng::new(3),

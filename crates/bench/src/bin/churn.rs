@@ -23,7 +23,8 @@
 
 use dfsim_apps::AppKind;
 use dfsim_bench::{
-    csv_flag, die, parse_app_list, routings_from_env, study_from_env, threads_from_env,
+    csv_flag, die, engine_stats_flag, parse_app_list, print_engine_stats, routings_from_env,
+    study_from_env, threads_from_env,
 };
 use dfsim_core::experiments::StudyConfig;
 use dfsim_core::placement::Placement;
@@ -106,7 +107,7 @@ fn smoke() -> ! {
         Placement::Random,
     );
     let cal = run_scenario(
-        &cfg.with_queue(QueueBackend::Calendar),
+        &cfg.with_queue(QueueBackend::calendar_auto()),
         &scenario,
         SchedPolicy::Fcfs,
         Placement::Random,
@@ -123,6 +124,9 @@ fn smoke() -> ! {
     );
     if completed == 0 {
         die("churn smoke FAILED: no job completed");
+    }
+    if engine_stats_flag() {
+        print_engine_stats([("heap".to_string(), &heap), ("calendar:auto".to_string(), &cal)]);
     }
     let jobs_match = heap.jobs.iter().zip(&cal.jobs).all(|(h, c)| {
         h.wait_ms == c.wait_ms && h.slowdown == c.slowdown && h.finish_ms == c.finish_ms
@@ -233,6 +237,11 @@ fn main() {
         print!("{}", t.to_csv());
     } else {
         println!("{}", t.render());
+    }
+    if engine_stats_flag() {
+        print_engine_stats(results.iter().map(|(rate, routing, placement, rep)| {
+            (format!("rate{rate}/{}/{placement:?}", routing.label()), rep)
+        }));
     }
 
     // Per-routing interference matrix under churn (aggregated over rates

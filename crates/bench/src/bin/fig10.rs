@@ -10,7 +10,10 @@
 //! cargo run --release -p dfsim-bench --bin fig10
 //! ```
 
-use dfsim_bench::{csv_flag, routings_from_env, study_from_env, threads_from_env};
+use dfsim_bench::{
+    csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
+    threads_from_env,
+};
 use dfsim_core::experiments::{mixed, StudyConfig, MIXED_JOBS};
 use dfsim_core::runner::{run_placed, JobSpec};
 use dfsim_core::sweep::parallel_map;
@@ -93,5 +96,14 @@ fn main() {
             adaptive_mean,
             mean_delta(RoutingAlgo::QAdaptive).unwrap_or(f64::NAN),
         );
+    }
+    if engine_stats_flag() {
+        print_engine_stats(runs.iter().flat_map(|(r, alones, mix)| {
+            alones
+                .iter()
+                .map(|rep| (format!("{}/alone_{}", r.label(), rep.apps[0].name), rep))
+                .chain(std::iter::once((format!("{}/mixed", r.label()), mix)))
+                .collect::<Vec<_>>()
+        }));
     }
 }

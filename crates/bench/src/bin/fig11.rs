@@ -9,7 +9,9 @@
 //! cargo run --release -p dfsim-bench --bin fig11
 //! ```
 
-use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_bench::{
+    csv_flag, engine_stats_flag, print_engine_stats, study_from_env, threads_from_env,
+};
 use dfsim_core::experiments::{mixed, StudyConfig};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
@@ -71,4 +73,7 @@ fn main() {
     let (pg, ps) = hottest(&par.local_stall_ms);
     let (qg, qs) = hottest(&qa.local_stall_ms);
     println!("hottest group: PAR G{pg} ({ps:.4} ms) vs Q-adp G{qg} ({qs:.4} ms)");
+    if engine_stats_flag() {
+        print_engine_stats(runs.iter().map(|(r, rep)| (format!("{}/mixed", r.label()), rep)));
+    }
 }

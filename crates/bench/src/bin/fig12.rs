@@ -11,7 +11,9 @@
 //! cargo run --release -p dfsim-bench --bin fig12
 //! ```
 
-use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_bench::{
+    csv_flag, engine_stats_flag, print_engine_stats, study_from_env, threads_from_env,
+};
 use dfsim_core::experiments::{mixed, StudyConfig};
 use dfsim_core::sweep::parallel_map;
 use dfsim_network::RoutingAlgo;
@@ -70,4 +72,7 @@ fn main() {
         qa.std_global_congestion,
         if par.std_global_congestion > qa.std_global_congestion { "OK" } else { "MISMATCH" }
     );
+    if engine_stats_flag() {
+        print_engine_stats(runs.iter().map(|(r, rep)| (format!("{}/mixed", r.label()), rep)));
+    }
 }

@@ -9,7 +9,10 @@
 //! cargo run --release -p dfsim-bench --bin fig13
 //! ```
 
-use dfsim_bench::{csv_flag, routings_from_env, study_from_env, threads_from_env};
+use dfsim_bench::{
+    csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
+    threads_from_env,
+};
 use dfsim_core::experiments::{mixed, StudyConfig};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
@@ -84,5 +87,8 @@ fn main() {
             qa.network.system_latency_us.p99,
             100.0 * (1.0 - qa.network.system_latency_us.p99 / par.network.system_latency_us.p99),
         );
+    }
+    if engine_stats_flag() {
+        print_engine_stats(runs.iter().map(|(r, rep)| (format!("{}/mixed", r.label()), rep)));
     }
 }

@@ -13,7 +13,8 @@
 
 use dfsim_apps::AppKind;
 use dfsim_bench::{
-    csv_flag, die, parse_app_list, routings_from_env, study_from_env, threads_from_env,
+    csv_flag, die, engine_stats_flag, parse_app_list, routings_from_env, study_from_env,
+    threads_from_env,
 };
 use dfsim_core::experiments::{pairwise, StudyConfig, FIG4_BACKGROUNDS, FIG4_TARGETS};
 use dfsim_core::sweep::parallel_map;
@@ -45,11 +46,13 @@ fn main() {
             }
         }
     }
+    let engine_stats = engine_stats_flag();
     let results = parallel_map(cells, threads_from_env(), |(target, bg, routing)| {
         let cfg = StudyConfig { routing, ..study };
         let r = pairwise(target, bg, &cfg);
         let a = &r.apps[0];
-        (target, bg, routing, a.comm_ms.mean, a.comm_ms.std, r.completed)
+        let engine = engine_stats.then(|| r.engine_summary());
+        (target, bg, routing, a.comm_ms.mean, a.comm_ms.std, r.completed, engine)
     });
 
     let mut t = TextTable::new(vec![
@@ -63,12 +66,12 @@ fn main() {
     ]);
     // Index standalone baselines for the "vs none" column.
     let mut base = std::collections::HashMap::new();
-    for &(target, bg, routing, mean, _, _) in &results {
+    for &(target, bg, routing, mean, _, _, _) in &results {
         if bg.is_none() {
             base.insert((target, routing), mean);
         }
     }
-    for &(target, bg, routing, mean, std, ok) in &results {
+    for &(target, bg, routing, mean, std, ok, _) in &results {
         let baseline = base.get(&(target, routing)).copied().unwrap_or(f64::NAN);
         t.row(vec![
             target.name().to_string(),
@@ -89,5 +92,17 @@ fn main() {
              'vs none' factors; UR and LU near 1.0; LQCD/Stencil5D targets near-immune;\n\
              Q-adp should have the smallest interfered comm times and std."
         );
+    }
+    if engine_stats {
+        println!("\n== engine stats ==");
+        for (target, bg, routing, _, _, _, engine) in &results {
+            let bg = bg.map(|b| b.name()).unwrap_or("none");
+            println!(
+                "{}+{bg}/{}: {}",
+                target.name(),
+                routing.label(),
+                engine.as_deref().unwrap_or("")
+            );
+        }
     }
 }

@@ -10,7 +10,9 @@
 //! ```
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_bench::{
+    csv_flag, engine_stats_flag, print_engine_stats, study_from_env, threads_from_env,
+};
 use dfsim_core::experiments::{pairwise, StudyConfig};
 use dfsim_core::report::RunReport;
 use dfsim_core::sweep::parallel_map;
@@ -88,4 +90,13 @@ fn main() {
         "Q-adaptive / PAR interfered FFT3D throughput: {:.2}x (paper: 2.58x)",
         qa_fft / par_fft
     );
+    if engine_stats_flag() {
+        print_engine_stats(runs.iter().flat_map(|(r, a, b, both)| {
+            [
+                (format!("{}/FFT3D_alone", r.label()), a),
+                (format!("{}/Halo3D_alone", r.label()), b),
+                (format!("{}/FFT3D+Halo3D", r.label()), both),
+            ]
+        }));
+    }
 }

@@ -9,7 +9,9 @@
 //! ```
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_bench::{
+    csv_flag, engine_stats_flag, print_engine_stats, study_from_env, threads_from_env,
+};
 use dfsim_core::experiments::{pairwise, StudyConfig};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
@@ -74,4 +76,10 @@ fn main() {
         par.latency_us.p95 / qa.latency_us.p95,
         par.latency_us.p99 / qa.latency_us.p99,
     );
+    if engine_stats_flag() {
+        print_engine_stats(runs.iter().map(|(r, interfered, rep)| {
+            let tag = if *interfered { "interfered" } else { "alone" };
+            (format!("{}/{tag}", r.label()), rep)
+        }));
+    }
 }

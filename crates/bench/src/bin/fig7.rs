@@ -10,7 +10,9 @@
 //! ```
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_bench::{
+    csv_flag, engine_stats_flag, print_engine_stats, study_from_env, threads_from_env,
+};
 use dfsim_core::experiments::{pairwise, StudyConfig};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
@@ -81,4 +83,13 @@ fn main() {
         100.0 * (b.mean / a.mean - 1.0),
         100.0 * (b.p99 / a.p99 - 1.0),
     );
+    if engine_stats_flag() {
+        print_engine_stats(runs.iter().flat_map(|(r, a, b, both)| {
+            [
+                (format!("{}/LQCD_alone", r.label()), a),
+                (format!("{}/Stencil5D_alone", r.label()), b),
+                (format!("{}/LQCD+Stencil5D", r.label()), both),
+            ]
+        }));
+    }
 }

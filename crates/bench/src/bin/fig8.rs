@@ -9,7 +9,10 @@
 //! ```
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{csv_flag, routings_from_env, study_from_env, threads_from_env};
+use dfsim_bench::{
+    csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
+    threads_from_env,
+};
 use dfsim_core::experiments::{pairwise, StudyConfig};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
@@ -58,5 +61,14 @@ fn main() {
             100.0 * (par.3.apps[0].comm_ms.mean / par.1.apps[0].comm_ms.mean - 1.0),
             100.0 * (qa.3.apps[0].comm_ms.mean / qa.1.apps[0].comm_ms.mean - 1.0),
         );
+    }
+    if engine_stats_flag() {
+        print_engine_stats(runs.iter().flat_map(|(r, a, b, both)| {
+            [
+                (format!("{}/LQCD_alone", r.label()), a),
+                (format!("{}/Stencil5D_alone", r.label()), b),
+                (format!("{}/LQCD+Stencil5D", r.label()), both),
+            ]
+        }));
     }
 }

@@ -10,7 +10,9 @@
 //! ```
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
+use dfsim_bench::{
+    csv_flag, engine_stats_flag, print_engine_stats, study_from_env, threads_from_env,
+};
 use dfsim_core::experiments::{pairwise, StudyConfig};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
@@ -74,4 +76,13 @@ fn main() {
         "(paper: Halo3D costs CosmoFlow ~21.9% comm time under PAR but only 4.9% under\n\
          Q-adaptive; the interference is largely hidden by computation — §V-D)"
     );
+    if engine_stats_flag() {
+        print_engine_stats(runs.iter().flat_map(|(r, a, b, both)| {
+            [
+                (format!("{}/CosmoFlow_alone", r.label()), a),
+                (format!("{}/Halo3D_alone", r.label()), b),
+                (format!("{}/CosmoFlow+Halo3D", r.label()), both),
+            ]
+        }));
+    }
 }

@@ -13,7 +13,10 @@
 //! ```
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{csv_flag, routings_from_env, study_from_env, threads_from_env};
+use dfsim_bench::{
+    csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
+    threads_from_env,
+};
 use dfsim_core::experiments::{standalone, StudyConfig};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, human_bytes, TextTable};
@@ -65,5 +68,8 @@ fn main() {
              (Halo3D highest, CosmoFlow lowest);\npeak-ingress ordering within \
              the stencil family should be Halo3D < LQCD < Stencil5D."
         );
+    }
+    if engine_stats_flag() {
+        print_engine_stats(reports.iter().map(|(kind, rep)| (kind.name().to_string(), rep)));
     }
 }

@@ -6,7 +6,10 @@
 //! cargo run --release -p dfsim-bench --bin table2
 //! ```
 
-use dfsim_bench::{csv_flag, routings_from_env, study_from_env, threads_from_env};
+use dfsim_bench::{
+    csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
+    threads_from_env,
+};
 use dfsim_core::experiments::{StudyConfig, MIXED_JOBS};
 use dfsim_core::runner::{run_placed, JobSpec};
 use dfsim_core::sweep::parallel_map;
@@ -47,5 +50,8 @@ fn main() {
     } else {
         println!("{}", t.render());
         println!("Total nodes: {total} (the full 1,056-node system; paper Table II).");
+    }
+    if engine_stats_flag() {
+        print_engine_stats(reports.iter().map(|(kind, _, rep)| (kind.name().to_string(), rep)));
     }
 }

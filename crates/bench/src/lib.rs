@@ -85,6 +85,25 @@ pub fn csv_flag() -> bool {
     std::env::args().any(|a| a == "--csv")
 }
 
+/// Whether `--engine-stats` was passed (print the event-engine block after
+/// the regular tables).
+pub fn engine_stats_flag() -> bool {
+    std::env::args().any(|a| a == "--engine-stats")
+}
+
+/// Print the `--engine-stats` block: one line per labelled report with the
+/// engine's work counters (events processed, peak pending, resizes, wall
+/// events/sec). Callers gate on [`engine_stats_flag`].
+pub fn print_engine_stats<'a, I>(rows: I)
+where
+    I: IntoIterator<Item = (String, &'a dfsim_core::RunReport)>,
+{
+    println!("\n== engine stats ==");
+    for (label, r) in rows {
+        println!("{label}: {}", r.engine_summary());
+    }
+}
+
 /// Worker threads for sweeps (`THREADS`, default all cores).
 pub fn threads_from_env() -> usize {
     std::env::var("THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(0)

@@ -29,9 +29,11 @@ pub struct SimConfig {
     pub horizon: Option<Time>,
     /// Hard cap on processed events (runaway guard).
     pub max_events: u64,
-    /// Pending-event-set implementation driving the world loop. Both
-    /// backends produce identical reports for a given config; the knob
-    /// exists for the event-queue performance ablation.
+    /// Pending-event-set implementation driving the world loop, including
+    /// calendar tuning (`heap`, `calendar:auto`,
+    /// `calendar:width=..,buckets=..`). Every backend and tuning produces
+    /// identical reports for a given config; the knob exists for the
+    /// event-queue performance ablation.
     pub queue: QueueBackend,
 }
 

@@ -66,6 +66,59 @@ pub struct NetworkReport {
     pub total_delivered_gb: f64,
 }
 
+/// Event-engine statistics of one run: how hard the pending-event set
+/// worked. Unlike every other report field this is **not**
+/// backend-invariant — it describes the engine itself (the
+/// `backend_equivalence` suite deliberately excludes it).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Full backend form (`heap`, `calendar:auto`,
+    /// `calendar:width=..,buckets=..`).
+    pub backend: String,
+    /// Events pushed over the run (pops are [`RunReport::events`]).
+    pub events_scheduled: u64,
+    /// Largest pending-event-set size observed.
+    pub peak_pending: u64,
+    /// Calendar bucket-array rebuilds (0 on the heap / fixed tuning).
+    pub resizes: u64,
+    /// Empty calendar days skipped while hunting the next event.
+    pub bucket_scans: u64,
+    /// Full-year misses escaping via the sparse jump.
+    pub sparse_jumps: u64,
+    /// Final calendar bucket count (0 on the heap).
+    pub final_buckets: u64,
+    /// Final calendar bucket width, ps (0 on the heap).
+    pub final_width_ps: u64,
+    /// Host-side event throughput: events processed / wall seconds.
+    pub events_per_sec: f64,
+}
+
+impl EngineReport {
+    /// One-line human rendering (the `--engine-stats` block of the CLI and
+    /// the fig/table/churn binaries).
+    pub fn render(&self, events_processed: u64) -> String {
+        let mut s = format!(
+            "engine {}: {} events processed ({} scheduled), {:.2} M events/s wall, peak pending {}",
+            self.backend,
+            events_processed,
+            self.events_scheduled,
+            self.events_per_sec / 1e6,
+            self.peak_pending,
+        );
+        if self.backend != "heap" {
+            s.push_str(&format!(
+                ", {} resizes, {} bucket scans, {} sparse jumps, final {} buckets x {} ps",
+                self.resizes,
+                self.bucket_scans,
+                self.sparse_jumps,
+                self.final_buckets,
+                self.final_width_ps,
+            ));
+        }
+        s
+    }
+}
+
 /// Per-job scheduling outcome of a scenario (churn) run. Static runs leave
 /// the list empty: every job starts at t = 0 and the per-app data lives in
 /// [`AppReport`].
@@ -125,12 +178,19 @@ pub struct RunReport {
     pub jobs: Vec<JobReport>,
     /// Network-level results.
     pub network: NetworkReport,
+    /// Event-engine statistics (backend-dependent by design).
+    pub engine: EngineReport,
 }
 
 impl RunReport {
     /// The report of the app named `name`, if present.
     pub fn app(&self, name: &str) -> Option<&AppReport> {
         self.apps.iter().find(|a| a.name == name)
+    }
+
+    /// The `--engine-stats` block: engine statistics in one line.
+    pub fn engine_summary(&self) -> String {
+        self.engine.render(self.events)
     }
 
     /// Jobs that ran to completion (scenario runs).
@@ -209,8 +269,25 @@ mod tests {
                 mean_system_throughput: 0.0,
                 total_delivered_gb: 0.0,
             },
+            engine: EngineReport::default(),
         };
         assert!(r.app("FFT3D").is_some());
         assert!(r.app("LU").is_none());
+    }
+
+    #[test]
+    fn engine_render_hides_calendar_fields_on_heap() {
+        let heap =
+            EngineReport { backend: "heap".into(), events_per_sec: 2e6, ..Default::default() };
+        let s = heap.render(100);
+        assert!(s.contains("heap") && !s.contains("resizes"), "{s}");
+        let cal = EngineReport {
+            backend: "calendar:auto".into(),
+            resizes: 4,
+            final_buckets: 128,
+            ..Default::default()
+        };
+        let s = cal.render(100);
+        assert!(s.contains("4 resizes") && s.contains("128 buckets"), "{s}");
     }
 }

@@ -1,10 +1,11 @@
 //! Build–run–report: execute a job mix and produce a [`RunReport`].
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dfsim_apps::AppKind;
 use dfsim_des::queue::{PendingEvents, SimQueue};
-use dfsim_des::{CalendarQueue, EventQueue, QueueBackend, SimRng, Time, MICROSECOND, MILLISECOND};
+use dfsim_des::{CalendarQueue, EventQueue, QueueKind, SimRng, Time, MICROSECOND, MILLISECOND};
 use dfsim_metrics::{AppId, Recorder, Stats};
 use dfsim_mpi::sim::MpiConfig;
 use dfsim_mpi::MpiSim;
@@ -13,7 +14,7 @@ use dfsim_topology::{LinkKind, Port, RouterId, Topology};
 
 use crate::config::SimConfig;
 use crate::placement::{place, Placement};
-use crate::report::{AppReport, JobReport, NetworkReport, RunReport};
+use crate::report::{AppReport, EngineReport, JobReport, NetworkReport, RunReport};
 use crate::world::{StopReason, World, WorldEvent};
 
 // The runner-level entry points into dynamic scenarios; the types they
@@ -54,27 +55,30 @@ impl JobSpec {
 /// [`SimConfig::queue`]; both backends realize the same deterministic event
 /// order, so the report depends only on the rest of the config.
 pub fn run_placed(cfg: &SimConfig, jobs: &[JobSpec], policy: Placement) -> RunReport {
-    match cfg.queue {
-        QueueBackend::BinaryHeap => run_placed_on::<EventQueue<WorldEvent>>(cfg, jobs, policy),
-        QueueBackend::Calendar => run_placed_on::<CalendarQueue<WorldEvent>>(cfg, jobs, policy),
+    match cfg.queue.kind() {
+        QueueKind::Heap => run_placed_on::<EventQueue<WorldEvent>>(cfg, jobs, policy),
+        QueueKind::Calendar => run_placed_on::<CalendarQueue<WorldEvent>>(cfg, jobs, policy),
     }
 }
 
-/// [`run_placed`] on a concrete queue backend `Q`.
+/// [`run_placed`] on a concrete queue backend `Q` (tuned from
+/// [`SimConfig::queue`]).
 fn run_placed_on<Q: SimQueue<WorldEvent>>(
     cfg: &SimConfig,
     jobs: &[JobSpec],
     policy: Placement,
 ) -> RunReport {
-    debug_assert_eq!(Q::BACKEND, cfg.queue, "backend dispatch out of sync with config");
+    debug_assert_eq!(Q::KIND, cfg.queue.kind(), "backend dispatch out of sync with config");
     cfg.validate().expect("invalid simulation config");
-    let topo = Topology::new(cfg.params).expect("validated params");
+    // The topology is reference-counted: the network shares it with the
+    // report builder instead of deep-cloning the structure per run.
+    let topo = Arc::new(Topology::new(cfg.params).expect("validated params"));
     let sizes: Vec<u32> = jobs.iter().map(|j| j.size).collect();
     let partitions = place(&topo, policy, &sizes, cfg.seed);
 
     let rng = SimRng::new(cfg.seed);
     let rec = Recorder::new(&topo, cfg.recorder);
-    let net = NetworkSim::new(topo.clone(), cfg.timing, cfg.routing, &rng);
+    let net = NetworkSim::new(Arc::clone(&topo), cfg.timing, cfg.routing, &rng);
     let mut mpi = MpiSim::new(MpiConfig { eager_threshold: cfg.eager_threshold });
 
     let mut app_jobs: Vec<&JobSpec> = Vec::with_capacity(jobs.len());
@@ -88,7 +92,7 @@ fn run_placed_on<Q: SimQueue<WorldEvent>>(
         app_jobs.push(job);
     }
 
-    let mut world = World::<Q>::new(net, mpi, rec);
+    let mut world = World::<Q>::with_backend(net, mpi, rec, cfg.queue);
     let wall = Instant::now();
     let (stop, end_time) = world.run(cfg.horizon, cfg.max_events);
     let wall_s = wall.elapsed().as_secs_f64();
@@ -202,6 +206,19 @@ pub(crate) fn build_report<Q: PendingEvents<WorldEvent>>(
 
     let network = network_report(topo, rec, end_time, cfg);
 
+    let stats = world.queue.stats();
+    let engine = EngineReport {
+        backend: cfg.queue.describe(),
+        events_scheduled: stats.events_scheduled,
+        peak_pending: stats.peak_pending as u64,
+        resizes: stats.resizes,
+        bucket_scans: stats.bucket_scans,
+        sparse_jumps: stats.sparse_jumps,
+        final_buckets: stats.buckets as u64,
+        final_width_ps: stats.width_ps,
+        events_per_sec: if wall_s > 0.0 { stats.events_processed as f64 / wall_s } else { 0.0 },
+    };
+
     RunReport {
         routing: cfg.routing.algo.label().to_string(),
         queue: cfg.queue.label().to_string(),
@@ -215,6 +232,7 @@ pub(crate) fn build_report<Q: PendingEvents<WorldEvent>>(
         apps,
         jobs: job_reports,
         network,
+        engine,
     }
 }
 

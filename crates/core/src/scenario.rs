@@ -27,13 +27,14 @@
 //! them with the windowed metrics ([`dfsim_metrics::Span`]) into an
 //! interference matrix under churn.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dfsim_apps::arrivals::ArrivalSpec;
 use dfsim_apps::AppKind;
 use dfsim_des::queue::{PendingEvents, SimQueue};
 use dfsim_des::{
-    CalendarQueue, EventQueue, JobEvent, JobId, QueueBackend, Scheduler as EventScheduler, SimRng,
+    CalendarQueue, EventQueue, JobEvent, JobId, QueueKind, Scheduler as EventScheduler, SimRng,
     Time, MILLISECOND,
 };
 use dfsim_metrics::{AppId, Recorder};
@@ -443,11 +444,11 @@ pub fn run_scenario_with(
     sched: &mut dyn Scheduler,
     placement: Placement,
 ) -> RunReport {
-    match cfg.queue {
-        QueueBackend::BinaryHeap => {
+    match cfg.queue.kind() {
+        QueueKind::Heap => {
             run_scenario_on::<EventQueue<WorldEvent>>(cfg, scenario, sched, placement)
         }
-        QueueBackend::Calendar => {
+        QueueKind::Calendar => {
             run_scenario_on::<CalendarQueue<WorldEvent>>(cfg, scenario, sched, placement)
         }
     }
@@ -459,17 +460,17 @@ fn run_scenario_on<Q: SimQueue<WorldEvent>>(
     sched: &mut dyn Scheduler,
     placement: Placement,
 ) -> RunReport {
-    debug_assert_eq!(Q::BACKEND, cfg.queue, "backend dispatch out of sync with config");
+    debug_assert_eq!(Q::KIND, cfg.queue.kind(), "backend dispatch out of sync with config");
     cfg.validate().expect("invalid simulation config");
-    let topo = Topology::new(cfg.params).expect("validated params");
+    let topo = Arc::new(Topology::new(cfg.params).expect("validated params"));
     scenario.validate(topo.num_nodes()).expect("invalid scenario");
 
     let rng = SimRng::new(cfg.seed);
     let rec = Recorder::new(&topo, cfg.recorder);
-    let net = NetworkSim::new(topo.clone(), cfg.timing, cfg.routing, &rng);
+    let net = NetworkSim::new(Arc::clone(&topo), cfg.timing, cfg.routing, &rng);
     let mpi = MpiSim::new(MpiConfig { eager_threshold: cfg.eager_threshold });
 
-    let mut world = World::<Q>::new(net, mpi, rec);
+    let mut world = World::<Q>::with_backend(net, mpi, rec, cfg.queue);
     let mut table = JobTable::new(&topo, scenario, placement, cfg.seed);
     for (i, a) in scenario.arrivals.iter().enumerate() {
         EventScheduler::<JobEvent>::at(&mut world.queue, a.at, JobEvent::Spawn(JobId(i as u32)));

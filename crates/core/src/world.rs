@@ -9,7 +9,7 @@
 //! pins this).
 
 use dfsim_des::queue::{PendingEvents, SimQueue};
-use dfsim_des::{EventQueue, JobEvent, Scheduler, Time};
+use dfsim_des::{EngineStats, EventQueue, JobEvent, QueueBackend, Scheduler, Time};
 use dfsim_metrics::Recorder;
 use dfsim_mpi::{MpiEvent, MpiSim};
 use dfsim_network::{NetEffect, NetEvent, NetworkSim};
@@ -42,6 +42,12 @@ impl<Q: SimQueue<WorldEvent>> WorldQueue<Q> {
     pub fn new() -> Self {
         Self { inner: Q::for_simulation() }
     }
+
+    /// Empty queue under `backend`'s tuning (the backend's kind must match
+    /// `Q`; the runner dispatches on [`QueueBackend::kind`] first).
+    pub fn for_backend(backend: QueueBackend) -> Self {
+        Self { inner: Q::for_backend(backend) }
+    }
 }
 
 impl<Q: SimQueue<WorldEvent>> Default for WorldQueue<Q> {
@@ -64,6 +70,11 @@ impl<Q: PendingEvents<WorldEvent>> WorldQueue<Q> {
     /// Events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.inner.events_processed()
+    }
+
+    /// Engine statistics of the underlying pending-event set.
+    pub fn stats(&self) -> EngineStats {
+        self.inner.stats()
     }
 
     /// Pending events.
@@ -167,9 +178,19 @@ pub struct World<Q = DefaultBackend> {
 }
 
 impl<Q: SimQueue<WorldEvent>> World<Q> {
-    /// Assemble a world on this backend.
+    /// Assemble a world on this backend with its default tuning.
     pub fn new(net: NetworkSim, mpi: MpiSim, rec: Recorder) -> Self {
         Self { net, mpi, rec, queue: WorldQueue::new(), effects: Vec::new() }
+    }
+
+    /// Assemble a world on `backend`'s tuning (kind must match `Q`).
+    pub fn with_backend(
+        net: NetworkSim,
+        mpi: MpiSim,
+        rec: Recorder,
+        backend: QueueBackend,
+    ) -> Self {
+        Self { net, mpi, rec, queue: WorldQueue::for_backend(backend), effects: Vec::new() }
     }
 }
 
@@ -219,7 +240,7 @@ mod tests {
     use dfsim_topology::{DragonflyParams, LinkTiming, NodeId, Topology};
 
     fn mk_world() -> World {
-        let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+        let topo = std::sync::Arc::new(Topology::new(DragonflyParams::tiny_72()).unwrap());
         let rec = Recorder::new(&topo, RecorderConfig::default());
         let net = NetworkSim::new(
             topo,

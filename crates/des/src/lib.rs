@@ -31,7 +31,9 @@ pub mod time;
 
 pub use calendar::CalendarQueue;
 pub use job::{JobEvent, JobId};
-pub use queue::{EventQueue, PendingEvents, QueueBackend, SimQueue};
+pub use queue::{
+    CalendarTuning, EngineStats, EventQueue, PendingEvents, QueueBackend, QueueKind, SimQueue,
+};
 pub use rng::SimRng;
 pub use sched::Scheduler;
 pub use time::{Time, GIGABIT_PER_SEC, MICROSECOND, MILLISECOND, NANOSECOND, PICOSECOND, SECOND};

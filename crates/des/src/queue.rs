@@ -41,48 +41,233 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// Engine-level statistics of a pending-event set: how hard the queue
+/// worked over a run. Every backend reports the traffic counters; the
+/// calendar-specific fields (`resizes`, `bucket_scans`, `sparse_jumps`,
+/// `buckets`, `width_ps`) are zero on the binary heap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events popped so far.
+    pub events_processed: u64,
+    /// Events pushed so far.
+    pub events_scheduled: u64,
+    /// Events pending right now.
+    pub pending: usize,
+    /// Largest pending-set size ever observed.
+    pub peak_pending: usize,
+    /// Calendar bucket-array rebuilds (adaptive resizes + width retunes).
+    pub resizes: u64,
+    /// Empty calendar days skipped while looking for the next event.
+    pub bucket_scans: u64,
+    /// Full-year misses that jumped the calendar straight to the earliest
+    /// pending event (the sparse-workload escape hatch).
+    pub sparse_jumps: u64,
+    /// Current calendar bucket count (0 on the heap).
+    pub buckets: usize,
+    /// Current calendar bucket width, picoseconds (0 on the heap).
+    pub width_ps: Time,
+}
+
+/// Tuning of the calendar-queue backend. Each knob is either pinned to a
+/// value or left to the queue's self-tuning policy:
+///
+/// * `width: None` — the bucket width is re-estimated from sampled
+///   inter-event gaps (Brown's rule: ~3× the mean gap) whenever the bucket
+///   array is rebuilt.
+/// * `buckets: None` — the bucket count doubles when the load factor
+///   exceeds 2 and halves when it drops below ½ (with hysteresis), keeping
+///   pop scans O(1) amortized across load swings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CalendarTuning {
+    /// Fixed bucket width in picoseconds; `None` = auto (Brown's rule).
+    pub width: Option<Time>,
+    /// Fixed bucket count; `None` = auto (load-factor resizing).
+    pub buckets: Option<usize>,
+}
+
+impl CalendarTuning {
+    /// Fully self-tuning: width and bucket count both adapt.
+    pub const AUTO: CalendarTuning = CalendarTuning { width: None, buckets: None };
+
+    /// The legacy fixed configuration sized for the Dragonfly network
+    /// (16 384 buckets of ~20 ns — a ~0.3 ms horizon).
+    pub const FIXED_NETWORK: CalendarTuning =
+        CalendarTuning { width: Some(20_480), buckets: Some(16_384) };
+
+    /// Pin both knobs.
+    pub fn fixed(width: Time, buckets: usize) -> Self {
+        Self { width: Some(width), buckets: Some(buckets) }
+    }
+
+    /// Whether any knob is left to the self-tuning policy.
+    pub fn is_auto(&self) -> bool {
+        self.width.is_none() || self.buckets.is_none()
+    }
+
+    /// Compact suffix form (`auto`, `width=..`, `width=..,buckets=..`).
+    fn describe(&self) -> String {
+        match (self.width, self.buckets) {
+            (None, None) => "auto".to_string(),
+            (Some(w), None) => format!("width={w}"),
+            (None, Some(b)) => format!("buckets={b}"),
+            (Some(w), Some(b)) => format!("width={w},buckets={b}"),
+        }
+    }
+}
+
+/// Fieldless discriminant of [`QueueBackend`]: which *implementation* a
+/// backend value selects, ignoring tuning. Monomorphized code paths (the
+/// world loop) dispatch on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// [`EventQueue`] (binary heap).
+    Heap,
+    /// [`crate::calendar::CalendarQueue`].
+    Calendar,
+}
+
+impl QueueKind {
+    /// The default backend value of this kind.
+    pub fn default_backend(self) -> QueueBackend {
+        match self {
+            QueueKind::Heap => QueueBackend::BinaryHeap,
+            QueueKind::Calendar => QueueBackend::Calendar(CalendarTuning::AUTO),
+        }
+    }
+}
+
 /// Which pending-event set a simulation runs on.
 ///
 /// Threaded from `SimConfig` through the world loop so the event-queue
 /// ablation (`DESIGN.md` §7) exercises the real hot path, not a synthetic
-/// harness: both backends realize the identical deterministic total order,
-/// so reports are bit-for-bit equal across backends.
+/// harness: every backend (and every calendar tuning) realizes the identical
+/// deterministic total order, so reports are bit-for-bit equal across
+/// backends — the knob is purely about performance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum QueueBackend {
     /// `O(log n)` binary heap ([`EventQueue`]), the default.
     #[default]
     BinaryHeap,
-    /// `O(1)`-amortized calendar queue ([`crate::calendar::CalendarQueue`]).
-    Calendar,
+    /// `O(1)`-amortized calendar queue
+    /// ([`crate::calendar::CalendarQueue`]) under the given tuning.
+    Calendar(CalendarTuning),
 }
 
 impl QueueBackend {
-    /// Every selectable backend (ablation sweeps iterate this).
-    pub const ALL: [QueueBackend; 2] = [QueueBackend::BinaryHeap, QueueBackend::Calendar];
+    /// Every selectable backend (ablation sweeps iterate this): the heap,
+    /// the self-tuning calendar, and the legacy fixed calendar.
+    pub const ALL: [QueueBackend; 3] = [
+        QueueBackend::BinaryHeap,
+        QueueBackend::Calendar(CalendarTuning::AUTO),
+        QueueBackend::Calendar(CalendarTuning::FIXED_NETWORK),
+    ];
 
-    /// Short stable name (CLI flags, bench labels, report fields).
+    /// The self-tuning calendar backend.
+    pub fn calendar_auto() -> Self {
+        QueueBackend::Calendar(CalendarTuning::AUTO)
+    }
+
+    /// A fully pinned calendar backend.
+    pub fn calendar_fixed(width: Time, buckets: usize) -> Self {
+        QueueBackend::Calendar(CalendarTuning::fixed(width, buckets))
+    }
+
+    /// Short stable name (report fields, bench label prefixes): tuning is
+    /// *not* encoded — see [`QueueBackend::describe`] for the full form.
     pub fn label(&self) -> &'static str {
         match self {
             QueueBackend::BinaryHeap => "heap",
-            QueueBackend::Calendar => "calendar",
+            QueueBackend::Calendar(_) => "calendar",
+        }
+    }
+
+    /// The implementation this backend selects.
+    pub fn kind(&self) -> QueueKind {
+        match self {
+            QueueBackend::BinaryHeap => QueueKind::Heap,
+            QueueBackend::Calendar(_) => QueueKind::Calendar,
+        }
+    }
+
+    /// Full round-trippable form (`heap`, `calendar:auto`,
+    /// `calendar:width=20480,buckets=16384`, …); parses back via
+    /// [`std::str::FromStr`].
+    pub fn describe(&self) -> String {
+        match self {
+            QueueBackend::BinaryHeap => "heap".to_string(),
+            QueueBackend::Calendar(t) => format!("calendar:{}", t.describe()),
         }
     }
 }
 
 impl std::fmt::Display for QueueBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
+        f.write_str(&self.describe())
     }
 }
+
+/// The valid `--queue` spellings, kept in one place so every parse error
+/// lists them.
+const QUEUE_FORMS: &str =
+    "heap, calendar, calendar:auto, calendar:width=<ps>, calendar:buckets=<n>, \
+     calendar:width=<ps>,buckets=<n>";
 
 impl std::str::FromStr for QueueBackend {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
-            "heap" | "binary-heap" | "binary_heap" | "binaryheap" => Ok(QueueBackend::BinaryHeap),
-            "calendar" | "calendar-queue" | "calendar_queue" => Ok(QueueBackend::Calendar),
-            other => Err(format!("unknown queue backend '{other}' (heap, calendar)")),
+        let lower = s.to_ascii_lowercase();
+        let (head, opts) = match lower.split_once(':') {
+            Some((h, o)) => (h, Some(o)),
+            None => (lower.as_str(), None),
+        };
+        match head {
+            "heap" | "binary-heap" | "binary_heap" | "binaryheap" => {
+                if opts.is_some() {
+                    return Err(format!(
+                        "the heap backend takes no options in '{s}' (valid: {QUEUE_FORMS})"
+                    ));
+                }
+                Ok(QueueBackend::BinaryHeap)
+            }
+            "calendar" | "calendar-queue" | "calendar_queue" => {
+                let mut tuning = CalendarTuning::AUTO;
+                for opt in opts.unwrap_or("auto").split(',') {
+                    let opt = opt.trim();
+                    match opt.split_once('=') {
+                        None if opt == "auto" || opt.is_empty() => {}
+                        Some(("width", v)) => {
+                            let w: Time = v.parse().map_err(|_| {
+                                format!("invalid calendar width '{v}' in '{s}' (picoseconds ≥ 1)")
+                            })?;
+                            if w == 0 {
+                                return Err(format!(
+                                    "calendar width must be ≥ 1 ps in '{s}' (valid: {QUEUE_FORMS})"
+                                ));
+                            }
+                            tuning.width = Some(w);
+                        }
+                        Some(("buckets", v)) => {
+                            let b: usize = v.parse().map_err(|_| {
+                                format!("invalid calendar bucket count '{v}' in '{s}' (≥ 2)")
+                            })?;
+                            if b < 2 {
+                                return Err(format!(
+                                    "calendar needs ≥ 2 buckets in '{s}' (valid: {QUEUE_FORMS})"
+                                ));
+                            }
+                            tuning.buckets = Some(b);
+                        }
+                        _ => {
+                            return Err(format!(
+                                "unknown calendar option '{opt}' in '{s}' (valid: {QUEUE_FORMS})"
+                            ));
+                        }
+                    }
+                }
+                Ok(QueueBackend::Calendar(tuning))
+            }
+            _ => Err(format!("unknown queue backend '{s}' (valid: {QUEUE_FORMS})")),
         }
     }
 }
@@ -111,22 +296,32 @@ pub trait PendingEvents<E> {
     fn events_processed(&self) -> u64;
     /// Total events pushed so far (run statistics).
     fn events_scheduled(&self) -> u64;
+    /// Engine statistics (traffic counters plus backend internals).
+    fn stats(&self) -> EngineStats;
 }
 
-/// A pending-event set constructible with defaults tuned for the Dragonfly
-/// simulation — what a [`QueueBackend`] value resolves to at the type level.
+/// A pending-event set constructible from a [`QueueBackend`] value — what
+/// the config knob resolves to at the type level.
 pub trait SimQueue<E>: PendingEvents<E> + Sized {
-    /// The backend knob this implementation realizes.
-    const BACKEND: QueueBackend;
+    /// The implementation this type realizes.
+    const KIND: QueueKind;
+
+    /// Construct under `backend`'s tuning. Callers dispatch on
+    /// [`QueueBackend::kind`] first; a mismatched kind falls back to this
+    /// implementation's defaults (debug-asserted).
+    fn for_backend(backend: QueueBackend) -> Self;
 
     /// Construct with simulation-appropriate defaults.
-    fn for_simulation() -> Self;
+    fn for_simulation() -> Self {
+        Self::for_backend(Self::KIND.default_backend())
+    }
 }
 
 impl<E> SimQueue<E> for EventQueue<E> {
-    const BACKEND: QueueBackend = QueueBackend::BinaryHeap;
+    const KIND: QueueKind = QueueKind::Heap;
 
-    fn for_simulation() -> Self {
+    fn for_backend(backend: QueueBackend) -> Self {
+        debug_assert_eq!(backend.kind(), QueueKind::Heap, "backend dispatch mismatch");
         Self::new()
     }
 }
@@ -139,6 +334,7 @@ pub struct EventQueue<E> {
     now: Time,
     popped: u64,
     pushed: u64,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -150,12 +346,19 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue starting at time zero.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), next_seq: 0, now: 0, popped: 0, pushed: 0 }
+        Self { heap: BinaryHeap::new(), next_seq: 0, now: 0, popped: 0, pushed: 0, peak: 0 }
     }
 
     /// Create an empty queue with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { heap: BinaryHeap::with_capacity(cap), next_seq: 0, now: 0, popped: 0, pushed: 0 }
+        Self {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: 0,
+            popped: 0,
+            pushed: 0,
+            peak: 0,
+        }
     }
 
     /// The time of the most recently popped event (the simulation clock).
@@ -185,6 +388,9 @@ impl<E> PendingEvents<E> for EventQueue<E> {
         self.next_seq += 1;
         self.pushed += 1;
         self.heap.push(Scheduled { time, seq, event });
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
     }
 
     #[inline]
@@ -219,6 +425,16 @@ impl<E> PendingEvents<E> for EventQueue<E> {
     #[inline]
     fn events_scheduled(&self) -> u64 {
         self.pushed
+    }
+
+    fn stats(&self) -> EngineStats {
+        EngineStats {
+            events_processed: self.popped,
+            events_scheduled: self.pushed,
+            pending: self.heap.len(),
+            peak_pending: self.peak,
+            ..EngineStats::default()
+        }
     }
 }
 
@@ -288,5 +504,76 @@ mod tests {
         assert_eq!(q.pop(), Some((20, 20)));
         assert_eq!(q.pop(), Some((30, 30)));
         assert_eq!(q.pop(), Some((40, 40)));
+    }
+
+    #[test]
+    fn heap_stats_track_peak_and_traffic() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(i, i);
+        }
+        for _ in 0..7 {
+            q.pop();
+        }
+        let s = q.stats();
+        assert_eq!(s.events_scheduled, 10);
+        assert_eq!(s.events_processed, 7);
+        assert_eq!(s.pending, 3);
+        assert_eq!(s.peak_pending, 10);
+        assert_eq!(s.resizes, 0);
+        assert_eq!(s.buckets, 0);
+    }
+
+    #[test]
+    fn backend_labels_and_kinds() {
+        assert_eq!(QueueBackend::BinaryHeap.label(), "heap");
+        assert_eq!(QueueBackend::calendar_auto().label(), "calendar");
+        assert_eq!(QueueBackend::BinaryHeap.kind(), QueueKind::Heap);
+        assert_eq!(QueueBackend::calendar_fixed(10, 8).kind(), QueueKind::Calendar);
+        assert_eq!(QueueBackend::default(), QueueBackend::BinaryHeap);
+        assert_eq!(QueueBackend::ALL.len(), 3);
+    }
+
+    #[test]
+    fn backend_describe_round_trips() {
+        for b in [
+            QueueBackend::BinaryHeap,
+            QueueBackend::calendar_auto(),
+            QueueBackend::calendar_fixed(20_480, 16_384),
+            QueueBackend::Calendar(CalendarTuning { width: Some(512), buckets: None }),
+            QueueBackend::Calendar(CalendarTuning { width: None, buckets: Some(64) }),
+        ] {
+            let s = b.describe();
+            assert_eq!(s.parse::<QueueBackend>().unwrap(), b, "{s} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn backend_parses_legacy_and_tuned_forms() {
+        assert_eq!("heap".parse::<QueueBackend>().unwrap(), QueueBackend::BinaryHeap);
+        assert_eq!("Calendar".parse::<QueueBackend>().unwrap(), QueueBackend::calendar_auto());
+        assert_eq!(
+            "calendar:width=20480,buckets=16384".parse::<QueueBackend>().unwrap(),
+            QueueBackend::Calendar(CalendarTuning::FIXED_NETWORK)
+        );
+        assert_eq!(
+            "calendar:buckets=128".parse::<QueueBackend>().unwrap(),
+            QueueBackend::Calendar(CalendarTuning { width: None, buckets: Some(128) })
+        );
+    }
+
+    #[test]
+    fn backend_parse_errors_list_valid_forms() {
+        for bad in
+            ["warp", "calendar:width=0", "calendar:speed=9", "heap:width=3", "calendar:buckets=1"]
+        {
+            let err = bad.parse::<QueueBackend>().unwrap_err();
+            assert!(
+                err.contains("calendar:width=<ps>") || err.contains("picoseconds"),
+                "error for '{bad}' must list valid forms: {err}"
+            );
+        }
+        let err = "calendar:width=abc".parse::<QueueBackend>().unwrap_err();
+        assert!(err.contains("abc"), "{err}");
     }
 }

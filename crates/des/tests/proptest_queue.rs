@@ -1,8 +1,16 @@
-//! Property tests: both pending-event sets realize the same deterministic
-//! total order — sorted by time, FIFO within a timestamp.
+//! Property tests: every pending-event set realizes the same deterministic
+//! total order — sorted by time, FIFO within a timestamp — including the
+//! self-tuning calendar queue, whose bucket geometry rebuilds mid-workload.
+//!
+//! Beyond uniform command streams, the mixes mirror what the simulator
+//! actually produces: **bursty** same-timestamp fan-out (router arbitration
+//! storms), **far-horizon** compute wake-ups millions of picoseconds ahead
+//! of the packet traffic, and a **churn-derived** mix (dense ns-scale
+//! network events punctuated by ms-scale job arrivals) — the pattern that
+//! defeats a fixed-width calendar.
 
 use dfsim_des::calendar::CalendarQueue;
-use dfsim_des::queue::{EventQueue, PendingEvents};
+use dfsim_des::queue::{CalendarTuning, EventQueue, PendingEvents};
 use proptest::prelude::*;
 
 /// A workload: a sequence of push(delay)/pop commands.
@@ -16,6 +24,46 @@ fn cmds() -> impl Strategy<Value = Vec<Cmd>> {
     prop::collection::vec(
         prop_oneof![3 => (0u64..10_000).prop_map(Cmd::Push), 2 => Just(Cmd::Pop)],
         1..400,
+    )
+}
+
+/// Bursty mix: long runs of pushes at the *same* delay (ties exercise the
+/// FIFO tie-break across buckets), then pop bursts.
+fn bursty_cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    prop::collection::vec(
+        prop_oneof![
+            2 => (0u64..200, 1usize..40)
+                .prop_map(|(d, n)| std::iter::repeat_n(Cmd::Push(d), n).collect::<Vec<_>>()),
+            1 => (1usize..40).prop_map(|n| vec![Cmd::Pop; n]),
+        ],
+        1..40,
+    )
+    .prop_map(|chunks| chunks.into_iter().flatten().collect())
+}
+
+/// Far-horizon mix: mostly short delays with occasional pushes millions of
+/// ps ahead (compute wake-ups), the sparse-jump stressor.
+fn far_horizon_cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    prop::collection::vec(
+        prop_oneof![
+            6 => (0u64..40_000).prop_map(Cmd::Push),
+            1 => (1_000_000u64..50_000_000).prop_map(Cmd::Push),
+            4 => Just(Cmd::Pop),
+        ],
+        1..600,
+    )
+}
+
+/// Churn-derived mix: ns-scale traffic plus ms-scale arrivals — a ~1e9
+/// dynamic range in one pending set, as `run_scenario` produces.
+fn churn_cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => (0u64..20_000).prop_map(Cmd::Push),
+            1 => (100_000_000u64..2_000_000_000).prop_map(Cmd::Push),
+            6 => Just(Cmd::Pop),
+        ],
+        1..600,
     )
 }
 
@@ -59,11 +107,63 @@ proptest! {
         prop_assert_eq!(ids.len(), out.len(), "duplicate or lost events");
     }
 
-    /// The calendar queue produces exactly the heap's order on any workload.
+    /// The fixed calendar queue produces exactly the heap's order on any
+    /// workload and geometry.
     #[test]
     fn calendar_matches_heap(cmds in cmds(), width in 1u64..512, nbuckets in 2usize..64) {
         let mut heap = EventQueue::new();
         let mut cal = CalendarQueue::new(width, nbuckets);
+        let a = run(&mut heap, &cmds);
+        let b = run(&mut cal, &cmds);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The self-tuning calendar matches the heap on uniform workloads.
+    #[test]
+    fn auto_calendar_matches_heap(cmds in cmds()) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::auto();
+        let a = run(&mut heap, &cmds);
+        let b = run(&mut cal, &cmds);
+        prop_assert_eq!(a, b);
+    }
+
+    /// …and on bursty same-timestamp fan-out.
+    #[test]
+    fn auto_calendar_matches_heap_on_bursts(cmds in bursty_cmds()) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::auto();
+        let a = run(&mut heap, &cmds);
+        let b = run(&mut cal, &cmds);
+        prop_assert_eq!(a, b);
+    }
+
+    /// …and on far-horizon compute wake-ups (sparse-jump stressor).
+    #[test]
+    fn auto_calendar_matches_heap_on_far_horizon(cmds in far_horizon_cmds()) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::auto();
+        let a = run(&mut heap, &cmds);
+        let b = run(&mut cal, &cmds);
+        prop_assert_eq!(a, b);
+    }
+
+    /// …and on the churn-derived ns/ms mixed-scale stream, for every
+    /// partial tuning (each knob pinned or auto independently).
+    #[test]
+    fn tuned_calendars_match_heap_on_churn_mix(
+        cmds in churn_cmds(),
+        width in prop_oneof![1 => Just(0u64), 3 => 1u64..100_000],
+        buckets in prop_oneof![1 => Just(0usize), 3 => 2usize..256],
+    ) {
+        // 0 encodes "auto" for the knob (the stubbed proptest has no
+        // Option strategy).
+        let tuning = CalendarTuning {
+            width: (width > 0).then_some(width),
+            buckets: (buckets > 0).then_some(buckets),
+        };
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::with_tuning(tuning);
         let a = run(&mut heap, &cmds);
         let b = run(&mut cal, &cmds);
         prop_assert_eq!(a, b);
@@ -79,5 +179,22 @@ proptest! {
         for i in 0..n as u64 {
             prop_assert_eq!(q.pop(), Some((t, i)));
         }
+    }
+
+    /// Traffic counters and peak tracking agree across backends (stats are
+    /// workload properties, not backend properties — geometry aside).
+    #[test]
+    fn stats_counters_agree_across_backends(cmds in cmds()) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::auto();
+        let a = run(&mut heap, &cmds);
+        let b = run(&mut cal, &cmds);
+        prop_assert_eq!(a, b);
+        let (hs, cs) = (heap.stats(), cal.stats());
+        prop_assert_eq!(hs.events_scheduled, cs.events_scheduled);
+        prop_assert_eq!(hs.events_processed, cs.events_processed);
+        prop_assert_eq!(hs.peak_pending, cs.peak_pending);
+        prop_assert_eq!(hs.pending, 0);
+        prop_assert_eq!(cs.pending, 0);
     }
 }

@@ -7,6 +7,8 @@
 //! allocation-free after warm-up, so instrumentation does not distort the
 //! simulation hot loop.
 
+use std::sync::Arc;
+
 use dfsim_des::{Time, MILLISECOND};
 use dfsim_topology::{LinkKind, Port, RouterId, Topology};
 use serde::{Deserialize, Serialize};
@@ -99,24 +101,26 @@ impl AppRecord {
 #[derive(Debug)]
 pub struct Recorder {
     cfg: RecorderConfig,
-    topo: Topology,
+    topo: Arc<Topology>,
     apps: Vec<AppRecord>,
     ports: PortTable,
     congestion: CongestionMatrix,
 }
 
 impl Recorder {
-    /// Build a recorder for a topology.
-    pub fn new(topo: &Topology, cfg: RecorderConfig) -> Self {
+    /// Build a recorder for a topology. The topology is shared by
+    /// reference counting with the network and the runner — no per-run
+    /// deep copy of the wiring tables.
+    pub fn new(topo: &Arc<Topology>, cfg: RecorderConfig) -> Self {
         let radix = topo.radix() as usize;
         let routers = topo.num_routers() as usize;
         let kinds = {
-            let t = topo.clone();
+            let t = Arc::clone(topo);
             move |p: u8| t.port_kind(Port(p))
         };
         Self {
             cfg,
-            topo: topo.clone(),
+            topo: Arc::clone(topo),
             apps: Vec::new(),
             ports: PortTable::new(routers, radix, kinds),
             congestion: CongestionMatrix::new(
@@ -300,7 +304,7 @@ mod tests {
     use dfsim_topology::DragonflyParams;
 
     fn rec() -> Recorder {
-        let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+        let topo = Arc::new(Topology::new(DragonflyParams::tiny_72()).unwrap());
         Recorder::new(&topo, RecorderConfig::default())
     }
 
@@ -321,7 +325,7 @@ mod tests {
 
     #[test]
     fn latency_recording_can_be_disabled() {
-        let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+        let topo = Arc::new(Topology::new(DragonflyParams::tiny_72()).unwrap());
         let mut r =
             Recorder::new(&topo, RecorderConfig { record_latencies: false, ..Default::default() });
         r.packet_delivered(AppId(0), 0, 10, 512);
@@ -330,7 +334,7 @@ mod tests {
 
     #[test]
     fn forwards_feed_congestion_matrix() {
-        let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+        let topo = Arc::new(Topology::new(DragonflyParams::tiny_72()).unwrap());
         let mut r = Recorder::new(&topo, RecorderConfig::default());
         // Router 0, group 0. Port 2 is the first local port (p=2);
         // global ports start at 2 + 3 = 5.

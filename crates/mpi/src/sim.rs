@@ -316,19 +316,20 @@ impl MpiSim {
     /// Translate a program-level op onto the rank's micro-op stack.
     fn push_program_op(&mut self, app: AppId, rank: u32, op: MpiOp) {
         if let Some((comm, coll)) = Collective::from_op(&op) {
-            let a = self.app_mut(app);
-            let members = a
-                .comms
+            // Split-borrow the app so the member list stays a borrow (no
+            // per-collective clone of the communicator) while the rank
+            // state is mutated.
+            let AppState { comms, ranks, .. } = self.app_mut(app);
+            let members = comms
                 .get(comm.0 as usize)
-                .unwrap_or_else(|| panic!("unknown communicator {comm:?}"))
-                .clone();
+                .unwrap_or_else(|| panic!("unknown communicator {comm:?}"));
             let Some(me) = members.iter().position(|&m| m == rank) else {
                 return; // not a member: collective is a no-op for this rank
             };
-            let state = &mut a.ranks[rank as usize];
+            let state = &mut ranks[rank as usize];
             let seq = state.coll_seq[comm.0 as usize];
             state.coll_seq[comm.0 as usize] += 1;
-            let ops = expand(coll, comm, &members, me as u32, seq);
+            let ops = expand(coll, comm, members, me as u32, seq);
             state.stack.extend(ops.into_iter().rev());
             return;
         }
@@ -525,7 +526,13 @@ impl MpiSim {
         net: &mut NetworkSim,
         rec: &mut Recorder,
     ) {
-        let Some(meta) = self.meta.get_mut(msg.idx()).and_then(Option::take) else {
+        // The Delivered effect is a message's last act. Take the metadata
+        // first, then recycle the network slab slot, so any follow-up send
+        // below (CTS, rendezvous payload) may reuse the id without clashing
+        // with the entry being processed.
+        let meta = self.meta.get_mut(msg.idx()).and_then(Option::take);
+        net.release_message(msg);
+        let Some(meta) = meta else {
             return;
         };
         match meta {
@@ -632,7 +639,7 @@ mod tests {
 
     impl World {
         fn new() -> Self {
-            let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+            let topo = std::sync::Arc::new(Topology::new(DragonflyParams::tiny_72()).unwrap());
             let rec = Recorder::new(&topo, RecorderConfig::default());
             let net = NetworkSim::new(
                 topo,

@@ -38,10 +38,10 @@ impl Scheduler<MpiEvent> for WS<'_> {
 /// Run a per-rank op list through the full MPI + network stack; returns
 /// total wire bytes delivered.
 fn run_ops(n: u32, seed: u64, ops: Vec<Vec<MpiOp>>) -> u64 {
-    let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+    let topo = std::sync::Arc::new(Topology::new(DragonflyParams::tiny_72()).unwrap());
     let mut rec = Recorder::new(&topo, RecorderConfig::default());
     let mut net = NetworkSim::new(
-        topo.clone(),
+        std::sync::Arc::clone(&topo),
         LinkTiming::default(),
         RoutingConfig::new(RoutingAlgo::UgalG),
         &SimRng::new(seed),

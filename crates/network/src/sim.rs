@@ -5,6 +5,8 @@
 //! and surfaces transport-level effects (message injected / delivered) that
 //! the MPI layer consumes. See the crate docs for the router model.
 
+use std::sync::Arc;
+
 use dfsim_des::{Scheduler, Time};
 use dfsim_metrics::{AppId, Recorder};
 use dfsim_topology::{LinkKind, LinkTiming, NodeId, Port, RouterId, Topology};
@@ -29,23 +31,31 @@ enum Service {
     Empty,
 }
 
-/// Per-message delivery bookkeeping.
+/// Per-message delivery bookkeeping. Slots live in a slab indexed by
+/// [`MessageId`]; completed messages are released back to a free list (see
+/// [`NetworkSim::release_message`]) so long churn runs recycle ids instead
+/// of growing the arrays without bound.
 #[derive(Debug, Clone, Copy)]
 struct MsgInfo {
     expected: u32,
     received: u32,
+    /// Slab liveness guard (debug assertions against use-after-release).
+    live: bool,
 }
 
 /// The network simulation state: every router, every NIC, in-flight
 /// accounting and the routing configuration.
 #[derive(Debug)]
 pub struct NetworkSim {
-    topo: Topology,
+    topo: Arc<Topology>,
     timing: LinkTiming,
     cfg: RoutingConfig,
     routers: Vec<Router>,
     nics: Vec<Nic>,
+    /// Message slab (index = `MessageId`).
     msgs: Vec<MsgInfo>,
+    /// Released slab slots awaiting reuse (LIFO, deterministic).
+    free_msgs: Vec<u64>,
     next_packet_id: u64,
     in_flight: u64,
     flit_time: Time,
@@ -53,9 +63,11 @@ pub struct NetworkSim {
 
 impl NetworkSim {
     /// Build the network for `topo` under a routing configuration. `seed`
-    /// derives all per-router randomness.
+    /// derives all per-router randomness. The topology is shared by
+    /// reference counting — runners keep their own handle for reporting
+    /// without deep-cloning the structure per run.
     pub fn new(
-        topo: Topology,
+        topo: Arc<Topology>,
         timing: LinkTiming,
         cfg: RoutingConfig,
         rng: &dfsim_des::SimRng,
@@ -85,6 +97,7 @@ impl NetworkSim {
             routers,
             nics,
             msgs: Vec::new(),
+            free_msgs: Vec::new(),
             next_packet_id: 0,
             in_flight: 0,
             flit_time,
@@ -121,6 +134,25 @@ impl NetworkSim {
         &self.routers[id.idx()]
     }
 
+    /// Release a fully delivered message's slab slot for reuse. The MPI
+    /// layer calls this after consuming the `MessageDelivered` effect — the
+    /// last reference to the id — so churn runs recycle message slots
+    /// instead of growing the slab (and the MPI metadata table) forever.
+    /// Callers that never release (network-only tests) just keep the old
+    /// append-only behaviour.
+    pub fn release_message(&mut self, msg: MessageId) {
+        let info = &mut self.msgs[msg.idx()];
+        debug_assert!(info.live, "double release of {msg}");
+        debug_assert_eq!(info.received, info.expected, "releasing an undelivered {msg}");
+        info.live = false;
+        self.free_msgs.push(msg.0);
+    }
+
+    /// Message slots currently allocated (live messages; slab occupancy).
+    pub fn live_messages(&self) -> usize {
+        self.msgs.len() - self.free_msgs.len()
+    }
+
     /// Flit-rounded serialization time of a payload.
     #[inline]
     fn serialize_packet(&self, bytes: u32) -> Time {
@@ -152,9 +184,19 @@ impl NetworkSim {
         bytes: u64,
         app: AppId,
     ) -> MessageId {
-        let msg = MessageId(self.msgs.len() as u64);
         let expected = PacketSizes::count(bytes, self.timing.packet_bytes);
-        self.msgs.push(MsgInfo { expected, received: 0 });
+        let info = MsgInfo { expected, received: 0, live: true };
+        let msg = match self.free_msgs.pop() {
+            Some(i) => {
+                debug_assert!(!self.msgs[i as usize].live, "free list holds a live slot");
+                self.msgs[i as usize] = info;
+                MessageId(i)
+            }
+            None => {
+                self.msgs.push(info);
+                MessageId(self.msgs.len() as u64 - 1)
+            }
+        };
         if src == dst {
             // Loop-back: model a memcpy at link bandwidth plus base latency.
             let copy = self.timing.serialize(bytes.min(u32::MAX as u64) as u32)
@@ -299,6 +341,7 @@ impl NetworkSim {
                 );
                 self.in_flight -= 1;
                 let info = &mut self.msgs[packet.msg.idx()];
+                debug_assert!(info.live, "delivery into a released message slot");
                 info.received += 1;
                 debug_assert!(info.received <= info.expected, "over-delivery of {}", packet.msg);
                 if info.received == info.expected {
@@ -308,6 +351,7 @@ impl NetworkSim {
             NetEvent::LocalDeliver { msg } => {
                 let now = sched.now();
                 let info = &mut self.msgs[msg.idx()];
+                debug_assert!(info.live, "local delivery into a released message slot");
                 info.received = info.expected;
                 effects.push(NetEffect::MessageInjected { msg, at: now });
                 effects.push(NetEffect::MessageDelivered { msg, at: now });
@@ -524,7 +568,7 @@ mod tests {
 
     impl Harness {
         fn new(algo: RoutingAlgo) -> Self {
-            let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+            let topo = Arc::new(Topology::new(DragonflyParams::tiny_72()).unwrap());
             let rec = Recorder::new(&topo, RecorderConfig::default());
             let net = NetworkSim::new(
                 topo,
@@ -679,8 +723,8 @@ mod tests {
         assert!(h.net.is_idle());
         // The source routers' Q-tables should have moved off the static
         // estimates for group 8.
-        let topo = h.net.topology().clone();
-        let fresh = QTable::new(&topo, RouterId(0), &LinkTiming::default(), 0.1);
+        let topo = h.net.topology();
+        let fresh = QTable::new(topo, RouterId(0), &LinkTiming::default(), 0.1);
         let learned = h.net.router(RouterId(0)).qtable.as_ref().unwrap();
         let g8 = dfsim_topology::GroupId(8);
         let mut moved = false;
@@ -691,6 +735,25 @@ mod tests {
             }
         }
         assert!(moved, "Q-table never updated");
+    }
+
+    #[test]
+    fn message_slab_recycles_released_slots() {
+        let mut h = Harness::new(RoutingAlgo::Minimal);
+        let m1 = h.send(0, 40, 512);
+        let m2 = h.send(3, 50, 512);
+        h.run();
+        assert!(h.delivered(m1).is_some() && h.delivered(m2).is_some());
+        assert_eq!(h.net.live_messages(), 2);
+        h.net.release_message(m1);
+        assert_eq!(h.net.live_messages(), 1);
+        let m3 = h.send(5, 60, 512);
+        assert_eq!(m3, m1, "released slot must be recycled");
+        h.run();
+        assert!(h.delivered(m3).is_some());
+        h.net.release_message(m2);
+        h.net.release_message(m3);
+        assert_eq!(h.net.live_messages(), 0);
     }
 
     #[test]

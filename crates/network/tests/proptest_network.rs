@@ -32,10 +32,10 @@ proptest! {
         n_msgs in 1usize..60,
         max_bytes in 1u64..8_192,
     ) {
-        let topo = Topology::new(DragonflyParams::tiny_72()).unwrap();
+        let topo = std::sync::Arc::new(Topology::new(DragonflyParams::tiny_72()).unwrap());
         let mut rec = Recorder::new(&topo, RecorderConfig::default());
         let mut net = NetworkSim::new(
-            topo.clone(),
+            std::sync::Arc::clone(&topo),
             LinkTiming::default(),
             RoutingConfig::new(algo),
             &SimRng::new(seed),

@@ -15,12 +15,12 @@ use dragonfly_interference::prelude::*;
 use dragonfly_interference::topology::{GroupId, Port, RouterId};
 
 fn main() {
-    let topo = Topology::new(DragonflyParams::paper_1056()).unwrap();
+    let topo = std::sync::Arc::new(Topology::new(DragonflyParams::paper_1056()).unwrap());
     let timing = LinkTiming::default();
     let cfg = RoutingConfig::new(RoutingAlgo::QAdaptive);
     let rng = SimRng::new(7);
     let mut rec = Recorder::new(&topo, RecorderConfig::default());
-    let mut net = NetworkSim::new(topo.clone(), timing, cfg, &rng);
+    let mut net = NetworkSim::new(std::sync::Arc::clone(&topo), timing, cfg, &rng);
     let mut queue: EventQueue<NetEvent> = EventQueue::new();
 
     let fresh = QTable::new(&topo, RouterId(0), &timing, cfg.qa.alpha);

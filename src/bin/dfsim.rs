@@ -17,7 +17,9 @@
 //!   --seed <u64>                            (default 42)
 //!   --groups <g> --routers <a> --nodes <p> --globals <h>
 //!   --contiguous                            (placement; default random)
-//!   --queue <heap|calendar>                 (event-queue backend; default heap)
+//!   --queue <BACKEND>                       (heap | calendar | calendar:auto |
+//!                                            calendar:width=<ps>,buckets=<n>; default heap)
+//!   --engine-stats                          (print the event-engine block)
 //!   --csv                                   (machine-readable output)
 //! scenario options:
 //!   --sched <fcfs|backfill>                 (admission policy; default fcfs)
@@ -35,6 +37,7 @@ struct Opts {
     params: DragonflyParams,
     placement: Placement,
     queue: QueueBackend,
+    engine_stats: bool,
     csv: bool,
     sched: SchedPolicy,
     rate: f64,
@@ -47,8 +50,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: dfsim <standalone APP | pairwise TARGET BG | mixed | scenario ARRIVALS | apps | \
          topo> [--routing R] [--scale S] [--seed N] [--groups g --routers a --nodes p \
-         --globals h] [--contiguous] [--queue heap|calendar] [--sched fcfs|backfill] \
-         [--rate R --jobs N --apps LIST --sizes LIST] [--csv]"
+         --globals h] [--contiguous] [--queue heap|calendar[:width=PS,buckets=N]] \
+         [--engine-stats] [--sched fcfs|backfill] [--rate R --jobs N --apps LIST --sizes LIST] \
+         [--csv]"
     );
     std::process::exit(2)
 }
@@ -77,6 +81,7 @@ fn parse_opts(args: &[String]) -> Opts {
         params: DragonflyParams::paper_1056(),
         placement: Placement::Random,
         queue: QueueBackend::default(),
+        engine_stats: false,
         csv: false,
         sched: SchedPolicy::default(),
         rate: 1.0,
@@ -126,6 +131,7 @@ fn parse_opts(args: &[String]) -> Opts {
                     .map(|n| n.trim().parse().unwrap_or_else(|_| usage()))
                     .collect()
             }
+            "--engine-stats" => o.engine_stats = true,
             "--csv" => o.csv = true,
             other => {
                 eprintln!("unknown option '{other}'");
@@ -152,7 +158,8 @@ fn study(o: &Opts) -> StudyConfig {
     }
 }
 
-fn print_report(report: &RunReport, csv: bool) {
+fn print_report(report: &RunReport, o: &Opts) {
+    let csv = o.csv;
     let mut t = TextTable::new(vec![
         "App",
         "ranks",
@@ -181,6 +188,9 @@ fn print_report(report: &RunReport, csv: bool) {
     }
     if csv {
         print!("{}", t.to_csv());
+        if o.engine_stats {
+            println!("{}", report.engine_summary());
+        }
         return;
     }
     println!("{}", t.render());
@@ -201,6 +211,9 @@ fn print_report(report: &RunReport, csv: bool) {
         n.avg_local_stall_ms,
         n.std_global_congestion
     );
+    if o.engine_stats {
+        println!("{}", report.engine_summary());
+    }
 }
 
 fn print_jobs(report: &RunReport, csv: bool) {
@@ -303,7 +316,7 @@ fn main() {
             let app = app_or_die(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
             let o = parse_opts(&args[2..]);
             let report = standalone(app, &study(&o));
-            print_report(&report, o.csv);
+            print_report(&report, &o);
         }
         "pairwise" => {
             let target = app_or_die(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
@@ -312,12 +325,12 @@ fn main() {
                 if bg_arg.eq_ignore_ascii_case("none") { None } else { Some(app_or_die(bg_arg)) };
             let o = parse_opts(&args[3..]);
             let report = pairwise(target, bg, &study(&o));
-            print_report(&report, o.csv);
+            print_report(&report, &o);
         }
         "mixed" => {
             let o = parse_opts(&args[1..]);
             let report = mixed(&study(&o));
-            print_report(&report, o.csv);
+            print_report(&report, &o);
         }
         "scenario" => {
             let arg = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
@@ -347,7 +360,7 @@ fn main() {
             }
             let cfg = study(&o).sim();
             let report = run_scenario(&cfg, &scenario, o.sched, o.placement);
-            print_report(&report, o.csv);
+            print_report(&report, &o);
             print_jobs(&report, o.csv);
         }
         _ => usage(),

@@ -1,7 +1,10 @@
-//! The event-queue ablation's correctness contract: both backends realize
-//! the same deterministic `(time, seq)` total order, so a run's report
-//! must be *identical* under `QueueBackend::BinaryHeap` and
-//! `QueueBackend::Calendar` — the backend is a pure performance knob.
+//! The event-queue ablation's correctness contract: every backend — binary
+//! heap, fixed calendar, *and* the self-tuning calendar whose geometry
+//! rebuilds mid-run — realizes the same deterministic `(time, seq)` total
+//! order, so a run's report must be *identical* across all of them. The
+//! backend (and its tuning) is a pure performance knob. The only
+//! intentionally backend-dependent field is `RunReport::engine`, which
+//! describes the engine itself and is excluded here.
 
 use dragonfly_interference::prelude::*;
 
@@ -42,28 +45,67 @@ fn assert_equivalent(heap: &RunReport, cal: &RunReport) {
 }
 
 /// The paper's tiny pairwise experiment produces bit-identical reports on
-/// both backends (only the backend label differs).
+/// every backend and tuning (only the backend label/engine block differ).
 #[test]
 fn pairwise_tiny72_reports_identical_across_backends() {
     let heap = run_with(QueueBackend::BinaryHeap, RoutingAlgo::UgalG, 7);
-    let cal = run_with(QueueBackend::Calendar, RoutingAlgo::UgalG, 7);
     assert_eq!(heap.queue, "heap");
-    assert_eq!(cal.queue, "calendar");
-    assert_equivalent(&heap, &cal);
+    assert_eq!(heap.engine.backend, "heap");
+    for backend in [
+        QueueBackend::calendar_auto(),
+        QueueBackend::Calendar(CalendarTuning::FIXED_NETWORK),
+        // Partial tunings: each knob pinned alone.
+        QueueBackend::Calendar(CalendarTuning { width: Some(40_960), buckets: None }),
+        QueueBackend::Calendar(CalendarTuning { width: None, buckets: Some(512) }),
+    ] {
+        let cal = run_with(backend, RoutingAlgo::UgalG, 7);
+        assert_eq!(cal.queue, "calendar");
+        assert_eq!(cal.engine.backend, backend.describe());
+        assert_equivalent(&heap, &cal);
+    }
 }
 
 /// Equivalence is routing- and seed-independent (adaptive and RL routing
 /// consult congestion state whose evolution depends on event order, so any
-/// ordering divergence would surface here).
+/// ordering divergence would surface here) — including under the
+/// auto-tuned calendar, whose bucket array rebuilds mid-run.
 #[test]
 fn equivalence_holds_across_routings_and_seeds() {
     for (routing, seed) in
         [(RoutingAlgo::Minimal, 1), (RoutingAlgo::Par, 11), (RoutingAlgo::QAdaptive, 23)]
     {
         let heap = run_with(QueueBackend::BinaryHeap, routing, seed);
-        let cal = run_with(QueueBackend::Calendar, routing, seed);
-        assert_equivalent(&heap, &cal);
+        for backend in
+            [QueueBackend::calendar_auto(), QueueBackend::Calendar(CalendarTuning::FIXED_NETWORK)]
+        {
+            let cal = run_with(backend, routing, seed);
+            assert_equivalent(&heap, &cal);
+        }
     }
+}
+
+/// The engine block reports real work: identical event traffic across
+/// backends, a plausible peak, and (auto calendar only) live self-tuning.
+#[test]
+fn engine_stats_are_populated_and_consistent() {
+    let heap = run_with(QueueBackend::BinaryHeap, RoutingAlgo::UgalG, 7);
+    let auto = run_with(QueueBackend::calendar_auto(), RoutingAlgo::UgalG, 7);
+    assert_eq!(
+        heap.engine.events_scheduled, auto.engine.events_scheduled,
+        "scheduled-event traffic must be backend-invariant"
+    );
+    assert_eq!(
+        heap.engine.peak_pending, auto.engine.peak_pending,
+        "peak pending is a property of the workload, not the backend"
+    );
+    assert!(heap.engine.peak_pending > 0);
+    assert!(heap.engine.events_scheduled >= heap.events);
+    assert_eq!(heap.engine.final_buckets, 0, "heap reports no calendar geometry");
+    assert!(auto.engine.final_buckets > 0);
+    assert!(auto.engine.final_width_ps > 0);
+    assert!(auto.engine.resizes > 0, "the auto tuner should have resized at least once");
+    let line = auto.engine_summary();
+    assert!(line.contains("calendar:auto") && line.contains("resizes"), "{line}");
 }
 
 /// The `StudyConfig` path (what the fig/table binaries use) threads the

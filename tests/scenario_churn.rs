@@ -55,10 +55,17 @@ fn assert_identical(heap: &RunReport, cal: &RunReport) {
 #[test]
 fn churn_fcfs_reports_identical_across_backends() {
     let heap = run_churn(QueueBackend::BinaryHeap, SchedPolicy::Fcfs, Placement::Random);
-    let cal = run_churn(QueueBackend::Calendar, SchedPolicy::Fcfs, Placement::Random);
+    let cal = run_churn(QueueBackend::calendar_auto(), SchedPolicy::Fcfs, Placement::Random);
     assert_eq!(heap.queue, "heap");
     assert_eq!(cal.queue, "calendar");
     assert_identical(&heap, &cal);
+    // The fixed legacy tuning rides the same deterministic order too.
+    let fixed = run_churn(
+        QueueBackend::Calendar(CalendarTuning::FIXED_NETWORK),
+        SchedPolicy::Fcfs,
+        Placement::Random,
+    );
+    assert_identical(&heap, &fixed);
 
     // Churn actually happened: every job completed, at least one queued.
     assert_eq!(heap.completed_jobs().count(), 8);
@@ -75,7 +82,8 @@ fn churn_fcfs_reports_identical_across_backends() {
 #[test]
 fn churn_backfill_contiguous_identical_across_backends() {
     let heap = run_churn(QueueBackend::BinaryHeap, SchedPolicy::Backfill, Placement::Contiguous);
-    let cal = run_churn(QueueBackend::Calendar, SchedPolicy::Backfill, Placement::Contiguous);
+    let cal =
+        run_churn(QueueBackend::calendar_auto(), SchedPolicy::Backfill, Placement::Contiguous);
     assert_identical(&heap, &cal);
 }
 
