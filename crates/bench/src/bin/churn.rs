@@ -26,7 +26,6 @@ use dfsim_bench::{
     csv_flag, die, engine_stats_flag, parse_app_list, print_engine_stats, routings_from_env,
     study_from_env, threads_from_env,
 };
-use dfsim_core::experiments::StudyConfig;
 use dfsim_core::placement::Placement;
 use dfsim_core::scenario::{run_scenario, Scenario, SchedPolicy};
 use dfsim_core::sweep::parallel_map;
@@ -73,7 +72,10 @@ fn interference_matrix(reports: &[&RunReport], kinds: &[AppKind]) -> Vec<Vec<Opt
         let spans: Vec<Option<Span>> =
             r.jobs.iter().map(|j| job_span(j.start_ms, j.finish_ms)).collect();
         for (i, ji) in r.jobs.iter().enumerate() {
-            let (Some(row), Some(si), true) = (idx(&ji.name), spans[i], ji.completed) else {
+            // Incomplete jobs carry no slowdown (`None`) and are skipped
+            // instead of biasing the matrix with a placeholder 1.0.
+            let (Some(row), Some(si), Some(slowdown)) = (idx(&ji.name), spans[i], ji.slowdown)
+            else {
                 continue;
             };
             for (j2, jj) in r.jobs.iter().enumerate() {
@@ -83,7 +85,7 @@ fn interference_matrix(reports: &[&RunReport], kinds: &[AppKind]) -> Vec<Vec<Opt
                 let (Some(col), Some(sj)) = (idx(&jj.name), spans[j2]) else { continue };
                 let o = si.overlap_duration(&sj) as f64;
                 if o > 0.0 {
-                    acc[row][col] += ji.slowdown * o;
+                    acc[row][col] += slowdown * o;
                     weight[row][col] += o;
                 }
             }
@@ -101,7 +103,7 @@ fn smoke() -> ! {
     // smoke exercises queueing, not just spawn/teardown.
     let scenario = Scenario::poisson(7, 500.0, 6, &[AppKind::UR, AppKind::CosmoFlow], &[18, 36]);
     let heap = run_scenario(
-        &cfg.with_queue(QueueBackend::BinaryHeap),
+        &cfg.clone().with_queue(QueueBackend::BinaryHeap),
         &scenario,
         SchedPolicy::Fcfs,
         Placement::Random,
@@ -152,8 +154,9 @@ fn main() {
     if std::env::args().any(|a| a == "--smoke") {
         smoke();
     }
-    let study = study_from_env(256.0);
+    let mut study = study_from_env(256.0);
     let routings = routings_from_env();
+    dfsim_bench::apply_qtable_flags(&mut study, &routings);
     // Default rates chosen so inter-arrival gaps are comparable to the
     // scaled job durations (~0.03–0.2 ms at 1/256): the low rate drains,
     // the high one queues.
@@ -205,7 +208,7 @@ fn main() {
     }
     let kinds_for_runs = kinds.clone();
     let results = parallel_map(cells, threads_from_env(), move |(rate, routing, placement)| {
-        let cfg = StudyConfig { routing, ..study }.sim();
+        let cfg = dfsim_bench::cell_study(routing, &study).sim();
         let scenario = Scenario::poisson(study.seed, rate, jobs, &kinds_for_runs, &sizes);
         let report = run_scenario(&cfg, &scenario, sched, placement);
         (rate, routing, placement, report)

@@ -14,19 +14,20 @@ use dfsim_bench::{
     csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
     threads_from_env,
 };
-use dfsim_core::experiments::{mixed, StudyConfig, MIXED_JOBS};
+use dfsim_core::experiments::{mixed, MIXED_JOBS};
 use dfsim_core::runner::{run_placed, JobSpec};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
 use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let study = study_from_env(64.0);
+    let mut study = study_from_env(64.0);
     let routings = routings_from_env();
+    dfsim_bench::apply_qtable_flags(&mut study, &routings);
     eprintln!("# Fig 10 @ scale 1/{}", study.scale);
 
     let runs = parallel_map(routings.clone(), threads_from_env(), |routing| {
-        let cfg = StudyConfig { routing, ..study };
+        let cfg = dfsim_bench::cell_study(routing, &study);
         // Standalone runs at Table II sizes (same placement prefix as the
         // mix would give them is not required by the paper; "none" is the
         // app alone on the system).

@@ -12,17 +12,18 @@
 use dfsim_bench::{
     csv_flag, engine_stats_flag, print_engine_stats, study_from_env, threads_from_env,
 };
-use dfsim_core::experiments::{mixed, StudyConfig};
+use dfsim_core::experiments::mixed;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
 use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let study = study_from_env(64.0);
+    let mut study = study_from_env(64.0);
     eprintln!("# Fig 11 @ scale 1/{}", study.scale);
     let algos = [RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    dfsim_bench::apply_qtable_flags(&mut study, &algos);
     let runs = parallel_map(algos.to_vec(), threads_from_env(), |routing| {
-        let cfg = StudyConfig { routing, ..study };
+        let cfg = dfsim_bench::cell_study(routing, &study);
         (routing, mixed(&cfg))
     });
 

@@ -16,14 +16,15 @@ use dfsim_bench::{
     csv_flag, die, engine_stats_flag, parse_app_list, routings_from_env, study_from_env,
     threads_from_env,
 };
-use dfsim_core::experiments::{pairwise, StudyConfig, FIG4_BACKGROUNDS, FIG4_TARGETS};
+use dfsim_core::experiments::{pairwise, FIG4_BACKGROUNDS, FIG4_TARGETS};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
 use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let study = study_from_env(128.0);
+    let mut study = study_from_env(128.0);
     let routings = routings_from_env();
+    dfsim_bench::apply_qtable_flags(&mut study, &routings);
     let targets: Vec<AppKind> = match std::env::var("TARGETS") {
         Ok(s) => parse_app_list(&s).unwrap_or_else(|e| die(&e)),
         Err(_) => FIG4_TARGETS.to_vec(),
@@ -48,7 +49,7 @@ fn main() {
     }
     let engine_stats = engine_stats_flag();
     let results = parallel_map(cells, threads_from_env(), |(target, bg, routing)| {
-        let cfg = StudyConfig { routing, ..study };
+        let cfg = dfsim_bench::cell_study(routing, &study);
         let r = pairwise(target, bg, &cfg);
         let a = &r.apps[0];
         let engine = engine_stats.then(|| r.engine_summary());

@@ -13,7 +13,7 @@ use dfsim_apps::AppKind;
 use dfsim_bench::{
     csv_flag, engine_stats_flag, print_engine_stats, study_from_env, threads_from_env,
 };
-use dfsim_core::experiments::{pairwise, StudyConfig};
+use dfsim_core::experiments::pairwise;
 use dfsim_core::report::RunReport;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
@@ -29,11 +29,12 @@ fn mean_tp(r: &RunReport, app: usize) -> f64 {
 }
 
 fn main() {
-    let study = study_from_env(64.0);
+    let mut study = study_from_env(64.0);
     eprintln!("# Fig 5 @ scale 1/{}", study.scale);
     let algos = [RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    dfsim_bench::apply_qtable_flags(&mut study, &algos);
     let runs = parallel_map(algos.to_vec(), threads_from_env(), |routing| {
-        let cfg = StudyConfig { routing, ..study };
+        let cfg = dfsim_bench::cell_study(routing, &study);
         let fft_alone = pairwise(AppKind::FFT3D, None, &cfg);
         let halo_alone = pairwise(AppKind::Halo3D, None, &cfg);
         let both = pairwise(AppKind::FFT3D, Some(AppKind::Halo3D), &cfg);

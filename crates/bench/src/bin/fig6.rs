@@ -12,13 +12,14 @@ use dfsim_apps::AppKind;
 use dfsim_bench::{
     csv_flag, engine_stats_flag, print_engine_stats, study_from_env, threads_from_env,
 };
-use dfsim_core::experiments::{pairwise, StudyConfig};
+use dfsim_core::experiments::pairwise;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
 use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let study = study_from_env(64.0);
+    let mut study = study_from_env(64.0);
+    dfsim_bench::apply_qtable_flags(&mut study, &[RoutingAlgo::Par, RoutingAlgo::QAdaptive]);
     eprintln!("# Fig 6 @ scale 1/{}", study.scale);
     let cases: Vec<(RoutingAlgo, bool)> = vec![
         (RoutingAlgo::Par, false),
@@ -27,7 +28,7 @@ fn main() {
         (RoutingAlgo::QAdaptive, true),
     ];
     let runs = parallel_map(cases, threads_from_env(), |(routing, interfered)| {
-        let cfg = StudyConfig { routing, ..study };
+        let cfg = dfsim_bench::cell_study(routing, &study);
         let bg = interfered.then_some(AppKind::Halo3D);
         (routing, interfered, pairwise(AppKind::FFT3D, bg, &cfg))
     });

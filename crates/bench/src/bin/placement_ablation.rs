@@ -29,7 +29,7 @@ fn main() {
         (RoutingAlgo::QAdaptive, Placement::Contiguous),
     ];
     let runs = parallel_map(cases, threads_from_env(), |(routing, placement)| {
-        let cfg = StudyConfig { routing, placement, ..study };
+        let cfg = StudyConfig { routing, placement, ..study.clone() };
         let alone = pairwise(AppKind::FFT3D, None, &cfg);
         let pair = pairwise(AppKind::FFT3D, Some(AppKind::Halo3D), &cfg);
         (routing, placement, alone, pair)

@@ -11,7 +11,7 @@ use dfsim_core::tables::{f, human_bytes, TextTable};
 fn main() {
     let study = study_from_env(64.0);
     let routing = routings_from_env()[0];
-    let cfg = StudyConfig { routing, ..study };
+    let cfg = StudyConfig { routing, ..study.clone() };
     println!("probe @ scale 1/{}, routing {}", cfg.scale, routing);
 
     let reports = parallel_map(AppKind::ALL.to_vec(), threads_from_env(), |kind| {

@@ -31,7 +31,7 @@ fn main() {
         RoutingAlgo::QAdaptive,
     ];
     let runs = parallel_map(algos.to_vec(), threads_from_env(), |routing| {
-        let cfg = StudyConfig { routing, ..study };
+        let cfg = StudyConfig { routing, ..study.clone() };
         let solo = pairwise(target, None, &cfg);
         let pair = pairwise(target, bg, &cfg);
         (routing, solo, pair)

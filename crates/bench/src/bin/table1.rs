@@ -17,14 +17,15 @@ use dfsim_bench::{
     csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
     threads_from_env,
 };
-use dfsim_core::experiments::{standalone, StudyConfig};
+use dfsim_core::experiments::standalone;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, human_bytes, TextTable};
 
 fn main() {
-    let study = study_from_env(64.0);
+    let mut study = study_from_env(64.0);
     let routing = routings_from_env()[0];
-    let cfg = StudyConfig { routing, ..study };
+    dfsim_bench::apply_qtable_flags(&mut study, &[routing]);
+    let cfg = dfsim_bench::cell_study(routing, &study);
     eprintln!("# Table I @ scale 1/{}, routing {routing}, seed {}", cfg.scale, cfg.seed);
 
     let reports = parallel_map(AppKind::ALL.to_vec(), threads_from_env(), |kind| {

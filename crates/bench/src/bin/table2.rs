@@ -10,15 +10,16 @@ use dfsim_bench::{
     csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
     threads_from_env,
 };
-use dfsim_core::experiments::{StudyConfig, MIXED_JOBS};
+use dfsim_core::experiments::MIXED_JOBS;
 use dfsim_core::runner::{run_placed, JobSpec};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, human_bytes, TextTable};
 
 fn main() {
-    let study = study_from_env(64.0);
+    let mut study = study_from_env(64.0);
     let routing = routings_from_env()[0];
-    let cfg = StudyConfig { routing, ..study };
+    dfsim_bench::apply_qtable_flags(&mut study, &[routing]);
+    let cfg = dfsim_bench::cell_study(routing, &study);
     eprintln!("# Table II @ scale 1/{}, routing {routing}", cfg.scale);
 
     // Standalone run of each job at its mixed-workload size.

@@ -80,6 +80,62 @@ pub fn routings_from_env() -> Vec<RoutingAlgo> {
     try_routings_from_env().unwrap_or_else(|e| die(&e))
 }
 
+/// Apply the `--qtable` command-line flag to a sweep bin's study config.
+///
+/// * `--qtable load=PATH` warm-starts the sweep's *Q-adaptive* cells from
+///   the snapshot (other routings carry no Q-tables; see [`cell_study`]).
+///   If the effective routing set contains no Q-adp at all the flag would
+///   be a silent no-op, so it exits with a message instead.
+/// * `--qtable save=PATH` is rejected here: a sweep runs many cells in
+///   parallel and they would race on the file. Snapshots are written by
+///   the single-run front-ends (`dfsim --qtable save=` or the `transfer`
+///   bin), which this error points at.
+///
+/// Malformed flags exit listing the valid forms.
+pub fn apply_qtable_flags(study: &mut StudyConfig, routings: &[RoutingAlgo]) {
+    let mut args = std::env::args();
+    let mut seen = false;
+    while let Some(a) = args.next() {
+        if a != "--qtable" {
+            continue;
+        }
+        let v = args.next().unwrap_or_else(|| {
+            die("--qtable needs a value (valid forms: --qtable save=PATH, --qtable load=PATH)")
+        });
+        match v.split_once('=') {
+            Some(("save", p)) if !p.is_empty() => {
+                die("--qtable save= is not supported by sweep binaries (parallel cells would race \
+                 on the file); write snapshots with 'dfsim --qtable save=PATH' or the transfer \
+                 bin")
+            }
+            Some(("load", p)) if !p.is_empty() => {
+                study.qtable_init = dfsim_network::QTableInit::load(p)
+            }
+            _ => die(&format!(
+                "invalid --qtable '{v}' (valid forms: --qtable save=PATH, --qtable load=PATH)"
+            )),
+        }
+        seen = true;
+    }
+    if seen && !routings.contains(&RoutingAlgo::QAdaptive) {
+        die("--qtable load= would have no effect: the routing set contains no Q-adp (set \
+             ROUTING=Q-adp or include Q-adp)");
+    }
+}
+
+/// The per-cell study config of a sweep: `study` specialized to `routing`,
+/// with the Q-table lifecycle knobs attached only to Q-adaptive cells —
+/// the other algorithms carry no Q-tables, and `SimConfig::validate`
+/// rejects lifecycle knobs on them rather than ignoring them silently.
+pub fn cell_study(routing: RoutingAlgo, study: &StudyConfig) -> StudyConfig {
+    let mut cfg = StudyConfig { routing, ..study.clone() };
+    if routing != RoutingAlgo::QAdaptive {
+        cfg.qtable_init = dfsim_network::QTableInit::Cold;
+        cfg.qtable_save = None;
+    }
+    cfg
+}
+
 /// Whether `--csv` was passed.
 pub fn csv_flag() -> bool {
     std::env::args().any(|a| a == "--csv")

@@ -1,12 +1,18 @@
 //! Simulation configuration.
 
+use std::path::PathBuf;
+
 use dfsim_des::{QueueBackend, Time};
 use dfsim_metrics::RecorderConfig;
-use dfsim_network::{RoutingAlgo, RoutingConfig};
+use dfsim_network::{QTableInit, RoutingAlgo, RoutingConfig};
 use dfsim_topology::{DragonflyParams, LinkTiming};
 
 /// Everything needed to instantiate one simulation.
-#[derive(Debug, Clone, Copy)]
+///
+/// Not `Copy` since the Q-table lifecycle knobs carry paths
+/// ([`QTableInit::Load`], [`SimConfig::qtable_save`]); sweep code clones
+/// per cell.
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Structural topology parameters (default: the paper's 1,056-node
     /// system).
@@ -35,6 +41,9 @@ pub struct SimConfig {
     /// identical reports for a given config; the knob exists for the
     /// event-queue performance ablation.
     pub queue: QueueBackend,
+    /// After the run, write the learned Q-tables to this path (Q-adaptive
+    /// runs only; `validate` rejects it under any other routing).
+    pub qtable_save: Option<PathBuf>,
 }
 
 impl Default for SimConfig {
@@ -50,6 +59,7 @@ impl Default for SimConfig {
             horizon: None,
             max_events: 2_000_000_000,
             queue: QueueBackend::default(),
+            qtable_save: None,
         }
     }
 }
@@ -88,6 +98,24 @@ impl SimConfig {
         if self.max_events == 0 {
             return Err("max_events must be positive".into());
         }
+        if self.routing.algo != RoutingAlgo::QAdaptive {
+            // Never silently ignore a lifecycle knob: only Q-adaptive
+            // routers carry Q-tables to load or save.
+            if self.routing.qtable_init != QTableInit::Cold {
+                return Err(format!(
+                    "Q-table warm-start (--qtable load=..) requires Q-adaptive routing, \
+                     got {}",
+                    self.routing.algo
+                ));
+            }
+            if self.qtable_save.is_some() {
+                return Err(format!(
+                    "Q-table snapshot saving (--qtable save=..) requires Q-adaptive routing, \
+                     got {}",
+                    self.routing.algo
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -120,5 +148,22 @@ mod tests {
     #[test]
     fn tiny_config_validates() {
         SimConfig::test_tiny(RoutingAlgo::Par).validate().unwrap();
+    }
+
+    #[test]
+    fn qtable_lifecycle_knobs_require_qadaptive() {
+        let mut c = SimConfig::default(); // UGALg
+        c.routing.qtable_init = QTableInit::load("/tmp/q.snap");
+        let e = c.validate().unwrap_err();
+        assert!(e.contains("Q-adaptive"), "{e}");
+
+        let c = SimConfig { qtable_save: Some("/tmp/q.snap".into()), ..Default::default() };
+        let e = c.validate().unwrap_err();
+        assert!(e.contains("Q-adaptive"), "{e}");
+
+        let mut c = SimConfig::with_routing(RoutingAlgo::QAdaptive);
+        c.routing.qtable_init = QTableInit::load("/tmp/q.snap");
+        c.qtable_save = Some("/tmp/q.snap".into());
+        c.validate().unwrap();
     }
 }

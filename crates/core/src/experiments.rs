@@ -10,9 +10,11 @@
 //! * **Mixed** (§VI, Table II, Figs 10–13): six apps of different patterns
 //!   filling all 1,056 nodes (140 + 138 + 140 + 139 + 256 + 243 = 1,056).
 
+use std::path::PathBuf;
+
 use dfsim_apps::AppKind;
 use dfsim_des::QueueBackend;
-use dfsim_network::{RoutingAlgo, RoutingConfig};
+use dfsim_network::{QTableInit, RoutingAlgo, RoutingConfig};
 
 use crate::config::SimConfig;
 use crate::placement::Placement;
@@ -20,7 +22,10 @@ use crate::report::RunReport;
 use crate::runner::{run_placed, JobSpec};
 
 /// Knobs shared by a whole experiment campaign.
-#[derive(Debug, Clone, Copy)]
+///
+/// Not `Copy` (the Q-table lifecycle knobs carry paths); sweep closures
+/// clone per cell: `StudyConfig { routing, ..study.clone() }`.
+#[derive(Debug, Clone)]
 pub struct StudyConfig {
     /// Routing algorithm under test.
     pub routing: RoutingAlgo,
@@ -35,6 +40,12 @@ pub struct StudyConfig {
     /// Event-queue backend of the world loop (report-invariant; a
     /// performance knob for the ablation).
     pub queue: QueueBackend,
+    /// Q-table initialization: cold (paper) or warm-start from a snapshot
+    /// (`--qtable load=PATH`; Q-adaptive runs only).
+    pub qtable_init: QTableInit,
+    /// Write the learned Q-tables here after the run (`--qtable save=PATH`;
+    /// Q-adaptive runs only).
+    pub qtable_save: Option<PathBuf>,
 }
 
 impl Default for StudyConfig {
@@ -46,6 +57,8 @@ impl Default for StudyConfig {
             placement: Placement::Random,
             params: dfsim_topology::DragonflyParams::paper_1056(),
             queue: QueueBackend::default(),
+            qtable_init: QTableInit::Cold,
+            qtable_save: None,
         }
     }
 }
@@ -54,11 +67,12 @@ impl StudyConfig {
     /// The full simulation config this study implies.
     pub fn sim(&self) -> SimConfig {
         SimConfig {
-            routing: RoutingConfig::new(self.routing),
+            routing: RoutingConfig::new(self.routing).with_qtable_init(self.qtable_init.clone()),
             scale: self.scale,
             seed: self.seed,
             params: self.params,
             queue: self.queue,
+            qtable_save: self.qtable_save.clone(),
             ..Default::default()
         }
     }

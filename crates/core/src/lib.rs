@@ -42,7 +42,7 @@ pub mod tables;
 pub mod world;
 
 pub use config::SimConfig;
-pub use report::{AppReport, EngineReport, JobReport, NetworkReport, RunReport};
+pub use report::{AppReport, EngineReport, JobReport, LearningReport, NetworkReport, RunReport};
 pub use runner::{run, JobSpec};
 pub use scenario::{run_scenario, Scenario, SchedPolicy};
 pub use world::{World, WorldEvent, WorldQueue};

@@ -119,6 +119,50 @@ impl EngineReport {
     }
 }
 
+/// Q-adaptive convergence telemetry of one run: per-window mean `|ΔQ1|`
+/// over all level-1 Q-table updates. Present only on Q-adaptive runs.
+/// Large early values mean the tables are still learning the traffic; a
+/// warm-started run should begin near its steady-state floor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LearningReport {
+    /// Q-table initialization (`cold` or `warm`).
+    pub init: String,
+    /// Total level-1 updates over the run.
+    pub updates: u64,
+    /// Mean `|ΔQ1|` over the whole run, nanoseconds.
+    pub mean_abs_dq1_ns: f64,
+    /// Per-window series `(window start ms, mean |ΔQ1| ns)`; empty windows
+    /// are skipped.
+    pub series: Vec<(f64, f64)>,
+}
+
+impl LearningReport {
+    /// Mean of the per-window means over the first `k` populated windows —
+    /// the early-convergence number the `transfer` bin compares between
+    /// warm and cold starts (0 when there are no windows).
+    pub fn early_mean_ns(&self, k: usize) -> f64 {
+        let take = self.series.iter().take(k.max(1));
+        let (sum, n) = take.fold((0.0, 0usize), |(s, n), &(_, m)| (s + m, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Same over the last `k` populated windows (the steady-state floor).
+    pub fn late_mean_ns(&self, k: usize) -> f64 {
+        let skip = self.series.len().saturating_sub(k.max(1));
+        let (sum, n) =
+            self.series.iter().skip(skip).fold((0.0, 0usize), |(s, n), &(_, m)| (s + m, n + 1));
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
 /// Per-job scheduling outcome of a scenario (churn) run. Static runs leave
 /// the list empty: every job starts at t = 0 and the per-app data lives in
 /// [`AppReport`].
@@ -143,8 +187,11 @@ pub struct JobReport {
     pub run_ms: f64,
     /// Response time: finish − arrival, ms.
     pub response_ms: f64,
-    /// Slowdown: response / service (1.0 for a job admitted instantly).
-    pub slowdown: f64,
+    /// Slowdown: response / service (1.0 for a job admitted instantly);
+    /// `None` for jobs that never completed — averaging a placeholder 1.0
+    /// into interference statistics would bias them towards "no
+    /// interference".
+    pub slowdown: Option<f64>,
     /// Whether every rank of the job finished.
     pub completed: bool,
 }
@@ -180,6 +227,8 @@ pub struct RunReport {
     pub network: NetworkReport,
     /// Event-engine statistics (backend-dependent by design).
     pub engine: EngineReport,
+    /// Q-adaptive convergence telemetry (`None` for other routings).
+    pub learning: Option<LearningReport>,
 }
 
 impl RunReport {
@@ -208,11 +257,12 @@ impl RunReport {
         sum / n as f64
     }
 
-    /// Mean slowdown over completed jobs (NaN if none completed).
+    /// Mean slowdown over completed jobs (NaN if none completed);
+    /// incomplete jobs carry no slowdown and are excluded.
     pub fn mean_slowdown(&self) -> f64 {
         let (mut sum, mut n) = (0.0, 0u32);
-        for j in self.completed_jobs() {
-            sum += j.slowdown;
+        for s in self.jobs.iter().filter_map(|j| j.slowdown) {
+            sum += s;
             n += 1;
         }
         sum / n as f64
@@ -270,9 +320,32 @@ mod tests {
                 total_delivered_gb: 0.0,
             },
             engine: EngineReport::default(),
+            learning: None,
         };
         assert!(r.app("FFT3D").is_some());
         assert!(r.app("LU").is_none());
+    }
+
+    #[test]
+    fn learning_window_means() {
+        let l = LearningReport {
+            init: "cold".into(),
+            updates: 6,
+            mean_abs_dq1_ns: 3.0,
+            series: vec![(0.0, 8.0), (0.1, 4.0), (0.2, 2.0), (0.3, 1.0)],
+        };
+        assert!((l.early_mean_ns(2) - 6.0).abs() < 1e-12);
+        assert!((l.late_mean_ns(2) - 1.5).abs() < 1e-12);
+        // k larger than the series: everything, once.
+        assert!((l.early_mean_ns(10) - 3.75).abs() < 1e-12);
+        let empty = LearningReport {
+            init: "warm".into(),
+            updates: 0,
+            mean_abs_dq1_ns: 0.0,
+            series: vec![],
+        };
+        assert_eq!(empty.early_mean_ns(3), 0.0);
+        assert_eq!(empty.late_mean_ns(3), 0.0);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use dfsim_topology::{LinkKind, Port, RouterId, Topology};
 
 use crate::config::SimConfig;
 use crate::placement::{place, Placement};
-use crate::report::{AppReport, EngineReport, JobReport, NetworkReport, RunReport};
+use crate::report::{AppReport, EngineReport, JobReport, LearningReport, NetworkReport, RunReport};
 use crate::world::{StopReason, World, WorldEvent};
 
 // The runner-level entry points into dynamic scenarios; the types they
@@ -78,7 +78,7 @@ fn run_placed_on<Q: SimQueue<WorldEvent>>(
 
     let rng = SimRng::new(cfg.seed);
     let rec = Recorder::new(&topo, cfg.recorder);
-    let net = NetworkSim::new(Arc::clone(&topo), cfg.timing, cfg.routing, &rng);
+    let net = NetworkSim::new(Arc::clone(&topo), cfg.timing, cfg.routing.clone(), &rng);
     let mut mpi = MpiSim::new(MpiConfig { eager_threshold: cfg.eager_threshold });
 
     let mut app_jobs: Vec<&JobSpec> = Vec::with_capacity(jobs.len());
@@ -96,9 +96,18 @@ fn run_placed_on<Q: SimQueue<WorldEvent>>(
     let wall = Instant::now();
     let (stop, end_time) = world.run(cfg.horizon, cfg.max_events);
     let wall_s = wall.elapsed().as_secs_f64();
+    save_qtables(cfg, &world.net);
 
     let starts = vec![0; app_jobs.len()]; // static runs: everything starts at t = 0
     build_report(cfg, &app_jobs, &topo, &world, stop, end_time, wall_s, &starts, Vec::new())
+}
+
+/// Write the learned Q-tables if [`SimConfig::qtable_save`] is set
+/// (`validate` already pinned the routing to Q-adaptive).
+pub(crate) fn save_qtables(cfg: &SimConfig, net: &NetworkSim) {
+    let Some(path) = &cfg.qtable_save else { return };
+    let snap = net.qtable_snapshot().expect("qtable_save validated to require Q-adaptive routing");
+    snap.save(path).unwrap_or_else(|e| panic!("{e}"));
 }
 
 /// Run with the paper's random placement.
@@ -206,6 +215,20 @@ pub(crate) fn build_report<Q: PendingEvents<WorldEvent>>(
 
     let network = network_report(topo, rec, end_time, cfg);
 
+    let learning = (!rec.learning().is_empty()).then(|| {
+        let trace = rec.learning();
+        LearningReport {
+            init: cfg.routing.qtable_init.label().to_string(),
+            updates: trace.updates(),
+            mean_abs_dq1_ns: trace.mean_abs() / 1e3,
+            series: trace
+                .series()
+                .into_iter()
+                .map(|(t, m)| (t as f64 / MILLISECOND as f64, m / 1e3))
+                .collect(),
+        }
+    });
+
     let stats = world.queue.stats();
     let engine = EngineReport {
         backend: cfg.queue.describe(),
@@ -233,6 +256,7 @@ pub(crate) fn build_report<Q: PendingEvents<WorldEvent>>(
         jobs: job_reports,
         network,
         engine,
+        learning,
     }
 }
 

@@ -6,10 +6,17 @@
 //! thread scheduling.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Map `f` over `items` on up to `threads` worker threads (0 = all
 /// available cores), returning results in input order.
+///
+/// A panic inside `f` is re-raised on the calling thread with its
+/// *original* payload (`std::panic::resume_unwind`), so a failed sweep
+/// shows the real assertion message instead of a generic "worker
+/// panicked". When several workers panic, the first captured payload wins
+/// and the remaining workers stop picking up new items.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -33,22 +40,39 @@ where
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
+    let payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
+                if panicked.load(Ordering::Relaxed) {
+                    break; // drain fast once a sibling failed
+                }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let item = work[i].lock().take().expect("each slot taken once");
-                let r = f(item);
-                *results[i].lock() = Some(r);
+                match std::panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(r) => *results[i].lock() = Some(r),
+                    Err(p) => {
+                        let mut slot = payload.lock();
+                        if slot.is_none() {
+                            *slot = Some(p);
+                        }
+                        panicked.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
             });
         }
     })
-    .expect("worker panicked");
+    .expect("worker thread died outside catch_unwind");
 
+    if let Some(p) = payload.into_inner() {
+        std::panic::resume_unwind(p);
+    }
     results.into_iter().map(|m| m.into_inner().expect("all slots filled")).collect()
 }
 
@@ -72,6 +96,26 @@ mod tests {
     fn empty_input() {
         let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |i| i);
         assert!(out.is_empty());
+    }
+
+    /// Regression: a worker panic used to die as `.expect("worker
+    /// panicked")`, destroying the payload. The caller must see the
+    /// original assertion message.
+    #[test]
+    fn worker_panic_preserves_the_original_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map((0..16).collect::<Vec<i32>>(), 4, |i| {
+                assert!(i != 11, "sweep cell {i} exploded");
+                i
+            })
+        })
+        .expect_err("the panic must propagate");
+        let msg = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("payload should be a message");
+        assert!(msg.contains("sweep cell 11 exploded"), "payload lost: {msg}");
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Convergence telemetry for Q-adaptive routing: the per-window mean of
+//! `|ΔQ1|` over all level-1 Q-table updates.
+//!
+//! Every EWMA update moves a level-1 entry by `α·(sample − q)`; the mean
+//! absolute step per time window is a direct convergence signal — large
+//! while the tables are still learning the traffic, shrinking towards a
+//! noise floor at steady state. The trace feeds the `learning` block of a
+//! run report, and the `transfer` bench bin compares the *early* windows of
+//! warm-started vs cold-started runs.
+
+use dfsim_des::Time;
+
+/// Binned accumulator of `|ΔQ1|` magnitudes (picoseconds, the Q-table
+/// unit). Windows share the recorder's configured bin width.
+#[derive(Debug, Clone)]
+pub struct LearningTrace {
+    bin_width: Time,
+    /// Per-window `(sum |ΔQ1|, update count)`.
+    bins: Vec<(f64, u64)>,
+    total_abs: f64,
+    updates: u64,
+}
+
+impl LearningTrace {
+    /// Empty trace with windows of `bin_width` picoseconds.
+    pub fn new(bin_width: Time) -> Self {
+        Self { bin_width: bin_width.max(1), bins: Vec::new(), total_abs: 0.0, updates: 0 }
+    }
+
+    /// Record one level-1 update of magnitude `delta_ps` at time `t`.
+    #[inline]
+    pub fn record(&mut self, t: Time, delta_ps: f64) {
+        let bin = (t / self.bin_width) as usize;
+        if bin >= self.bins.len() {
+            self.bins.resize(bin + 1, (0.0, 0));
+        }
+        let (sum, n) = &mut self.bins[bin];
+        *sum += delta_ps;
+        *n += 1;
+        self.total_abs += delta_ps;
+        self.updates += 1;
+    }
+
+    /// Total level-1 updates recorded.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Whether anything was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.updates == 0
+    }
+
+    /// Mean `|ΔQ1|` over the whole run, picoseconds (0 if empty).
+    pub fn mean_abs(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.total_abs / self.updates as f64
+        }
+    }
+
+    /// Per-window series `(window start ps, mean |ΔQ1| ps)`; windows
+    /// without updates are skipped. Early/late-window aggregation lives on
+    /// the report side (`LearningReport::early_mean_ns`/`late_mean_ns` in
+    /// `dfsim-core`), the single place that defines the windowing.
+    pub fn series(&self) -> Vec<(Time, f64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, n))| *n > 0)
+            .map(|(i, (sum, n))| (i as Time * self.bin_width, sum / *n as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_bin_means_and_totals() {
+        let mut t = LearningTrace::new(100);
+        assert!(t.is_empty());
+        t.record(0, 10.0);
+        t.record(50, 30.0);
+        t.record(250, 5.0);
+        assert_eq!(t.updates(), 3);
+        assert!((t.mean_abs() - 15.0).abs() < 1e-12);
+        // Window 0 mean = 20, window 1 empty (skipped), window 2 mean = 5.
+        assert_eq!(t.series(), vec![(0, 20.0), (200, 5.0)]);
+    }
+
+    #[test]
+    fn zero_bin_width_is_clamped() {
+        let mut t = LearningTrace::new(0);
+        t.record(5, 1.0);
+        assert_eq!(t.updates(), 1);
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod congestion;
 pub mod hist;
+pub mod learning;
 pub mod recorder;
 pub mod series;
 pub mod stall;
@@ -31,6 +32,7 @@ pub mod window;
 
 pub use congestion::CongestionMatrix;
 pub use hist::{LatencySummary, SamplePool};
+pub use learning::LearningTrace;
 pub use recorder::{AppId, Recorder, RecorderConfig};
 pub use series::BinSeries;
 pub use stall::PortStats;

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::congestion::CongestionMatrix;
 use crate::hist::SamplePool;
+use crate::learning::LearningTrace;
 use crate::series::BinSeries;
 use crate::stall::PortTable;
 
@@ -105,6 +106,7 @@ pub struct Recorder {
     apps: Vec<AppRecord>,
     ports: PortTable,
     congestion: CongestionMatrix,
+    learning: LearningTrace,
 }
 
 impl Recorder {
@@ -127,6 +129,7 @@ impl Recorder {
                 topo.num_groups() as usize,
                 topo.params().routers_per_group as u64,
             ),
+            learning: LearningTrace::new(cfg.bin_width),
         }
     }
 
@@ -202,6 +205,13 @@ impl Recorder {
         }
     }
 
+    /// A level-1 Q-table entry moved by `|delta_ps|` at time `t` (Q-adaptive
+    /// convergence telemetry; see [`LearningTrace`]).
+    #[inline]
+    pub fn q1_updated(&mut self, t: Time, delta_ps: f64) {
+        self.learning.record(t, delta_ps);
+    }
+
     /// A packet at `(router, port)` was head-of-line blocked for `dur` ps.
     #[inline]
     pub fn port_stalled(&mut self, router: RouterId, port: Port, dur: Time) {
@@ -270,6 +280,12 @@ impl Recorder {
     /// The congestion byte matrix.
     pub fn congestion(&self) -> &CongestionMatrix {
         &self.congestion
+    }
+
+    /// The Q-adaptive convergence trace (empty unless the run used
+    /// Q-adaptive routing).
+    pub fn learning(&self) -> &LearningTrace {
+        &self.learning
     }
 
     /// System-wide delivered-bytes series (sum over apps).

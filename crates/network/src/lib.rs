@@ -14,6 +14,8 @@
 //! * [`nic`] — per-node injection queues and packetization,
 //! * [`routing`] — MIN, UGALg, UGALn, PAR and Q-adaptive decision logic,
 //! * [`qtable`] — the two-level Q-table of Q-adaptive routing,
+//! * [`snapshot`] — Q-table lifecycle: fingerprinted snapshots and
+//!   warm-start initialization,
 //! * [`sim`] — [`sim::NetworkSim`], the event handler gluing it together.
 //!
 //! Deadlock freedom: a packet's VC index equals the number of router-to-
@@ -33,12 +35,14 @@ pub mod qtable;
 pub mod router;
 pub mod routing;
 pub mod sim;
+pub mod snapshot;
 
 pub use events::{NetEffect, NetEvent};
 pub use packet::{MessageId, Packet, RouteState};
 pub use qtable::QTable;
 pub use routing::{QaParams, RoutingAlgo, RoutingConfig};
 pub use sim::NetworkSim;
+pub use snapshot::{QTableInit, QTableSnapshot, SnapshotError};
 
 /// Virtual channels per port: covers the longest legal path (7 hops — a
 /// PAR in-group revision followed by a router-level Valiant detour).

@@ -145,6 +145,36 @@ impl QTable {
     pub fn groups(&self) -> usize {
         self.groups
     }
+
+    /// The learning rate.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Rebuild a table from raw level-1/level-2 value arrays (snapshot
+    /// warm-start). Lengths must match the `[groups * radix]` /
+    /// `[a * radix]` layouts the snapshot recorded.
+    pub(crate) fn from_raw(
+        radix: usize,
+        groups: usize,
+        q1: Vec<f64>,
+        q2: Vec<f64>,
+        alpha: f64,
+    ) -> Self {
+        debug_assert_eq!(q1.len(), groups * radix, "q1 layout mismatch");
+        debug_assert!(q2.len().is_multiple_of(radix.max(1)), "q2 layout mismatch");
+        Self { radix, groups, q1, q2, alpha }
+    }
+
+    /// Raw level-1 values, `[dst_group * radix + port]` (snapshot capture).
+    pub(crate) fn q1_raw(&self) -> &[f64] {
+        &self.q1
+    }
+
+    /// Raw level-2 values, `[local_router * radix + port]` (snapshot capture).
+    pub(crate) fn q2_raw(&self) -> &[f64] {
+        &self.q2
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ use dfsim_topology::{LinkTiming, Port, Topology};
 
 use crate::packet::{Packet, RouteState};
 use crate::router::Router;
+use crate::snapshot::QTableInit;
 
 /// Which routing algorithm a simulation runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,7 +83,10 @@ impl Default for QaParams {
 }
 
 /// Full routing configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Not `Copy`: [`QTableInit::Load`] carries the snapshot path, so configs
+/// clone explicitly wherever they fan out across runs.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoutingConfig {
     /// The algorithm.
     pub algo: RoutingAlgo,
@@ -92,12 +96,28 @@ pub struct RoutingConfig {
     pub nonmin_samples: usize,
     /// Q-adaptive hyperparameters.
     pub qa: QaParams,
+    /// How Q-adaptive Q-tables start: cold (static topology estimates, the
+    /// paper's setting) or warm-started from a fingerprint-checked snapshot.
+    /// Ignored by every other algorithm (validated upstream in
+    /// `dfsim-core`'s `SimConfig::validate`).
+    pub qtable_init: QTableInit,
 }
 
 impl RoutingConfig {
-    /// Config for an algorithm with the paper's defaults.
+    /// Config for an algorithm with the paper's defaults (cold start).
     pub fn new(algo: RoutingAlgo) -> Self {
-        Self { algo, ugal_bias: 0, nonmin_samples: 2, qa: QaParams::default() }
+        Self {
+            algo,
+            ugal_bias: 0,
+            nonmin_samples: 2,
+            qa: QaParams::default(),
+            qtable_init: QTableInit::Cold,
+        }
+    }
+
+    /// This config, warm-starting Q-tables from `init`.
+    pub fn with_qtable_init(self, init: QTableInit) -> Self {
+        Self { qtable_init: init, ..self }
     }
 }
 

@@ -17,6 +17,7 @@ use crate::packet::{MessageId, Packet, PacketSizes, RouteState};
 use crate::qtable::QTable;
 use crate::router::{PortPeer, Router};
 use crate::routing::{self, RoutingAlgo, RoutingConfig};
+use crate::snapshot::{QTableInit, QTableSnapshot};
 use crate::NUM_VCS;
 
 /// Minimum payload of a pure-control packet (rendezvous RTS/CTS, zero-byte
@@ -66,17 +67,35 @@ impl NetworkSim {
     /// derives all per-router randomness. The topology is shared by
     /// reference counting — runners keep their own handle for reporting
     /// without deep-cloning the structure per run.
+    ///
+    /// Under Q-adaptive routing with [`QTableInit::Load`], the Q-tables
+    /// warm-start from the snapshot instead of the static topology
+    /// estimates. The snapshot's fingerprint (topology parameters, link
+    /// timing, α) must match this configuration exactly; a mismatch panics
+    /// with the [`crate::SnapshotError`] message rather than silently
+    /// applying stale estimates — CLI front-ends pre-validate with
+    /// [`QTableSnapshot::verify`] to fail cleanly before a run starts.
     pub fn new(
         topo: Arc<Topology>,
         timing: LinkTiming,
         cfg: RoutingConfig,
         rng: &dfsim_des::SimRng,
     ) -> Self {
+        let warm: Option<QTableSnapshot> = match (&cfg.algo, &cfg.qtable_init) {
+            (RoutingAlgo::QAdaptive, QTableInit::Load(path)) => {
+                let snap = QTableSnapshot::load(path).unwrap_or_else(|e| panic!("{e}"));
+                snap.verify(topo.params(), &timing, cfg.qa.alpha).unwrap_or_else(|e| panic!("{e}"));
+                Some(snap)
+            }
+            _ => None,
+        };
         let routers = (0..topo.num_routers())
             .map(|r| {
                 let id = RouterId(r);
-                let qtable = (cfg.algo == RoutingAlgo::QAdaptive)
-                    .then(|| QTable::new(&topo, id, &timing, cfg.qa.alpha));
+                let qtable = (cfg.algo == RoutingAlgo::QAdaptive).then(|| match &warm {
+                    Some(snap) => snap.table_for(r as usize),
+                    None => QTable::new(&topo, id, &timing, cfg.qa.alpha),
+                });
                 Router::new(
                     &topo,
                     id,
@@ -132,6 +151,19 @@ impl NetworkSim {
     /// Read access to a router (tests, Q-table inspection).
     pub fn router(&self, id: RouterId) -> &Router {
         &self.routers[id.idx()]
+    }
+
+    /// Snapshot every router's Q-table with this network's fingerprint
+    /// (topology parameters, link timing, α). `None` unless the run uses
+    /// Q-adaptive routing — only then do routers carry tables.
+    pub fn qtable_snapshot(&self) -> Option<QTableSnapshot> {
+        let tables: Option<Vec<&QTable>> = self.routers.iter().map(|r| r.qtable.as_ref()).collect();
+        Some(QTableSnapshot::from_tables(
+            *self.topo.params(),
+            self.timing,
+            self.cfg.qa.alpha,
+            &tables?,
+        ))
     }
 
     /// Release a fully delivered message's slab slot for reuse. The MPI
@@ -365,7 +397,15 @@ impl NetworkSim {
                     if my_group == dst_group {
                         qt.update2(dst_local, port, sample);
                     } else {
+                        let before = qt.q1(dst_group, port);
                         qt.update1(dst_group, port, sample);
+                        if before.is_finite() {
+                            // Convergence telemetry: per-window mean |ΔQ1|
+                            // (feedback only arrives over real links, so
+                            // `before` is finite in practice).
+                            let after = qt.q1(dst_group, port);
+                            rec.q1_updated(sched.now(), (after - before).abs());
+                        }
                     }
                 }
             }

@@ -1,7 +1,8 @@
-//! Peek inside Q-adaptive's learning: run traffic through the network
-//! directly (no MPI layer) and dump one router's two-level Q-table before
-//! and after, showing how congestion reshapes the learned delivery-time
-//! estimates (paper Fig 2).
+//! Peek inside Q-adaptive's learning — now on top of the snapshot API:
+//! run traffic through the network directly (no MPI layer), snapshot every
+//! router's two-level Q-table, round-trip it through a file, and dump one
+//! router's level-1 values before and after training, showing how
+//! congestion reshapes the learned delivery-time estimates (paper Fig 2).
 //!
 //! ```sh
 //! cargo run --release --example qtable_inspect
@@ -18,24 +19,24 @@ fn main() {
     let topo = std::sync::Arc::new(Topology::new(DragonflyParams::paper_1056()).unwrap());
     let timing = LinkTiming::default();
     let cfg = RoutingConfig::new(RoutingAlgo::QAdaptive);
+    let alpha = cfg.qa.alpha;
     let rng = SimRng::new(7);
     let mut rec = Recorder::new(&topo, RecorderConfig::default());
     let mut net = NetworkSim::new(std::sync::Arc::clone(&topo), timing, cfg, &rng);
     let mut queue: EventQueue<NetEvent> = EventQueue::new();
 
-    let fresh = QTable::new(&topo, RouterId(0), &timing, cfg.qa.alpha);
+    let fresh = QTable::new(&topo, RouterId(0), &timing, alpha);
 
     // Hammer the direct G0→G1 link with traffic from group 0's nodes to
     // group 1's nodes, plus background from group 2.
     let mut traffic_rng = SimRng::new(99);
     let mut effects = Vec::new();
-    for round in 0..400u32 {
+    for _round in 0..400u32 {
         for src in 0..32u32 {
             let dst = 32 + traffic_rng.index(32) as u32; // group 1 nodes
             let mut sched = QueueScheduler::new(&mut queue);
             net.send_message(&mut sched, &mut rec, NodeId(src), NodeId(dst), 4096, AppId(0));
         }
-        let _ = round;
         // Drain a slice of events between bursts.
         for _ in 0..4_000 {
             let Some((_, ev)) = queue.pop() else { break };
@@ -50,14 +51,34 @@ fn main() {
         effects.clear();
     }
 
-    let learned = net.router(RouterId(0)).qtable.as_ref().expect("Q-adaptive router");
+    // Snapshot the learned tables and round-trip them through a file —
+    // exactly what `--qtable save=` / `--qtable load=` do.
+    let snap = net.qtable_snapshot().expect("Q-adaptive routers carry Q-tables");
+    let path = std::env::temp_dir().join(format!("qtable_inspect_{}.snap", std::process::id()));
+    snap.save(&path).expect("snapshot write");
+    let loaded = QTableSnapshot::load(&path).expect("snapshot read");
+    loaded
+        .verify(topo.params(), &timing, alpha)
+        .expect("fingerprint of a just-saved snapshot must match");
+    assert_eq!(snap, loaded, "save -> load must be lossless");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "snapshot: {} routers, alpha {}, {:.1} MB at {} (round-trip verified)\n",
+        loaded.num_routers(),
+        loaded.alpha(),
+        bytes as f64 / 1e6,
+        path.display()
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // The learned values now come out of the *snapshot*, not the live net.
     println!("router r0 (group 0), destination group G1 — Q-values per port (ns):");
     println!("{:<8} {:>6} {:>12} {:>12} {:>9}", "port", "kind", "initial", "learned", "delta%");
     for p in 4..topo.radix() {
         let port = Port(p);
         let kind = topo.port_kind(port);
         let q0 = fresh.q1(GroupId(1), port) / 1000.0;
-        let q1 = learned.q1(GroupId(1), port) / 1000.0;
+        let q1 = loaded.q1_of(0, 1, p as usize) / 1000.0;
         println!(
             "{:<8} {:>6} {:>12.1} {:>12.1} {:>8.1}%",
             format!("{port}"),
@@ -71,8 +92,14 @@ fn main() {
     println!(
         "the direct global port's learned estimate should have inflated (it carried\n\
          all the load), while detour ports stay near their static estimates —\n\
-         exactly the signal Q-adaptive routes by."
+         exactly the signal Q-adaptive routes by. A warm-started run begins from\n\
+         these values instead of the 'initial' column."
     );
     let delivered = rec.app(AppId(0)).map(|a| a.packets_delivered).unwrap_or(0);
-    println!("({delivered} packets delivered during the exercise)");
+    let learn = rec.learning();
+    println!(
+        "({delivered} packets delivered; {} Q1 updates, mean |dQ1| {:.2} ns)",
+        learn.updates(),
+        learn.mean_abs() / 1e3
+    );
 }

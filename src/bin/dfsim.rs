@@ -19,6 +19,11 @@
 //!   --contiguous                            (placement; default random)
 //!   --queue <BACKEND>                       (heap | calendar | calendar:auto |
 //!                                            calendar:width=<ps>,buckets=<n>; default heap)
+//!   --qtable save=PATH                      (write learned Q-tables after the run;
+//!                                            requires --routing Q-adp)
+//!   --qtable load=PATH                      (warm-start Q-tables from a snapshot;
+//!                                            requires --routing Q-adp; rejected on
+//!                                            topology/timing/alpha fingerprint mismatch)
 //!   --engine-stats                          (print the event-engine block)
 //!   --csv                                   (machine-readable output)
 //! scenario options:
@@ -37,6 +42,8 @@ struct Opts {
     params: DragonflyParams,
     placement: Placement,
     queue: QueueBackend,
+    qtable_load: Option<std::path::PathBuf>,
+    qtable_save: Option<std::path::PathBuf>,
     engine_stats: bool,
     csv: bool,
     sched: SchedPolicy,
@@ -51,8 +58,8 @@ fn usage() -> ! {
         "usage: dfsim <standalone APP | pairwise TARGET BG | mixed | scenario ARRIVALS | apps | \
          topo> [--routing R] [--scale S] [--seed N] [--groups g --routers a --nodes p \
          --globals h] [--contiguous] [--queue heap|calendar[:width=PS,buckets=N]] \
-         [--engine-stats] [--sched fcfs|backfill] [--rate R --jobs N --apps LIST --sizes LIST] \
-         [--csv]"
+         [--qtable save=PATH|load=PATH] [--engine-stats] [--sched fcfs|backfill] \
+         [--rate R --jobs N --apps LIST --sizes LIST] [--csv]"
     );
     std::process::exit(2)
 }
@@ -81,6 +88,8 @@ fn parse_opts(args: &[String]) -> Opts {
         params: DragonflyParams::paper_1056(),
         placement: Placement::Random,
         queue: QueueBackend::default(),
+        qtable_load: None,
+        qtable_save: None,
         engine_stats: false,
         csv: false,
         sched: SchedPolicy::default(),
@@ -116,6 +125,20 @@ fn parse_opts(args: &[String]) -> Opts {
                     std::process::exit(2)
                 })
             }
+            "--qtable" => {
+                let v = value(&mut i);
+                match v.split_once('=') {
+                    Some(("save", p)) if !p.is_empty() => o.qtable_save = Some(p.into()),
+                    Some(("load", p)) if !p.is_empty() => o.qtable_load = Some(p.into()),
+                    _ => {
+                        eprintln!(
+                            "invalid --qtable '{v}' (valid forms: --qtable save=PATH, --qtable \
+                             load=PATH)"
+                        );
+                        std::process::exit(2)
+                    }
+                }
+            }
             "--sched" => {
                 o.sched = value(&mut i).parse().unwrap_or_else(|e| {
                     eprintln!("{e}");
@@ -144,6 +167,33 @@ fn parse_opts(args: &[String]) -> Opts {
         eprintln!("invalid topology: {e}");
         std::process::exit(2);
     }
+    if (o.qtable_load.is_some() || o.qtable_save.is_some()) && o.routing != RoutingAlgo::QAdaptive {
+        eprintln!(
+            "--qtable requires --routing Q-adp (only Q-adaptive routers carry Q-tables), got {}",
+            o.routing
+        );
+        std::process::exit(2);
+    }
+    if let Some(path) = &o.qtable_save {
+        // Fail on an unwritable save path *before* the simulation runs,
+        // not after: a post-run write error would discard the whole run.
+        if let Err(e) = std::fs::OpenOptions::new().append(true).create(true).open(path) {
+            eprintln!("cannot write --qtable save={}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    if let Some(path) = &o.qtable_load {
+        // Pre-validate the snapshot so a stale file fails here with the
+        // fingerprint error instead of panicking mid-construction.
+        let snap = QTableSnapshot::load(path).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2)
+        });
+        if let Err(e) = snap.verify(&o.params, &LinkTiming::default(), QaParams::default().alpha) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
     o
 }
 
@@ -155,6 +205,11 @@ fn study(o: &Opts) -> StudyConfig {
         placement: o.placement,
         params: o.params,
         queue: o.queue,
+        qtable_init: match &o.qtable_load {
+            Some(p) => QTableInit::load(p),
+            None => QTableInit::Cold,
+        },
+        qtable_save: o.qtable_save.clone(),
     }
 }
 
@@ -211,6 +266,20 @@ fn print_report(report: &RunReport, o: &Opts) {
         n.avg_local_stall_ms,
         n.std_global_congestion
     );
+    if let Some(l) = &report.learning {
+        println!(
+            "learning ({}): {} Q1 updates | mean |dQ1| {:.2} ns | early {:.2} -> late {:.2} \
+             ns/window",
+            l.init,
+            l.updates,
+            l.mean_abs_dq1_ns,
+            l.early_mean_ns(5),
+            l.late_mean_ns(5)
+        );
+    }
+    if let Some(path) = &o.qtable_save {
+        println!("Q-table snapshot written to {}", path.display());
+    }
     if o.engine_stats {
         println!("{}", report.engine_summary());
     }
@@ -241,7 +310,7 @@ fn print_jobs(report: &RunReport, csv: bool) {
             opt(j.start_ms),
             opt(j.finish_ms),
             format!("{:.4}", j.wait_ms),
-            format!("{:.3}", j.slowdown),
+            j.slowdown.map_or("-".to_string(), |s| format!("{s:.3}")),
             if j.completed { "y".to_string() } else { "n".to_string() },
         ]);
     }

@@ -49,12 +49,16 @@ pub mod prelude {
     pub use dfsim_core::runner::{run, run_placed, JobSpec};
     pub use dfsim_core::scenario::{run_scenario, Scenario, SchedPolicy};
     pub use dfsim_core::tables::TextTable;
-    pub use dfsim_core::{AppReport, EngineReport, JobReport, NetworkReport, RunReport, SimConfig};
+    pub use dfsim_core::{
+        AppReport, EngineReport, JobReport, LearningReport, NetworkReport, RunReport, SimConfig,
+    };
     pub use dfsim_des::{
         CalendarTuning, EngineStats, QueueBackend, QueueKind, SimRng, Time, MICROSECOND,
         MILLISECOND, NANOSECOND,
     };
     pub use dfsim_metrics::{AppId, LatencySummary, Recorder, RecorderConfig, Stats};
-    pub use dfsim_network::{NetworkSim, QaParams, RoutingAlgo, RoutingConfig};
+    pub use dfsim_network::{
+        NetworkSim, QTableInit, QTableSnapshot, QaParams, RoutingAlgo, RoutingConfig, SnapshotError,
+    };
     pub use dfsim_topology::{DragonflyParams, LinkTiming, NodeId, Topology};
 }

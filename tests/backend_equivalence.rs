@@ -108,6 +108,49 @@ fn engine_stats_are_populated_and_consistent() {
     assert!(line.contains("calendar:auto") && line.contains("resizes"), "{line}");
 }
 
+/// Warm-started Q-adaptive runs (Q-tables loaded from a snapshot instead
+/// of the static estimates) realize the identical deterministic event
+/// order on every backend too: a run that loads its own just-saved
+/// snapshot is bit-identical across heap and calendar.
+#[test]
+fn warm_started_runs_identical_across_backends() {
+    let snap = std::env::temp_dir().join(format!("dfsim_beq_warm_{}.snap", std::process::id()));
+    // Train and save.
+    let mut train = SimConfig::test_tiny(RoutingAlgo::QAdaptive);
+    train.seed = 23;
+    train.qtable_save = Some(snap.clone());
+    let trained = run_placed(
+        &train,
+        &[JobSpec::sized(AppKind::CosmoFlow, 36), JobSpec::sized(AppKind::UR, 36)],
+        Placement::Random,
+    );
+    assert!(trained.completed);
+
+    let warm_with = |backend: QueueBackend| {
+        let mut cfg = SimConfig::test_tiny(RoutingAlgo::QAdaptive);
+        cfg.seed = 29;
+        cfg.routing.qtable_init = QTableInit::load(&snap);
+        run_placed(
+            &cfg.with_queue(backend),
+            &[JobSpec::sized(AppKind::CosmoFlow, 36), JobSpec::sized(AppKind::UR, 36)],
+            Placement::Random,
+        )
+    };
+    let heap = warm_with(QueueBackend::BinaryHeap);
+    for backend in
+        [QueueBackend::calendar_auto(), QueueBackend::Calendar(CalendarTuning::FIXED_NETWORK)]
+    {
+        let cal = warm_with(backend);
+        assert_equivalent(&heap, &cal);
+        // The learning telemetry is part of the deterministic report.
+        let (h, c) = (heap.learning.as_ref().unwrap(), cal.learning.as_ref().unwrap());
+        assert_eq!(h.init, "warm");
+        assert_eq!(h.updates, c.updates, "learning updates diverged");
+        assert_eq!(h.series, c.series, "learning series diverged");
+    }
+    let _ = std::fs::remove_file(&snap);
+}
+
 /// The `StudyConfig` path (what the fig/table binaries use) threads the
 /// backend through `sim()` identically.
 #[test]
