@@ -10,7 +10,7 @@
 //!   deterministic [`SimRng`] ([`poisson_arrivals`]), used by the `churn`
 //!   sweep — same seed, same arrival stream, on every backend and machine.
 
-use dfsim_des::{SimRng, Time, MICROSECOND, MILLISECOND, NANOSECOND, SECOND};
+use dfsim_des::{SimRng, Time, MILLISECOND};
 
 use crate::spec::AppKind;
 
@@ -25,30 +25,10 @@ pub struct ArrivalSpec {
     pub at: Time,
 }
 
-/// Parse a duration like `500ns`, `0.5ms`, `2us`, `1s` or a bare number
-/// (milliseconds) into picoseconds.
-pub fn parse_duration(s: &str) -> Result<Time, String> {
-    let s = s.trim();
-    let (num, unit_ps) = if let Some(v) = s.strip_suffix("ns") {
-        (v, NANOSECOND as f64)
-    } else if let Some(v) = s.strip_suffix("us") {
-        (v, MICROSECOND as f64)
-    } else if let Some(v) = s.strip_suffix("ms") {
-        (v, MILLISECOND as f64)
-    } else if let Some(v) = s.strip_suffix("ps") {
-        (v, 1.0)
-    } else if let Some(v) = s.strip_suffix('s') {
-        (v, SECOND as f64)
-    } else {
-        (s, MILLISECOND as f64)
-    };
-    let value: f64 =
-        num.trim().parse().map_err(|_| format!("invalid duration '{s}' (e.g. 0.5ms, 20us)"))?;
-    if value < 0.0 || !value.is_finite() {
-        return Err(format!("duration '{s}' must be finite and non-negative"));
-    }
-    Ok((value * unit_ps).round() as Time)
-}
+// The duration grammar (`0.5ms`, `20us`, bare milliseconds) lives in the
+// DES time base now — experiment-spec files use it too — and is re-exported
+// here where it historically lived.
+pub use dfsim_des::time::parse_duration;
 
 /// Parse one arrival `APP:SIZE@TIME` (e.g. `UR:36@0.5ms`).
 pub fn parse_arrival(s: &str) -> Result<ArrivalSpec, String> {
@@ -121,6 +101,8 @@ pub fn poisson_arrivals(
 
 #[cfg(test)]
 mod tests {
+    use dfsim_des::{MICROSECOND, NANOSECOND, SECOND};
+
     use super::*;
 
     #[test]

@@ -3,6 +3,10 @@
 //! bounds the full study's wall time (events per second of the whole
 //! stack: apps → MPI → network → metrics).
 
+// The engine-level free functions are what this bench measures; the
+// deprecated wrappers pin exactly that entry point.
+#![allow(deprecated)]
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dfsim_apps::AppKind;
 use dfsim_core::config::SimConfig;

@@ -14,6 +14,10 @@
 //! `DFSIM_BENCH_SMOKE=1` shrinks every tier to a few-second CI smoke run
 //! (the CI workflow uses it to catch queue regressions early).
 
+// The engine-level free functions are what this bench measures; the
+// deprecated wrappers pin exactly that entry point.
+#![allow(deprecated)]
+
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dfsim_apps::AppKind;
 use dfsim_core::config::SimConfig;

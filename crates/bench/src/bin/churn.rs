@@ -16,41 +16,26 @@
 //! cargo run --release -p dfsim-bench --bin churn -- --smoke   # CI smoke
 //! ```
 //!
-//! Env knobs: `SCALE`, `SEED`, `QUEUE`, `ROUTING`, `THREADS` (shared with
-//! the fig binaries), plus `RATES` (jobs per simulated ms), `JOBS` (count
-//! per scenario), `APPS` (workload cycle), `SIZES` (node counts drawn per
-//! job), `SCHED` (`fcfs`/`backfill`).
+//! All knobs resolve through `ExperimentSpec::resolve` (`binary defaults <
+//! --spec FILE < env < CLI`): `SCALE`, `SEED`, `QUEUE`, `ROUTING`,
+//! `THREADS` (shared with the fig binaries), plus `RATES` (jobs per
+//! simulated ms), `JOBS` (count per scenario), `APPS` (workload cycle),
+//! `SIZES` (node counts drawn per job), `SCHED` (`fcfs`/`backfill`).
 
 use dfsim_apps::AppKind;
 use dfsim_bench::{
-    csv_flag, die, engine_stats_flag, parse_app_list, print_engine_stats, routings_from_env,
-    study_from_env, threads_from_env,
+    csv_flag, die, engine_stats_flag, print_engine_stats, resolve_spec_env, run_cell, smoke_flag,
+    sweep_defaults,
 };
 use dfsim_core::placement::Placement;
-use dfsim_core::scenario::{run_scenario, Scenario, SchedPolicy};
+use dfsim_core::scenario::Scenario;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
-use dfsim_core::RunReport;
+use dfsim_core::{ExperimentSpec, RunReport, Simulation, Workload};
 use dfsim_des::{QueueBackend, Time, MILLISECOND};
 use dfsim_metrics::Span;
 use dfsim_network::RoutingAlgo;
-
-/// Comma-separated list from an env var; a malformed entry exits with a
-/// message naming the variable.
-fn env_list<T: std::str::FromStr + Clone>(key: &str, default: &[T]) -> Vec<T> {
-    match std::env::var(key) {
-        Ok(s) => s
-            .split(',')
-            .filter(|p| !p.trim().is_empty())
-            .map(|p| {
-                p.trim()
-                    .parse()
-                    .unwrap_or_else(|_| die(&format!("invalid {key} entry '{}'", p.trim())))
-            })
-            .collect(),
-        Err(_) => default.to_vec(),
-    }
-}
+use dfsim_topology::DragonflyParams;
 
 /// `[start, finish)` of a completed (or started) job, picoseconds.
 fn job_span(start_ms: Option<f64>, finish_ms: Option<f64>) -> Option<Span> {
@@ -97,23 +82,30 @@ fn interference_matrix(reports: &[&RunReport], kinds: &[AppKind]) -> Vec<Vec<Opt
 }
 
 fn smoke() -> ! {
-    let mut cfg = dfsim_core::SimConfig::test_tiny(RoutingAlgo::UgalG);
-    cfg.seed = 7;
     // High arrival rate so arrivals outpace the µs-scale tiny jobs and the
     // smoke exercises queueing, not just spawn/teardown.
-    let scenario = Scenario::poisson(7, 500.0, 6, &[AppKind::UR, AppKind::CosmoFlow], &[18, 36]);
-    let heap = run_scenario(
-        &cfg.clone().with_queue(QueueBackend::BinaryHeap),
-        &scenario,
-        SchedPolicy::Fcfs,
-        Placement::Random,
-    );
-    let cal = run_scenario(
-        &cfg.with_queue(QueueBackend::calendar_auto()),
-        &scenario,
-        SchedPolicy::Fcfs,
-        Placement::Random,
-    );
+    let base = ExperimentSpec {
+        workload: Workload::Poisson,
+        params: DragonflyParams::tiny_72(),
+        routings: vec![RoutingAlgo::UgalG],
+        scale: 2_048.0,
+        seed: 7,
+        rates: vec![500.0],
+        jobs: 6,
+        apps: vec![AppKind::UR, AppKind::CosmoFlow],
+        sizes: vec![18, 36],
+        ..Default::default()
+    };
+    let run_on = |queue: QueueBackend| {
+        let mut spec = base.clone();
+        spec.queue = queue;
+        Simulation::from_spec(spec)
+            .and_then(|mut s| s.run())
+            .unwrap_or_else(|e| die(format!("churn smoke FAILED: {e}")))
+            .report
+    };
+    let heap = run_on(QueueBackend::BinaryHeap);
+    let cal = run_on(QueueBackend::calendar_auto());
     let completed = heap.completed_jobs().count();
     println!(
         "churn smoke: {completed}/{} jobs completed, mean wait {:.4} ms, mean slowdown {:.3}, \
@@ -151,38 +143,34 @@ fn smoke() -> ! {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    if smoke_flag() {
         smoke();
     }
-    let mut study = study_from_env(256.0);
-    let routings = routings_from_env();
-    dfsim_bench::apply_qtable_flags(&mut study, &routings);
     // Default rates chosen so inter-arrival gaps are comparable to the
     // scaled job durations (~0.03–0.2 ms at 1/256): the low rate drains,
     // the high one queues.
-    let rates: Vec<f64> = env_list("RATES", &[20.0, 60.0]);
-    let jobs: u32 = std::env::var("JOBS").ok().and_then(|s| s.parse().ok()).unwrap_or(12);
-    let kinds = match std::env::var("APPS") {
-        Ok(s) => parse_app_list(&s).unwrap_or_else(|e| die(&e)),
-        Err(_) => vec![AppKind::UR, AppKind::CosmoFlow, AppKind::LQCD, AppKind::FFT3D],
-    };
-    let nodes = study.params.num_nodes();
-    // Quarter- and half-machine jobs: a couple of co-residents fill the
-    // system, so admission actually queues at the high rate.
-    let sizes = env_list("SIZES", &[nodes / 4, nodes / 2]);
-    let sched: SchedPolicy = std::env::var("SCHED")
-        .map(|s| s.parse().unwrap_or_else(|e: String| die(&e)))
-        .unwrap_or_default();
-    if rates.is_empty() || kinds.is_empty() || sizes.is_empty() || jobs == 0 {
-        die("RATES, APPS and SIZES must be non-empty and JOBS positive");
+    let mut defaults = sweep_defaults(256.0);
+    defaults.workload = Workload::Poisson;
+    defaults.rates = vec![20.0, 60.0];
+    defaults.jobs = 12;
+    defaults.apps = vec![AppKind::UR, AppKind::CosmoFlow, AppKind::LQCD, AppKind::FFT3D];
+    let mut spec = resolve_spec_env(defaults, &["RATES", "JOBS", "APPS", "SIZES"]);
+    dfsim_bench::sweep_qtable_guard(&spec);
+    let nodes = spec.params.num_nodes();
+    if spec.sizes.is_empty() {
+        // Quarter- and half-machine jobs: a couple of co-residents fill
+        // the system, so admission actually queues at the high rate.
+        spec.sizes = vec![nodes / 4, nodes / 2];
     }
-    if rates.iter().any(|&r| r <= 0.0 || r.is_nan()) {
-        die("every RATES entry must be a positive arrival rate (jobs/ms)");
-    }
+    let routings = spec.routings.clone();
+    let rates = spec.rates.clone();
+    let kinds = spec.apps.clone();
     // Every cell draws from the same kind/size pools, so one representative
     // scenario validates them all before the sweep starts (clean message
-    // instead of a mid-sweep panic on e.g. SIZES larger than the machine).
-    if let Err(e) = Scenario::poisson(study.seed, rates[0], jobs, &kinds, &sizes).validate(nodes) {
+    // instead of a mid-sweep error on e.g. SIZES larger than the machine).
+    if let Err(e) =
+        Scenario::poisson(spec.seed, rates[0], spec.jobs, &kinds, &spec.sizes).validate(nodes)
+    {
         die(&e);
     }
     let placements = [Placement::Random, Placement::Contiguous];
@@ -190,10 +178,10 @@ fn main() {
     eprintln!(
         "# churn @ scale 1/{}, seed {}, {} jobs/scenario, sched {}, {} rates x {} routings x 2 \
          placements",
-        study.scale,
-        study.seed,
-        jobs,
-        sched.label(),
+        spec.scale,
+        spec.seed,
+        spec.jobs,
+        spec.sched.label(),
         rates.len(),
         routings.len(),
     );
@@ -206,11 +194,11 @@ fn main() {
             }
         }
     }
-    let kinds_for_runs = kinds.clone();
-    let results = parallel_map(cells, threads_from_env(), move |(rate, routing, placement)| {
-        let cfg = dfsim_bench::cell_study(routing, &study).sim();
-        let scenario = Scenario::poisson(study.seed, rate, jobs, &kinds_for_runs, &sizes);
-        let report = run_scenario(&cfg, &scenario, sched, placement);
+    let results = parallel_map(cells, spec.threads, move |(rate, routing, placement)| {
+        let mut cell = spec.clone();
+        cell.rates = vec![rate];
+        cell.placement = placement;
+        let report = run_cell(&cell, routing, Workload::Poisson);
         (rate, routing, placement, report)
     });
 

@@ -11,33 +11,32 @@
 //! ```
 
 use dfsim_bench::{
-    csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
-    threads_from_env,
+    csv_flag, engine_stats_flag, print_engine_stats, resolve_spec, run_cell, sweep_defaults,
 };
-use dfsim_core::experiments::{mixed, MIXED_JOBS};
-use dfsim_core::runner::{run_placed, JobSpec};
+use dfsim_core::experiments::MIXED_JOBS;
+use dfsim_core::runner::JobSpec;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
+use dfsim_core::Workload;
 use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let mut study = study_from_env(64.0);
-    let routings = routings_from_env();
-    dfsim_bench::apply_qtable_flags(&mut study, &routings);
-    eprintln!("# Fig 10 @ scale 1/{}", study.scale);
+    let spec = resolve_spec(sweep_defaults(64.0));
+    dfsim_bench::sweep_qtable_guard(&spec);
+    eprintln!("# Fig 10 @ scale 1/{}", spec.scale);
 
-    let runs = parallel_map(routings.clone(), threads_from_env(), |routing| {
-        let cfg = dfsim_bench::cell_study(routing, &study);
+    let routings = spec.routings.clone();
+    let runs = parallel_map(routings.clone(), spec.threads, |routing| {
         // Standalone runs at Table II sizes (same placement prefix as the
         // mix would give them is not required by the paper; "none" is the
         // app alone on the system).
         let alones: Vec<_> = MIXED_JOBS
             .iter()
             .map(|&(kind, size)| {
-                run_placed(&cfg.sim(), &[JobSpec::sized(kind, size)], cfg.placement)
+                run_cell(&spec, routing, Workload::jobs(vec![JobSpec::sized(kind, size)]))
             })
             .collect();
-        let mix = mixed(&cfg);
+        let mix = run_cell(&spec, routing, Workload::Mixed);
         (routing, alones, mix)
     });
 

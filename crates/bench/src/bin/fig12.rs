@@ -12,9 +12,8 @@
 //! ```
 
 use dfsim_bench::{
-    csv_flag, engine_stats_flag, print_engine_stats, study_from_env, threads_from_env,
+    csv_flag, engine_stats_flag, print_engine_stats, resolve_spec, run_cell, sweep_defaults,
 };
-use dfsim_core::experiments::mixed;
 use dfsim_core::sweep::parallel_map;
 use dfsim_network::RoutingAlgo;
 
@@ -43,13 +42,17 @@ fn print_matrix(name: &str, m: &[Vec<f64>], csv: bool) {
 }
 
 fn main() {
-    let mut study = study_from_env(64.0);
-    eprintln!("# Fig 12 @ scale 1/{}", study.scale);
+    // The figure is defined as the PAR vs Q-adaptive comparison; the
+    // routing pair is pinned regardless of ROUTING/--routing.
+    let mut defaults = sweep_defaults(64.0);
+    defaults.routings = vec![RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    let mut spec = resolve_spec(defaults);
+    spec.routings = vec![RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    dfsim_bench::sweep_qtable_guard(&spec);
+    eprintln!("# Fig 12 @ scale 1/{}", spec.scale);
     let algos = [RoutingAlgo::Par, RoutingAlgo::QAdaptive];
-    dfsim_bench::apply_qtable_flags(&mut study, &algos);
-    let runs = parallel_map(algos.to_vec(), threads_from_env(), |routing| {
-        let cfg = dfsim_bench::cell_study(routing, &study);
-        (routing, mixed(&cfg))
+    let runs = parallel_map(algos.to_vec(), spec.threads, |routing| {
+        (routing, run_cell(&spec, routing, dfsim_core::Workload::Mixed))
     });
 
     for (routing, r) in &runs {

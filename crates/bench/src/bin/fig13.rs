@@ -10,22 +10,20 @@
 //! ```
 
 use dfsim_bench::{
-    csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
-    threads_from_env,
+    csv_flag, engine_stats_flag, print_engine_stats, resolve_spec, run_cell, sweep_defaults,
 };
-use dfsim_core::experiments::mixed;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
+use dfsim_core::Workload;
 use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let mut study = study_from_env(64.0);
-    let routings = routings_from_env();
-    dfsim_bench::apply_qtable_flags(&mut study, &routings);
-    eprintln!("# Fig 13 @ scale 1/{}", study.scale);
-    let runs = parallel_map(routings, threads_from_env(), |routing| {
-        let cfg = dfsim_bench::cell_study(routing, &study);
-        (routing, mixed(&cfg))
+    let spec = resolve_spec(sweep_defaults(64.0));
+    dfsim_bench::sweep_qtable_guard(&spec);
+    eprintln!("# Fig 13 @ scale 1/{}", spec.scale);
+    let routings = spec.routings.clone();
+    let runs = parallel_map(routings, spec.threads, |routing| {
+        (routing, run_cell(&spec, routing, Workload::Mixed))
     });
 
     // (a) system-wide latency distribution.

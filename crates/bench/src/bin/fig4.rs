@@ -5,34 +5,32 @@
 //!
 //! This is the paper's largest experiment (168 simulations at the full
 //! sweep). `SCALE` (default 128 here) trades fidelity for wall time;
-//! `TARGETS=FFT3D,LU` and `ROUTING=PAR` restrict the sweep.
+//! `TARGETS=FFT3D,LU` and `ROUTING=PAR` (or `--targets`/`--routing`, or a
+//! `--spec FILE`) restrict the sweep.
 //!
 //! ```sh
 //! cargo run --release -p dfsim-bench --bin fig4
 //! ```
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{
-    csv_flag, die, engine_stats_flag, parse_app_list, routings_from_env, study_from_env,
-    threads_from_env,
-};
-use dfsim_core::experiments::{pairwise, FIG4_BACKGROUNDS, FIG4_TARGETS};
+use dfsim_bench::{csv_flag, engine_stats_flag, resolve_spec_env, run_cell, sweep_defaults};
+use dfsim_core::experiments::{FIG4_BACKGROUNDS, FIG4_TARGETS};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
+use dfsim_core::Workload;
 use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let mut study = study_from_env(128.0);
-    let routings = routings_from_env();
-    dfsim_bench::apply_qtable_flags(&mut study, &routings);
-    let targets: Vec<AppKind> = match std::env::var("TARGETS") {
-        Ok(s) => parse_app_list(&s).unwrap_or_else(|e| die(&e)),
-        Err(_) => FIG4_TARGETS.to_vec(),
-    };
+    let mut defaults = sweep_defaults(128.0);
+    defaults.targets = FIG4_TARGETS.to_vec();
+    let spec = resolve_spec_env(defaults, &["TARGETS"]);
+    dfsim_bench::sweep_qtable_guard(&spec);
+    let routings = spec.routings.clone();
+    let targets = spec.targets.clone();
     eprintln!(
         "# Fig 4 @ scale 1/{}, seed {}, {} targets x {} backgrounds x {} routings",
-        study.scale,
-        study.seed,
+        spec.scale,
+        spec.seed,
         targets.len(),
         FIG4_BACKGROUNDS.len(),
         routings.len()
@@ -48,9 +46,9 @@ fn main() {
         }
     }
     let engine_stats = engine_stats_flag();
-    let results = parallel_map(cells, threads_from_env(), |(target, bg, routing)| {
-        let cfg = dfsim_bench::cell_study(routing, &study);
-        let r = pairwise(target, bg, &cfg);
+    let threads = spec.threads;
+    let results = parallel_map(cells, threads, |(target, bg, routing)| {
+        let r = run_cell(&spec, routing, Workload::pairwise(target, bg));
         let a = &r.apps[0];
         let engine = engine_stats.then(|| r.engine_summary());
         (target, bg, routing, a.comm_ms.mean, a.comm_ms.std, r.completed, engine)

@@ -10,27 +10,31 @@
 
 use dfsim_apps::AppKind;
 use dfsim_bench::{
-    csv_flag, engine_stats_flag, print_engine_stats, study_from_env, threads_from_env,
+    csv_flag, engine_stats_flag, print_engine_stats, resolve_spec, run_cell, sweep_defaults,
 };
-use dfsim_core::experiments::pairwise;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
+use dfsim_core::Workload;
 use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let mut study = study_from_env(64.0);
-    dfsim_bench::apply_qtable_flags(&mut study, &[RoutingAlgo::Par, RoutingAlgo::QAdaptive]);
-    eprintln!("# Fig 6 @ scale 1/{}", study.scale);
+    // The figure is defined as the PAR vs Q-adaptive comparison; the
+    // routing pair is pinned regardless of ROUTING/--routing.
+    let mut defaults = sweep_defaults(64.0);
+    defaults.routings = vec![RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    let mut spec = resolve_spec(defaults);
+    spec.routings = vec![RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    dfsim_bench::sweep_qtable_guard(&spec);
+    eprintln!("# Fig 6 @ scale 1/{}", spec.scale);
     let cases: Vec<(RoutingAlgo, bool)> = vec![
         (RoutingAlgo::Par, false),
         (RoutingAlgo::QAdaptive, false),
         (RoutingAlgo::Par, true),
         (RoutingAlgo::QAdaptive, true),
     ];
-    let runs = parallel_map(cases, threads_from_env(), |(routing, interfered)| {
-        let cfg = dfsim_bench::cell_study(routing, &study);
+    let runs = parallel_map(cases, spec.threads, |(routing, interfered)| {
         let bg = interfered.then_some(AppKind::Halo3D);
-        (routing, interfered, pairwise(AppKind::FFT3D, bg, &cfg))
+        (routing, interfered, run_cell(&spec, routing, Workload::pairwise(AppKind::FFT3D, bg)))
     });
 
     let mut t = TextTable::new(vec![

@@ -10,25 +10,24 @@
 
 use dfsim_apps::AppKind;
 use dfsim_bench::{
-    csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
-    threads_from_env,
+    csv_flag, engine_stats_flag, print_engine_stats, resolve_spec, run_cell, sweep_defaults,
 };
-use dfsim_core::experiments::pairwise;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
+use dfsim_core::Workload;
 use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let mut study = study_from_env(64.0);
-    let routings = routings_from_env();
-    dfsim_bench::apply_qtable_flags(&mut study, &routings);
-    eprintln!("# Fig 8 @ scale 1/{}", study.scale);
+    let spec = resolve_spec(sweep_defaults(64.0));
+    dfsim_bench::sweep_qtable_guard(&spec);
+    eprintln!("# Fig 8 @ scale 1/{}", spec.scale);
 
-    let runs = parallel_map(routings, threads_from_env(), |routing| {
-        let cfg = dfsim_bench::cell_study(routing, &study);
-        let lqcd_alone = pairwise(AppKind::LQCD, None, &cfg);
-        let st_alone = pairwise(AppKind::Stencil5D, None, &cfg);
-        let both = pairwise(AppKind::LQCD, Some(AppKind::Stencil5D), &cfg);
+    let routings = spec.routings.clone();
+    let runs = parallel_map(routings, spec.threads, |routing| {
+        let lqcd_alone = run_cell(&spec, routing, Workload::pairwise(AppKind::LQCD, None));
+        let st_alone = run_cell(&spec, routing, Workload::pairwise(AppKind::Stencil5D, None));
+        let both =
+            run_cell(&spec, routing, Workload::pairwise(AppKind::LQCD, Some(AppKind::Stencil5D)));
         (routing, lqcd_alone, st_alone, both)
     });
 

@@ -11,23 +11,28 @@
 
 use dfsim_apps::AppKind;
 use dfsim_bench::{
-    csv_flag, engine_stats_flag, print_engine_stats, study_from_env, threads_from_env,
+    csv_flag, engine_stats_flag, print_engine_stats, resolve_spec, run_cell, sweep_defaults,
 };
-use dfsim_core::experiments::pairwise;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
+use dfsim_core::Workload;
 use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let mut study = study_from_env(64.0);
-    eprintln!("# Fig 9 @ scale 1/{}", study.scale);
+    // The figure is defined as the PAR vs Q-adaptive comparison; the
+    // routing pair is pinned regardless of ROUTING/--routing.
+    let mut defaults = sweep_defaults(64.0);
+    defaults.routings = vec![RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    let mut spec = resolve_spec(defaults);
+    spec.routings = vec![RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    dfsim_bench::sweep_qtable_guard(&spec);
+    eprintln!("# Fig 9 @ scale 1/{}", spec.scale);
     let algos = [RoutingAlgo::Par, RoutingAlgo::QAdaptive];
-    dfsim_bench::apply_qtable_flags(&mut study, &algos);
-    let runs = parallel_map(algos.to_vec(), threads_from_env(), |routing| {
-        let cfg = dfsim_bench::cell_study(routing, &study);
-        let cosmo_alone = pairwise(AppKind::CosmoFlow, None, &cfg);
-        let halo_alone = pairwise(AppKind::Halo3D, None, &cfg);
-        let both = pairwise(AppKind::CosmoFlow, Some(AppKind::Halo3D), &cfg);
+    let runs = parallel_map(algos.to_vec(), spec.threads, |routing| {
+        let cosmo_alone = run_cell(&spec, routing, Workload::pairwise(AppKind::CosmoFlow, None));
+        let halo_alone = run_cell(&spec, routing, Workload::pairwise(AppKind::Halo3D, None));
+        let both =
+            run_cell(&spec, routing, Workload::pairwise(AppKind::CosmoFlow, Some(AppKind::Halo3D)));
         (routing, cosmo_alone, halo_alone, both)
     });
 

@@ -12,26 +12,34 @@
 //! ```
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
-use dfsim_core::experiments::{pairwise, StudyConfig};
+use dfsim_bench::{csv_flag, resolve_spec, run_cell, sweep_defaults};
 use dfsim_core::placement::Placement;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
+use dfsim_core::Workload;
 use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let study = study_from_env(64.0);
-    eprintln!("# placement ablation @ scale 1/{}", study.scale);
+    // The ablation is the placement axis itself; routing pair and both
+    // placements are pinned regardless of overrides.
+    let mut defaults = sweep_defaults(64.0);
+    defaults.routings = vec![RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    let mut spec = resolve_spec(defaults);
+    spec.routings = vec![RoutingAlgo::Par, RoutingAlgo::QAdaptive];
+    dfsim_bench::sweep_qtable_guard(&spec);
+    eprintln!("# placement ablation @ scale 1/{}", spec.scale);
     let cases: Vec<(RoutingAlgo, Placement)> = vec![
         (RoutingAlgo::Par, Placement::Random),
         (RoutingAlgo::Par, Placement::Contiguous),
         (RoutingAlgo::QAdaptive, Placement::Random),
         (RoutingAlgo::QAdaptive, Placement::Contiguous),
     ];
-    let runs = parallel_map(cases, threads_from_env(), |(routing, placement)| {
-        let cfg = StudyConfig { routing, placement, ..study.clone() };
-        let alone = pairwise(AppKind::FFT3D, None, &cfg);
-        let pair = pairwise(AppKind::FFT3D, Some(AppKind::Halo3D), &cfg);
+    let runs = parallel_map(cases, spec.threads, |(routing, placement)| {
+        let mut cell = spec.clone();
+        cell.placement = placement;
+        let alone = run_cell(&cell, routing, Workload::pairwise(AppKind::FFT3D, None));
+        let pair =
+            run_cell(&cell, routing, Workload::pairwise(AppKind::FFT3D, Some(AppKind::Halo3D)));
         (routing, placement, alone, pair)
     });
 

@@ -3,19 +3,19 @@
 //! scale. Not a paper artifact — a development tool kept for transparency.
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{routings_from_env, study_from_env, threads_from_env};
-use dfsim_core::experiments::{standalone, StudyConfig};
+use dfsim_bench::{resolve_spec, run_cell, sweep_defaults};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, human_bytes, TextTable};
+use dfsim_core::Workload;
 
 fn main() {
-    let study = study_from_env(64.0);
-    let routing = routings_from_env()[0];
-    let cfg = StudyConfig { routing, ..study.clone() };
-    println!("probe @ scale 1/{}, routing {}", cfg.scale, routing);
+    let spec = resolve_spec(sweep_defaults(64.0));
+    dfsim_bench::sweep_qtable_guard(&spec);
+    let routing = spec.routing();
+    println!("probe @ scale 1/{}, routing {}", spec.scale, routing);
 
-    let reports = parallel_map(AppKind::ALL.to_vec(), threads_from_env(), |kind| {
-        (kind, standalone(kind, &cfg))
+    let reports = parallel_map(AppKind::ALL.to_vec(), spec.threads, |kind| {
+        (kind, run_cell(&spec, routing, Workload::standalone(kind)))
     });
 
     let mut t = TextTable::new(vec![
@@ -40,7 +40,7 @@ fn main() {
         t.row(vec![
             kind.name().to_string(),
             f(a.exec_ms, 4),
-            f(paper.exec_ms / cfg.scale, 4),
+            f(paper.exec_ms / spec.scale, 4),
             f(a.inj_rate_gbs, 1),
             f(paper.inj_rate_gbs, 1),
             human_bytes(a.peak_ingress_bytes),

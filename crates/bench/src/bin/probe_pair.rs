@@ -2,38 +2,32 @@
 //! algorithm, with detour fractions and stall totals (development tool).
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{study_from_env, threads_from_env};
-use dfsim_core::experiments::{pairwise, StudyConfig};
+use dfsim_bench::{resolve_spec_env, run_cell, sweep_defaults};
+use dfsim_core::spec::Workload;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
 use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let study = study_from_env(64.0);
-    let target: AppKind =
-        std::env::var("TARGET").ok().and_then(|s| AppKind::from_name(&s)).unwrap_or(AppKind::FFT3D);
-    let bg: Option<AppKind> = match std::env::var("BG") {
-        Ok(s) if s.eq_ignore_ascii_case("none") => None,
-        Ok(s) => Some(AppKind::from_name(&s).expect("unknown BG")),
-        Err(_) => Some(AppKind::Halo3D),
+    // The probe sweeps all five algorithms; TARGET/BG (or --spec) pick the
+    // pair, defaulting to the paper's FFT3D + Halo3D.
+    let mut defaults = sweep_defaults(64.0);
+    defaults.workload = Workload::pairwise(AppKind::FFT3D, Some(AppKind::Halo3D));
+    defaults.routings = RoutingAlgo::ALL.to_vec();
+    let spec = resolve_spec_env(defaults, &["TARGET", "BG"]);
+    dfsim_bench::sweep_qtable_guard(&spec);
+    let Workload::Pairwise { target, background: bg } = spec.workload else {
+        dfsim_bench::die("probe_pair needs a pairwise workload (TARGET/BG or workload pairwise)")
     };
     println!(
         "probe_pair {target} + {} @ scale 1/{}",
         bg.map(|b| b.name()).unwrap_or("none"),
-        study.scale
+        spec.scale
     );
 
-    let algos = [
-        RoutingAlgo::Minimal,
-        RoutingAlgo::UgalG,
-        RoutingAlgo::UgalN,
-        RoutingAlgo::Par,
-        RoutingAlgo::QAdaptive,
-    ];
-    let runs = parallel_map(algos.to_vec(), threads_from_env(), |routing| {
-        let cfg = StudyConfig { routing, ..study.clone() };
-        let solo = pairwise(target, None, &cfg);
-        let pair = pairwise(target, bg, &cfg);
+    let runs = parallel_map(spec.routings.clone(), spec.threads, |routing| {
+        let solo = run_cell(&spec, routing, Workload::pairwise(target, None));
+        let pair = run_cell(&spec, routing, Workload::pairwise(target, bg));
         (routing, solo, pair)
     });
 

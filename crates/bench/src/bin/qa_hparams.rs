@@ -10,16 +10,21 @@
 //! ```
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
-use dfsim_core::config::SimConfig;
-use dfsim_core::runner::{run_placed, JobSpec};
+use dfsim_bench::{csv_flag, resolve_spec, run_cell, sweep_defaults};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
-use dfsim_network::{QaParams, RoutingAlgo, RoutingConfig};
+use dfsim_core::Workload;
+use dfsim_network::{QaParams, RoutingAlgo};
 
 fn main() {
-    let study = study_from_env(64.0);
-    eprintln!("# Q-adaptive hyperparameter sweep @ scale 1/{}", study.scale);
+    // The sweep varies the Q-adaptive hyperparameters themselves; the
+    // routing is pinned to Q-adp regardless of overrides.
+    let mut defaults = sweep_defaults(64.0);
+    defaults.routings = vec![RoutingAlgo::QAdaptive];
+    let mut spec = resolve_spec(defaults);
+    spec.routings = vec![RoutingAlgo::QAdaptive];
+    dfsim_bench::sweep_qtable_guard(&spec);
+    eprintln!("# Q-adaptive hyperparameter sweep @ scale 1/{}", spec.scale);
     let mut grid: Vec<QaParams> = Vec::new();
     for alpha in [0.05, 0.1, 0.2, 0.4] {
         grid.push(QaParams { alpha, epsilon: 0.005 });
@@ -27,16 +32,16 @@ fn main() {
     for epsilon in [0.0, 0.02, 0.1] {
         grid.push(QaParams { alpha: 0.2, epsilon });
     }
-    let half = study.half_nodes();
-    let runs = parallel_map(grid, threads_from_env(), |qa| {
-        let mut routing = RoutingConfig::new(RoutingAlgo::QAdaptive);
-        routing.qa = qa;
-        let cfg = SimConfig { routing, scale: study.scale, seed: study.seed, ..Default::default() };
-        let jobs = [
-            JobSpec::sized(AppKind::FFT3D, AppKind::FFT3D.preferred_size(half)),
-            JobSpec::sized(AppKind::Halo3D, AppKind::Halo3D.preferred_size(half)),
-        ];
-        (qa, run_placed(&cfg, &jobs, study.placement))
+    let runs = parallel_map(grid, spec.threads, |qa| {
+        let mut cell = spec.clone();
+        cell.qa_alpha = qa.alpha;
+        cell.qa_epsilon = qa.epsilon;
+        let r = run_cell(
+            &cell,
+            RoutingAlgo::QAdaptive,
+            Workload::pairwise(AppKind::FFT3D, Some(AppKind::Halo3D)),
+        );
+        (qa, r)
     });
 
     let mut t =

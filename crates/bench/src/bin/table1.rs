@@ -14,22 +14,20 @@
 
 use dfsim_apps::AppKind;
 use dfsim_bench::{
-    csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
-    threads_from_env,
+    csv_flag, engine_stats_flag, print_engine_stats, resolve_spec, run_cell, sweep_defaults,
 };
-use dfsim_core::experiments::standalone;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, human_bytes, TextTable};
+use dfsim_core::Workload;
 
 fn main() {
-    let mut study = study_from_env(64.0);
-    let routing = routings_from_env()[0];
-    dfsim_bench::apply_qtable_flags(&mut study, &[routing]);
-    let cfg = dfsim_bench::cell_study(routing, &study);
-    eprintln!("# Table I @ scale 1/{}, routing {routing}, seed {}", cfg.scale, cfg.seed);
+    let spec = resolve_spec(sweep_defaults(64.0));
+    dfsim_bench::sweep_qtable_guard(&spec);
+    let routing = spec.routing();
+    eprintln!("# Table I @ scale 1/{}, routing {routing}, seed {}", spec.scale, spec.seed);
 
-    let reports = parallel_map(AppKind::ALL.to_vec(), threads_from_env(), |kind| {
-        (kind, standalone(kind, &cfg))
+    let reports = parallel_map(AppKind::ALL.to_vec(), spec.threads, |kind| {
+        (kind, run_cell(&spec, routing, Workload::standalone(kind)))
     });
 
     let mut t = TextTable::new(vec![
@@ -51,9 +49,9 @@ fn main() {
             paper.pattern.to_string(),
             kind.name().to_string(),
             f(a.total_msg_mb, 2),
-            f(paper.total_msg_mb / cfg.scale, 2),
+            f(paper.total_msg_mb / spec.scale, 2),
             f(a.exec_ms, 4),
-            f(paper.exec_ms / cfg.scale, 4),
+            f(paper.exec_ms / spec.scale, 4),
             f(a.inj_rate_gbs, 2),
             f(paper.inj_rate_gbs, 2),
             human_bytes(a.peak_ingress_bytes),

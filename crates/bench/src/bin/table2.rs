@@ -7,24 +7,23 @@
 //! ```
 
 use dfsim_bench::{
-    csv_flag, engine_stats_flag, print_engine_stats, routings_from_env, study_from_env,
-    threads_from_env,
+    csv_flag, engine_stats_flag, print_engine_stats, resolve_spec, run_cell, sweep_defaults,
 };
 use dfsim_core::experiments::MIXED_JOBS;
-use dfsim_core::runner::{run_placed, JobSpec};
+use dfsim_core::runner::JobSpec;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, human_bytes, TextTable};
+use dfsim_core::Workload;
 
 fn main() {
-    let mut study = study_from_env(64.0);
-    let routing = routings_from_env()[0];
-    dfsim_bench::apply_qtable_flags(&mut study, &[routing]);
-    let cfg = dfsim_bench::cell_study(routing, &study);
-    eprintln!("# Table II @ scale 1/{}, routing {routing}", cfg.scale);
+    let spec = resolve_spec(sweep_defaults(64.0));
+    dfsim_bench::sweep_qtable_guard(&spec);
+    let routing = spec.routing();
+    eprintln!("# Table II @ scale 1/{}, routing {routing}", spec.scale);
 
     // Standalone run of each job at its mixed-workload size.
-    let reports = parallel_map(MIXED_JOBS.to_vec(), threads_from_env(), |(kind, size)| {
-        let r = run_placed(&cfg.sim(), &[JobSpec::sized(kind, size)], cfg.placement);
+    let reports = parallel_map(MIXED_JOBS.to_vec(), spec.threads, |(kind, size)| {
+        let r = run_cell(&spec, routing, Workload::jobs(vec![JobSpec::sized(kind, size)]));
         (kind, size, r)
     });
 

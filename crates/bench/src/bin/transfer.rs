@@ -23,22 +23,24 @@
 //! cargo run --release -p dfsim-bench --bin transfer -- --smoke   # CI smoke
 //! ```
 //!
-//! Env knobs: `SCALE`, `SEED`, `QUEUE`, `THREADS` (shared with the fig
-//! binaries), plus `TRAIN` (training workload, default Halo3D), `APPS`
-//! (evaluation workloads) and `SNAPSHOT` (keep the trained snapshot at
-//! this path instead of a deleted temp file).
+//! All knobs resolve through `ExperimentSpec::resolve`: `SCALE`, `SEED`,
+//! `QUEUE`, `THREADS` (shared with the fig binaries), plus `TRAIN` (training
+//! workload, default Halo3D), `APPS` (evaluation workloads) and `SNAPSHOT`
+//! (keep the trained snapshot at this path instead of a deleted temp file).
+//! The generic `--qtable` knobs are rejected: this binary owns its own
+//! Q-table lifecycle.
 
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{csv_flag, die, parse_app_list, study_from_env, threads_from_env};
+use dfsim_bench::{csv_flag, die, resolve_spec_env, smoke_flag};
 use dfsim_core::placement::Placement;
-use dfsim_core::runner::run_placed;
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
-use dfsim_core::{JobSpec, LearningReport, RunReport, SimConfig};
-use dfsim_des::QueueBackend;
-use dfsim_network::{QTableInit, QTableSnapshot, RoutingAlgo, RoutingConfig};
+use dfsim_core::{ExperimentSpec, JobSpec, LearningReport, RunReport, Simulation, Workload};
+use dfsim_des::{QueueBackend, MICROSECOND};
+use dfsim_network::{QTableSnapshot, RoutingAlgo};
+use dfsim_topology::DragonflyParams;
 
 /// Windows of the learning/latency series that count as "early".
 const EARLY_WINDOWS: usize = 5;
@@ -71,40 +73,40 @@ impl Init {
     }
 }
 
-/// The per-cell simulation config: fine (1 µs) recorder windows resolve
-/// the sub-0.1 ms scaled runs that the default 0.1 ms bins would collapse
-/// into a single window.
-fn cell_cfg(base: &SimConfig, init: Init, seed: u64, snap: &Path) -> SimConfig {
-    let mut cfg = base.clone();
-    cfg.seed = seed;
-    cfg.recorder =
-        dfsim_metrics::RecorderConfig { bin_width: dfsim_des::MICROSECOND, ..Default::default() };
-    cfg.routing = match init {
-        Init::Ugal => RoutingConfig::new(RoutingAlgo::UgalG),
-        Init::Cold => RoutingConfig::new(RoutingAlgo::QAdaptive),
-        Init::Warm => {
-            RoutingConfig::new(RoutingAlgo::QAdaptive).with_qtable_init(QTableInit::load(snap))
-        }
-    };
-    cfg
+/// The per-cell spec: fine (1 µs) recorder windows resolve the sub-0.1 ms
+/// scaled runs that the default 0.1 ms bins would collapse into a single
+/// window; contiguous placement concentrates the pair's traffic (module
+/// docs).
+fn cell_spec(base: &ExperimentSpec, init: Init, seed: u64, snap: &Path) -> ExperimentSpec {
+    let mut spec = base.clone();
+    spec.seed = seed;
+    spec.bin_width = MICROSECOND;
+    spec.placement = Placement::Contiguous;
+    spec.qtable_load = None;
+    spec.qtable_save = None;
+    spec.routings = vec![match init {
+        Init::Ugal => RoutingAlgo::UgalG,
+        Init::Cold | Init::Warm => RoutingAlgo::QAdaptive,
+    }];
+    if init == Init::Warm {
+        spec.qtable_load = Some(snap.to_path_buf());
+    }
+    spec
 }
 
-/// A pair of half-machine jobs of `kind`, contiguously placed (see the
+/// A pair of half-machine jobs of `kind` under the cell spec (see the
 /// module docs for why this is the transfer-relevant regime).
-fn run_pair(kind: AppKind, cfg: &SimConfig) -> RunReport {
-    let half = cfg.params.num_nodes() / 2;
+fn run_pair(kind: AppKind, spec: &ExperimentSpec) -> RunReport {
+    let half = spec.params.num_nodes() / 2;
     let size = kind.preferred_size(half);
-    run_placed(
-        cfg,
-        &[JobSpec::sized(kind, size), JobSpec::sized(kind, size)],
-        Placement::Contiguous,
-    )
+    let jobs = vec![JobSpec::sized(kind, size), JobSpec::sized(kind, size)];
+    Simulation::run_one(spec, Workload::jobs(jobs)).unwrap_or_else(|e| die(&e)).report
 }
 
-fn train(base: &SimConfig, kind: AppKind, seed: u64, snap: &Path) -> RunReport {
-    let mut cfg = cell_cfg(base, Init::Cold, seed, snap);
-    cfg.qtable_save = Some(snap.to_path_buf());
-    run_pair(kind, &cfg)
+fn train(base: &ExperimentSpec, kind: AppKind, seed: u64, snap: &Path) -> RunReport {
+    let mut spec = cell_spec(base, Init::Cold, seed, snap);
+    spec.qtable_save = Some(snap.to_path_buf());
+    run_pair(kind, &spec)
 }
 
 fn learning_cols(l: Option<&LearningReport>) -> [String; 3] {
@@ -121,8 +123,13 @@ fn learning_cols(l: Option<&LearningReport>) -> [String; 3] {
 fn smoke() -> ! {
     let snap =
         std::env::temp_dir().join(format!("dfsim_transfer_smoke_{}.qtable", std::process::id()));
-    let mut base = SimConfig::test_tiny(RoutingAlgo::QAdaptive);
-    base.scale = 128.0;
+    let base = ExperimentSpec {
+        params: DragonflyParams::tiny_72(),
+        routings: vec![RoutingAlgo::QAdaptive],
+        scale: 128.0,
+        seed: 7,
+        ..Default::default()
+    };
     let kind = AppKind::Halo3D;
 
     // Train on seed 7, snapshot, and round-trip the file.
@@ -131,12 +138,12 @@ fn smoke() -> ! {
         die("transfer smoke FAILED: training run incomplete");
     }
     let text = std::fs::read_to_string(&snap)
-        .unwrap_or_else(|e| die(&format!("transfer smoke FAILED: snapshot unreadable: {e}")));
+        .unwrap_or_else(|e| die(format!("transfer smoke FAILED: snapshot unreadable: {e}")));
     let loaded =
-        QTableSnapshot::load(&snap).unwrap_or_else(|e| die(&format!("transfer smoke FAILED: {e}")));
+        QTableSnapshot::load(&snap).unwrap_or_else(|e| die(format!("transfer smoke FAILED: {e}")));
     loaded
-        .verify(&base.params, &base.timing, base.routing.qa.alpha)
-        .unwrap_or_else(|e| die(&format!("transfer smoke FAILED: {e}")));
+        .verify(&base.params, &base.timing, base.qa_alpha)
+        .unwrap_or_else(|e| die(format!("transfer smoke FAILED: {e}")));
     if loaded.to_text() != text {
         die("transfer smoke FAILED: save -> load -> save is not byte-identical");
     }
@@ -144,10 +151,12 @@ fn smoke() -> ! {
     // Evaluate with a different seed so the warm run is not a literal
     // replay of its own training traffic (contiguous placement keeps the
     // hot group pairs identical, which is exactly the transfer premise).
-    let cold = run_pair(kind, &cell_cfg(&base, Init::Cold, 8, &snap));
-    let warm_cfg = cell_cfg(&base, Init::Warm, 8, &snap);
-    let warm_heap = run_pair(kind, &warm_cfg);
-    let warm_cal = run_pair(kind, &warm_cfg.with_queue(QueueBackend::calendar_auto()));
+    let cold = run_pair(kind, &cell_spec(&base, Init::Cold, 8, &snap));
+    let warm_spec = cell_spec(&base, Init::Warm, 8, &snap);
+    let warm_heap = run_pair(kind, &warm_spec);
+    let mut warm_cal_spec = warm_spec.clone();
+    warm_cal_spec.queue = QueueBackend::calendar_auto();
+    let warm_cal = run_pair(kind, &warm_cal_spec);
     let _ = std::fs::remove_file(&snap);
     if !(cold.completed && warm_heap.completed && warm_cal.completed) {
         die("transfer smoke FAILED: an evaluation run did not complete");
@@ -196,27 +205,24 @@ fn smoke() -> ! {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    if smoke_flag() {
         smoke();
     }
     // Default scale 1/128: heavy enough that the contiguous pairs
     // congest their group-pair links and the cold-start transient is real.
-    let study = study_from_env(128.0);
-    let mut base = study.sim();
-    base.routing = RoutingConfig::new(RoutingAlgo::QAdaptive);
-    let train_kind = match std::env::var("TRAIN") {
-        Ok(s) => {
-            AppKind::from_name(s.trim()).unwrap_or_else(|| die(&format!("unknown TRAIN app '{s}'")))
-        }
-        Err(_) => AppKind::Halo3D,
-    };
-    let evals = match std::env::var("APPS") {
-        Ok(s) => parse_app_list(&s).unwrap_or_else(|e| die(&e)),
-        Err(_) => vec![AppKind::Halo3D, AppKind::Stencil5D, AppKind::LQCD],
-    };
-    let (snap, keep) = match std::env::var("SNAPSHOT") {
-        Ok(p) => (PathBuf::from(p), true),
-        Err(_) => (
+    let mut defaults = ExperimentSpec { scale: 128.0, ..Default::default() };
+    defaults.routings = vec![RoutingAlgo::QAdaptive];
+    defaults.apps = vec![AppKind::Halo3D, AppKind::Stencil5D, AppKind::LQCD];
+    let base = resolve_spec_env(defaults, &["TRAIN", "APPS", "SNAPSHOT"]);
+    if base.qtable_load.is_some() || base.qtable_save.is_some() {
+        die("transfer owns its Q-table lifecycle (--qtable is not accepted); pick the training \
+             workload with TRAIN/--train and keep the snapshot with SNAPSHOT/--snapshot");
+    }
+    let train_kind = base.train;
+    let evals = base.apps.clone();
+    let (snap, keep) = match &base.snapshot {
+        Some(p) => (p.clone(), true),
+        None => (
             std::env::temp_dir().join(format!("dfsim_transfer_{}.qtable", std::process::id())),
             false,
         ),
@@ -248,8 +254,8 @@ fn main() {
             cells.push((kind, init));
         }
     }
-    let results = parallel_map(cells, threads_from_env(), |(kind, init)| {
-        let r = run_pair(kind, &cell_cfg(&base, init, eval_seed, &snap));
+    let results = parallel_map(cells, base.threads, |(kind, init)| {
+        let r = run_pair(kind, &cell_spec(&base, init, eval_seed, &snap));
         (kind, init, r)
     });
 

@@ -10,27 +10,31 @@
 //! ```
 
 use dfsim_apps::AppKind;
-use dfsim_bench::{csv_flag, study_from_env, threads_from_env};
-use dfsim_core::config::SimConfig;
-use dfsim_core::runner::{run_placed, JobSpec};
+use dfsim_bench::{csv_flag, resolve_spec, run_cell, sweep_defaults};
 use dfsim_core::sweep::parallel_map;
 use dfsim_core::tables::{f, TextTable};
-use dfsim_network::{RoutingAlgo, RoutingConfig};
+use dfsim_core::Workload;
+use dfsim_network::RoutingAlgo;
 
 fn main() {
-    let study = study_from_env(64.0);
-    eprintln!("# UGAL bias sweep @ scale 1/{}", study.scale);
+    // The sweep varies the UGAL bias itself; the routing is pinned to
+    // UGALg regardless of overrides.
+    let mut defaults = sweep_defaults(64.0);
+    defaults.routings = vec![RoutingAlgo::UgalG];
+    let mut spec = resolve_spec(defaults);
+    spec.routings = vec![RoutingAlgo::UgalG];
+    dfsim_bench::sweep_qtable_guard(&spec);
+    eprintln!("# UGAL bias sweep @ scale 1/{}", spec.scale);
     let biases: Vec<i64> = vec![-4, 0, 4, 16, 64];
-    let half = study.half_nodes();
-    let runs = parallel_map(biases, threads_from_env(), |bias| {
-        let mut routing = RoutingConfig::new(RoutingAlgo::UgalG);
-        routing.ugal_bias = bias;
-        let cfg = SimConfig { routing, scale: study.scale, seed: study.seed, ..Default::default() };
-        let jobs = [
-            JobSpec::sized(AppKind::FFT3D, AppKind::FFT3D.preferred_size(half)),
-            JobSpec::sized(AppKind::Halo3D, AppKind::Halo3D.preferred_size(half)),
-        ];
-        (bias, run_placed(&cfg, &jobs, study.placement))
+    let runs = parallel_map(biases, spec.threads, |bias| {
+        let mut cell = spec.clone();
+        cell.ugal_bias = bias;
+        let r = run_cell(
+            &cell,
+            RoutingAlgo::UgalG,
+            Workload::pairwise(AppKind::FFT3D, Some(AppKind::Halo3D)),
+        );
+        (bias, r)
     });
 
     let mut t = TextTable::new(vec![

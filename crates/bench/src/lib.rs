@@ -1,139 +1,75 @@
 //! Shared helpers for the reproduction binaries (one per paper table /
 //! figure) and the criterion micro-benchmarks.
+//!
+//! Every binary's configuration comes from one place:
+//! [`dfsim_core::spec::ExperimentSpec::resolve`], layered `binary defaults
+//! < --spec FILE < environment < command line`. The helpers here only add
+//! the binary-side conventions on top — exit-2 error handling ([`die`]),
+//! sweep guards, and the presentation flags (`--csv`, `--engine-stats`)
+//! that describe output, not the experiment.
 
 #![warn(missing_docs)]
 
-use dfsim_apps::AppKind;
-use dfsim_core::experiments::StudyConfig;
+use dfsim_core::{ExperimentSpec, RunReport, Simulation, Workload};
 use dfsim_network::RoutingAlgo;
 
-/// Every selectable routing algorithm (the paper set plus MIN).
-pub const ALL_ROUTINGS: [RoutingAlgo; 5] = [
-    RoutingAlgo::Minimal,
-    RoutingAlgo::UgalG,
-    RoutingAlgo::UgalN,
-    RoutingAlgo::Par,
-    RoutingAlgo::QAdaptive,
-];
+pub use dfsim_core::spec::die;
 
-/// Parse a routing-algorithm name; the error lists the valid names.
-pub fn parse_routing(name: &str) -> Result<RoutingAlgo, String> {
-    ALL_ROUTINGS.into_iter().find(|r| r.label().eq_ignore_ascii_case(name)).ok_or_else(|| {
-        let valid: Vec<&str> = ALL_ROUTINGS.iter().map(|r| r.label()).collect();
-        format!("unknown routing '{name}' (valid: {})", valid.join(", "))
-    })
+/// Resolve a reproduction binary's effective spec: `defaults < --spec FILE
+/// < environment < command line`, exiting 2 with the named error on any
+/// invalid input (`SCALE=6O` is a hard error, never a silent default).
+/// Only the core env vars (`SCALE`/`SEED`/`QUEUE`/`ROUTING`/`PLACEMENT`/
+/// `SCHED`/`THREADS`) are consulted; binaries that document the generic
+/// workload names use [`resolve_spec_env`].
+pub fn resolve_spec(defaults: ExperimentSpec) -> ExperimentSpec {
+    resolve_spec_env(defaults, &[])
 }
 
-/// Parse a comma-separated workload list; the error lists the valid names.
-/// An effectively empty list is an error — a misconfigured `TARGETS`/`APPS`
-/// env var must not silently turn a sweep into a no-op.
-pub fn parse_app_list(s: &str) -> Result<Vec<AppKind>, String> {
-    let apps: Vec<AppKind> = s
-        .split(',')
-        .filter(|n| !n.trim().is_empty())
-        .map(|n| {
-            let n = n.trim();
-            AppKind::from_name(n).ok_or_else(|| {
-                let valid: Vec<&str> = AppKind::ALL.iter().map(|k| k.name()).collect();
-                format!("unknown app '{n}' (valid: {})", valid.join(", "))
-            })
-        })
-        .collect::<Result<_, _>>()?;
-    if apps.is_empty() {
-        return Err("empty app list".into());
-    }
-    Ok(apps)
+/// [`resolve_spec`] plus the listed extended env vars (`TARGETS`, `RATES`,
+/// `JOBS`, `APPS`, `SIZES`, `TRAIN`, `SNAPSHOT`, `TARGET`, `BG`) — opt-in
+/// per binary because the names are generic enough to collide with
+/// unrelated shell/CI variables.
+pub fn resolve_spec_env(defaults: ExperimentSpec, extra_env: &[&str]) -> ExperimentSpec {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    defaults.resolve_env(extra_env, &args).unwrap_or_else(|e| die(&e))
 }
 
-/// Exit with a usage error (uniform handling of bad env/CLI values in the
-/// reproduction binaries: a clear message, not a panic with a backtrace).
-pub fn die(msg: &str) -> ! {
-    eprintln!("{msg}");
-    std::process::exit(2)
-}
-
-/// Read the common environment knobs: `SCALE` (workload scale divisor),
-/// `SEED`, `ROUTING` (restrict to one algorithm), `QUEUE`
-/// (`heap`/`calendar` event-queue backend).
-pub fn study_from_env(default_scale: f64) -> StudyConfig {
-    let scale = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(default_scale);
-    let seed = std::env::var("SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
-    let queue = match std::env::var("QUEUE") {
-        Ok(name) => name.parse().unwrap_or_else(|e: String| die(&e)),
-        Err(_) => dfsim_des::QueueBackend::default(),
-    };
-    StudyConfig { scale, seed, queue, ..Default::default() }
-}
-
-/// The routing set under study: `ROUTING=PAR` (etc.) restricts it. Fallible
-/// form of [`routings_from_env`] for callers that report errors themselves.
-pub fn try_routings_from_env() -> Result<Vec<RoutingAlgo>, String> {
-    match std::env::var("ROUTING") {
-        Ok(name) => Ok(vec![parse_routing(&name)?]),
-        Err(_) => Ok(RoutingAlgo::PAPER_SET.to_vec()),
+/// A sweep binary's default spec: the given scale, the paper's four-routing
+/// comparison set (restrict with `ROUTING=...`/`--routing`).
+pub fn sweep_defaults(default_scale: f64) -> ExperimentSpec {
+    ExperimentSpec {
+        scale: default_scale,
+        routings: RoutingAlgo::PAPER_SET.to_vec(),
+        ..Default::default()
     }
 }
 
-/// The routing set under study: `ROUTING=PAR` (etc.) restricts it. An
-/// unknown name exits with a message listing the valid ones.
-pub fn routings_from_env() -> Vec<RoutingAlgo> {
-    try_routings_from_env().unwrap_or_else(|e| die(&e))
-}
-
-/// Apply the `--qtable` command-line flag to a sweep bin's study config.
+/// Guard the Q-table lifecycle knobs of a sweep binary's resolved spec:
 ///
-/// * `--qtable load=PATH` warm-starts the sweep's *Q-adaptive* cells from
-///   the snapshot (other routings carry no Q-tables; see [`cell_study`]).
-///   If the effective routing set contains no Q-adp at all the flag would
-///   be a silent no-op, so it exits with a message instead.
-/// * `--qtable save=PATH` is rejected here: a sweep runs many cells in
-///   parallel and they would race on the file. Snapshots are written by
-///   the single-run front-ends (`dfsim --qtable save=` or the `transfer`
-///   bin), which this error points at.
-///
-/// Malformed flags exit listing the valid forms.
-pub fn apply_qtable_flags(study: &mut StudyConfig, routings: &[RoutingAlgo]) {
-    let mut args = std::env::args();
-    let mut seen = false;
-    while let Some(a) = args.next() {
-        if a != "--qtable" {
-            continue;
-        }
-        let v = args.next().unwrap_or_else(|| {
-            die("--qtable needs a value (valid forms: --qtable save=PATH, --qtable load=PATH)")
-        });
-        match v.split_once('=') {
-            Some(("save", p)) if !p.is_empty() => {
-                die("--qtable save= is not supported by sweep binaries (parallel cells would race \
-                 on the file); write snapshots with 'dfsim --qtable save=PATH' or the transfer \
-                 bin")
-            }
-            Some(("load", p)) if !p.is_empty() => {
-                study.qtable_init = dfsim_network::QTableInit::load(p)
-            }
-            _ => die(&format!(
-                "invalid --qtable '{v}' (valid forms: --qtable save=PATH, --qtable load=PATH)"
-            )),
-        }
-        seen = true;
+/// * `qtable_save` is rejected: a sweep runs many cells in parallel and
+///   they would race on the file. Snapshots are written by the single-run
+///   front-ends (`dfsim --qtable save=` or the `transfer` bin), which the
+///   error points at.
+/// * `qtable_load` on a routing set without Q-adp would be a silent no-op
+///   (only Q-adaptive cells carry Q-tables — [`ExperimentSpec::cell`]
+///   strips the knobs from the others), so it exits with a message instead.
+pub fn sweep_qtable_guard(spec: &ExperimentSpec) {
+    if spec.qtable_save.is_some() {
+        die("--qtable save= is not supported by sweep binaries (parallel cells would race on \
+             the file); write snapshots with 'dfsim --qtable save=PATH' or the transfer bin");
     }
-    if seen && !routings.contains(&RoutingAlgo::QAdaptive) {
+    if spec.qtable_load.is_some() && !spec.routings.contains(&RoutingAlgo::QAdaptive) {
         die("--qtable load= would have no effect: the routing set contains no Q-adp (set \
              ROUTING=Q-adp or include Q-adp)");
     }
 }
 
-/// The per-cell study config of a sweep: `study` specialized to `routing`,
-/// with the Q-table lifecycle knobs attached only to Q-adaptive cells —
-/// the other algorithms carry no Q-tables, and `SimConfig::validate`
-/// rejects lifecycle knobs on them rather than ignoring them silently.
-pub fn cell_study(routing: RoutingAlgo, study: &StudyConfig) -> StudyConfig {
-    let mut cfg = StudyConfig { routing, ..study.clone() };
-    if routing != RoutingAlgo::QAdaptive {
-        cfg.qtable_init = dfsim_network::QTableInit::Cold;
-        cfg.qtable_save = None;
-    }
-    cfg
+/// Run one sweep cell through the simulation session: `workload` under
+/// `spec` specialized to `routing` ([`ExperimentSpec::cell`] keeps the
+/// Q-table lifecycle knobs only on Q-adaptive cells). Exits 2 with the
+/// named error on an invalid cell — a clear message, not a panic.
+pub fn run_cell(spec: &ExperimentSpec, routing: RoutingAlgo, workload: Workload) -> RunReport {
+    Simulation::run_one(&spec.cell(routing), workload).unwrap_or_else(|e| die(&e)).report
 }
 
 /// Whether `--csv` was passed.
@@ -145,6 +81,12 @@ pub fn csv_flag() -> bool {
 /// the regular tables).
 pub fn engine_stats_flag() -> bool {
     std::env::args().any(|a| a == "--engine-stats")
+}
+
+/// Whether `--smoke` was passed (the CI smoke entry of the binaries that
+/// define one).
+pub fn smoke_flag() -> bool {
+    std::env::args().any(|a| a == "--smoke")
 }
 
 /// Print the `--engine-stats` block: one line per labelled report with the
@@ -160,40 +102,15 @@ where
     }
 }
 
-/// Worker threads for sweeps (`THREADS`, default all cores).
-pub fn threads_from_env() -> usize {
-    std::env::var("THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn routing_names_parse_case_insensitively() {
-        for r in ALL_ROUTINGS {
-            assert_eq!(parse_routing(r.label()).unwrap(), r);
-            assert_eq!(parse_routing(&r.label().to_uppercase()).unwrap(), r);
-        }
-    }
-
-    #[test]
-    fn unknown_routing_error_lists_valid_names() {
-        let err = parse_routing("warp-speed").unwrap_err();
-        assert!(err.contains("warp-speed"), "{err}");
-        for r in ALL_ROUTINGS {
-            assert!(err.contains(r.label()), "error must list {}: {err}", r.label());
-        }
-    }
-
-    #[test]
-    fn app_lists_parse_and_report_errors() {
-        let apps = parse_app_list("UR, lu ,FFT3D,").unwrap();
-        assert_eq!(apps, vec![AppKind::UR, AppKind::LU, AppKind::FFT3D]);
-        let err = parse_app_list("UR,Quake").unwrap_err();
-        assert!(err.contains("Quake"), "{err}");
-        assert!(err.contains("LULESH") && err.contains("CosmoFlow"), "{err}");
-        assert!(parse_app_list("").is_err(), "empty list must not be a silent no-op");
-        assert!(parse_app_list(" , ,").is_err());
+    fn sweep_defaults_carry_the_paper_routing_set() {
+        let spec = sweep_defaults(128.0);
+        assert_eq!(spec.scale, 128.0);
+        assert_eq!(spec.routings, RoutingAlgo::PAPER_SET.to_vec());
+        spec.validate().unwrap();
     }
 }

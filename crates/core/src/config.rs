@@ -12,7 +12,7 @@ use dfsim_topology::{DragonflyParams, LinkTiming};
 /// Not `Copy` since the Q-table lifecycle knobs carry paths
 /// ([`QTableInit::Load`], [`SimConfig::qtable_save`]); sweep code clones
 /// per cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Structural topology parameters (default: the paper's 1,056-node
     /// system).

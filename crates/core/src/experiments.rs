@@ -19,7 +19,9 @@ use dfsim_network::{QTableInit, RoutingAlgo, RoutingConfig};
 use crate::config::SimConfig;
 use crate::placement::Placement;
 use crate::report::RunReport;
-use crate::runner::{run_placed, JobSpec};
+use crate::runner::JobSpec;
+use crate::simulation::Simulation;
+use crate::spec::{ExperimentSpec, Workload};
 
 /// Knobs shared by a whole experiment campaign.
 ///
@@ -102,23 +104,12 @@ pub fn standalone(target: AppKind, cfg: &StudyConfig) -> RunReport {
 /// of the system. `background = None` is the standalone case with an
 /// *identical* target mapping (same placement seed, same partition slice).
 pub fn pairwise(target: AppKind, background: Option<AppKind>, cfg: &StudyConfig) -> RunReport {
-    let half = cfg.half_nodes();
-    let tsize = target.preferred_size(half);
-    let mut jobs = vec![JobSpec::sized(target, tsize)];
-    if tsize < half {
-        // Keep the background's node slice at the half boundary regardless
-        // of the target's exact size (e.g. LULESH leaves 16 idle nodes).
-        jobs.push(JobSpec::idle(half - tsize));
-    }
-    if let Some(bg) = background {
-        jobs.push(JobSpec::sized(bg, bg.preferred_size(half)));
-    }
-    run_placed(&cfg.sim(), &jobs, cfg.placement)
+    preset(cfg, Workload::pairwise(target, background))
 }
 
 /// Run the Table II mixed workload.
 pub fn mixed(cfg: &StudyConfig) -> RunReport {
-    mixed_scaled_sizes(cfg, 1.0)
+    preset(cfg, Workload::Mixed)
 }
 
 /// Mixed workload with job sizes scaled by `size_factor` (for small-system
@@ -131,7 +122,17 @@ pub fn mixed_scaled_sizes(cfg: &StudyConfig, size_factor: f64) -> RunReport {
             JobSpec::sized(kind, s)
         })
         .collect();
-    run_placed(&cfg.sim(), &jobs, cfg.placement)
+    preset(cfg, Workload::jobs(jobs))
+}
+
+/// Run a preset workload under a study config through the simulation
+/// session (the presets predate [`ExperimentSpec`]; they keep their
+/// signatures and, by construction, their bit-identical reports).
+fn preset(cfg: &StudyConfig, workload: Workload) -> RunReport {
+    let spec = ExperimentSpec::from_study(cfg);
+    Simulation::run_one(&spec, workload)
+        .unwrap_or_else(|e| panic!("invalid study config: {e}"))
+        .report
 }
 
 /// The background set of Fig 4 (legend order).

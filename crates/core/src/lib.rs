@@ -15,6 +15,11 @@
 //!   admission, node reclamation, and `run_scenario`,
 //! * [`experiments`] — the paper's campaign presets: standalone runs,
 //!   pairwise interference (§V) and the Table II mixed workload (§VI),
+//! * [`spec`] — the declarative [`spec::ExperimentSpec`]: one serializable
+//!   description of an experiment, one text format, one `defaults < file <
+//!   env < CLI` resolver, one label registry,
+//! * [`simulation`] — the session API: [`simulation::Simulation`] runs a
+//!   spec (`from_spec → prepare → run → RunHandle`),
 //! * [`sweep`] — deterministic parallel execution of independent runs
 //!   (crossbeam-scoped threads),
 //! * [`report`] / [`tables`] — run reports and text/CSV table rendering.
@@ -37,6 +42,8 @@ pub mod placement;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod simulation;
+pub mod spec;
 pub mod sweep;
 pub mod tables;
 pub mod world;
@@ -44,5 +51,9 @@ pub mod world;
 pub use config::SimConfig;
 pub use report::{AppReport, EngineReport, JobReport, LearningReport, NetworkReport, RunReport};
 pub use runner::{run, JobSpec};
-pub use scenario::{run_scenario, Scenario, SchedPolicy};
+#[allow(deprecated)]
+pub use scenario::run_scenario;
+pub use scenario::{Scenario, SchedPolicy};
+pub use simulation::{RunHandle, Simulation};
+pub use spec::{ExperimentSpec, SpecError, Workload};
 pub use world::{World, WorldEvent, WorldQueue};

@@ -21,6 +21,25 @@ pub enum Placement {
     Contiguous,
 }
 
+impl Placement {
+    /// Every selectable policy (registry order).
+    pub const ALL: [Placement; 2] = [Placement::Random, Placement::Contiguous];
+
+    /// Short stable name (spec files, CLI, reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Placement::Random => "random",
+            Placement::Contiguous => "contiguous",
+        }
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Assign `sizes[i]` nodes to each job under the policy. Returns one node
 /// list per job; `sizes` must sum to at most the node count.
 pub fn place(topo: &Topology, policy: Placement, sizes: &[u32], seed: u64) -> Vec<Vec<NodeId>> {

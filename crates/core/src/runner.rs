@@ -19,10 +19,12 @@ use crate::world::{StopReason, World, WorldEvent};
 
 // The runner-level entry points into dynamic scenarios; the types they
 // take live in [`crate::scenario`].
-pub use crate::scenario::{run_scenario, run_scenario_with};
+#[allow(deprecated)]
+pub use crate::scenario::run_scenario;
+pub use crate::scenario::run_scenario_with;
 
 /// One job of a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobSpec {
     /// The workload.
     pub kind: AppKind,
@@ -54,20 +56,34 @@ impl JobSpec {
 /// The world loop is monomorphized over the event-queue backend selected by
 /// [`SimConfig::queue`]; both backends realize the same deterministic event
 /// order, so the report depends only on the rest of the config.
+#[deprecated(note = "describe the experiment as an `ExperimentSpec` and run it through \
+            `spec::Simulation` (this wrapper pins the old entry point's behavior)")]
 pub fn run_placed(cfg: &SimConfig, jobs: &[JobSpec], policy: Placement) -> RunReport {
+    exec_placed(cfg, jobs, policy).0
+}
+
+/// The static-run engine behind both [`run_placed`] and
+/// [`crate::simulation::Simulation`]: dispatch on the configured queue
+/// backend, run, and return the report plus the learned Q-table snapshot
+/// (Q-adaptive runs only).
+pub(crate) fn exec_placed(
+    cfg: &SimConfig,
+    jobs: &[JobSpec],
+    policy: Placement,
+) -> (RunReport, Option<dfsim_network::QTableSnapshot>) {
     match cfg.queue.kind() {
         QueueKind::Heap => run_placed_on::<EventQueue<WorldEvent>>(cfg, jobs, policy),
         QueueKind::Calendar => run_placed_on::<CalendarQueue<WorldEvent>>(cfg, jobs, policy),
     }
 }
 
-/// [`run_placed`] on a concrete queue backend `Q` (tuned from
+/// [`exec_placed`] on a concrete queue backend `Q` (tuned from
 /// [`SimConfig::queue`]).
 fn run_placed_on<Q: SimQueue<WorldEvent>>(
     cfg: &SimConfig,
     jobs: &[JobSpec],
     policy: Placement,
-) -> RunReport {
+) -> (RunReport, Option<dfsim_network::QTableSnapshot>) {
     debug_assert_eq!(Q::KIND, cfg.queue.kind(), "backend dispatch out of sync with config");
     cfg.validate().expect("invalid simulation config");
     // The topology is reference-counted: the network shares it with the
@@ -96,23 +112,32 @@ fn run_placed_on<Q: SimQueue<WorldEvent>>(
     let wall = Instant::now();
     let (stop, end_time) = world.run(cfg.horizon, cfg.max_events);
     let wall_s = wall.elapsed().as_secs_f64();
-    save_qtables(cfg, &world.net);
+    let snapshot = capture_qtables(cfg, &world.net);
 
     let starts = vec![0; app_jobs.len()]; // static runs: everything starts at t = 0
-    build_report(cfg, &app_jobs, &topo, &world, stop, end_time, wall_s, &starts, Vec::new())
+    let report =
+        build_report(cfg, &app_jobs, &topo, &world, stop, end_time, wall_s, &starts, Vec::new());
+    (report, snapshot)
 }
 
-/// Write the learned Q-tables if [`SimConfig::qtable_save`] is set
-/// (`validate` already pinned the routing to Q-adaptive).
-pub(crate) fn save_qtables(cfg: &SimConfig, net: &NetworkSim) {
-    let Some(path) = &cfg.qtable_save else { return };
-    let snap = net.qtable_snapshot().expect("qtable_save validated to require Q-adaptive routing");
-    snap.save(path).unwrap_or_else(|e| panic!("{e}"));
+/// Capture the learned Q-tables of a finished world (Q-adaptive runs only)
+/// and write them out if [`SimConfig::qtable_save`] is set (`validate`
+/// already pinned the routing to Q-adaptive).
+pub(crate) fn capture_qtables(
+    cfg: &SimConfig,
+    net: &NetworkSim,
+) -> Option<dfsim_network::QTableSnapshot> {
+    let snapshot = net.qtable_snapshot();
+    if let Some(path) = &cfg.qtable_save {
+        let snap = snapshot.as_ref().expect("qtable_save validated to require Q-adaptive routing");
+        snap.save(path).unwrap_or_else(|e| panic!("{e}"));
+    }
+    snapshot
 }
 
 /// Run with the paper's random placement.
 pub fn run(cfg: &SimConfig, jobs: &[JobSpec]) -> RunReport {
-    run_placed(cfg, jobs, Placement::Random)
+    exec_placed(cfg, jobs, Placement::Random).0
 }
 
 /// Assemble the [`RunReport`] of a finished world. `starts[i]` is job `i`'s

@@ -470,6 +470,8 @@ impl JobTable {
 /// by `placement`, and release their nodes on completion. Dispatches to the
 /// queue backend selected by [`SimConfig::queue`]; reports are bit-identical
 /// across backends.
+#[deprecated(note = "describe the scenario as an `ExperimentSpec` and run it through \
+            `spec::Simulation` (this wrapper pins the old entry point's behavior)")]
 pub fn run_scenario(
     cfg: &SimConfig,
     scenario: &Scenario,
@@ -477,16 +479,30 @@ pub fn run_scenario(
     placement: Placement,
 ) -> RunReport {
     let mut sched = policy_sched.scheduler();
-    run_scenario_with(cfg, scenario, &mut sched, placement)
+    exec_scenario(cfg, scenario, &mut sched, placement).0
 }
 
-/// [`run_scenario`] with a caller-supplied [`Scheduler`] implementation.
+/// Run a scenario with a caller-supplied [`Scheduler`] implementation —
+/// the escape hatch for admission policies the spec format cannot name.
 pub fn run_scenario_with(
     cfg: &SimConfig,
     scenario: &Scenario,
     sched: &mut dyn Scheduler,
     placement: Placement,
 ) -> RunReport {
+    exec_scenario(cfg, scenario, sched, placement).0
+}
+
+/// The churn engine behind [`run_scenario`] and
+/// [`crate::simulation::Simulation`]: dispatch on the configured queue
+/// backend, run, and return the report plus the learned Q-table snapshot
+/// (Q-adaptive runs only).
+pub(crate) fn exec_scenario(
+    cfg: &SimConfig,
+    scenario: &Scenario,
+    sched: &mut dyn Scheduler,
+    placement: Placement,
+) -> (RunReport, Option<dfsim_network::QTableSnapshot>) {
     match cfg.queue.kind() {
         QueueKind::Heap => {
             run_scenario_on::<EventQueue<WorldEvent>>(cfg, scenario, sched, placement)
@@ -502,7 +518,7 @@ fn run_scenario_on<Q: SimQueue<WorldEvent>>(
     scenario: &Scenario,
     sched: &mut dyn Scheduler,
     placement: Placement,
-) -> RunReport {
+) -> (RunReport, Option<dfsim_network::QTableSnapshot>) {
     debug_assert_eq!(Q::KIND, cfg.queue.kind(), "backend dispatch out of sync with config");
     cfg.validate().expect("invalid simulation config");
     let topo = Arc::new(Topology::new(cfg.params).expect("validated params"));
@@ -522,12 +538,13 @@ fn run_scenario_on<Q: SimQueue<WorldEvent>>(
     let wall = Instant::now();
     let (stop, end_time) = scenario_loop(cfg, &mut world, &mut table, sched);
     let wall_s = wall.elapsed().as_secs_f64();
-    crate::runner::save_qtables(cfg, &world.net);
+    let snapshot = crate::runner::capture_qtables(cfg, &world.net);
 
     let specs: Vec<&JobSpec> = scenario.arrivals.iter().map(|a| &a.spec).collect();
     let starts = table.start_times(end_time);
     let jobs = table.job_reports(end_time);
-    build_report(cfg, &specs, &topo, &world, stop, end_time, wall_s, &starts, jobs)
+    let report = build_report(cfg, &specs, &topo, &world, stop, end_time, wall_s, &starts, jobs);
+    (report, snapshot)
 }
 
 /// The churn event loop: [`crate::world::World::run`] plus job-lifecycle
@@ -621,6 +638,9 @@ fn try_admit<Q: PendingEvents<WorldEvent>>(
 }
 
 #[cfg(test)]
+// The deprecated wrappers are exercised on purpose: they pin the old entry
+// points' behavior for the spec-vs-wrapper equivalence contract.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use dfsim_network::RoutingAlgo;

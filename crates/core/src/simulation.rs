@@ -1,0 +1,342 @@
+//! The simulation session API: run an [`ExperimentSpec`] end to end.
+//!
+//! One object owns the whole lifecycle that used to be spread over
+//! `run_placed`/`run_scenario` and per-binary glue:
+//!
+//! ```no_run
+//! use dfsim_core::spec::{ExperimentSpec, Workload};
+//! use dfsim_core::simulation::Simulation;
+//! use dfsim_apps::AppKind;
+//!
+//! let spec = ExperimentSpec::default()
+//!     .with_workload(Workload::pairwise(AppKind::FFT3D, Some(AppKind::Halo3D)));
+//! let mut sim = Simulation::from_spec(spec).unwrap();
+//! sim.prepare().unwrap(); // optional: materialize + validate eagerly
+//! let handle = sim.run().unwrap();
+//! println!("comm {:.3} ms", handle.report.apps[0].comm_ms.mean);
+//! ```
+//!
+//! * [`Simulation::from_spec`] validates the spec (exactly one routing —
+//!   sweep binaries iterate [`ExperimentSpec::cell`]).
+//! * [`Simulation::prepare`] materializes the workload (job lists, churn
+//!   scenarios), pre-verifies the Q-table snapshot fingerprint and the
+//!   save path's writability, so misconfiguration fails *before* the run.
+//! * [`Simulation::run`] executes on the configured queue backend and
+//!   returns a [`RunHandle`] — the report plus the learned Q-table
+//!   snapshot. Reports are bit-identical to the deprecated free-function
+//!   entry points: the session is a front-end over the same engine.
+
+use dfsim_network::QTableSnapshot;
+
+use crate::config::SimConfig;
+use crate::experiments::MIXED_JOBS;
+use crate::report::{EngineReport, LearningReport, RunReport};
+use crate::runner::{exec_placed, JobSpec};
+use crate::scenario::{exec_scenario, Scenario};
+use crate::spec::{ExperimentSpec, SpecError, Workload};
+
+/// The outcome of one [`Simulation::run`].
+#[derive(Debug, Clone)]
+pub struct RunHandle {
+    /// The full run report (apps, jobs, network, engine, learning).
+    pub report: RunReport,
+    /// The learned per-router Q-tables after the run (Q-adaptive runs
+    /// only; already written to disk when the spec sets `qtable_save`).
+    pub qtable_snapshot: Option<QTableSnapshot>,
+}
+
+impl RunHandle {
+    /// The event-engine block of the report.
+    pub fn engine_stats(&self) -> &EngineReport {
+        &self.report.engine
+    }
+
+    /// The Q-learning convergence block (Q-adaptive runs only).
+    pub fn learning(&self) -> Option<&LearningReport> {
+        self.report.learning.as_ref()
+    }
+}
+
+/// The materialized work of a prepared session.
+#[derive(Debug, Clone)]
+enum PreparedWork {
+    /// Static jobs, all starting at t = 0.
+    Static(Vec<JobSpec>),
+    /// A churn scenario admitted by the spec's scheduler policy.
+    Churn(Scenario),
+}
+
+/// A validated, materialized session ready to run.
+#[derive(Debug, Clone)]
+struct Prepared {
+    cfg: SimConfig,
+    work: PreparedWork,
+}
+
+/// A simulation session: spec in, [`RunHandle`] out.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    spec: ExperimentSpec,
+    prepared: Option<Prepared>,
+}
+
+impl Simulation {
+    /// Start a session from a spec. Fails with a named error when the spec
+    /// is invalid or names more than one routing (sweeps specialize with
+    /// [`ExperimentSpec::cell`] and run one session per cell).
+    pub fn from_spec(spec: ExperimentSpec) -> Result<Self, SpecError> {
+        spec.validate()?;
+        if spec.routings.len() != 1 {
+            return Err(SpecError::Invalid {
+                msg: format!(
+                    "a simulation session runs exactly one routing; the spec names {} ({}) — \
+                     sweep binaries iterate the set with ExperimentSpec::cell",
+                    spec.routings.len(),
+                    spec.routings.iter().map(|r| r.label()).collect::<Vec<_>>().join(",")
+                ),
+            });
+        }
+        Ok(Self { spec, prepared: None })
+    }
+
+    /// The session's spec.
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// Materialize and validate everything the run needs: the concrete job
+    /// list or churn scenario, the simulation config, the Q-table snapshot
+    /// fingerprint (a stale snapshot fails *here*, not mid-construction)
+    /// and the snapshot save path's writability (a post-run write error
+    /// would discard the whole run). Idempotent; [`Self::run`] calls it
+    /// implicitly.
+    pub fn prepare(&mut self) -> Result<(), SpecError> {
+        if self.prepared.is_some() {
+            return Ok(());
+        }
+        let invalid = |msg: String| SpecError::Invalid { msg };
+        let spec = &self.spec;
+        let cfg = spec.sim();
+        cfg.validate().map_err(invalid)?;
+        let num_nodes = spec.params.num_nodes();
+        let work = match &spec.workload {
+            Workload::Standalone(app) => PreparedWork::Static(pairwise_jobs(spec, *app, None)),
+            Workload::Pairwise { target, background } => {
+                PreparedWork::Static(pairwise_jobs(spec, *target, *background))
+            }
+            Workload::Mixed => {
+                // Table II fills exactly the paper's 1,056 nodes; on any
+                // other machine (tiny test systems, --smoke) each job is
+                // scaled proportionally — the same semantics as the
+                // `mixed_scaled_sizes` preset. On the paper system the
+                // factor is 1 and the sizes are bit-exact.
+                let total: u32 = MIXED_JOBS.iter().map(|&(_, s)| s).sum();
+                let factor = num_nodes as f64 / total as f64;
+                PreparedWork::Static(
+                    MIXED_JOBS
+                        .iter()
+                        .map(|&(kind, size)| {
+                            let s = ((size as f64 * factor).round() as u32).max(2);
+                            JobSpec::sized(kind, s)
+                        })
+                        .collect(),
+                )
+            }
+            Workload::Jobs(jobs) => PreparedWork::Static(jobs.clone()),
+            Workload::Scenario(arrivals) => PreparedWork::Churn(Scenario::from_specs(arrivals)),
+            Workload::Poisson => {
+                let sizes = if spec.sizes.is_empty() {
+                    // Derived default: quarter-machine jobs, so a few
+                    // co-residents fill the system and admission queues.
+                    vec![(num_nodes / 4).max(2)]
+                } else {
+                    spec.sizes.clone()
+                };
+                PreparedWork::Churn(Scenario::poisson(
+                    spec.seed,
+                    spec.rates[0],
+                    spec.jobs,
+                    &spec.apps,
+                    &sizes,
+                ))
+            }
+        };
+        match &work {
+            PreparedWork::Static(jobs) => {
+                let total: u64 = jobs.iter().map(|j| j.size as u64).sum();
+                if total > num_nodes as u64 {
+                    return Err(invalid(format!(
+                        "the workload needs {total} nodes, the system has {num_nodes}"
+                    )));
+                }
+            }
+            PreparedWork::Churn(scenario) => {
+                scenario.validate(num_nodes).map_err(invalid)?;
+            }
+        }
+        if let Some(path) = &spec.qtable_load {
+            // Pre-validate the snapshot so a stale file fails with the
+            // named fingerprint error instead of panicking mid-build.
+            let snap = QTableSnapshot::load(path).map_err(|e| invalid(e.to_string()))?;
+            snap.verify(&spec.params, &spec.timing, spec.qa_alpha)
+                .map_err(|e| invalid(e.to_string()))?;
+        }
+        if let Some(path) = &spec.qtable_save {
+            if let Err(e) = std::fs::OpenOptions::new().append(true).create(true).open(path) {
+                return Err(invalid(format!("cannot write qtable_save {}: {e}", path.display())));
+            }
+        }
+        self.prepared = Some(Prepared { cfg, work });
+        Ok(())
+    }
+
+    /// Execute the session and return the [`RunHandle`]. Deterministic:
+    /// running the same session (or a clone) again reproduces the report
+    /// bit for bit.
+    pub fn run(&mut self) -> Result<RunHandle, SpecError> {
+        self.prepare()?;
+        let prepared = self.prepared.as_ref().expect("prepare just succeeded");
+        let (report, qtable_snapshot) = match &prepared.work {
+            PreparedWork::Static(jobs) => exec_placed(&prepared.cfg, jobs, self.spec.placement),
+            PreparedWork::Churn(scenario) => {
+                let mut sched = self.spec.sched.scheduler();
+                exec_scenario(&prepared.cfg, scenario, &mut sched, self.spec.placement)
+            }
+        };
+        Ok(RunHandle { report, qtable_snapshot })
+    }
+
+    /// One-shot convenience: run `workload` under `spec` (the spec's own
+    /// workload field is replaced). The sweep binaries' inner loop.
+    pub fn run_one(spec: &ExperimentSpec, workload: Workload) -> Result<RunHandle, SpecError> {
+        Simulation::from_spec(spec.clone().with_workload(workload))?.run()
+    }
+}
+
+/// The pairwise job construction (paper §V): target on its half-system
+/// partition, idle padding up to the half boundary so the background's
+/// node slice is independent of the target's exact size, then the
+/// background on the other half.
+fn pairwise_jobs(
+    spec: &ExperimentSpec,
+    target: dfsim_apps::AppKind,
+    background: Option<dfsim_apps::AppKind>,
+) -> Vec<JobSpec> {
+    let half = spec.params.num_nodes() / 2;
+    let tsize = target.preferred_size(half);
+    let mut jobs = vec![JobSpec::sized(target, tsize)];
+    if tsize < half {
+        jobs.push(JobSpec::idle(half - tsize));
+    }
+    if let Some(bg) = background {
+        jobs.push(JobSpec::sized(bg, bg.preferred_size(half)));
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use dfsim_apps::AppKind;
+    use dfsim_network::RoutingAlgo;
+    use dfsim_topology::DragonflyParams;
+
+    use super::*;
+    use crate::placement::Placement;
+
+    fn tiny_spec(routing: RoutingAlgo) -> ExperimentSpec {
+        ExperimentSpec {
+            params: DragonflyParams::tiny_72(),
+            routings: vec![routing],
+            scale: 2_048.0,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn session_runs_a_static_workload() {
+        let spec = tiny_spec(RoutingAlgo::UgalG)
+            .with_workload(Workload::jobs(vec![JobSpec::sized(AppKind::UR, 36)]));
+        let mut sim = Simulation::from_spec(spec).unwrap();
+        sim.prepare().unwrap();
+        let handle = sim.run().unwrap();
+        assert!(handle.report.completed, "{}", handle.report.stop_reason);
+        assert_eq!(handle.report.apps.len(), 1);
+        assert!(handle.qtable_snapshot.is_none(), "UGALg runs carry no Q-tables");
+        assert!(handle.learning().is_none());
+        assert_eq!(handle.engine_stats().backend, "heap");
+    }
+
+    #[test]
+    fn session_report_is_bit_identical_to_the_deprecated_wrapper() {
+        let spec = tiny_spec(RoutingAlgo::Par)
+            .with_workload(Workload::pairwise(AppKind::CosmoFlow, Some(AppKind::UR)));
+        let new = Simulation::from_spec(spec.clone()).unwrap().run().unwrap().report;
+        #[allow(deprecated)]
+        let old = crate::runner::run_placed(
+            &spec.sim(),
+            &[JobSpec::sized(AppKind::CosmoFlow, 36), JobSpec::sized(AppKind::UR, 36)],
+            Placement::Random,
+        );
+        assert_eq!(new.events, old.events);
+        assert_eq!(new.sim_ms, old.sim_ms);
+        for (n, o) in new.apps.iter().zip(&old.apps) {
+            assert_eq!(n.comm_ms.mean, o.comm_ms.mean, "{}", n.name);
+            assert_eq!(n.exec_ms, o.exec_ms, "{}", n.name);
+            assert_eq!(n.peak_ingress_bytes, o.peak_ingress_bytes, "{}", n.name);
+        }
+    }
+
+    #[test]
+    fn session_runs_a_churn_workload_and_qadp_yields_a_snapshot() {
+        let mut spec = tiny_spec(RoutingAlgo::QAdaptive);
+        spec.workload = Workload::Poisson;
+        spec.rates = vec![500.0];
+        spec.jobs = 4;
+        spec.apps = vec![AppKind::UR, AppKind::CosmoFlow];
+        spec.sizes = vec![18, 36];
+        let handle = Simulation::from_spec(spec).unwrap().run().unwrap();
+        assert!(handle.report.completed, "{}", handle.report.stop_reason);
+        assert_eq!(handle.report.jobs.len(), 4);
+        assert!(handle.qtable_snapshot.is_some(), "Q-adaptive runs capture their tables");
+        assert!(handle.learning().is_some());
+    }
+
+    #[test]
+    fn mixed_workload_scales_to_the_machine() {
+        // Table II names 1,056 nodes; on the 72-node test system (or under
+        // --smoke) the jobs scale proportionally instead of failing.
+        let spec = tiny_spec(RoutingAlgo::UgalG).with_workload(Workload::Mixed);
+        let handle = Simulation::from_spec(spec).unwrap().run().unwrap();
+        assert!(handle.report.completed, "{}", handle.report.stop_reason);
+        assert_eq!(handle.report.apps.len(), 6);
+        let total: u32 = handle.report.apps.iter().map(|a| a.size).sum();
+        assert_eq!(total, 72, "scaled mix must fill the machine exactly");
+    }
+
+    #[test]
+    fn multi_routing_specs_are_rejected_with_a_named_error() {
+        let mut spec = tiny_spec(RoutingAlgo::UgalG);
+        spec.routings = vec![RoutingAlgo::UgalG, RoutingAlgo::Par];
+        let err = Simulation::from_spec(spec).unwrap_err().to_string();
+        assert!(err.contains("exactly one routing"), "{err}");
+    }
+
+    #[test]
+    fn oversized_static_workloads_fail_in_prepare() {
+        let spec = tiny_spec(RoutingAlgo::UgalG)
+            .with_workload(Workload::jobs(vec![JobSpec::sized(AppKind::UR, 100)]));
+        let mut sim = Simulation::from_spec(spec).unwrap();
+        let err = sim.prepare().unwrap_err().to_string();
+        assert!(err.contains("100 nodes"), "{err}");
+        assert!(err.contains("72"), "{err}");
+    }
+
+    #[test]
+    fn missing_qtable_snapshots_fail_in_prepare() {
+        let mut spec = tiny_spec(RoutingAlgo::QAdaptive);
+        spec.qtable_load = Some("/nonexistent/q.snap".into());
+        let mut sim = Simulation::from_spec(spec).unwrap();
+        assert!(sim.prepare().is_err());
+    }
+}

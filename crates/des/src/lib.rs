@@ -36,4 +36,6 @@ pub use queue::{
 };
 pub use rng::SimRng;
 pub use sched::Scheduler;
-pub use time::{Time, GIGABIT_PER_SEC, MICROSECOND, MILLISECOND, NANOSECOND, PICOSECOND, SECOND};
+pub use time::{
+    parse_duration, Time, GIGABIT_PER_SEC, MICROSECOND, MILLISECOND, NANOSECOND, PICOSECOND, SECOND,
+};

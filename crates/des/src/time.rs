@@ -77,6 +77,32 @@ pub const fn bytes_in(t: Time, gbps: u64) -> u64 {
     gbps * t / 8000
 }
 
+/// Parse a duration like `500ns`, `0.5ms`, `2us`, `1s` or a bare number
+/// (milliseconds) into picoseconds. The canonical emission is the plain
+/// picosecond form `<n>ps`, which round-trips exactly.
+pub fn parse_duration(s: &str) -> Result<Time, String> {
+    let s = s.trim();
+    let (num, unit_ps) = if let Some(v) = s.strip_suffix("ns") {
+        (v, NANOSECOND as f64)
+    } else if let Some(v) = s.strip_suffix("us") {
+        (v, MICROSECOND as f64)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, MILLISECOND as f64)
+    } else if let Some(v) = s.strip_suffix("ps") {
+        (v, 1.0)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, SECOND as f64)
+    } else {
+        (s, MILLISECOND as f64)
+    };
+    let value: f64 =
+        num.trim().parse().map_err(|_| format!("invalid duration '{s}' (e.g. 0.5ms, 20us)"))?;
+    if value < 0.0 || !value.is_finite() {
+        return Err(format!("duration '{s}' must be finite and non-negative"));
+    }
+    Ok((value * unit_ps).round() as Time)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,7 +39,7 @@ impl std::fmt::Display for AppId {
 
 /// Recorder configuration: what to collect and at which granularity —
 /// the "flexibly configured IO module" of paper §III.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecorderConfig {
     /// Time-series bin width (default 0.1 ms, matching the paper's plots).
     pub bin_width: Time,

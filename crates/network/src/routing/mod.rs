@@ -43,6 +43,16 @@ pub enum RoutingAlgo {
 }
 
 impl RoutingAlgo {
+    /// Every selectable algorithm (the paper set plus the MIN baseline) —
+    /// the canonical registry order used by CLI/spec lookups everywhere.
+    pub const ALL: [RoutingAlgo; 5] = [
+        RoutingAlgo::Minimal,
+        RoutingAlgo::UgalG,
+        RoutingAlgo::UgalN,
+        RoutingAlgo::Par,
+        RoutingAlgo::QAdaptive,
+    ];
+
     /// The four algorithms the paper evaluates (Figs 4, 10, 13a).
     pub const PAPER_SET: [RoutingAlgo; 4] =
         [RoutingAlgo::UgalG, RoutingAlgo::UgalN, RoutingAlgo::Par, RoutingAlgo::QAdaptive];

@@ -11,20 +11,12 @@ use dragonfly_interference::prelude::*;
 fn main() {
     let routing = std::env::args()
         .nth(1)
-        .map(|s| {
-            [
-                RoutingAlgo::Minimal,
-                RoutingAlgo::UgalG,
-                RoutingAlgo::UgalN,
-                RoutingAlgo::Par,
-                RoutingAlgo::QAdaptive,
-            ]
-            .into_iter()
-            .find(|r| r.label().eq_ignore_ascii_case(&s))
-            .unwrap_or_else(|| panic!("unknown routing {s}"))
-        })
+        .map(|s| lookup::<RoutingAlgo>(&s).unwrap_or_else(|e| die(&e)))
         .unwrap_or(RoutingAlgo::QAdaptive);
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(128.0);
+    let spec = ExperimentSpec { scale: 128.0, ..Default::default() }
+        .resolve(&[])
+        .unwrap_or_else(|e| die(&e));
+    let scale = spec.scale;
 
     let cfg = StudyConfig { routing, scale, ..Default::default() };
     println!("mixed workload (Table II) under {routing} @ scale 1/{scale}");

@@ -13,7 +13,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let target = args.get(1).and_then(|s| AppKind::from_name(s)).unwrap_or(AppKind::FFT3D);
     let background = args.get(2).and_then(|s| AppKind::from_name(s)).unwrap_or(AppKind::Halo3D);
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(128.0);
+    let spec = ExperimentSpec { scale: 128.0, ..Default::default() }
+        .resolve(&[])
+        .unwrap_or_else(|e| die(&e));
+    let scale = spec.scale;
 
     println!("pairwise {target} + {background} @ scale 1/{scale}");
     let mut table = TextTable::new(vec![

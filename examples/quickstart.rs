@@ -6,13 +6,16 @@
 //! ```
 //!
 //! Environment knobs: `SCALE` (workload scale divisor, default 256 for a
-//! fast demo), `SEED`.
+//! fast demo), `SEED` — resolved through the experiment-spec layering, so
+//! an invalid value is a hard error, never a silent default.
 
 use dragonfly_interference::prelude::*;
 
 fn main() {
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(256.0);
-    let seed: u64 = std::env::var("SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let spec = ExperimentSpec { scale: 256.0, ..Default::default() }
+        .resolve(&[])
+        .unwrap_or_else(|e| die(&e));
+    let (scale, seed) = (spec.scale, spec.seed);
 
     println!("Dragonfly 1,056 nodes (33 groups x 8 routers x 4 nodes), scale 1/{scale}");
     println!();

@@ -10,7 +10,10 @@ use dragonfly_interference::prelude::*;
 
 fn main() {
     let app = std::env::args().nth(1).and_then(|s| AppKind::from_name(&s)).unwrap_or(AppKind::LU);
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(128.0);
+    let spec = ExperimentSpec { scale: 128.0, ..Default::default() }
+        .resolve(&[])
+        .unwrap_or_else(|e| die(&e));
+    let scale = spec.scale;
     println!("{app} standalone on 528 nodes @ scale 1/{scale}");
 
     let mut t = TextTable::new(vec![

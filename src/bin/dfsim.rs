@@ -1,220 +1,89 @@
 //! `dfsim` — command-line driver for the Dragonfly interference simulator.
 //!
 //! ```text
+//! dfsim run [--spec FILE] [options]      # run whatever the spec describes
 //! dfsim standalone <APP> [options]
 //! dfsim pairwise <TARGET> <BACKGROUND|none> [options]
 //! dfsim mixed [options]
 //! dfsim scenario <ARRIVALS|poisson> [options]   # churn: timed job stream
-//! dfsim apps                      # list workloads with Table I data
-//! dfsim topo [options]            # print topology facts
+//! dfsim emit [--spec FILE] [options]    # print the resolved spec (canonical form)
+//! dfsim apps                            # list workloads with Table I data
+//! dfsim topo [options]                  # print topology facts
 //!
 //! `ARRIVALS` is a comma-separated list `APP:SIZE@TIME` (e.g.
 //! `UR:36@0,LU:16@0.5ms`); `poisson` synthesizes arrivals from the seed.
 //!
-//! options:
+//! Every subcommand resolves its configuration through the one experiment
+//! layering: built-in defaults < `--spec FILE` < environment (`SCALE`,
+//! `SEED`, `QUEUE`, `ROUTING`, …) < command line. Invalid values from any
+//! layer are hard errors (exit 2) naming the offending input.
+//!
+//! options (the spec layer):
+//!   --spec <FILE>                           (layer a spec file under env/CLI)
 //!   --routing <MIN|UGALg|UGALn|PAR|Q-adp>   (default UGALg)
-//!   --scale <f64>                           (default 64)
-//!   --seed <u64>                            (default 42)
+//!   --scale <f64>  --seed <u64>             (default 64, 42)
 //!   --groups <g> --routers <a> --nodes <p> --globals <h>
-//!   --contiguous                            (placement; default random)
-//!   --queue <BACKEND>                       (heap | calendar | calendar:auto |
-//!                                            calendar:width=<ps>,buckets=<n>; default heap)
-//!   --qtable save=PATH                      (write learned Q-tables after the run;
-//!                                            requires --routing Q-adp)
-//!   --qtable load=PATH                      (warm-start Q-tables from a snapshot;
-//!                                            requires --routing Q-adp; rejected on
-//!                                            topology/timing/alpha fingerprint mismatch)
-//!   --engine-stats                          (print the event-engine block)
-//!   --csv                                   (machine-readable output)
-//! scenario options:
-//!   --sched <fcfs|backfill>                 (admission policy; default fcfs)
+//!   --placement <random|contiguous> | --contiguous
+//!   --queue <heap|calendar[:auto|:width=PS,buckets=N]>
+//!   --qtable save=PATH | load=PATH          (requires --routing Q-adp;
+//!                                            load rejected on fingerprint mismatch)
+//!   --horizon <DURATION>                    (e.g. 5ms: wall on simulated time)
+//!   --sched <fcfs|backfill>                 (scenario admission; default fcfs)
 //!   --rate <jobs/ms> --jobs <N>             (poisson generator; default 1, 8)
 //!   --apps <LIST> --sizes <LIST>            (poisson kinds/sizes cycles)
+//!   --smoke                                 (CI: shrink to the 72-node system)
+//! presentation options (not part of the spec):
+//!   --engine-stats                          (print the event-engine block)
+//!   --csv                                   (machine-readable output)
 //! ```
 
 use dragonfly_interference::prelude::*;
 
-/// Parsed command-line options.
-struct Opts {
-    routing: RoutingAlgo,
-    scale: f64,
-    seed: u64,
-    params: DragonflyParams,
-    placement: Placement,
-    queue: QueueBackend,
-    qtable_load: Option<std::path::PathBuf>,
-    qtable_save: Option<std::path::PathBuf>,
-    engine_stats: bool,
-    csv: bool,
-    sched: SchedPolicy,
-    rate: f64,
-    jobs: u32,
-    apps: Vec<AppKind>,
-    sizes: Vec<u32>,
-}
-
 fn usage() -> ! {
     eprintln!(
-        "usage: dfsim <standalone APP | pairwise TARGET BG | mixed | scenario ARRIVALS | apps | \
-         topo> [--routing R] [--scale S] [--seed N] [--groups g --routers a --nodes p \
-         --globals h] [--contiguous] [--queue heap|calendar[:width=PS,buckets=N]] \
-         [--qtable save=PATH|load=PATH] [--engine-stats] [--sched fcfs|backfill] \
-         [--rate R --jobs N --apps LIST --sizes LIST] [--csv]"
+        "usage: dfsim <run | standalone APP | pairwise TARGET BG | mixed | scenario ARRIVALS | \
+         emit | apps | topo> [--spec FILE] [--routing R] [--scale S] [--seed N] [--groups g \
+         --routers a --nodes p --globals h] [--placement random|contiguous] [--queue \
+         heap|calendar[:width=PS,buckets=N]] [--qtable save=PATH|load=PATH] [--horizon D] \
+         [--sched fcfs|backfill] [--rate R --jobs N --apps LIST --sizes LIST] [--smoke] \
+         [--engine-stats] [--csv]"
     );
     std::process::exit(2)
 }
 
-fn parse_routing(s: &str) -> RoutingAlgo {
-    [
-        RoutingAlgo::Minimal,
-        RoutingAlgo::UgalG,
-        RoutingAlgo::UgalN,
-        RoutingAlgo::Par,
-        RoutingAlgo::QAdaptive,
-    ]
-    .into_iter()
-    .find(|r| r.label().eq_ignore_ascii_case(s))
-    .unwrap_or_else(|| {
-        eprintln!("unknown routing '{s}' (MIN, UGALg, UGALn, PAR, Q-adp)");
-        std::process::exit(2)
-    })
+/// Resolve the effective spec for this invocation: `defaults < --spec FILE
+/// < env < CLI`, exiting 2 with the named error on any invalid input.
+fn resolve(defaults: ExperimentSpec, args: &[String]) -> ExperimentSpec {
+    defaults.resolve(args).unwrap_or_else(|e| die(&e))
 }
 
-fn parse_opts(args: &[String]) -> Opts {
-    let mut o = Opts {
-        routing: RoutingAlgo::UgalG,
-        scale: 64.0,
-        seed: 42,
-        params: DragonflyParams::paper_1056(),
-        placement: Placement::Random,
-        queue: QueueBackend::default(),
-        qtable_load: None,
-        qtable_save: None,
-        engine_stats: false,
-        csv: false,
-        sched: SchedPolicy::default(),
-        rate: 1.0,
-        jobs: 8,
-        apps: vec![AppKind::UR, AppKind::CosmoFlow, AppKind::LU],
-        sizes: Vec::new(), // default derived from the topology below
-    };
-    let mut i = 0;
-    let value = |i: &mut usize| -> String {
-        *i += 1;
-        args.get(*i).cloned().unwrap_or_else(|| usage())
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--routing" => o.routing = parse_routing(&value(&mut i)),
-            "--scale" => o.scale = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--seed" => o.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--groups" => o.params.groups = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--routers" => {
-                o.params.routers_per_group = value(&mut i).parse().unwrap_or_else(|_| usage())
-            }
-            "--nodes" => {
-                o.params.nodes_per_router = value(&mut i).parse().unwrap_or_else(|_| usage())
-            }
-            "--globals" => {
-                o.params.globals_per_router = value(&mut i).parse().unwrap_or_else(|_| usage())
-            }
-            "--contiguous" => o.placement = Placement::Contiguous,
-            "--queue" => {
-                o.queue = value(&mut i).parse().unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    std::process::exit(2)
-                })
-            }
-            "--qtable" => {
-                let v = value(&mut i);
-                match v.split_once('=') {
-                    Some(("save", p)) if !p.is_empty() => o.qtable_save = Some(p.into()),
-                    Some(("load", p)) if !p.is_empty() => o.qtable_load = Some(p.into()),
-                    _ => {
-                        eprintln!(
-                            "invalid --qtable '{v}' (valid forms: --qtable save=PATH, --qtable \
-                             load=PATH)"
-                        );
-                        std::process::exit(2)
-                    }
-                }
-            }
-            "--sched" => {
-                o.sched = value(&mut i).parse().unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    std::process::exit(2)
-                })
-            }
-            "--rate" => o.rate = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--jobs" => o.jobs = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--apps" => o.apps = value(&mut i).split(',').map(|n| app_or_die(n.trim())).collect(),
-            "--sizes" => {
-                o.sizes = value(&mut i)
-                    .split(',')
-                    .map(|n| n.trim().parse().unwrap_or_else(|_| usage()))
-                    .collect()
-            }
-            "--engine-stats" => o.engine_stats = true,
-            "--csv" => o.csv = true,
-            other => {
-                eprintln!("unknown option '{other}'");
-                usage()
-            }
-        }
-        i += 1;
-    }
-    if let Err(e) = o.params.validate() {
-        eprintln!("invalid topology: {e}");
-        std::process::exit(2);
-    }
-    if (o.qtable_load.is_some() || o.qtable_save.is_some()) && o.routing != RoutingAlgo::QAdaptive {
-        eprintln!(
-            "--qtable requires --routing Q-adp (only Q-adaptive routers carry Q-tables), got {}",
-            o.routing
-        );
-        std::process::exit(2);
-    }
-    if let Some(path) = &o.qtable_save {
-        // Fail on an unwritable save path *before* the simulation runs,
-        // not after: a post-run write error would discard the whole run.
-        if let Err(e) = std::fs::OpenOptions::new().append(true).create(true).open(path) {
-            eprintln!("cannot write --qtable save={}: {e}", path.display());
-            std::process::exit(2);
-        }
-    }
-    if let Some(path) = &o.qtable_load {
-        // Pre-validate the snapshot so a stale file fails here with the
-        // fingerprint error instead of panicking mid-construction.
-        let snap = QTableSnapshot::load(path).unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2)
-        });
-        if let Err(e) = snap.verify(&o.params, &LinkTiming::default(), QaParams::default().alpha) {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    }
-    o
+/// Presentation flags live outside the spec: they describe output, not the
+/// experiment.
+struct Presentation {
+    csv: bool,
+    engine_stats: bool,
 }
 
-fn study(o: &Opts) -> StudyConfig {
-    StudyConfig {
-        routing: o.routing,
-        scale: o.scale,
-        seed: o.seed,
-        placement: o.placement,
-        params: o.params,
-        queue: o.queue,
-        qtable_init: match &o.qtable_load {
-            Some(p) => QTableInit::load(p),
-            None => QTableInit::Cold,
-        },
-        qtable_save: o.qtable_save.clone(),
+impl Presentation {
+    fn from_args(args: &[String]) -> Self {
+        Self {
+            csv: args.iter().any(|a| a == "--csv"),
+            engine_stats: args.iter().any(|a| a == "--engine-stats"),
+        }
     }
 }
 
-fn print_report(report: &RunReport, o: &Opts) {
-    let csv = o.csv;
+/// Run the resolved spec through a simulation session and print the report.
+fn run_and_print(spec: ExperimentSpec, show: &Presentation) {
+    let mut sim = Simulation::from_spec(spec).unwrap_or_else(|e| die(&e));
+    sim.prepare().unwrap_or_else(|e| die(&e));
+    let handle = sim.run().unwrap_or_else(|e| die(&e));
+    print_report(&handle, sim.spec(), show);
+    print_jobs(&handle.report, show.csv);
+}
+
+fn print_report(handle: &RunHandle, spec: &ExperimentSpec, show: &Presentation) {
+    let report = &handle.report;
     let mut t = TextTable::new(vec![
         "App",
         "ranks",
@@ -241,9 +110,9 @@ fn print_report(report: &RunReport, o: &Opts) {
             format!("{:.2}", a.latency_us.p99),
         ]);
     }
-    if csv {
+    if show.csv {
         print!("{}", t.to_csv());
-        if o.engine_stats {
+        if show.engine_stats {
             println!("{}", report.engine_summary());
         }
         return;
@@ -266,7 +135,7 @@ fn print_report(report: &RunReport, o: &Opts) {
         n.avg_local_stall_ms,
         n.std_global_congestion
     );
-    if let Some(l) = &report.learning {
+    if let Some(l) = handle.learning() {
         println!(
             "learning ({}): {} Q1 updates | mean |dQ1| {:.2} ns | early {:.2} -> late {:.2} \
              ns/window",
@@ -277,10 +146,10 @@ fn print_report(report: &RunReport, o: &Opts) {
             l.late_mean_ns(5)
         );
     }
-    if let Some(path) = &o.qtable_save {
+    if let Some(path) = &spec.qtable_save {
         println!("Q-table snapshot written to {}", path.display());
     }
-    if o.engine_stats {
+    if show.engine_stats {
         println!("{}", report.engine_summary());
     }
 }
@@ -329,10 +198,7 @@ fn print_jobs(report: &RunReport, csv: bool) {
 }
 
 fn app_or_die(name: &str) -> AppKind {
-    AppKind::from_name(name).unwrap_or_else(|| {
-        eprintln!("unknown app '{name}' (try: dfsim apps)");
-        std::process::exit(2)
-    })
+    lookup(name).unwrap_or_else(|e| die(format!("{e} (try: dfsim apps)")))
 }
 
 fn main() {
@@ -363,74 +229,71 @@ fn main() {
             println!("(paper-scale Table I characteristics on 528 nodes)");
         }
         "topo" => {
-            let o = parse_opts(&args[1..]);
-            let topo = Topology::new(o.params).expect("validated");
+            let spec = resolve(ExperimentSpec::default(), &args[1..]);
+            let p = spec.params;
+            let topo = Topology::new(p).expect("validated");
             println!(
                 "Dragonfly g={} a={} p={} h={}: {} nodes, {} routers, radix {}",
-                o.params.groups,
-                o.params.routers_per_group,
-                o.params.nodes_per_router,
-                o.params.globals_per_router,
+                p.groups,
+                p.routers_per_group,
+                p.nodes_per_router,
+                p.globals_per_router,
                 topo.num_nodes(),
                 topo.num_routers(),
                 topo.radix(),
             );
             println!(
                 "links: {} global (1 per group pair), {} local per group, diameter 3 router hops",
-                o.params.groups * (o.params.groups - 1) / 2,
-                o.params.routers_per_group * (o.params.routers_per_group - 1) / 2,
+                p.groups * (p.groups - 1) / 2,
+                p.routers_per_group * (p.routers_per_group - 1) / 2,
             );
+        }
+        "run" => {
+            let show = Presentation::from_args(&args[1..]);
+            run_and_print(resolve(ExperimentSpec::default(), &args[1..]), &show);
+        }
+        "emit" => {
+            // Round-trippable canonical form of the resolved spec — pipe
+            // into a file to freeze the current knobs as a spec file.
+            let spec = resolve(ExperimentSpec::default(), &args[1..]);
+            print!("{}", spec.emit());
         }
         "standalone" => {
             let app = app_or_die(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
-            let o = parse_opts(&args[2..]);
-            let report = standalone(app, &study(&o));
-            print_report(&report, &o);
+            let show = Presentation::from_args(&args[2..]);
+            // The positional workload is the most explicit layer of all: it
+            // is applied after resolve, so a spec file's `workload` key
+            // cannot silently replace what the subcommand names.
+            let spec = resolve(ExperimentSpec::default(), &args[2..])
+                .with_workload(Workload::standalone(app));
+            run_and_print(spec, &show);
         }
         "pairwise" => {
             let target = app_or_die(args.get(1).map(String::as_str).unwrap_or_else(|| usage()));
             let bg_arg = args.get(2).map(String::as_str).unwrap_or_else(|| usage());
             let bg =
                 if bg_arg.eq_ignore_ascii_case("none") { None } else { Some(app_or_die(bg_arg)) };
-            let o = parse_opts(&args[3..]);
-            let report = pairwise(target, bg, &study(&o));
-            print_report(&report, &o);
+            let show = Presentation::from_args(&args[3..]);
+            let spec = resolve(ExperimentSpec::default(), &args[3..])
+                .with_workload(Workload::pairwise(target, bg));
+            run_and_print(spec, &show);
         }
         "mixed" => {
-            let o = parse_opts(&args[1..]);
-            let report = mixed(&study(&o));
-            print_report(&report, &o);
+            let show = Presentation::from_args(&args[1..]);
+            let spec =
+                resolve(ExperimentSpec::default(), &args[1..]).with_workload(Workload::Mixed);
+            run_and_print(spec, &show);
         }
         "scenario" => {
             let arg = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
-            let o = parse_opts(&args[2..]);
-            let scenario = if arg.eq_ignore_ascii_case("poisson") {
-                if o.rate <= 0.0 || o.rate.is_nan() || o.jobs == 0 || o.apps.is_empty() {
-                    eprintln!("--rate must be positive, --jobs nonzero, --apps non-empty");
-                    std::process::exit(2);
-                }
-                let sizes = if o.sizes.is_empty() {
-                    vec![(o.params.num_nodes() / 4).max(2)]
-                } else {
-                    o.sizes.clone()
-                };
-                Scenario::poisson(o.seed, o.rate, o.jobs, &o.apps, &sizes)
+            let workload = if arg.eq_ignore_ascii_case("poisson") {
+                Workload::Poisson
             } else {
-                Scenario::parse(arg).unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    std::process::exit(2)
-                })
+                Workload::parse(&format!("scenario {arg}")).unwrap_or_else(|e| die(&e))
             };
-            // Reject bad user input (oversized/zero-size jobs) with a clean
-            // message instead of run_scenario's internal panic.
-            if let Err(e) = scenario.validate(o.params.num_nodes()) {
-                eprintln!("{e}");
-                std::process::exit(2);
-            }
-            let cfg = study(&o).sim();
-            let report = run_scenario(&cfg, &scenario, o.sched, o.placement);
-            print_report(&report, &o);
-            print_jobs(&report, o.csv);
+            let show = Presentation::from_args(&args[2..]);
+            let spec = resolve(ExperimentSpec::default(), &args[2..]).with_workload(workload);
+            run_and_print(spec, &show);
         }
         _ => usage(),
     }

@@ -46,11 +46,17 @@ pub mod prelude {
     pub use dfsim_apps::{AppInstance, AppKind, ArrivalSpec};
     pub use dfsim_core::experiments::{mixed, pairwise, standalone, StudyConfig};
     pub use dfsim_core::placement::Placement;
-    pub use dfsim_core::runner::{run, run_placed, JobSpec};
-    pub use dfsim_core::scenario::{run_scenario, Scenario, SchedPolicy};
+    #[allow(deprecated)]
+    pub use dfsim_core::runner::run_placed;
+    pub use dfsim_core::runner::{run, JobSpec};
+    #[allow(deprecated)]
+    pub use dfsim_core::scenario::run_scenario;
+    pub use dfsim_core::scenario::{Scenario, SchedPolicy};
+    pub use dfsim_core::spec::{die, lookup, lookup_list, Registered};
     pub use dfsim_core::tables::TextTable;
     pub use dfsim_core::{
-        AppReport, EngineReport, JobReport, LearningReport, NetworkReport, RunReport, SimConfig,
+        AppReport, EngineReport, ExperimentSpec, JobReport, LearningReport, NetworkReport,
+        RunHandle, RunReport, SimConfig, Simulation, SpecError, Workload,
     };
     pub use dfsim_des::{
         CalendarTuning, EngineStats, QueueBackend, QueueKind, SimRng, Time, MICROSECOND,

@@ -6,6 +6,10 @@
 //! intentionally backend-dependent field is `RunReport::engine`, which
 //! describes the engine itself and is excluded here.
 
+// The deprecated free-function entry points are exercised on purpose:
+// this suite pins that spec-launched sessions and the old wrappers agree.
+#![allow(deprecated)]
+
 use dragonfly_interference::prelude::*;
 
 fn run_with(backend: QueueBackend, routing: RoutingAlgo, seed: u64) -> RunReport {
@@ -106,6 +110,32 @@ fn engine_stats_are_populated_and_consistent() {
     assert!(auto.engine.resizes > 0, "the auto tuner should have resized at least once");
     let line = auto.engine_summary();
     assert!(line.contains("calendar:auto") && line.contains("resizes"), "{line}");
+}
+
+/// Launching through `ExperimentSpec` → `Simulation::run()` produces the
+/// bit-identical report the deprecated wrapper produced, on every backend
+/// and tuning — the session API is a front-end over the same engine, not
+/// a reimplementation.
+#[test]
+fn spec_sessions_match_wrapper_runs_on_every_backend() {
+    for backend in QueueBackend::ALL {
+        let old = run_with(backend, RoutingAlgo::UgalG, 7);
+        let spec = ExperimentSpec {
+            params: DragonflyParams::tiny_72(),
+            routings: vec![RoutingAlgo::UgalG],
+            scale: 2_048.0,
+            seed: 7,
+            queue: backend,
+            ..Default::default()
+        }
+        .with_workload(Workload::jobs(vec![
+            JobSpec::sized(AppKind::CosmoFlow, 36),
+            JobSpec::sized(AppKind::UR, 36),
+        ]));
+        let new = Simulation::from_spec(spec).unwrap().run().unwrap().report;
+        assert_eq!(new.events, old.events, "{backend}: event count diverged");
+        assert_equivalent(&old, &new);
+    }
 }
 
 /// Warm-started Q-adaptive runs (Q-tables loaded from a snapshot instead

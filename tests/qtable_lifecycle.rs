@@ -3,6 +3,10 @@
 //! silently applied), and warm-started runs are deterministic — including
 //! bit-identical reports across both event-queue backends.
 
+// The deprecated free-function entry points are exercised on purpose:
+// they pin the old doors' behavior against the spec-based session API.
+#![allow(deprecated)]
+
 use std::path::{Path, PathBuf};
 
 use dragonfly_interference::prelude::*;

@@ -4,6 +4,10 @@
 //! dynamic spawn/teardown, admission decisions and node reclamation, all of
 //! which ride the same deterministic `(time, seq)` event order.
 
+// The deprecated free-function entry points are exercised on purpose:
+// they pin the old doors' behavior against the spec-based session API.
+#![allow(deprecated)]
+
 use dragonfly_interference::prelude::*;
 
 fn churn_scenario() -> Scenario {
