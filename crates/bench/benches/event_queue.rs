@@ -144,5 +144,38 @@ fn bench_churn_scenario(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queues, bench_world_loop, bench_churn_scenario);
+/// The partitioned parallel engine over the same pairwise world loop:
+/// group-sharded tiny-72 (9 groups) at 1, 2, 4, and 8 partitions.
+/// `threads=1` takes the untouched single-threaded path, so its row against
+/// `event_queue_world/ur_halo3d_tiny72/heap` bounds the dispatch overhead
+/// of the partitioned entry point; higher counts measure lockstep-window
+/// scaling (reports stay bit-identical, so this is a pure speed knob).
+fn bench_partitioned_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioned_world");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    for parts in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("ur_halo3d_tiny72", parts), &parts, |b, &parts| {
+            b.iter(|| {
+                let mut cfg = SimConfig::test_tiny(RoutingAlgo::UgalG);
+                cfg.threads = parts;
+                let report = run_placed(
+                    &cfg,
+                    &[JobSpec::sized(AppKind::UR, 36), JobSpec::sized(AppKind::Halo3D, 36)],
+                    Placement::Random,
+                );
+                assert!(report.completed);
+                black_box(report.events)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queues,
+    bench_world_loop,
+    bench_churn_scenario,
+    bench_partitioned_world
+);
 criterion_main!(benches);

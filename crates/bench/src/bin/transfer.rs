@@ -80,6 +80,8 @@ impl Init {
 fn cell_spec(base: &ExperimentSpec, init: Init, seed: u64, snap: &Path) -> ExperimentSpec {
     let mut spec = base.clone();
     spec.seed = seed;
+    // `threads` sizes the eval cell pool here; cells run single-partition.
+    spec.threads = 0;
     spec.bin_width = MICROSECOND;
     spec.placement = Placement::Contiguous;
     spec.qtable_load = None;

@@ -44,6 +44,13 @@ pub struct SimConfig {
     /// After the run, write the learned Q-tables to this path (Q-adaptive
     /// runs only; `validate` rejects it under any other routing).
     pub qtable_save: Option<PathBuf>,
+    /// Worker threads for the partitioned engine: the dragonfly is sharded
+    /// by group across this many partitions, exchanging boundary traffic in
+    /// conservative lookahead windows. `0` or `1` selects the
+    /// single-threaded engine; any value produces bit-identical reports
+    /// (the partition-equivalence suite pins this). Must not exceed the
+    /// group count.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -60,6 +67,7 @@ impl Default for SimConfig {
             max_events: 2_000_000_000,
             queue: QueueBackend::default(),
             qtable_save: None,
+            threads: 0,
         }
     }
 }
@@ -97,6 +105,13 @@ impl SimConfig {
         }
         if self.max_events == 0 {
             return Err("max_events must be positive".into());
+        }
+        if self.threads > self.params.groups as usize {
+            return Err(format!(
+                "threads ({}) exceed the {} dragonfly groups: each partition owns at \
+                 least one whole group, so at most {} worker threads apply here",
+                self.threads, self.params.groups, self.params.groups
+            ));
         }
         if self.routing.algo != RoutingAlgo::QAdaptive {
             // Never silently ignore a lifecycle knob: only Q-adaptive

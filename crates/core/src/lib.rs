@@ -38,6 +38,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod partition;
 pub mod placement;
 pub mod report;
 pub mod runner;

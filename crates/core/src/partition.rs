@@ -1,0 +1,1474 @@
+//! The partitioned parallel simulation core: group-sharded dragonfly with
+//! conservative lookahead windows.
+//!
+//! The dragonfly is sharded **by group** across worker threads
+//! ([`dfsim_network::PartitionMap`]). Each shard owns the routers, NICs and
+//! application ranks of its groups and drives its own pending-event set
+//! (any [`SimQueue`] backend); the only traffic between shards is boundary
+//! events crossing a **global** link, which carry at least
+//! `LinkTiming::global_latency_ps` of delay. That minimum is the
+//! conservative lookahead `L`: in lockstep windows `[S, S+L)` every shard
+//! can safely process all of its local events, because anything a peer
+//! schedules into its territory during the window lands at or beyond the
+//! window end. Boundary events, MPI message metadata and completion notices
+//! are exchanged through a [`SimCommunicator`] at every window barrier.
+//!
+//! # Determinism
+//!
+//! Reports must be **bit-identical** to the single-threaded engine at any
+//! partition count (the `partition_equivalence` suite pins this). Three
+//! mechanisms make that hold:
+//!
+//! * **Canonical sequence keys.** Every event gets a `(time, seq)` key with
+//!   `seq = segment << 40 | value`; segments alternate window/cut phases
+//!   globally, so keys are totally ordered across phases. Window pushes get
+//!   a provisional per-shard key and are renumbered at the barrier by a
+//!   P-way merge of the per-shard push logs into the *global push order*
+//!   ([`merge_ranks`]); cut pushes (job admissions at barriers) are keyed
+//!   by their deterministic admission slot directly. The resulting key
+//!   order is isomorphic to the single-threaded engine's push order, and
+//!   since no report field contains a raw key, order-isomorphism is enough
+//!   for bit-identical output.
+//! * **Keyed metric journal.** The only order-sensitive metrics (the
+//!   Q-learning trace's float accumulation and `rank_comm` push order) are
+//!   journaled with the key of the producing event and replayed in global
+//!   key order after the run ([`Recorder::drain_keyed`]); everything else
+//!   merges commutatively.
+//! * **Canonical stop keys.** "All ranks finished" is detected at barriers
+//!   from exchanged completion notices; the stop time is the **maximum
+//!   finish key** `K`, pops after `K` in the final window are subtracted
+//!   from the event count, their journal entries are dropped, and their
+//!   Q-table updates are rolled back ([`NetworkSim::q_undo_revert_after`]),
+//!   so the final state equals the single-threaded engine's, which stops
+//!   *at* `K`.
+//!
+//! Two stop conditions are intentionally **barrier-granular** at every
+//! partition count including 1 (documented divergence from the pre-existing
+//! engines, required for cross-count bit-identity): the event cap is
+//! checked at barriers, and churn node reclaim/admission after a job
+//! completion happens at the next barrier (arrival-driven admissions stay
+//! time-exact because windows are cut at arrival times).
+//!
+//! Churn runs (`Scenario`) always use this driver, at
+//! `max(threads, 1)` partitions; static runs use it for `threads >= 2` and
+//! keep the untouched [`crate::world::World::run`] path otherwise.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dfsim_des::queue::{PendingEvents, SimQueue};
+use dfsim_des::{
+    local_mesh, CalendarQueue, EventQueue, JobId, LocalThreadCommunicator, QueueKind,
+    Scheduler as EventScheduler, SimCommunicator, SimRng, Time, WireReader, WireWriter,
+};
+use dfsim_metrics::{AppId, KeyedEntry, KeyedKind, Recorder};
+use dfsim_mpi::sim::MpiConfig;
+use dfsim_mpi::{MpiEvent, MpiSim};
+use dfsim_network::partition::{decode_event, encode_event, origin_of, IDX_MASK};
+use dfsim_network::{
+    MessageId, MsgExport, NetEffect, NetEvent, NetworkSim, PartitionMap, RoutingAlgo,
+};
+use dfsim_topology::{NodeId, Topology};
+
+use crate::config::SimConfig;
+use crate::placement::{place, Placement};
+use crate::report::{JobReport, RunReport};
+use crate::runner::{build_report, capture_qtables, JobSpec};
+use crate::scenario::{JobTable, Scenario, Scheduler as JobScheduler};
+use crate::world::{dispatch_core, StopReason, WorldEvent};
+
+/// Bits of a sequence key below the segment field.
+pub(crate) const SEG_SHIFT: u32 = 40;
+/// Mask of the per-segment value field.
+pub(crate) const VAL_MASK: u64 = (1 << SEG_SHIFT) - 1;
+/// Cut keys subdivide the value field into admission slot and push index.
+pub(crate) const SLOT_SHIFT: u32 = 20;
+
+/// How a just-popped event is identified when its pushes are logged: by its
+/// final key (pushed in an earlier segment) or by its own position in the
+/// current window's push log (provisional key, not yet ranked).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Dispatch {
+    /// Final `(time, seq)` key.
+    True {
+        /// Event time.
+        t: Time,
+        /// Final sequence key.
+        seq: u64,
+    },
+    /// Index into the current window's push log of this shard.
+    Local {
+        /// Push-log index of the event's own push.
+        j: u32,
+    },
+}
+
+/// One entry of a window push log: the scheduled time of the pushed event
+/// and the identity of the event whose dispatch pushed it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LogEntry {
+    /// Scheduled time of the pushed event.
+    pub(crate) time: Time,
+    /// The dispatching event.
+    pub(crate) dispatch: Dispatch,
+}
+
+/// A window push bound for another shard: held back until the barrier, then
+/// shipped with its push-log index so the receiver can key it with the
+/// merged rank.
+#[derive(Debug)]
+struct BoundaryPush {
+    j: u32,
+    time: Time,
+    ev: NetEvent,
+}
+
+/// The per-shard event queue: a [`SimQueue`] plus the canonical-key
+/// machinery. Implements the DES scheduler traits so the network and MPI
+/// models push through it transparently; in window phase pushes are logged
+/// (and boundary pushes diverted to per-peer buffers), in cut phase they
+/// get final admission-slot keys immediately.
+pub(crate) struct ShardQueue<Q> {
+    pub(crate) q: Q,
+    /// False on a single-partition run: plain auto-sequenced pushes, no
+    /// logging (the fast path the `threads <= 1` churn driver uses).
+    partitioned: bool,
+    map: Arc<PartitionMap>,
+    me: usize,
+    lookahead: Time,
+    cut: bool,
+    pub(crate) seg: u64,
+    slot: u64,
+    slot_idx: u64,
+    pub(crate) cur_dispatch: Dispatch,
+    log: Vec<LogEntry>,
+    boundary: Vec<Vec<BoundaryPush>>,
+}
+
+impl<Q: PendingEvents<WorldEvent>> ShardQueue<Q> {
+    fn new(q: Q, partitioned: bool, map: Arc<PartitionMap>, me: usize, lookahead: Time) -> Self {
+        let parts = map.parts();
+        Self {
+            q,
+            partitioned,
+            map,
+            me,
+            lookahead,
+            cut: true, // runs start in the init cut (segment 0)
+            seg: 0,
+            slot: 0,
+            slot_idx: 0,
+            cur_dispatch: Dispatch::True { t: 0, seq: 0 },
+            log: Vec::new(),
+            boundary: (0..parts).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Enter the next window segment.
+    fn begin_window(&mut self) {
+        if !self.partitioned {
+            return;
+        }
+        self.seg += 1;
+        debug_assert!(self.seg < 1 << (64 - SEG_SHIFT), "segment counter overflow");
+        debug_assert!(self.log.is_empty(), "push log not drained at the barrier");
+        self.cut = false;
+    }
+
+    /// Enter the next cut segment (barrier-time admissions).
+    fn begin_cut(&mut self) {
+        if !self.partitioned {
+            return;
+        }
+        self.seg += 1;
+        self.cut = true;
+        self.slot = 0;
+        self.slot_idx = 0;
+    }
+
+    /// Advance to the next admission slot — called once per *global* rank
+    /// start in the canonical order, on every shard, so slot numbers agree
+    /// across shards without communication.
+    fn next_slot(&mut self) {
+        if !self.partitioned {
+            return;
+        }
+        debug_assert!(self.cut, "admission slots only exist in cut phase");
+        self.slot += 1;
+        self.slot_idx = 0;
+    }
+
+    /// The canonical key stamped on recorder entries produced by the
+    /// current admission slot (a rank finishing synchronously at start).
+    fn cut_key(&self) -> (Time, u64) {
+        ((self.q.now()), (self.seg << SEG_SHIFT) | (self.slot << SLOT_SHIFT))
+    }
+
+    fn push_world(&mut self, time: Time, local_owner: Option<usize>, ev: WorldEvent) {
+        if self.cut {
+            debug_assert!(
+                local_owner.is_none_or(|p| p == self.me),
+                "cut-phase pushes must be shard-local"
+            );
+            debug_assert!(self.slot_idx < 1 << SLOT_SHIFT, "cut slot overflow");
+            let seq = (self.seg << SEG_SHIFT) | (self.slot << SLOT_SHIFT) | self.slot_idx;
+            self.slot_idx += 1;
+            self.q.push_seq(time, seq, ev);
+        } else {
+            let j = self.log.len() as u32;
+            self.log.push(LogEntry { time, dispatch: self.cur_dispatch });
+            match local_owner {
+                Some(p) if p != self.me => {
+                    debug_assert!(
+                        time >= self.q.now().saturating_add(self.lookahead),
+                        "boundary event under the conservative lookahead"
+                    );
+                    let WorldEvent::Net(ev) = ev else {
+                        unreachable!("only network events cross partitions")
+                    };
+                    self.boundary[p].push(BoundaryPush { j, time, ev });
+                }
+                _ => self.q.push_seq(time, (self.seg << SEG_SHIFT) | j as u64, ev),
+            }
+        }
+    }
+}
+
+impl<Q: PendingEvents<WorldEvent>> EventScheduler<NetEvent> for ShardQueue<Q> {
+    fn now(&self) -> Time {
+        self.q.now()
+    }
+
+    fn at(&mut self, time: Time, event: NetEvent) {
+        if !self.partitioned {
+            self.q.push(time, WorldEvent::Net(event));
+            return;
+        }
+        let owner = self.map.owner_of(&event);
+        self.push_world(time, owner, WorldEvent::Net(event));
+    }
+}
+
+impl<Q: PendingEvents<WorldEvent>> EventScheduler<MpiEvent> for ShardQueue<Q> {
+    fn now(&self) -> Time {
+        self.q.now()
+    }
+
+    fn at(&mut self, time: Time, event: MpiEvent) {
+        if !self.partitioned {
+            self.q.push(time, WorldEvent::Mpi(event));
+            return;
+        }
+        // MPI events live on the rank's own node: always shard-local.
+        self.push_world(time, None, WorldEvent::Mpi(event));
+    }
+}
+
+/// Rank every shard's window push log in the global push order the
+/// single-threaded engine would have realized: a P-way merge picking, at
+/// each step, the unranked head whose *dispatching event* has the smallest
+/// `(time, seq)` key.
+///
+/// Each per-shard log is sorted by dispatch key (events are popped in key
+/// order; same-dispatch pushes are consecutive), and dispatch keys are
+/// globally unique (each event is popped on exactly one shard), so strict
+/// `<` selection is total. A [`Dispatch::Local`] head references an earlier
+/// entry of the *same* log, which the merge has necessarily already ranked.
+/// Returns `ranks[p][j]`, strictly increasing in `j` for each `p` — a
+/// monotone renumbering of each shard's provisional keys.
+pub(crate) fn merge_ranks(logs: &[Vec<LogEntry>], wseg: u64) -> Vec<Vec<u64>> {
+    let mut ranks: Vec<Vec<u64>> = logs.iter().map(|l| vec![0u64; l.len()]).collect();
+    let mut heads = vec![0usize; logs.len()];
+    let total: usize = logs.iter().map(Vec::len).sum();
+    for counter in 0..total as u64 {
+        let mut best: Option<((Time, u64), usize)> = None;
+        for (p, log) in logs.iter().enumerate() {
+            let j = heads[p];
+            if j >= log.len() {
+                continue;
+            }
+            let key = match log[j].dispatch {
+                Dispatch::True { t, seq } => (t, seq),
+                Dispatch::Local { j: jj } => {
+                    debug_assert!((jj as usize) < j, "local dispatch must be already ranked");
+                    (logs[p][jj as usize].time, (wseg << SEG_SHIFT) | ranks[p][jj as usize])
+                }
+            };
+            if best.is_none_or(|(b, _)| key < b) {
+                best = Some((key, p));
+            }
+        }
+        let p = best.expect("merge ran out of heads").1;
+        ranks[p][heads[p]] = counter;
+        heads[p] += 1;
+    }
+    ranks
+}
+
+/// Rewrite a provisional window key (`segment == wseg`) to its merged rank;
+/// keys from other segments are already final.
+#[inline]
+fn xlate(key: u64, wseg: u64, ranks_p: &[u64]) -> u64 {
+    if key >> SEG_SHIFT == wseg {
+        (wseg << SEG_SHIFT) | ranks_p[(key & VAL_MASK) as usize]
+    } else {
+        key
+    }
+}
+
+/// Per-shard work description.
+enum ShardWork<'a> {
+    /// Static run: every (non-idle) job starts at t = 0 on pre-placed
+    /// nodes.
+    Static { jobs: Vec<JobSpec>, nodes: Vec<Vec<NodeId>> },
+    /// Churn run: timed arrivals admitted by a job scheduler whenever nodes
+    /// free up. Every shard replays the identical admission decisions (the
+    /// table and scheduler are deterministic in replicated inputs), so the
+    /// job → node mapping needs no communication.
+    Churn {
+        table: JobTable,
+        sched: SchedHolder<'a>,
+        arrive: Vec<Time>,
+        next_arrival: usize,
+        to_reclaim: Vec<JobId>,
+    },
+}
+
+/// How a churn shard holds its job scheduler: borrowed (single-partition
+/// runs driven by a caller-owned `&mut dyn`) or owned (multi-partition runs
+/// construct one instance per shard from a factory).
+pub(crate) enum SchedHolder<'a> {
+    /// Caller-owned scheduler (single partition only).
+    Borrowed(&'a mut (dyn JobScheduler + Send)),
+    /// Shard-owned instance from the policy factory.
+    Owned(Box<dyn JobScheduler + Send>),
+}
+
+impl SchedHolder<'_> {
+    fn get(&mut self) -> &mut (dyn JobScheduler + Send) {
+        match self {
+            SchedHolder::Borrowed(s) => *s,
+            SchedHolder::Owned(b) => b.as_mut(),
+        }
+    }
+}
+
+/// Everything a finished shard hands back to the assembly step.
+struct ShardOutcome {
+    stop: StopReason,
+    end: Time,
+    k: (Time, u64),
+    pops: u64,
+    post_k: u64,
+    stats: dfsim_des::EngineStats,
+    net: NetworkSim,
+    rec: Recorder,
+    journal: Vec<KeyedEntry>,
+    finished: Vec<Option<Time>>,
+    starts: Vec<Time>,
+    job_reports: Vec<JobReport>,
+}
+
+/// One partition worker: owns its groups' network state, its ranks' MPI
+/// state, a recorder, and the shard queue; drives the lockstep window loop.
+struct Shard<'a, Q> {
+    cfg: &'a SimConfig,
+    map: Arc<PartitionMap>,
+    me: usize,
+    parts: usize,
+    comm: LocalThreadCommunicator,
+    lookahead: Time,
+    sq: ShardQueue<Q>,
+    net: NetworkSim,
+    mpi: MpiSim,
+    rec: Recorder,
+    effects: Vec<NetEffect>,
+    work: ShardWork<'a>,
+    /// Unfinished ranks per app (multi-partition: maintained from exchanged
+    /// completion notices).
+    remaining: Vec<u32>,
+    total_remaining: u64,
+    app_finish: Vec<Option<Time>>,
+    /// Maximum finish key seen (the canonical stop key `K`).
+    k: (Time, u64),
+    /// Merged keyed-metric journal (multi-partition only).
+    journal: Vec<KeyedEntry>,
+    /// Keys popped in the current window (translated at its barrier).
+    wpop_keys: Vec<(Time, u64)>,
+    win_pops: u64,
+    win_last_pop: Time,
+    total_pops: u64,
+    global_last_pop: Time,
+    fin_scratch: Vec<AppId>,
+}
+
+impl<'a, Q: SimQueue<WorldEvent>> Shard<'a, Q> {
+    fn new(
+        cfg: &'a SimConfig,
+        topo: &Arc<Topology>,
+        map: Arc<PartitionMap>,
+        me: usize,
+        comm: LocalThreadCommunicator,
+        work: ShardWork<'a>,
+    ) -> Self {
+        let parts = map.parts();
+        let rng = SimRng::new(cfg.seed);
+        let mut rec = Recorder::new(topo, cfg.recorder);
+        let mut net = NetworkSim::new(Arc::clone(topo), cfg.timing, cfg.routing.clone(), &rng);
+        if parts > 1 {
+            net.set_partition(Arc::clone(&map), me);
+            rec.enable_keyed_capture();
+            if cfg.routing.algo == RoutingAlgo::QAdaptive {
+                net.enable_q_undo();
+            }
+        }
+        let napps = match &work {
+            ShardWork::Static { jobs, .. } => jobs.len(),
+            ShardWork::Churn { arrive, .. } => arrive.len(),
+        };
+        let q = Q::for_backend(cfg.queue);
+        let sq = ShardQueue::new(q, parts > 1, Arc::clone(&map), me, cfg.timing.global_latency_ps);
+        Self {
+            cfg,
+            map,
+            me,
+            parts,
+            comm,
+            lookahead: cfg.timing.global_latency_ps,
+            sq,
+            net,
+            mpi: MpiSim::new(MpiConfig { eager_threshold: cfg.eager_threshold }),
+            rec,
+            effects: Vec::new(),
+            work,
+            remaining: vec![0; napps],
+            total_remaining: 0,
+            app_finish: vec![None; napps],
+            k: (0, 0),
+            journal: Vec::new(),
+            wpop_keys: Vec::new(),
+            win_pops: 0,
+            win_last_pop: 0,
+            total_pops: 0,
+            global_last_pop: 0,
+            fin_scratch: Vec::new(),
+        }
+    }
+
+    fn napps(&self) -> usize {
+        self.remaining.len()
+    }
+
+    fn next_arrival_time(&self) -> Time {
+        match &self.work {
+            ShardWork::Static { .. } => Time::MAX,
+            ShardWork::Churn { arrive, next_arrival, .. } => {
+                arrive.get(*next_arrival).copied().unwrap_or(Time::MAX)
+            }
+        }
+    }
+
+    fn total_done(&self) -> bool {
+        match &self.work {
+            ShardWork::Static { .. } => self.total_remaining == 0,
+            ShardWork::Churn { table, .. } => table.all_done(),
+        }
+    }
+
+    /// Enqueue every arrival at or before `t`. Returns whether any arrived.
+    fn take_arrivals(&mut self, t: Time) -> bool {
+        let ShardWork::Churn { table, arrive, next_arrival, .. } = &mut self.work else {
+            return false;
+        };
+        let mut any = false;
+        while *next_arrival < arrive.len() && arrive[*next_arrival] <= t {
+            table.enqueue(JobId(*next_arrival as u32));
+            *next_arrival += 1;
+            any = true;
+        }
+        any
+    }
+
+    /// One admission pass at time `now` (every shard runs the identical
+    /// pass; each starts only the ranks whose node it owns, but advances
+    /// the admission-slot counter for all of them so cut keys agree).
+    /// Returns whether anything was admitted.
+    fn admit(&mut self, now: Time) -> bool {
+        let picked: Vec<(JobId, Vec<NodeId>, JobSpec)> = {
+            let ShardWork::Churn { table, sched, .. } = &mut self.work else {
+                return false;
+            };
+            if table.waiting_is_empty() {
+                return false;
+            }
+            let waiting = table.waiting_view();
+            let picks = sched.get().select(&waiting, table.free_count());
+            if picks.is_empty() {
+                return false;
+            }
+            debug_assert!(
+                picks.windows(2).all(|w| w[0] < w[1]),
+                "picks must be strictly increasing"
+            );
+            debug_assert!(
+                picks.iter().map(|&i| waiting[i].size).sum::<u32>() <= table.free_count(),
+                "scheduler over-admitted"
+            );
+            picks
+                .iter()
+                .map(|&i| {
+                    let job = waiting[i].job;
+                    let nodes = table.admit(job, now);
+                    (job, nodes, table.spec(job).clone())
+                })
+                .collect()
+        };
+        for (job, nodes, spec) in picked {
+            let app = AppId(job.0 as u16);
+            let inst =
+                spec.kind.build(spec.size, self.cfg.scale, self.cfg.seed ^ ((job.0 as u64) << 32));
+            if self.parts > 1 {
+                self.remaining[job.idx()] = nodes.len() as u32;
+                self.total_remaining += nodes.len() as u64;
+            }
+            self.mpi.add_app(app, nodes.clone(), inst.programs, inst.comms);
+            for (r, node) in nodes.iter().enumerate() {
+                self.sq.next_slot();
+                if self.parts == 1 || self.map.part_of_node(*node) == self.me {
+                    let (kt, ks) = self.sq.cut_key();
+                    self.rec.set_key(kt, ks);
+                    self.mpi.start_rank(app, r as u32, &mut self.sq, &mut self.net, &mut self.rec);
+                }
+            }
+        }
+        true
+    }
+
+    /// The initial cut at t = 0 (segment 0). Returns whether any rank
+    /// started.
+    fn init_cut(&mut self) -> bool {
+        match &self.work {
+            ShardWork::Static { jobs, nodes } => {
+                // Register all apps, then start all ranks — the same order
+                // as the sequential runner (`add_app` loop, then
+                // `MpiSim::start`).
+                let jobs = jobs.clone();
+                let nodes = nodes.clone();
+                for (i, (job, nd)) in jobs.iter().zip(&nodes).enumerate() {
+                    let inst = job.kind.build(
+                        job.size,
+                        self.cfg.scale,
+                        self.cfg.seed ^ ((i as u64) << 32),
+                    );
+                    self.mpi.add_app(AppId(i as u16), nd.clone(), inst.programs, inst.comms);
+                    self.remaining[i] = nd.len() as u32;
+                    self.total_remaining += nd.len() as u64;
+                }
+                for (i, nd) in nodes.iter().enumerate() {
+                    for (r, node) in nd.iter().enumerate() {
+                        self.sq.next_slot();
+                        if self.map.part_of_node(*node) == self.me {
+                            let (kt, ks) = self.sq.cut_key();
+                            self.rec.set_key(kt, ks);
+                            self.mpi.start_rank(
+                                AppId(i as u16),
+                                r as u32,
+                                &mut self.sq,
+                                &mut self.net,
+                                &mut self.rec,
+                            );
+                        }
+                    }
+                }
+                !jobs.is_empty()
+            }
+            ShardWork::Churn { .. } => {
+                if self.take_arrivals(0) {
+                    self.admit(0)
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Barrier-time cut at `b`: reclaim nodes of jobs that completed, take
+    /// arrivals at or before `b`, and run an admission pass if anything
+    /// changed. Returns whether any rank started.
+    fn cut(&mut self, b: Time) -> bool {
+        let changed = {
+            let ShardWork::Churn { table, to_reclaim, .. } = &mut self.work else {
+                return false;
+            };
+            let mut changed = false;
+            for job in std::mem::take(to_reclaim) {
+                table.reclaim(job);
+                changed = true;
+            }
+            changed
+        };
+        let arrived = self.take_arrivals(b);
+        if changed || arrived {
+            self.admit(b)
+        } else {
+            false
+        }
+    }
+
+    /// Pop and dispatch every local event strictly before `e` (and within
+    /// the horizon). Returns an early stop (single-partition churn only).
+    fn run_window(&mut self, e: Time) -> Option<(StopReason, Time)> {
+        let h = self.cfg.horizon.unwrap_or(Time::MAX);
+        self.win_pops = 0;
+        self.wpop_keys.clear();
+        while let Some(pt) = self.sq.q.peek_time() {
+            if pt >= e || pt > h {
+                break;
+            }
+            let (t, key, ev) = self.sq.q.pop_keyed().expect("peeked event vanished");
+            self.win_pops += 1;
+            self.win_last_pop = t;
+            if self.parts > 1 {
+                self.wpop_keys.push((t, key));
+                self.sq.cur_dispatch = if key >> SEG_SHIFT == self.sq.seg {
+                    Dispatch::Local { j: (key & VAL_MASK) as u32 }
+                } else {
+                    Dispatch::True { t, seq: key }
+                };
+                self.net.set_event_key(t, key);
+                self.rec.set_key(t, key);
+            } else {
+                self.global_last_pop = t;
+            }
+            let job_ev = dispatch_core(
+                &mut self.net,
+                &mut self.mpi,
+                &mut self.rec,
+                &mut self.sq,
+                &mut self.effects,
+                ev,
+            );
+            debug_assert!(job_ev.is_none(), "job events never enter the partitioned loop");
+            if self.parts == 1 {
+                // Single partition: completion is visible immediately (the
+                // shard runs every rank), giving the canonical stop the
+                // exact event-granular time without waiting for a barrier.
+                self.mpi.drain_finished(&mut self.fin_scratch);
+                if !self.fin_scratch.is_empty() {
+                    let now = self.sq.q.now();
+                    let ShardWork::Churn { table, to_reclaim, .. } = &mut self.work else {
+                        unreachable!("single-partition static runs use World::run")
+                    };
+                    for app in self.fin_scratch.drain(..) {
+                        let job = JobId(app.0 as u32);
+                        table.mark_finished(job, now);
+                        to_reclaim.push(job);
+                    }
+                    if table.all_done() {
+                        return Some((StopReason::AllFinished, now));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The window barrier at time `b`: exchange push logs, boundary events,
+    /// message metadata and completion notices; merge the logs into global
+    /// ranks; renumber everything provisional; import peer traffic; process
+    /// completions; and decide whether (and why) to stop. `Ok` carries the
+    /// global next-event time.
+    fn barrier(&mut self, b: Time) -> Result<Time, (StopReason, Time)> {
+        let h = self.cfg.horizon.unwrap_or(Time::MAX);
+        if self.parts == 1 {
+            let gn = self.sq.q.peek_time().unwrap_or(Time::MAX).min(self.next_arrival_time());
+            if gn == Time::MAX {
+                return Err((StopReason::Drained, self.global_last_pop));
+            }
+            if self.sq.q.events_processed() >= self.cfg.max_events {
+                return Err((StopReason::EventCap, b));
+            }
+            if gn > h {
+                return Err((StopReason::Horizon, gn));
+            }
+            return Ok(gn);
+        }
+
+        let wseg = self.sq.seg;
+        // -- Local summaries (before anything is drained): the shard's next
+        // event time must include boundary events not yet exported.
+        let exports = self.net.take_msg_exports();
+        let releases = self.net.take_msg_releases();
+        let my_keyed = self.rec.drain_keyed();
+        let mut peek = self.sq.q.peek_time().unwrap_or(Time::MAX);
+        for buf in &self.sq.boundary {
+            for e in buf {
+                peek = peek.min(e.time);
+            }
+        }
+
+        // -- Broadcast section, identical bytes to every peer.
+        let log = std::mem::take(&mut self.sq.log);
+        let mut bw = WireWriter::new();
+        bw.u64(self.win_pops);
+        bw.u64(self.win_last_pop);
+        bw.u64(peek);
+        bw.u32(log.len() as u32);
+        for e in &log {
+            bw.u64(e.time);
+            match e.dispatch {
+                Dispatch::True { t, seq } => {
+                    bw.u8(0);
+                    bw.u64(t);
+                    bw.u64(seq);
+                }
+                Dispatch::Local { j } => {
+                    bw.u8(1);
+                    bw.u32(j);
+                }
+            }
+        }
+        let my_fins: Vec<(u16, Time, u64)> = my_keyed
+            .iter()
+            .filter_map(|e| match e.kind {
+                KeyedKind::RankFinished { app, .. } => Some((app.0, e.time, e.seq)),
+                _ => None,
+            })
+            .collect();
+        bw.u32(my_fins.len() as u32);
+        for &(app, t, s) in &my_fins {
+            bw.u16(app);
+            bw.u64(t);
+            bw.u64(s);
+        }
+        let bcast = bw.into_frame();
+
+        // -- Per-peer frames: broadcast section + boundary events + message
+        // exports + release notices routed to their shards.
+        let mut boundary = std::mem::take(&mut self.sq.boundary);
+        let mut ex_by: Vec<Vec<&MsgExport>> = (0..self.parts).map(|_| Vec::new()).collect();
+        for e in &exports {
+            ex_by[self.map.part_of_node(e.dst)].push(e);
+        }
+        let mut rel_by: Vec<Vec<u64>> = (0..self.parts).map(|_| Vec::new()).collect();
+        for &t in &releases {
+            rel_by[origin_of(t)].push(t);
+        }
+        let mut frames: Vec<Vec<u8>> = Vec::with_capacity(self.parts);
+        for p in 0..self.parts {
+            let mut w = WireWriter::new();
+            w.bytes(&bcast);
+            w.u32(boundary[p].len() as u32);
+            for bp in &mut boundary[p] {
+                if let NetEvent::PacketArrive { packet, .. } = &mut bp.ev {
+                    self.net.on_packet_exported(packet);
+                }
+                encode_event(&mut w, bp.time, bp.j as u64, &bp.ev);
+            }
+            w.u32(ex_by[p].len() as u32);
+            for e in &ex_by[p] {
+                w.u64(e.msg);
+                w.u32(e.expected);
+                let meta = self.mpi.export_meta(MessageId(e.msg & IDX_MASK));
+                w.u32(meta.len() as u32);
+                w.bytes(&meta);
+            }
+            w.u32(rel_by[p].len() as u32);
+            for &r in &rel_by[p] {
+                w.u64(r);
+            }
+            frames.push(w.into_frame());
+        }
+        // Hand the (drained) per-peer buffers back for the next window.
+        for buf in &mut boundary {
+            buf.clear();
+        }
+        self.sq.boundary = boundary;
+
+        let got = self.comm.exchange(frames);
+
+        // -- Decode: broadcast sections from everyone, directed payloads
+        // from peers (applied after the merge resolves their keys).
+        let mut logs: Vec<Vec<LogEntry>> = Vec::with_capacity(self.parts);
+        let mut peer_pops = vec![0u64; self.parts];
+        let mut peer_last = vec![0u64; self.parts];
+        let mut peer_peek = vec![Time::MAX; self.parts];
+        let mut peer_fins: Vec<Vec<(u16, Time, u64)>> = Vec::with_capacity(self.parts);
+        let mut in_events: Vec<(usize, Time, u32, NetEvent)> = Vec::new();
+        let mut in_msgs: Vec<(u64, u32, Vec<u8>)> = Vec::new();
+        let mut in_rels: Vec<u64> = Vec::new();
+        for (p, frame) in got.iter().enumerate() {
+            let mut r = WireReader::new(frame);
+            peer_pops[p] = r.u64();
+            peer_last[p] = r.u64();
+            peer_peek[p] = r.u64();
+            let n = r.u32() as usize;
+            let mut lg = Vec::with_capacity(n);
+            for _ in 0..n {
+                let time = r.u64();
+                let dispatch = match r.u8() {
+                    0 => Dispatch::True { t: r.u64(), seq: r.u64() },
+                    _ => Dispatch::Local { j: r.u32() },
+                };
+                lg.push(LogEntry { time, dispatch });
+            }
+            logs.push(lg);
+            let nf = r.u32() as usize;
+            let mut fins = Vec::with_capacity(nf);
+            for _ in 0..nf {
+                fins.push((r.u16(), r.u64(), r.u64()));
+            }
+            peer_fins.push(fins);
+            if p == self.me {
+                continue; // own directed payload is empty by construction
+            }
+            let ne = r.u32() as usize;
+            for _ in 0..ne {
+                let (t, j, ev) = decode_event(&mut r);
+                in_events.push((p, t, j as u32, ev));
+            }
+            let nm = r.u32() as usize;
+            for _ in 0..nm {
+                let msg = r.u64();
+                let expected = r.u32();
+                let len = r.u32() as usize;
+                in_msgs.push((msg, expected, r.bytes(len).to_vec()));
+            }
+            let nr = r.u32() as usize;
+            for _ in 0..nr {
+                in_rels.push(r.u64());
+            }
+        }
+
+        // -- Merge push logs into the global push order; renumber every
+        // provisional key in this shard.
+        let ranks = merge_ranks(&logs, wseg);
+        let rme = &ranks[self.me];
+        self.sq.q.for_each_pending_mut(&mut |_, seq| {
+            if *seq >> SEG_SHIFT == wseg {
+                *seq = (wseg << SEG_SHIFT) | rme[(*seq & VAL_MASK) as usize];
+            }
+        });
+        for k in &mut self.wpop_keys {
+            k.1 = xlate(k.1, wseg, rme);
+        }
+        if let Some(entries) = self.net.q_undo_entries_mut() {
+            for e in entries.iter_mut() {
+                e.seq = xlate(e.seq, wseg, rme);
+            }
+        }
+        let mut my_keyed = my_keyed;
+        for e in &mut my_keyed {
+            e.seq = xlate(e.seq, wseg, rme);
+        }
+        self.journal.append(&mut my_keyed);
+
+        // -- Import peer traffic. Message metadata first (deliveries later
+        // in the run look it up), then events, then release notices.
+        for (msg, expected, meta) in in_msgs {
+            self.net.import_message(msg, expected);
+            self.mpi.import_meta(msg, &meta);
+        }
+        for (p, t, j, mut ev) in in_events {
+            debug_assert!(t >= b, "boundary event before the barrier");
+            if let NetEvent::PacketArrive { packet, .. } = &mut ev {
+                self.net.on_packet_imported(packet);
+            }
+            self.sq.q.push_seq(t, (wseg << SEG_SHIFT) | ranks[p][j as usize], WorldEvent::Net(ev));
+        }
+        for r in in_rels {
+            self.mpi.release_exported(r, &mut self.net);
+        }
+
+        // -- Completions, in global key order (replicated on every shard).
+        let mut fins: Vec<(Time, u64, u16)> = Vec::new();
+        for (p, pf) in peer_fins.iter().enumerate() {
+            for &(app, t, s) in pf {
+                fins.push((t, xlate(s, wseg, &ranks[p]), app));
+            }
+        }
+        fins.sort_unstable();
+        for &(t, s, app) in &fins {
+            let i = app as usize;
+            debug_assert!(self.remaining[i] > 0, "finish notice for a finished app");
+            self.remaining[i] -= 1;
+            self.total_remaining -= 1;
+            self.k = self.k.max((t, s));
+            if self.remaining[i] == 0 {
+                self.app_finish[i] = Some(t);
+                if let ShardWork::Churn { table, to_reclaim, .. } = &mut self.work {
+                    let job = JobId(app as u32);
+                    table.mark_finished(job, t);
+                    to_reclaim.push(job);
+                }
+            }
+        }
+
+        // -- Global counters and the stop decision (identical on every
+        // shard: all inputs are replicated).
+        let mut gn = self.next_arrival_time();
+        let mut wpops = 0u64;
+        for p in 0..self.parts {
+            gn = gn.min(peer_peek[p]);
+            wpops += peer_pops[p];
+            if peer_pops[p] > 0 {
+                self.global_last_pop = self.global_last_pop.max(peer_last[p]);
+            }
+        }
+        self.total_pops += wpops;
+        if self.total_done() {
+            return Err((StopReason::AllFinished, self.k.0));
+        }
+        if gn == Time::MAX {
+            return Err((StopReason::Drained, self.global_last_pop));
+        }
+        if self.total_pops >= self.cfg.max_events {
+            return Err((StopReason::EventCap, b));
+        }
+        if gn > h {
+            return Err((StopReason::Horizon, gn));
+        }
+        Ok(gn)
+    }
+
+    /// The lockstep window loop.
+    fn run(mut self) -> ShardOutcome {
+        assert!(
+            self.lookahead > 0,
+            "partitioned execution needs a positive inter-group link latency for lookahead"
+        );
+        let mut started = self.init_cut();
+        if self.total_done() {
+            return self.finish(StopReason::AllFinished, 0);
+        }
+        let mut b: Time = 0;
+        // Before anything starts, the only future activity is the first
+        // arrival — replicated knowledge, no exchange needed.
+        let mut gn: Time = self.sq.q.peek_time().unwrap_or(Time::MAX).min(self.next_arrival_time());
+        loop {
+            // Window start: if the last cut started ranks, their events can
+            // land anywhere at or after the cut time, so the window must
+            // open at the cut; otherwise jump to the global next event.
+            let s = if started { b } else { gn };
+            debug_assert!(s >= b && s != Time::MAX, "stop conditions handle these");
+            if s > b {
+                self.sq.q.advance_clock(s);
+                // An arrival exactly at the jump target is processed here,
+                // at its exact time (still in the previous cut segment; the
+                // window about to open covers whatever it admits).
+                if self.take_arrivals(s) {
+                    self.admit(s);
+                }
+            }
+            let e = s.saturating_add(self.lookahead).min(self.next_arrival_time());
+            self.sq.begin_window();
+            if let Some((stop, t)) = self.run_window(e) {
+                return self.finish(stop, t);
+            }
+            b = e;
+            gn = match self.barrier(b) {
+                Ok(g) => g,
+                Err((stop, t)) => return self.finish(stop, t),
+            };
+            self.sq.q.advance_clock(b);
+            self.sq.begin_cut();
+            started = self.cut(b);
+        }
+    }
+
+    fn finish(mut self, stop: StopReason, end: Time) -> ShardOutcome {
+        let mut post_k = 0u64;
+        if self.parts > 1 && stop == StopReason::AllFinished {
+            // The final window may overrun the stop key: subtract those
+            // pops from the event count and roll their Q-updates back, so
+            // the result matches an engine that stopped exactly at K.
+            post_k = self.wpop_keys.iter().filter(|&&key| key > self.k).count() as u64;
+            self.net.q_undo_revert_after(self.k.0, self.k.1);
+        }
+        let napps = self.napps();
+        let finished: Vec<Option<Time>> = if self.parts > 1 {
+            std::mem::take(&mut self.app_finish)
+        } else {
+            (0..napps).map(|i| self.mpi.app_finished_at(AppId(i as u16))).collect()
+        };
+        let (starts, job_reports) = match &self.work {
+            ShardWork::Static { .. } => (vec![0; napps], Vec::new()),
+            ShardWork::Churn { table, .. } => (table.start_times(end), table.job_reports(end)),
+        };
+        ShardOutcome {
+            stop,
+            end,
+            k: self.k,
+            pops: self.sq.q.events_processed(),
+            post_k,
+            stats: self.sq.q.stats(),
+            net: self.net,
+            rec: self.rec,
+            journal: self.journal,
+            finished,
+            starts,
+            job_reports,
+        }
+    }
+}
+
+/// Combine shard outcomes into the final report: absorb recorders, replay
+/// the merged keyed journal in global key order, adopt each shard's learned
+/// Q-tables, sum engine counters, and derive the canonical event count.
+fn assemble(
+    cfg: &SimConfig,
+    specs: &[&JobSpec],
+    topo: &Topology,
+    map: &PartitionMap,
+    mut outcomes: Vec<ShardOutcome>,
+    wall_s: f64,
+) -> (RunReport, Option<dfsim_network::QTableSnapshot>) {
+    let parts = outcomes.len();
+    let mut base = outcomes.remove(0);
+    let (stop, end) = (base.stop, base.end);
+    let mut pops = base.pops;
+    let mut post_k = base.post_k;
+    let mut stats = base.stats;
+    if parts > 1 {
+        let mut journal = std::mem::take(&mut base.journal);
+        for (i, o) in outcomes.into_iter().enumerate() {
+            let p = i + 1;
+            debug_assert!(o.stop == stop && o.end == end, "shards disagree on the stop");
+            pops += o.pops;
+            post_k += o.post_k;
+            stats.events_scheduled += o.stats.events_scheduled;
+            stats.pending += o.stats.pending;
+            stats.peak_pending += o.stats.peak_pending;
+            stats.resizes += o.stats.resizes;
+            stats.bucket_scans += o.stats.bucket_scans;
+            stats.sparse_jumps += o.stats.sparse_jumps;
+            base.net.adopt_qtables_from(&o.net, map.routers_of(p));
+            journal.extend(o.journal);
+            base.rec.absorb(o.rec);
+        }
+        journal.sort_by_key(|e| (e.time, e.seq));
+        base.rec.disable_keyed_capture();
+        if stop == StopReason::AllFinished {
+            let k = base.k;
+            base.rec.replay_keyed(journal.into_iter().filter(|e| (e.time, e.seq) <= k));
+        } else {
+            base.rec.replay_keyed(journal);
+        }
+    }
+    let mut events = pops - post_k;
+    if stop == StopReason::Horizon {
+        // The sequential engines count the horizon-crossing pop before
+        // stopping; windows never pop past the horizon, so synthesize it.
+        events += 1;
+    }
+    stats.events_processed = events;
+    let snapshot = capture_qtables(cfg, &base.net);
+    let report = build_report(
+        cfg,
+        specs,
+        topo,
+        &base.rec,
+        &base.finished,
+        stats,
+        events,
+        stop,
+        end,
+        wall_s,
+        &base.starts,
+        std::mem::take(&mut base.job_reports),
+    );
+    (report, snapshot)
+}
+
+fn partition_map(cfg: &SimConfig, parts: usize) -> Arc<PartitionMap> {
+    Arc::new(PartitionMap::new(
+        cfg.params.groups,
+        cfg.params.routers_per_group,
+        cfg.params.nodes_per_router,
+        parts,
+    ))
+}
+
+/// The static-run entry of the partitioned engine (`threads >= 2`).
+pub(crate) fn exec_placed_parallel(
+    cfg: &SimConfig,
+    jobs: &[JobSpec],
+    policy: Placement,
+) -> (RunReport, Option<dfsim_network::QTableSnapshot>) {
+    match cfg.queue.kind() {
+        QueueKind::Heap => static_on::<EventQueue<WorldEvent>>(cfg, jobs, policy),
+        QueueKind::Calendar => static_on::<CalendarQueue<WorldEvent>>(cfg, jobs, policy),
+    }
+}
+
+fn static_on<Q: SimQueue<WorldEvent>>(
+    cfg: &SimConfig,
+    jobs: &[JobSpec],
+    policy: Placement,
+) -> (RunReport, Option<dfsim_network::QTableSnapshot>) {
+    debug_assert_eq!(Q::KIND, cfg.queue.kind(), "backend dispatch out of sync with config");
+    cfg.validate().expect("invalid simulation config");
+    let parts = cfg.threads;
+    assert!(parts >= 2, "static runs below two threads use the sequential engine");
+    let topo = Arc::new(Topology::new(cfg.params).expect("validated params"));
+    let sizes: Vec<u32> = jobs.iter().map(|j| j.size).collect();
+    let partitions = place(&topo, policy, &sizes, cfg.seed);
+    let mut app_jobs: Vec<JobSpec> = Vec::new();
+    let mut app_nodes: Vec<Vec<NodeId>> = Vec::new();
+    for (job, nodes) in jobs.iter().zip(partitions) {
+        if !job.idle {
+            app_jobs.push(job.clone());
+            app_nodes.push(nodes);
+        }
+    }
+    let map = partition_map(cfg, parts);
+    let wall = Instant::now();
+    let comms = local_mesh(parts);
+    let outcomes: Vec<ShardOutcome> = std::thread::scope(|sc| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(p, comm)| {
+                let (topo, map, app_jobs, app_nodes) =
+                    (&topo, Arc::clone(&map), &app_jobs, &app_nodes);
+                sc.spawn(move || {
+                    let work =
+                        ShardWork::Static { jobs: app_jobs.clone(), nodes: app_nodes.clone() };
+                    Shard::<Q>::new(cfg, topo, map, p, comm, work).run()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+    let specs: Vec<&JobSpec> = app_jobs.iter().collect();
+    assemble(cfg, &specs, &topo, &map, outcomes, wall_s)
+}
+
+/// How the churn driver gets its job scheduler(s).
+pub(crate) enum SchedBinding<'a> {
+    /// A caller-owned scheduler instance; forces a single partition (one
+    /// instance cannot be replicated across shards).
+    Inline(&'a mut (dyn JobScheduler + Send)),
+    /// A factory constructing one scheduler per shard; the partition count
+    /// follows `SimConfig::threads`.
+    Factory(&'a (dyn Fn() -> Box<dyn JobScheduler + Send> + Sync)),
+}
+
+/// The churn entry of the partitioned engine — the canonical scenario loop
+/// at any partition count (including 1).
+pub(crate) fn exec_scenario_driver(
+    cfg: &SimConfig,
+    scenario: &Scenario,
+    placement: Placement,
+    sched: SchedBinding<'_>,
+) -> (RunReport, Option<dfsim_network::QTableSnapshot>) {
+    match cfg.queue.kind() {
+        QueueKind::Heap => scenario_on::<EventQueue<WorldEvent>>(cfg, scenario, placement, sched),
+        QueueKind::Calendar => {
+            scenario_on::<CalendarQueue<WorldEvent>>(cfg, scenario, placement, sched)
+        }
+    }
+}
+
+fn scenario_on<Q: SimQueue<WorldEvent>>(
+    cfg: &SimConfig,
+    scenario: &Scenario,
+    placement: Placement,
+    sched: SchedBinding<'_>,
+) -> (RunReport, Option<dfsim_network::QTableSnapshot>) {
+    debug_assert_eq!(Q::KIND, cfg.queue.kind(), "backend dispatch out of sync with config");
+    cfg.validate().expect("invalid simulation config");
+    let topo = Arc::new(Topology::new(cfg.params).expect("validated params"));
+    scenario.validate(topo.num_nodes()).expect("invalid scenario");
+    let parts = match &sched {
+        SchedBinding::Inline(_) => 1,
+        SchedBinding::Factory(_) => cfg.threads.max(1),
+    };
+    let map = partition_map(cfg, parts);
+    // A lifetime-generic constructor (a closure could not decouple the
+    // holder's lifetime from its captures'): every shard replays the same
+    // table from the same replicated inputs.
+    fn churn_work<'h>(
+        topo: &Topology,
+        scenario: &Scenario,
+        placement: Placement,
+        seed: u64,
+        holder: SchedHolder<'h>,
+    ) -> ShardWork<'h> {
+        ShardWork::Churn {
+            table: JobTable::new(topo, scenario, placement, seed),
+            sched: holder,
+            arrive: scenario.arrivals.iter().map(|a| a.at).collect(),
+            next_arrival: 0,
+            to_reclaim: Vec::new(),
+        }
+    }
+    let wall = Instant::now();
+    let outcomes: Vec<ShardOutcome> = match sched {
+        SchedBinding::Inline(s) => {
+            let comm = local_mesh(1).pop().expect("mesh of one");
+            let work = churn_work(&topo, scenario, placement, cfg.seed, SchedHolder::Borrowed(s));
+            vec![Shard::<Q>::new(cfg, &topo, Arc::clone(&map), 0, comm, work).run()]
+        }
+        SchedBinding::Factory(mk) if parts == 1 => {
+            let comm = local_mesh(1).pop().expect("mesh of one");
+            let work = churn_work(&topo, scenario, placement, cfg.seed, SchedHolder::Owned(mk()));
+            vec![Shard::<Q>::new(cfg, &topo, Arc::clone(&map), 0, comm, work).run()]
+        }
+        SchedBinding::Factory(mk) => {
+            let comms = local_mesh(parts);
+            std::thread::scope(|sc| {
+                let handles: Vec<_> = comms
+                    .into_iter()
+                    .enumerate()
+                    .map(|(p, comm)| {
+                        let (topo, map) = (&topo, Arc::clone(&map));
+                        sc.spawn(move || {
+                            let work = churn_work(
+                                topo,
+                                scenario,
+                                placement,
+                                cfg.seed,
+                                SchedHolder::Owned(mk()),
+                            );
+                            Shard::<Q>::new(cfg, topo, map, p, comm, work).run()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
+            })
+        }
+    };
+    let wall_s = wall.elapsed().as_secs_f64();
+    let specs: Vec<&JobSpec> = scenario.arrivals.iter().map(|a| &a.spec).collect();
+    assemble(cfg, &specs, &topo, &map, outcomes, wall_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn merge_ranks_orders_true_keys_across_shards() {
+        // Shard 0 pushes at dispatch keys (10, 1) then (30, 2); shard 1 at
+        // (20, 7). Global rank order must interleave: 0, 2, 1.
+        let logs = vec![
+            vec![
+                LogEntry { time: 100, dispatch: Dispatch::True { t: 10, seq: 1 } },
+                LogEntry { time: 50, dispatch: Dispatch::True { t: 30, seq: 2 } },
+            ],
+            vec![LogEntry { time: 70, dispatch: Dispatch::True { t: 20, seq: 7 } }],
+        ];
+        let ranks = merge_ranks(&logs, 5);
+        assert_eq!(ranks[0], vec![0, 2]);
+        assert_eq!(ranks[1], vec![1]);
+    }
+
+    #[test]
+    fn merge_ranks_resolves_local_dispatches_through_assigned_ranks() {
+        let wseg = 3u64;
+        // Shard 0: entry 0 pushed (by an old event at (5, 9)) an event at
+        // t=40; entry 1 is a push by *that* event (Local{0}), so its
+        // dispatch key is (40, (wseg<<40)|rank(entry 0)).
+        // Shard 1: one push by an old event at (39, 2) — between them.
+        let logs = vec![
+            vec![
+                LogEntry { time: 40, dispatch: Dispatch::True { t: 5, seq: 9 } },
+                LogEntry { time: 90, dispatch: Dispatch::Local { j: 0 } },
+            ],
+            vec![LogEntry { time: 60, dispatch: Dispatch::True { t: 39, seq: 2 } }],
+        ];
+        let ranks = merge_ranks(&logs, wseg);
+        // Dispatch keys: shard0[0] = (5,9); shard1[0] = (39,2);
+        // shard0[1] = (40, (3<<40)|0) — last.
+        assert_eq!(ranks[0], vec![0, 2]);
+        assert_eq!(ranks[1], vec![1]);
+    }
+
+    /// The heart of the determinism argument, property-tested: a windowed
+    /// multi-shard run — provisional keys, per-window barrier merges,
+    /// renumbering, boundary hand-off — pops abstract events in exactly the
+    /// order of a single heap driven by the global push sequence.
+    ///
+    /// The abstract workload is a deterministic event cascade: event `id`
+    /// at time `t` on shard `s` spawns children from a hash of `id`, with
+    /// local children at any future time and cross-shard children delayed
+    /// by at least the lookahead — the same contract the dragonfly's
+    /// boundary traffic obeys.
+    fn hash(x: u64) -> u64 {
+        // splitmix64: deterministic and well-mixed, no external deps.
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    struct AbsEvent {
+        id: u64,
+        shard: usize,
+    }
+
+    /// Deterministic children of an event: `(delay, dest shard, child id)`.
+    /// `burstiness` skews delays toward the window edge; `min_latencies`
+    /// gives each shard pair its own boundary latency floor (≥ lookahead).
+    fn children(
+        ev: AbsEvent,
+        t: Time,
+        parts: usize,
+        lookahead: Time,
+        burstiness: u64,
+        depth_left: u32,
+    ) -> Vec<(Time, usize, u64)> {
+        if depth_left == 0 {
+            return Vec::new();
+        }
+        let h = hash(ev.id);
+        let n = (h % 3) as usize; // 0..=2 children
+        (0..n)
+            .map(|c| {
+                let hc = hash(ev.id ^ (c as u64 + 1).wrapping_mul(0x5851_f42d_4c95_7f2d));
+                let dest = (hc % parts as u64) as usize;
+                let base = 1 + (hc >> 8) % (lookahead * 2 + burstiness);
+                let delay = if dest == ev.shard {
+                    base // local children: any future time
+                } else {
+                    lookahead + base // boundary: at least the lookahead
+                };
+                (t + delay, dest, hc)
+            })
+            .collect()
+    }
+
+    /// Oracle: one heap over all shards, auto-sequenced in push order —
+    /// the single-threaded engine's total order.
+    fn oracle_pop_order(
+        seeds: &[AbsEvent],
+        parts: usize,
+        lookahead: Time,
+        burstiness: u64,
+        depth: u32,
+    ) -> Vec<u64> {
+        let mut q: EventQueue<(AbsEvent, u32)> = EventQueue::new();
+        for (i, &e) in seeds.iter().enumerate() {
+            q.push(i as Time, (e, depth));
+        }
+        let mut order = Vec::new();
+        while let Some((t, (ev, d))) = q.pop() {
+            order.push(ev.id);
+            for (ct, dest, cid) in children(ev, t, parts, lookahead, burstiness, d) {
+                q.push(ct, (AbsEvent { id: cid, shard: dest }, d - 1));
+            }
+        }
+        order
+    }
+
+    /// Partitioned run: one queue per shard with provisional window keys,
+    /// lockstep windows of length `lookahead`, and a merge-and-renumber
+    /// barrier after each — the exact protocol `Shard::run` uses, minus the
+    /// network/MPI payload.
+    fn partitioned_pop_order(
+        seeds: &[AbsEvent],
+        parts: usize,
+        lookahead: Time,
+        burstiness: u64,
+        depth: u32,
+    ) -> Vec<u64> {
+        let mut qs: Vec<EventQueue<(AbsEvent, u32)>> =
+            (0..parts).map(|_| EventQueue::new()).collect();
+        // Init cut (segment 0): seed events get final slot keys, every
+        // shard numbering all slots identically.
+        for (i, &e) in seeds.iter().enumerate() {
+            qs[e.shard].push_seq(i as Time, (i as u64) << SLOT_SHIFT, (e, depth));
+        }
+        let mut seg = 0u64;
+        let mut pops: Vec<(Time, u64, u64)> = Vec::new(); // (time, final key, id)
+        let mut s: Time = 0;
+        loop {
+            // Global next event (what the barrier's peek exchange yields).
+            let gn = qs.iter().filter_map(|q| q.peek_time()).min();
+            let Some(gn) = gn else { break };
+            s = s.max(gn);
+            let e = s + lookahead;
+            seg += 1; // window segment
+            let wseg = seg;
+            let mut logs: Vec<Vec<LogEntry>> = vec![Vec::new(); parts];
+            // (source shard, time, log index, event, remaining depth)
+            type BoundaryChild = (usize, Time, u32, AbsEvent, u32);
+            let mut boundary: Vec<Vec<BoundaryChild>> = vec![Vec::new(); parts];
+            let mut wpops: Vec<(usize, Time, u64, u64)> = Vec::new();
+            for p in 0..parts {
+                while qs[p].peek_time().is_some_and(|t| t < e) {
+                    let (t, key, (ev, d)) = qs[p].pop_keyed().unwrap();
+                    wpops.push((p, t, key, ev.id));
+                    let dispatch = if key >> SEG_SHIFT == wseg {
+                        Dispatch::Local { j: (key & VAL_MASK) as u32 }
+                    } else {
+                        Dispatch::True { t, seq: key }
+                    };
+                    for (ct, dest, cid) in children(ev, t, parts, lookahead, burstiness, d) {
+                        let j = logs[p].len() as u32;
+                        logs[p].push(LogEntry { time: ct, dispatch });
+                        let child = AbsEvent { id: cid, shard: dest };
+                        if dest == p {
+                            qs[p].push_seq(ct, (wseg << SEG_SHIFT) | j as u64, (child, d - 1));
+                        } else {
+                            assert!(ct >= t + lookahead, "boundary child under lookahead");
+                            boundary[dest].push((p, ct, j, child, d - 1));
+                        }
+                    }
+                }
+            }
+            // Barrier: merge, renumber pending, import boundary children.
+            let ranks = merge_ranks(&logs, wseg);
+            for (p, q) in qs.iter_mut().enumerate() {
+                let rp = &ranks[p];
+                q.for_each_pending_mut(&mut |_, seq| {
+                    if *seq >> SEG_SHIFT == wseg {
+                        *seq = (wseg << SEG_SHIFT) | rp[(*seq & VAL_MASK) as usize];
+                    }
+                });
+            }
+            for (dest, imports) in boundary.into_iter().enumerate() {
+                for (p, ct, j, child, d) in imports {
+                    qs[dest].push_seq(ct, (wseg << SEG_SHIFT) | ranks[p][j as usize], (child, d));
+                }
+            }
+            for (p, t, key, id) in wpops {
+                pops.push((t, xlate(key, wseg, &ranks[p]), id));
+            }
+            s = e;
+            seg += 1; // cut segment (idle here: no admissions in the model)
+        }
+        pops.sort_unstable();
+        pops.into_iter().map(|(_, _, id)| id).collect()
+    }
+
+    proptest! {
+        /// Windowed cross-partition exchange preserves the global
+        /// `(time, seq)` pop order of the single-heap oracle across
+        /// uniform, bursty and adversarial (boundary-heavy, minimum-delay)
+        /// latency mixes and partition counts.
+        #[test]
+        fn windowed_exchange_matches_heap_oracle(
+            seed in 0u64..1_000_000,
+            parts in 1usize..5,
+            n_seeds in 1usize..7,
+            lookahead in prop_oneof![Just(1u64), Just(3u64), Just(50u64)],
+            burstiness in prop_oneof![Just(0u64), Just(2u64), Just(400u64)],
+        ) {
+            let seeds: Vec<AbsEvent> = (0..n_seeds)
+                .map(|i| AbsEvent {
+                    id: hash(seed ^ (i as u64) << 32),
+                    shard: (hash(seed ^ (i as u64)) % parts as u64) as usize,
+                })
+                .collect();
+            let depth = 7;
+            let want = oracle_pop_order(&seeds, parts, lookahead, burstiness, depth);
+            let got = partitioned_pop_order(&seeds, parts, lookahead, burstiness, depth);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -4,8 +4,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dfsim_apps::AppKind;
-use dfsim_des::queue::{PendingEvents, SimQueue};
-use dfsim_des::{CalendarQueue, EventQueue, QueueKind, SimRng, Time, MICROSECOND, MILLISECOND};
+use dfsim_des::queue::SimQueue;
+use dfsim_des::{
+    CalendarQueue, EngineStats, EventQueue, QueueKind, SimRng, Time, MICROSECOND, MILLISECOND,
+};
 use dfsim_metrics::{AppId, Recorder, Stats};
 use dfsim_mpi::sim::MpiConfig;
 use dfsim_mpi::MpiSim;
@@ -71,6 +73,11 @@ pub(crate) fn exec_placed(
     jobs: &[JobSpec],
     policy: Placement,
 ) -> (RunReport, Option<dfsim_network::QTableSnapshot>) {
+    if cfg.threads >= 2 {
+        // Partitioned parallel engine: group-sharded network, conservative
+        // lookahead windows, bit-identical reports at any partition count.
+        return crate::partition::exec_placed_parallel(cfg, jobs, policy);
+    }
     match cfg.queue.kind() {
         QueueKind::Heap => run_placed_on::<EventQueue<WorldEvent>>(cfg, jobs, policy),
         QueueKind::Calendar => run_placed_on::<CalendarQueue<WorldEvent>>(cfg, jobs, policy),
@@ -115,8 +122,22 @@ fn run_placed_on<Q: SimQueue<WorldEvent>>(
     let snapshot = capture_qtables(cfg, &world.net);
 
     let starts = vec![0; app_jobs.len()]; // static runs: everything starts at t = 0
-    let report =
-        build_report(cfg, &app_jobs, &topo, &world, stop, end_time, wall_s, &starts, Vec::new());
+    let finished: Vec<Option<Time>> =
+        (0..app_jobs.len()).map(|i| world.mpi.app_finished_at(AppId(i as u16))).collect();
+    let report = build_report(
+        cfg,
+        &app_jobs,
+        &topo,
+        &world.rec,
+        &finished,
+        world.queue.stats(),
+        world.queue.events_processed(),
+        stop,
+        end_time,
+        wall_s,
+        &starts,
+        Vec::new(),
+    );
     (report, snapshot)
 }
 
@@ -140,16 +161,22 @@ pub fn run(cfg: &SimConfig, jobs: &[JobSpec]) -> RunReport {
     exec_placed(cfg, jobs, Placement::Random).0
 }
 
-/// Assemble the [`RunReport`] of a finished world. `starts[i]` is job `i`'s
-/// admission time (0 for static runs), subtracted so `exec_ms` is service
-/// time, not absolute finish time; `job_reports` carries the per-job churn
-/// outcomes (empty for static runs).
+/// Assemble the [`RunReport`] of a finished run from its components (the
+/// sequential engines pass their world's parts, the partitioned engine its
+/// merged shard outcomes). `starts[i]` is job `i`'s admission time (0 for
+/// static runs), subtracted so `exec_ms` is service time, not absolute
+/// finish time; `finished[i]` is app `i`'s completion time if it completed;
+/// `events` is the canonical processed-event count; `job_reports` carries
+/// the per-job churn outcomes (empty for static runs).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn build_report<Q: PendingEvents<WorldEvent>>(
+pub(crate) fn build_report(
     cfg: &SimConfig,
     jobs: &[&JobSpec],
     topo: &Topology,
-    world: &World<Q>,
+    rec: &Recorder,
+    finished: &[Option<Time>],
+    stats: EngineStats,
+    events: u64,
     stop: StopReason,
     end_time: Time,
     wall_s: f64,
@@ -157,14 +184,14 @@ pub(crate) fn build_report<Q: PendingEvents<WorldEvent>>(
     job_reports: Vec<JobReport>,
 ) -> RunReport {
     debug_assert_eq!(jobs.len(), starts.len());
-    let rec = &world.rec;
+    debug_assert_eq!(jobs.len(), finished.len());
     let apps = jobs
         .iter()
         .enumerate()
         .map(|(i, job)| {
             let id = AppId(i as u16);
             let record = rec.app(id);
-            let exec = world.mpi.app_finished_at(id).unwrap_or(end_time).saturating_sub(starts[i]);
+            let exec = finished[i].unwrap_or(end_time).saturating_sub(starts[i]);
             let comm: Vec<f64> = record
                 .map(|r| {
                     r.rank_comm.iter().map(|&(_, c, _)| c as f64 / MILLISECOND as f64).collect()
@@ -254,7 +281,6 @@ pub(crate) fn build_report<Q: PendingEvents<WorldEvent>>(
         }
     });
 
-    let stats = world.queue.stats();
     let engine = EngineReport {
         backend: cfg.queue.describe(),
         events_scheduled: stats.events_scheduled,
@@ -275,7 +301,7 @@ pub(crate) fn build_report<Q: PendingEvents<WorldEvent>>(
         completed: stop == StopReason::AllFinished,
         stop_reason: format!("{stop:?}"),
         sim_ms: end_time as f64 / MILLISECOND as f64,
-        events: world.queue.events_processed(),
+        events,
         wall_s,
         apps,
         jobs: job_reports,

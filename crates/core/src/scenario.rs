@@ -16,38 +16,27 @@
 //! * a [`JobTable`] owns the job → partition mapping: it places admitted
 //!   jobs onto the free-node pool with the existing [`Placement`] policies
 //!   and reclaims nodes at teardown,
-//! * [`run_scenario`] drives everything through the world event queue via
-//!   the DES job-lifecycle events ([`JobEvent::Spawn`] /
-//!   [`JobEvent::Teardown`]), so both queue backends realize the identical
-//!   total order and scenario reports are bit-identical across backends —
-//!   exactly like static runs.
+//! * [`run_scenario`] drives everything through the partitioned engine's
+//!   canonical window loop ([`crate::partition`]): arrivals cut windows at
+//!   their exact times, completions reclaim nodes at window barriers, and
+//!   every partition replays the identical admission decisions — so both
+//!   queue backends *and* every partition count realize the same canonical
+//!   event order and scenario reports are bit-identical across all of them.
 //!
 //! Per-job wait, service and slowdown land in
 //! [`crate::report::RunReport::jobs`]; the `churn` bench binary combines
 //! them with the windowed metrics ([`dfsim_metrics::Span`]) into an
 //! interference matrix under churn.
 
-use std::sync::Arc;
-use std::time::Instant;
-
 use dfsim_apps::arrivals::ArrivalSpec;
 use dfsim_apps::AppKind;
-use dfsim_des::queue::{PendingEvents, SimQueue};
-use dfsim_des::{
-    CalendarQueue, EventQueue, JobEvent, JobId, QueueKind, Scheduler as EventScheduler, SimRng,
-    Time, MILLISECOND,
-};
-use dfsim_metrics::{AppId, Recorder};
-use dfsim_mpi::sim::MpiConfig;
-use dfsim_mpi::MpiSim;
-use dfsim_network::NetworkSim;
+use dfsim_des::{JobId, SimRng, Time, MILLISECOND};
 use dfsim_topology::{NodeId, Topology};
 
 use crate::config::SimConfig;
 use crate::placement::Placement;
 use crate::report::{JobReport, RunReport};
-use crate::runner::{build_report, JobSpec};
-use crate::world::{StopReason, World, WorldEvent};
+use crate::runner::JobSpec;
 
 /// One timed job arrival.
 #[derive(Debug, Clone)]
@@ -335,7 +324,7 @@ impl JobTable {
     }
 
     /// A job arrived: push it onto the waiting queue.
-    fn enqueue(&mut self, job: JobId) {
+    pub(crate) fn enqueue(&mut self, job: JobId) {
         debug_assert!(self.entries[job.idx()].start.is_none());
         self.waiting.push(job);
     }
@@ -343,7 +332,7 @@ impl JobTable {
     /// Admit a waiting job at time `now`: remove it from the queue, carve
     /// its partition out of the free pool under the placement policy, and
     /// return the node list (rank order).
-    fn admit(&mut self, job: JobId, now: Time) -> Vec<NodeId> {
+    pub(crate) fn admit(&mut self, job: JobId, now: Time) -> Vec<NodeId> {
         let pos = self.waiting.iter().position(|&j| j == job).expect("job not waiting");
         self.waiting.remove(pos);
         let size = self.entries[job.idx()].spec.size as usize;
@@ -413,7 +402,7 @@ impl JobTable {
     }
 
     /// A job's last rank finished.
-    fn mark_finished(&mut self, job: JobId, t: Time) {
+    pub(crate) fn mark_finished(&mut self, job: JobId, t: Time) {
         let e = &mut self.entries[job.idx()];
         debug_assert!(e.start.is_some() && e.finish.is_none());
         e.finish = Some(t);
@@ -421,7 +410,7 @@ impl JobTable {
     }
 
     /// Return a finished job's nodes to the free pool.
-    fn reclaim(&mut self, job: JobId) {
+    pub(crate) fn reclaim(&mut self, job: JobId) {
         let e = &mut self.entries[job.idx()];
         debug_assert!(e.finish.is_some(), "reclaiming an unfinished job");
         self.free.extend(e.nodes.iter().copied());
@@ -467,9 +456,10 @@ impl JobTable {
 
 /// Run `scenario` under `cfg`: jobs spawn at their arrival times (queueing
 /// under `policy_sched` when the machine is full), run on partitions placed
-/// by `placement`, and release their nodes on completion. Dispatches to the
-/// queue backend selected by [`SimConfig::queue`]; reports are bit-identical
-/// across backends.
+/// by `placement`, and release their nodes on completion. Runs on the
+/// partitioned engine ([`crate::partition`]) at `cfg.threads` partitions
+/// (1 when unset); reports are bit-identical across queue backends *and*
+/// partition counts.
 #[deprecated(note = "describe the scenario as an `ExperimentSpec` and run it through \
             `spec::Simulation` (this wrapper pins the old entry point's behavior)")]
 pub fn run_scenario(
@@ -478,163 +468,46 @@ pub fn run_scenario(
     policy_sched: SchedPolicy,
     placement: Placement,
 ) -> RunReport {
-    let mut sched = policy_sched.scheduler();
-    exec_scenario(cfg, scenario, &mut sched, placement).0
+    exec_scenario_policy(cfg, scenario, policy_sched, placement).0
 }
 
 /// Run a scenario with a caller-supplied [`Scheduler`] implementation —
 /// the escape hatch for admission policies the spec format cannot name.
+/// A single scheduler instance cannot be replicated across partitions, so
+/// this entry always runs single-partition (name a [`SchedPolicy`] to get
+/// parallel churn runs).
 pub fn run_scenario_with(
     cfg: &SimConfig,
     scenario: &Scenario,
-    sched: &mut dyn Scheduler,
+    sched: &mut (dyn Scheduler + Send),
     placement: Placement,
 ) -> RunReport {
-    exec_scenario(cfg, scenario, sched, placement).0
+    crate::partition::exec_scenario_driver(
+        cfg,
+        scenario,
+        placement,
+        crate::partition::SchedBinding::Inline(sched),
+    )
+    .0
 }
 
 /// The churn engine behind [`run_scenario`] and
-/// [`crate::simulation::Simulation`]: dispatch on the configured queue
-/// backend, run, and return the report plus the learned Q-table snapshot
-/// (Q-adaptive runs only).
-pub(crate) fn exec_scenario(
+/// [`crate::simulation::Simulation`]: run the partitioned scenario driver
+/// with one `policy` scheduler instance per partition and return the report
+/// plus the learned Q-table snapshot (Q-adaptive runs only).
+pub(crate) fn exec_scenario_policy(
     cfg: &SimConfig,
     scenario: &Scenario,
-    sched: &mut dyn Scheduler,
+    policy: SchedPolicy,
     placement: Placement,
 ) -> (RunReport, Option<dfsim_network::QTableSnapshot>) {
-    match cfg.queue.kind() {
-        QueueKind::Heap => {
-            run_scenario_on::<EventQueue<WorldEvent>>(cfg, scenario, sched, placement)
-        }
-        QueueKind::Calendar => {
-            run_scenario_on::<CalendarQueue<WorldEvent>>(cfg, scenario, sched, placement)
-        }
-    }
-}
-
-fn run_scenario_on<Q: SimQueue<WorldEvent>>(
-    cfg: &SimConfig,
-    scenario: &Scenario,
-    sched: &mut dyn Scheduler,
-    placement: Placement,
-) -> (RunReport, Option<dfsim_network::QTableSnapshot>) {
-    debug_assert_eq!(Q::KIND, cfg.queue.kind(), "backend dispatch out of sync with config");
-    cfg.validate().expect("invalid simulation config");
-    let topo = Arc::new(Topology::new(cfg.params).expect("validated params"));
-    scenario.validate(topo.num_nodes()).expect("invalid scenario");
-
-    let rng = SimRng::new(cfg.seed);
-    let rec = Recorder::new(&topo, cfg.recorder);
-    let net = NetworkSim::new(Arc::clone(&topo), cfg.timing, cfg.routing.clone(), &rng);
-    let mpi = MpiSim::new(MpiConfig { eager_threshold: cfg.eager_threshold });
-
-    let mut world = World::<Q>::with_backend(net, mpi, rec, cfg.queue);
-    let mut table = JobTable::new(&topo, scenario, placement, cfg.seed);
-    for (i, a) in scenario.arrivals.iter().enumerate() {
-        EventScheduler::<JobEvent>::at(&mut world.queue, a.at, JobEvent::Spawn(JobId(i as u32)));
-    }
-
-    let wall = Instant::now();
-    let (stop, end_time) = scenario_loop(cfg, &mut world, &mut table, sched);
-    let wall_s = wall.elapsed().as_secs_f64();
-    let snapshot = crate::runner::capture_qtables(cfg, &world.net);
-
-    let specs: Vec<&JobSpec> = scenario.arrivals.iter().map(|a| &a.spec).collect();
-    let starts = table.start_times(end_time);
-    let jobs = table.job_reports(end_time);
-    let report = build_report(cfg, &specs, &topo, &world, stop, end_time, wall_s, &starts, jobs);
-    (report, snapshot)
-}
-
-/// The churn event loop: [`crate::world::World::run`] plus job-lifecycle
-/// handling. Admission runs whenever the free pool can have grown (spawn
-/// or teardown); finished apps are detected right after the event that
-/// completed them, so teardown events land at the completion timestamp in
-/// both backends' identical total order.
-fn scenario_loop<Q: PendingEvents<WorldEvent>>(
-    cfg: &SimConfig,
-    world: &mut World<Q>,
-    table: &mut JobTable,
-    sched: &mut dyn Scheduler,
-) -> (StopReason, Time) {
-    let World { net, mpi, rec, queue, effects } = world;
-    let mut finished: Vec<AppId> = Vec::new();
-    let mut processed: u64 = 0;
-    while let Some((t, ev)) = queue.pop() {
-        if let Some(h) = cfg.horizon {
-            if t > h {
-                return (StopReason::Horizon, t);
-            }
-        }
-        match crate::world::dispatch_core(net, mpi, rec, queue, effects, ev) {
-            None => {}
-            Some(JobEvent::Spawn(job)) => {
-                table.enqueue(job);
-                try_admit(cfg, table, sched, mpi, net, rec, queue);
-            }
-            Some(JobEvent::Teardown(job)) => {
-                table.reclaim(job);
-                try_admit(cfg, table, sched, mpi, net, rec, queue);
-            }
-        }
-        mpi.drain_finished(&mut finished);
-        if !finished.is_empty() {
-            for app in finished.drain(..) {
-                let job = JobId(app.0 as u32);
-                table.mark_finished(job, queue.now());
-                EventScheduler::<JobEvent>::at(queue, queue.now(), JobEvent::Teardown(job));
-            }
-        }
-        processed += 1;
-        if processed >= cfg.max_events {
-            return (StopReason::EventCap, queue.now());
-        }
-        if table.all_done() {
-            return (StopReason::AllFinished, queue.now());
-        }
-    }
-    if table.all_done() {
-        (StopReason::AllFinished, queue.now())
-    } else {
-        (StopReason::Drained, queue.now())
-    }
-}
-
-/// One admission pass: ask the scheduler which waiting jobs fit, then spawn
-/// each onto its freshly placed partition at the current time.
-fn try_admit<Q: PendingEvents<WorldEvent>>(
-    cfg: &SimConfig,
-    table: &mut JobTable,
-    sched: &mut dyn Scheduler,
-    mpi: &mut MpiSim,
-    net: &mut NetworkSim,
-    rec: &mut Recorder,
-    queue: &mut crate::world::WorldQueue<Q>,
-) {
-    if table.waiting_is_empty() {
-        return;
-    }
-    let waiting = table.waiting_view();
-    let picks = sched.select(&waiting, table.free_count());
-    if picks.is_empty() {
-        return;
-    }
-    debug_assert!(picks.windows(2).all(|w| w[0] < w[1]), "picks must be strictly increasing");
-    debug_assert!(
-        picks.iter().map(|&i| waiting[i].size).sum::<u32>() <= table.free_count(),
-        "scheduler over-admitted"
-    );
-    let now = queue.now();
-    for &i in &picks {
-        let job = waiting[i].job;
-        let nodes = table.admit(job, now);
-        let spec = table.spec(job);
-        let inst = spec.kind.build(spec.size, cfg.scale, cfg.seed ^ ((job.0 as u64) << 32));
-        let app = AppId(job.0 as u16);
-        mpi.add_app(app, nodes, inst.programs, inst.comms);
-        mpi.start_app(app, queue, net, rec);
-    }
+    let factory = move || Box::new(policy.scheduler()) as Box<dyn Scheduler + Send>;
+    crate::partition::exec_scenario_driver(
+        cfg,
+        scenario,
+        placement,
+        crate::partition::SchedBinding::Factory(&factory),
+    )
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@ use crate::config::SimConfig;
 use crate::experiments::MIXED_JOBS;
 use crate::report::{EngineReport, LearningReport, RunReport};
 use crate::runner::{exec_placed, JobSpec};
-use crate::scenario::{exec_scenario, Scenario};
+use crate::scenario::{exec_scenario_policy, Scenario};
 use crate::spec::{ExperimentSpec, SpecError, Workload};
 
 /// The outcome of one [`Simulation::run`].
@@ -199,8 +199,7 @@ impl Simulation {
         let (report, qtable_snapshot) = match &prepared.work {
             PreparedWork::Static(jobs) => exec_placed(&prepared.cfg, jobs, self.spec.placement),
             PreparedWork::Churn(scenario) => {
-                let mut sched = self.spec.sched.scheduler();
-                exec_scenario(&prepared.cfg, scenario, &mut sched, self.spec.placement)
+                exec_scenario_policy(&prepared.cfg, scenario, self.spec.sched, self.spec.placement)
             }
         };
         Ok(RunHandle { report, qtable_snapshot })

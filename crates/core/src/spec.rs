@@ -495,7 +495,9 @@ pub struct ExperimentSpec {
     pub train: AppKind,
     /// Keep the transfer bench's trained snapshot at this path.
     pub snapshot: Option<PathBuf>,
-    /// Worker threads for sweeps (0 = all cores).
+    /// Worker threads. Sweep binaries use this for the cell pool (0 = all
+    /// cores); single-run front-ends (`dfsim run` and friends) use it as
+    /// the partition count of the parallel engine (0/1 = single-threaded).
     pub threads: usize,
 }
 
@@ -1173,6 +1175,9 @@ impl ExperimentSpec {
     pub fn cell(&self, routing: RoutingAlgo) -> ExperimentSpec {
         let mut c = self.clone();
         c.routings = vec![routing];
+        // Sweeps parallelize across cells (`threads` sizes that pool); each
+        // cell itself runs single-partition so the two levels don't multiply.
+        c.threads = 0;
         if routing != RoutingAlgo::QAdaptive {
             c.qtable_load = None;
             c.qtable_save = None;
@@ -1207,6 +1212,7 @@ impl ExperimentSpec {
             max_events: self.max_events,
             queue: self.queue,
             qtable_save: self.qtable_save.clone(),
+            threads: self.threads,
         }
     }
 

@@ -10,7 +10,9 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Map `f` over `items` on up to `threads` worker threads (0 = all
-/// available cores), returning results in input order.
+/// available cores; explicit counts are capped at the machine's available
+/// parallelism — oversubscribing cores only adds scheduler churn),
+/// returning results in input order.
 ///
 /// A panic inside `f` is re-raised on the calling thread with its
 /// *original* payload (`std::panic::resume_unwind`), so a failed sweep
@@ -27,12 +29,8 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
-    } else {
-        threads
-    }
-    .min(n);
+    let avail = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let threads = if threads == 0 { avail } else { threads.min(avail) }.min(n);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -116,6 +114,15 @@ mod tests {
             .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
             .expect("payload should be a message");
         assert!(msg.contains("sweep cell 11 exploded"), "payload lost: {msg}");
+    }
+
+    /// An absurd thread request must not translate into an absurd pool:
+    /// the count is capped at the machine's parallelism, and the sweep
+    /// still completes in input order.
+    #[test]
+    fn oversubscribed_thread_count_is_capped_and_correct() {
+        let out = parallel_map((0..64).collect(), 100_000, |i: i32| i * 3);
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
     }
 
     #[test]

@@ -123,11 +123,11 @@ impl<Q: PendingEvents<WorldEvent>> Scheduler<JobEvent> for WorldQueue<Q> {
 /// backend-equivalence guarantee rides on — can never diverge between the
 /// two.
 #[inline]
-pub(crate) fn dispatch_core<Q: PendingEvents<WorldEvent>>(
+pub(crate) fn dispatch_core<S: Scheduler<NetEvent> + Scheduler<MpiEvent>>(
     net: &mut NetworkSim,
     mpi: &mut MpiSim,
     rec: &mut Recorder,
-    queue: &mut WorldQueue<Q>,
+    queue: &mut S,
     effects: &mut Vec<NetEffect>,
     ev: WorldEvent,
 ) -> Option<JobEvent> {

@@ -79,6 +79,11 @@ pub struct CalendarQueue<E> {
     cursor: usize,
     /// Start time of the cursor's day.
     day_start: Time,
+    /// Cached time of the earliest pending event (`None` = empty). Kept
+    /// exact by every mutation so `peek_time` is O(1): pops re-locate
+    /// eagerly (the same cursor walk the next pop would have paid), pushes
+    /// fold in a min and re-anchor the cursor when they land earlier.
+    next_time: Option<Time>,
     len: usize,
     next_seq: u64,
     now: Time,
@@ -132,6 +137,7 @@ impl<E> CalendarQueue<E> {
             bucket_mask: num_buckets.is_power_of_two().then(|| num_buckets - 1),
             cursor: 0,
             day_start: 0,
+            next_time: None,
             len: 0,
             next_seq: 0,
             now: 0,
@@ -201,6 +207,56 @@ impl<E> CalendarQueue<E> {
 
     fn min_pending_time(&self) -> Option<Time> {
         self.buckets.iter().filter_map(|b| b.first().map(|e| e.time)).min()
+    }
+
+    /// Walk the cursor forward to the day holding the earliest pending
+    /// event and return that event's time (`None` when empty). Removes
+    /// nothing: pops call this to position themselves, then again after
+    /// removing so [`CalendarQueue::next_time`] stays exact. The walk is
+    /// the calendar's usual amortized day scan; a whole empty year falls
+    /// back to one full scan plus a sparse jump.
+    fn locate(&mut self) -> Option<Time> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        let mut scanned = 0usize;
+        loop {
+            let day_end = self.day_start + self.width;
+            if let Some(first) = self.buckets[self.cursor].first() {
+                if first.time < day_end {
+                    return Some(first.time);
+                }
+            }
+            self.cursor += 1;
+            if self.cursor == n {
+                self.cursor = 0;
+            }
+            self.day_start += self.width;
+            scanned += 1;
+            self.bucket_scans += 1;
+            if scanned >= n {
+                let min_t = self.min_pending_time().expect("len > 0 but no pending events");
+                self.cursor = self.bucket_index(min_t);
+                self.day_start = self.day_of(min_t) * self.width;
+                scanned = 0;
+                self.sparse_jumps += 1;
+            }
+        }
+    }
+
+    /// Fold a fresh push into the earliest-event cache. A push earlier than
+    /// the cached minimum also re-anchors the cursor at its day: the cursor
+    /// may already have walked ahead to the previous minimum, and a pending
+    /// event behind the cursor's day would otherwise only be reachable
+    /// through a full-year scan.
+    #[inline]
+    fn note_push(&mut self, time: Time) {
+        if self.next_time.is_none_or(|m| time < m) {
+            self.next_time = Some(time);
+            self.cursor = self.bucket_index(time);
+            self.day_start = self.day_of(time) * self.width;
+        }
     }
 
     /// Record an inter-pop gap sample for the width estimator.
@@ -378,6 +434,7 @@ impl<E> PendingEvents<E> for CalendarQueue<E> {
         if self.len > self.peak_len {
             self.peak_len = self.len;
         }
+        self.note_push(time);
         // Load factor > 2: double the bucket array.
         if self.auto_buckets
             && self.len > self.buckets.len() * 2
@@ -388,62 +445,40 @@ impl<E> PendingEvents<E> for CalendarQueue<E> {
     }
 
     fn pop(&mut self) -> Option<(Time, E)> {
-        if self.len == 0 {
-            return None;
+        self.pop_keyed().map(|(t, _, e)| (t, e))
+    }
+
+    fn pop_keyed(&mut self) -> Option<(Time, u64, E)> {
+        // Position the cursor at the earliest event's day (the walk is free
+        // when the cache is fresh — the cursor is already parked there).
+        self.locate()?;
+        let e = self.buckets[self.cursor].remove(0);
+        self.len -= 1;
+        self.popped += 1;
+        debug_assert!(e.time >= self.now, "time went backwards");
+        self.record_gap(e.time.saturating_sub(self.now));
+        self.now = e.time;
+        // Load factor < ½: halve the bucket array.
+        if self.auto_buckets
+            && self.buckets.len() > MIN_BUCKETS
+            && self.len < self.buckets.len() / 2
+        {
+            self.rebuild(self.buckets.len() / 2);
+        } else if self.auto_width && (self.popped & 0xFFF == 0 || self.popped.is_power_of_two()) {
+            // Power-of-two checks adapt quickly out of the default width
+            // during warm-up; the periodic check tracks slow drift
+            // afterwards.
+            self.maybe_retune_width();
         }
-        let n = self.buckets.len();
-        let mut scanned = 0usize;
-        loop {
-            // Scan the current day for an event belonging to it.
-            let day_end = self.day_start + self.width;
-            let bucket = &mut self.buckets[self.cursor];
-            if let Some(first) = bucket.first() {
-                if first.time < day_end {
-                    let e = bucket.remove(0);
-                    self.len -= 1;
-                    self.popped += 1;
-                    debug_assert!(e.time >= self.now, "time went backwards");
-                    self.record_gap(e.time.saturating_sub(self.now));
-                    self.now = e.time;
-                    // Load factor < ½: halve the bucket array.
-                    if self.auto_buckets
-                        && self.buckets.len() > MIN_BUCKETS
-                        && self.len < self.buckets.len() / 2
-                    {
-                        self.rebuild(self.buckets.len() / 2);
-                    } else if self.auto_width
-                        && (self.popped & 0xFFF == 0 || self.popped.is_power_of_two())
-                    {
-                        // Power-of-two checks adapt quickly out of the
-                        // default width during warm-up; the periodic check
-                        // tracks slow drift afterwards.
-                        self.maybe_retune_width();
-                    }
-                    return Some((e.time, e.event));
-                }
-            }
-            // Nothing due this day: advance to the next day. If a whole year
-            // passed without a hit, every pending event is far in the future:
-            // jump the calendar directly to the earliest one (sparse case).
-            self.cursor += 1;
-            if self.cursor == n {
-                self.cursor = 0;
-            }
-            self.day_start += self.width;
-            scanned += 1;
-            self.bucket_scans += 1;
-            if scanned >= n {
-                let min_t = self.min_pending_time().expect("len > 0 but no pending events");
-                self.cursor = self.bucket_index(min_t);
-                self.day_start = self.day_of(min_t) * self.width;
-                scanned = 0;
-                self.sparse_jumps += 1;
-            }
-        }
+        // Eagerly re-locate: the exact scan the next pop would have paid,
+        // done now so the cache (and thus `peek_time`) stays O(1) exact.
+        self.next_time = self.locate();
+        Some((e.time, e.seq, e.event))
     }
 
     fn peek_time(&self) -> Option<Time> {
-        self.min_pending_time()
+        debug_assert_eq!(self.next_time, self.min_pending_time(), "stale earliest-event cache");
+        self.next_time
     }
 
     #[inline]
@@ -478,6 +513,45 @@ impl<E> PendingEvents<E> for CalendarQueue<E> {
             buckets: self.buckets.len(),
             width_ps: self.width,
         }
+    }
+
+    fn push_seq(&mut self, time: Time, seq: u64, event: E) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        self.next_seq = self.next_seq.max(seq.saturating_add(1));
+        let idx = self.bucket_index(time);
+        Self::insert_sorted(&mut self.buckets[idx], Entry { time, seq, event });
+        self.len += 1;
+        self.pushed += 1;
+        if self.len > self.peak_len {
+            self.peak_len = self.len;
+        }
+        self.note_push(time);
+        if self.auto_buckets
+            && self.len > self.buckets.len() * 2
+            && self.buckets.len() < MAX_BUCKETS
+        {
+            self.rebuild(self.buckets.len() * 2);
+        }
+    }
+
+    fn for_each_pending_mut(&mut self, f: &mut dyn FnMut(Time, &mut u64)) {
+        // Buckets are sorted by (time, seq); a monotone renumbering keeps
+        // every bucket's order intact, so entries can be rewritten in place.
+        for b in &mut self.buckets {
+            for e in b {
+                f(e.time, &mut e.seq);
+            }
+        }
+    }
+
+    fn advance_clock(&mut self, t: Time) {
+        debug_assert!(t >= self.now, "clock went backwards");
+        debug_assert!(self.min_pending_time().is_none_or(|p| p >= t), "advancing past an event");
+        self.now = t;
+        // Re-anchor the cursor at the clock's day, exactly like `rebuild`:
+        // every pending event is >= now, so scanning forward finds them all.
+        self.cursor = self.bucket_index(self.now);
+        self.day_start = self.day_of(self.now) * self.width;
     }
 }
 
@@ -675,6 +749,10 @@ mod tests {
     #[test]
     fn stats_report_geometry_and_scans() {
         let mut q = CalendarQueue::new(10, 4);
+        // A lone push anchors the cursor at its own day, so reaching the
+        // *second* event is what walks empty days (the re-locate after the
+        // first pop).
+        q.push(5, ());
         q.push(200, ());
         q.pop().unwrap();
         let s = q.stats();

@@ -14,15 +14,19 @@
 //! * deterministic, splittable random-number utilities so every simulation is
 //!   reproducible from one seed ([`rng`]),
 //! * job-lifecycle event kinds (spawn/teardown) for dynamic churn scenarios
-//!   ([`job`]).
+//!   ([`job`]),
+//! * a partition communicator for the conservatively synchronized parallel
+//!   engine, with an in-process thread implementation ([`comm`]).
 //!
-//! The kernel is intentionally sequential: the study parallelizes across
-//! independent simulations (configuration sweeps), not within one simulation,
-//! which keeps event semantics exactly deterministic.
+//! Event semantics are exactly deterministic in both execution modes: the
+//! sequential engine orders by `(time, seq)`, and the partitioned engine
+//! renumbers provisional sequence numbers at every conservative window
+//! barrier so its reports are bit-identical to the sequential ones.
 
 #![warn(missing_docs)]
 
 pub mod calendar;
+pub mod comm;
 pub mod job;
 pub mod queue;
 pub mod rng;
@@ -30,6 +34,7 @@ pub mod sched;
 pub mod time;
 
 pub use calendar::CalendarQueue;
+pub use comm::{local_mesh, LocalThreadCommunicator, SimCommunicator, WireReader, WireWriter};
 pub use job::{JobEvent, JobId};
 pub use queue::{
     CalendarTuning, EngineStats, EventQueue, PendingEvents, QueueBackend, QueueKind, SimQueue,

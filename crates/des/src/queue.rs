@@ -298,6 +298,35 @@ pub trait PendingEvents<E> {
     fn events_scheduled(&self) -> u64;
     /// Engine statistics (traffic counters plus backend internals).
     fn stats(&self) -> EngineStats;
+
+    // ---- partitioned-execution extensions -------------------------------
+    //
+    // The partitioned engine (`dfsim-core`) manages `(time, seq)` keys
+    // itself: every shard assigns segmented sequence numbers so that the
+    // union of all shards' pops realizes the same global total order the
+    // single-threaded engine would. That requires scheduling under an
+    // explicit tie-breaker, popping the key alongside the event, rewriting
+    // provisional tie-breakers after a window merge, and advancing the
+    // clock across an empty window.
+
+    /// Insert an event under an explicit tie-breaker `seq` instead of the
+    /// queue's internal counter. The internal counter is bumped past `seq`
+    /// so later [`PendingEvents::push`] calls cannot collide.
+    fn push_seq(&mut self, time: Time, seq: u64, event: E);
+
+    /// Remove and return the earliest event together with its full
+    /// `(time, seq)` key.
+    fn pop_keyed(&mut self) -> Option<(Time, u64, E)>;
+
+    /// Visit every pending event, allowing its `seq` to be rewritten in
+    /// place. The caller must preserve the *relative* `(time, seq)` order
+    /// of all pending pairs (monotone renumbering); implementations may
+    /// rely on that to keep their internal geometry valid.
+    fn for_each_pending_mut(&mut self, f: &mut dyn FnMut(Time, &mut u64));
+
+    /// Advance the clock to `t` without popping (an empty conservative
+    /// window). `t` must be `>= now()` and `<=` every pending time.
+    fn advance_clock(&mut self, t: Time);
 }
 
 /// A pending-event set constructible from a [`QueueBackend`] value — what
@@ -435,6 +464,44 @@ impl<E> PendingEvents<E> for EventQueue<E> {
             peak_pending: self.peak,
             ..EngineStats::default()
         }
+    }
+
+    #[inline]
+    fn push_seq(&mut self, time: Time, seq: u64, event: E) {
+        debug_assert!(time >= self.now, "scheduling into the past: {time} < {}", self.now);
+        self.next_seq = self.next_seq.max(seq.saturating_add(1));
+        self.pushed += 1;
+        self.heap.push(Scheduled { time, seq, event });
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
+    }
+
+    #[inline]
+    fn pop_keyed(&mut self) -> Option<(Time, u64, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "time went backwards");
+        self.now = s.time;
+        self.popped += 1;
+        Some((s.time, s.seq, s.event))
+    }
+
+    fn for_each_pending_mut(&mut self, f: &mut dyn FnMut(Time, &mut u64)) {
+        // Monotone renumbering preserves every pairwise comparison, so the
+        // heap invariant survives; re-heapifying via `from` is O(n) and
+        // keeps this safe even if a caller bends the contract.
+        let mut v = std::mem::take(&mut self.heap).into_vec();
+        for s in &mut v {
+            f(s.time, &mut s.seq);
+        }
+        self.heap = BinaryHeap::from(v);
+    }
+
+    #[inline]
+    fn advance_clock(&mut self, t: Time) {
+        debug_assert!(t >= self.now, "clock went backwards");
+        debug_assert!(self.peek_time().is_none_or(|p| p >= t), "advancing past a pending event");
+        self.now = t;
     }
 }
 
@@ -575,5 +642,91 @@ mod tests {
         }
         let err = "calendar:width=abc".parse::<QueueBackend>().unwrap_err();
         assert!(err.contains("abc"), "{err}");
+    }
+
+    /// Both backends honor explicit sequence numbers: pops come out in
+    /// global `(time, seq)` order regardless of push order, and `pop_keyed`
+    /// reports the key that ordered them.
+    #[test]
+    fn push_seq_orders_by_explicit_key_on_both_backends() {
+        let mut backends: Vec<Box<dyn PendingEvents<u32>>> = vec![
+            Box::new(EventQueue::new()),
+            Box::new(crate::CalendarQueue::with_tuning(CalendarTuning::default())),
+        ];
+        for q in &mut backends {
+            q.push_seq(50, 7, 1);
+            q.push_seq(50, 3, 2);
+            q.push_seq(10, 9, 3);
+            q.push_seq(50, 5, 4);
+            assert_eq!(q.pop_keyed(), Some((10, 9, 3)));
+            assert_eq!(q.pop_keyed(), Some((50, 3, 2)));
+            assert_eq!(q.pop_keyed(), Some((50, 5, 4)));
+            assert_eq!(q.pop_keyed(), Some((50, 7, 1)));
+            assert_eq!(q.pop_keyed(), None);
+        }
+    }
+
+    /// Plain `push` after `push_seq` never reuses a seq at or below the
+    /// explicit one, so mixed usage keeps FIFO-at-equal-time semantics.
+    #[test]
+    fn push_after_push_seq_sorts_later_at_equal_time() {
+        let mut backends: Vec<Box<dyn PendingEvents<&'static str>>> = vec![
+            Box::new(EventQueue::new()),
+            Box::new(crate::CalendarQueue::with_tuning(CalendarTuning::default())),
+        ];
+        for q in &mut backends {
+            q.push_seq(5, 100, "explicit");
+            q.push(5, "implicit");
+            assert_eq!(q.pop(), Some((5, "explicit")));
+            assert_eq!(q.pop(), Some((5, "implicit")));
+        }
+    }
+
+    /// A monotone renumbering of pending seqs (the partitioned engine's
+    /// barrier merge) preserves pop order on both backends.
+    #[test]
+    fn monotone_renumber_preserves_pop_order() {
+        let mut backends: Vec<Box<dyn PendingEvents<u64>>> = vec![
+            Box::new(EventQueue::new()),
+            Box::new(crate::CalendarQueue::with_tuning(CalendarTuning::default())),
+        ];
+        for q in &mut backends {
+            for i in 0..64u64 {
+                // times collide heavily so seq ordering matters
+                q.push_seq(i % 4, i, i);
+            }
+            // Renumber seq s -> s * 3 + 1: monotone, so order is unchanged.
+            q.for_each_pending_mut(&mut |_, seq| *seq = *seq * 3 + 1);
+            let mut prev: Option<(Time, u64)> = None;
+            while let Some((t, s, ev)) = q.pop_keyed() {
+                assert_eq!(s, ev * 3 + 1, "renumbering lost an entry");
+                if let Some(p) = prev {
+                    assert!((t, s) > p, "order broken: {:?} after {:?}", (t, s), p);
+                }
+                prev = Some((t, s));
+            }
+        }
+    }
+
+    /// `advance_clock` moves `now` across an empty window (no pops) and
+    /// subsequent pushes land correctly — the calendar backend must also
+    /// re-anchor its cursor so it doesn't rescan dead days.
+    #[test]
+    fn advance_clock_jumps_empty_windows() {
+        let mut backends: Vec<Box<dyn PendingEvents<&'static str>>> = vec![
+            Box::new(EventQueue::new()),
+            Box::new(crate::CalendarQueue::with_tuning(CalendarTuning::default())),
+        ];
+        for q in &mut backends {
+            q.push(1_000_000, "far");
+            q.advance_clock(600_000);
+            assert_eq!(q.now(), 600_000);
+            q.push(700_000, "near");
+            assert_eq!(q.pop(), Some((700_000, "near")));
+            assert_eq!(q.pop(), Some((1_000_000, "far")));
+            q.advance_clock(2_000_000);
+            assert_eq!(q.now(), 2_000_000);
+            assert_eq!(q.pop(), None);
+        }
     }
 }

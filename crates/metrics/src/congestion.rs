@@ -110,6 +110,18 @@ impl CongestionMatrix {
     pub fn groups(&self) -> usize {
         self.groups
     }
+
+    /// Elementwise sum of another matrix's byte counters (merging
+    /// per-partition matrices of one sharded run).
+    pub fn merge(&mut self, other: &CongestionMatrix) {
+        assert_eq!(self.groups, other.groups, "congestion matrix size mismatch");
+        for (a, b) in self.global_bytes.iter_mut().zip(other.global_bytes.iter()) {
+            *a += *b;
+        }
+        for (a, b) in self.local_bytes.iter_mut().zip(other.local_bytes.iter()) {
+            *a += *b;
+        }
+    }
 }
 
 /// Bytes a single link can move in `elapsed` ps.

@@ -64,6 +64,13 @@ impl SamplePool {
         &self.samples
     }
 
+    /// Append every sample of `other` (merging per-partition pools; all
+    /// summaries sort before aggregating, so concatenation order is
+    /// immaterial to the reported numbers).
+    pub fn extend_from(&mut self, other: &SamplePool) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// Distribution summary over all samples.
     pub fn summarize(&self) -> LatencySummary {
         self.summarize_window(0, Time::MAX)

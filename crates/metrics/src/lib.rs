@@ -33,7 +33,7 @@ pub mod window;
 pub use congestion::CongestionMatrix;
 pub use hist::{LatencySummary, SamplePool};
 pub use learning::LearningTrace;
-pub use recorder::{AppId, Recorder, RecorderConfig};
+pub use recorder::{AppId, KeyedEntry, KeyedKind, Recorder, RecorderConfig};
 pub use series::BinSeries;
 pub use stall::PortStats;
 pub use summary::Stats;

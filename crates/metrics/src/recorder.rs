@@ -98,6 +98,45 @@ impl AppRecord {
     }
 }
 
+/// One order-sensitive metric event captured under keyed capture (see
+/// [`Recorder::enable_keyed_capture`]). `(time, seq)` is the key of the
+/// simulation event that produced it; a partitioned run merges the journals
+/// of all partitions, sorts by key, and replays them into one recorder so
+/// the order-sensitive aggregates match a single-threaded run bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedEntry {
+    /// Event time of the producing simulation event.
+    pub time: Time,
+    /// Queue sequence number of the producing simulation event.
+    pub seq: u64,
+    /// What was recorded.
+    pub kind: KeyedKind,
+}
+
+/// Payload of a [`KeyedEntry`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyedKind {
+    /// A [`Recorder::q1_updated`] call (floating-point bin sums depend on
+    /// accumulation order).
+    Q1Update {
+        /// Update timestamp.
+        t: Time,
+        /// `|ΔQ1|` magnitude, ps.
+        delta_ps: f64,
+    },
+    /// A [`Recorder::rank_finished`] call (`rank_comm` keeps push order).
+    RankFinished {
+        /// Application.
+        app: AppId,
+        /// Rank within the application.
+        rank: u32,
+        /// Communication time, ps.
+        comm: Time,
+        /// Execution time, ps.
+        exec: Time,
+    },
+}
+
 /// The metrics sink (see module docs).
 #[derive(Debug)]
 pub struct Recorder {
@@ -107,6 +146,11 @@ pub struct Recorder {
     ports: PortTable,
     congestion: CongestionMatrix,
     learning: LearningTrace,
+    /// When `Some`, order-sensitive hooks divert into this journal instead
+    /// of updating `learning`/`rank_comm` directly.
+    keyed: Option<Vec<KeyedEntry>>,
+    /// Key of the simulation event currently being processed.
+    key: (Time, u64),
 }
 
 impl Recorder {
@@ -130,12 +174,89 @@ impl Recorder {
                 topo.params().routers_per_group as u64,
             ),
             learning: LearningTrace::new(cfg.bin_width),
+            keyed: None,
+            key: (0, 0),
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &RecorderConfig {
         &self.cfg
+    }
+
+    // ---- partitioned-run support ------------------------------------------
+
+    /// Divert order-sensitive hooks ([`Recorder::q1_updated`],
+    /// [`Recorder::rank_finished`]) into a keyed journal instead of the
+    /// live aggregates. Partition workers enable this so the driver can
+    /// merge all journals in global `(time, seq)` order and replay them
+    /// through [`Recorder::replay_keyed`] deterministically.
+    pub fn enable_keyed_capture(&mut self) {
+        self.keyed = Some(Vec::new());
+    }
+
+    /// Set the `(time, seq)` key stamped on subsequent keyed entries — the
+    /// key of the simulation event about to be processed.
+    #[inline]
+    pub fn set_key(&mut self, time: Time, seq: u64) {
+        self.key = (time, seq);
+    }
+
+    /// Take the journal accumulated since the last drain (empty when keyed
+    /// capture was never enabled). Capture stays enabled.
+    pub fn drain_keyed(&mut self) -> Vec<KeyedEntry> {
+        self.keyed.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Stop diverting into the keyed journal, discarding anything not yet
+    /// drained. The partition driver calls this on the recorder it elected
+    /// as the merge base before replaying the combined journals into it.
+    pub fn disable_keyed_capture(&mut self) {
+        self.keyed = None;
+    }
+
+    /// Apply journal entries through the normal recording paths. Callers
+    /// pass the merged journals of all partitions, sorted by `(time, seq)`,
+    /// into a recorder *without* keyed capture enabled.
+    pub fn replay_keyed(&mut self, entries: impl IntoIterator<Item = KeyedEntry>) {
+        debug_assert!(self.keyed.is_none(), "replaying into a capturing recorder loops");
+        for e in entries {
+            match e.kind {
+                KeyedKind::Q1Update { t, delta_ps } => self.learning.record(t, delta_ps),
+                KeyedKind::RankFinished { app, rank, comm, exec } => {
+                    self.app_mut(app).rank_comm.push((rank, comm, exec));
+                }
+            }
+        }
+    }
+
+    /// Fold another partition's recorder into this one. Merges everything
+    /// whose aggregation is order-insensitive (counters, binned series,
+    /// sample pools, port/congestion tables); the order-sensitive state
+    /// (`learning`, `rank_comm`) must arrive via [`Recorder::replay_keyed`],
+    /// so `other` is expected to have captured it into its journal.
+    pub fn absorb(&mut self, other: Recorder) {
+        debug_assert!(
+            other.learning.is_empty(),
+            "absorbing a recorder with live learning state; enable keyed capture on workers"
+        );
+        for (idx, a) in other.apps.into_iter().enumerate() {
+            let dst = self.app_mut(AppId(idx as u16));
+            dst.injected.merge(&a.injected);
+            dst.delivered.merge(&a.delivered);
+            dst.latencies.extend_from(&a.latencies);
+            dst.packets_injected += a.packets_injected;
+            dst.packets_delivered += a.packets_delivered;
+            dst.packets_detoured += a.packets_detoured;
+            for (h, o) in dst.hops_histogram.iter_mut().zip(a.hops_histogram.iter()) {
+                *h += *o;
+            }
+            dst.hops_total += a.hops_total;
+            dst.max_ingress_burst = dst.max_ingress_burst.max(a.max_ingress_burst);
+            dst.rank_comm.extend(a.rank_comm);
+        }
+        self.ports.merge(&other.ports);
+        self.congestion.merge(&other.congestion);
     }
 
     #[inline]
@@ -209,7 +330,12 @@ impl Recorder {
     /// convergence telemetry; see [`LearningTrace`]).
     #[inline]
     pub fn q1_updated(&mut self, t: Time, delta_ps: f64) {
-        self.learning.record(t, delta_ps);
+        if let Some(j) = &mut self.keyed {
+            let (time, seq) = self.key;
+            j.push(KeyedEntry { time, seq, kind: KeyedKind::Q1Update { t, delta_ps } });
+        } else {
+            self.learning.record(t, delta_ps);
+        }
     }
 
     /// A packet at `(router, port)` was head-of-line blocked for `dur` ps.
@@ -257,7 +383,16 @@ impl Recorder {
 
     /// Final per-rank communication/execution times.
     pub fn rank_finished(&mut self, app: AppId, rank: u32, comm: Time, exec: Time) {
-        self.app_mut(app).rank_comm.push((rank, comm, exec));
+        if let Some(j) = &mut self.keyed {
+            let (time, seq) = self.key;
+            j.push(KeyedEntry {
+                time,
+                seq,
+                kind: KeyedKind::RankFinished { app, rank, comm, exec },
+            });
+        } else {
+            self.app_mut(app).rank_comm.push((rank, comm, exec));
+        }
     }
 
     // ---- read side ---------------------------------------------------------
@@ -402,5 +537,60 @@ mod tests {
         let mut r = rec();
         r.rank_finished(AppId(0), 3, 1_000, 2_000);
         assert_eq!(r.app(AppId(0)).unwrap().rank_comm, vec![(3, 1_000, 2_000)]);
+    }
+
+    #[test]
+    fn keyed_capture_diverts_and_replay_restores() {
+        let mut worker = rec();
+        worker.enable_keyed_capture();
+        worker.set_key(100, 7);
+        worker.q1_updated(100, 5.0);
+        worker.set_key(200, 9);
+        worker.rank_finished(AppId(0), 2, 50, 150);
+        // Nothing landed in the live aggregates.
+        assert!(worker.learning().is_empty());
+        assert!(worker.apps().first().is_none_or(|a| a.rank_comm.is_empty()));
+
+        let journal = worker.drain_keyed();
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal[0].seq, 7);
+        assert!(worker.drain_keyed().is_empty(), "drain leaves the journal empty");
+
+        let mut master = rec();
+        master.replay_keyed(journal);
+        assert_eq!(master.learning().updates(), 1);
+        assert_eq!(master.app(AppId(0)).unwrap().rank_comm, vec![(2, 50, 150)]);
+    }
+
+    #[test]
+    fn absorb_merges_order_insensitive_state() {
+        let mut a = rec();
+        a.packet_injected(AppId(0), 0, 512);
+        a.packet_delivered_full(AppId(0), 0, 10, 512, false, 3);
+        a.ingress_burst(AppId(0), 100);
+        a.port_stalled(RouterId(1), Port(2), 40);
+
+        let mut b = rec();
+        b.packet_injected(AppId(0), 0, 512);
+        b.packet_delivered_full(AppId(0), 0, 20, 512, true, 5);
+        b.packet_injected(AppId(1), 0, 256);
+        b.ingress_burst(AppId(0), 300);
+        b.port_stalled(RouterId(1), Port(2), 2);
+        b.packet_forwarded(RouterId(0), Port(2), 20_480, 512);
+
+        a.absorb(b);
+        let app0 = a.app(AppId(0)).unwrap();
+        assert_eq!(app0.packets_injected, 2);
+        assert_eq!(app0.packets_delivered, 2);
+        assert_eq!(app0.packets_detoured, 1);
+        assert_eq!(app0.hops_histogram[3], 1);
+        assert_eq!(app0.hops_histogram[5], 1);
+        assert_eq!(app0.hops_total, 8);
+        assert_eq!(app0.max_ingress_burst, 300);
+        assert_eq!(app0.latencies.len(), 2);
+        assert_eq!(a.app(AppId(1)).unwrap().packets_injected, 1);
+        assert_eq!(a.ports().get(1, 2).stall_ps, 42);
+        assert_eq!(a.congestion().local(0), 512);
+        assert!(a.conservation_ok());
     }
 }

@@ -81,6 +81,19 @@ impl PortTable {
         })
     }
 
+    /// Elementwise sum of another table's counters (merging per-partition
+    /// tables of one sharded run). Tables must describe the same fabric.
+    pub fn merge(&mut self, other: &PortTable) {
+        assert_eq!(self.radix, other.radix, "port table radix mismatch");
+        assert_eq!(self.stats.len(), other.stats.len(), "port table size mismatch");
+        for (a, b) in self.stats.iter_mut().zip(other.stats.iter()) {
+            a.stall_ps += b.stall_ps;
+            a.busy_ps += b.busy_ps;
+            a.bytes += b.bytes;
+            a.packets += b.packets;
+        }
+    }
+
     /// Sum of stall time over all ports of a kind, ps.
     pub fn total_stall(&self, kind: LinkKind) -> u64 {
         self.iter().filter(|&(_, _, k, _)| k == kind).map(|(_, _, _, s)| s.stall_ps).sum()

@@ -6,9 +6,11 @@
 //! completing requests and waking ranks. Large sends use RTS/CTS
 //! rendezvous; small ones go eagerly (threshold configurable, SST-style).
 
-use dfsim_des::{Scheduler, Time};
+use std::collections::HashMap;
+
+use dfsim_des::{Scheduler, Time, WireReader, WireWriter};
 use dfsim_metrics::{AppId, Recorder};
-use dfsim_network::{MessageId, NetEffect, NetEvent, NetworkSim};
+use dfsim_network::{partition, MessageId, NetEffect, NetEvent, NetworkSim};
 use dfsim_topology::NodeId;
 
 use crate::collectives::{expand, Collective};
@@ -80,6 +82,10 @@ pub struct MpiSim {
     cfg: MpiConfig,
     apps: Vec<Option<AppState>>,
     meta: Vec<Option<MsgMeta>>,
+    /// Metadata of messages owned by other shards (partitioned runs), keyed
+    /// by tagged message id. Lookup-only — never iterated, so the hash map
+    /// cannot introduce nondeterminism.
+    foreign_meta: HashMap<u64, MsgMeta>,
     /// Apps whose last rank finished since the last [`MpiSim::drain_finished`]
     /// call (the churn loop reclaims their nodes).
     newly_finished: Vec<AppId>,
@@ -94,7 +100,13 @@ impl Default for MpiSim {
 impl MpiSim {
     /// Build an empty engine.
     pub fn new(cfg: MpiConfig) -> Self {
-        Self { cfg, apps: Vec::new(), meta: Vec::new(), newly_finished: Vec::new() }
+        Self {
+            cfg,
+            apps: Vec::new(),
+            meta: Vec::new(),
+            foreign_meta: HashMap::new(),
+            newly_finished: Vec::new(),
+        }
     }
 
     /// Register an application: `nodes[r]` is the node of world rank `r`,
@@ -151,6 +163,128 @@ impl MpiSim {
         for r in 0..n as u32 {
             self.advance(app, r, sched, net, rec);
         }
+    }
+
+    /// Start a single rank of a registered application at the current
+    /// simulation time. The partitioned engine starts only the ranks placed
+    /// on nodes this shard owns — while iterating all ranks in the same
+    /// global order as [`MpiSim::start_app`], so sequence-number accounting
+    /// stays aligned across shards.
+    pub fn start_rank<S: WorldSched>(
+        &mut self,
+        app: AppId,
+        rank: u32,
+        sched: &mut S,
+        net: &mut NetworkSim,
+        rec: &mut Recorder,
+    ) {
+        self.advance(app, rank, sched, net, rec);
+    }
+
+    // ---- partitioning ------------------------------------------------------
+
+    /// Serialize the metadata of a message that is being exported to another
+    /// shard (compact frame payload for the barrier exchange). The local
+    /// entry is kept: the origin shard still consumes the `MessageInjected`
+    /// effect when the send completes locally.
+    pub fn export_meta(&self, msg: MessageId) -> Vec<u8> {
+        let meta = self
+            .meta
+            .get(msg.idx())
+            .copied()
+            .flatten()
+            .expect("exporting a message without metadata");
+        let mut w = WireWriter::new();
+        match meta {
+            MsgMeta::EagerData { app, src_rank, dst_rank, tag, send_req } => {
+                w.u8(0);
+                w.u16(app.0);
+                w.u32(src_rank);
+                w.u32(dst_rank);
+                w.u64(tag);
+                w.u32(send_req);
+            }
+            MsgMeta::Rts { app, src_rank, dst_rank, tag, bytes, send_req } => {
+                w.u8(1);
+                w.u16(app.0);
+                w.u32(src_rank);
+                w.u32(dst_rank);
+                w.u64(tag);
+                w.u64(bytes);
+                w.u32(send_req);
+            }
+            MsgMeta::Cts { app, sender_rank, send_req, recv_rank, recv_req, bytes } => {
+                w.u8(2);
+                w.u16(app.0);
+                w.u32(sender_rank);
+                w.u32(send_req);
+                w.u32(recv_rank);
+                w.u32(recv_req);
+                w.u64(bytes);
+            }
+            MsgMeta::RdvData { app, src_rank, dst_rank, recv_req, send_req } => {
+                w.u8(3);
+                w.u16(app.0);
+                w.u32(src_rank);
+                w.u32(dst_rank);
+                w.u32(recv_req);
+                w.u32(send_req);
+            }
+        }
+        w.into_frame()
+    }
+
+    /// Register the metadata of a foreign message under its tagged id (the
+    /// receiving side of [`MpiSim::export_meta`]).
+    pub fn import_meta(&mut self, tagged: u64, bytes: &[u8]) {
+        debug_assert!(partition::is_tagged(tagged));
+        let mut r = WireReader::new(bytes);
+        let meta = match r.u8() {
+            0 => MsgMeta::EagerData {
+                app: AppId(r.u16()),
+                src_rank: r.u32(),
+                dst_rank: r.u32(),
+                tag: r.u64(),
+                send_req: r.u32(),
+            },
+            1 => MsgMeta::Rts {
+                app: AppId(r.u16()),
+                src_rank: r.u32(),
+                dst_rank: r.u32(),
+                tag: r.u64(),
+                bytes: r.u64(),
+                send_req: r.u32(),
+            },
+            2 => MsgMeta::Cts {
+                app: AppId(r.u16()),
+                sender_rank: r.u32(),
+                send_req: r.u32(),
+                recv_rank: r.u32(),
+                recv_req: r.u32(),
+                bytes: r.u64(),
+            },
+            3 => MsgMeta::RdvData {
+                app: AppId(r.u16()),
+                src_rank: r.u32(),
+                dst_rank: r.u32(),
+                recv_req: r.u32(),
+                send_req: r.u32(),
+            },
+            t => panic!("corrupt meta frame: tag {t}"),
+        };
+        debug_assert!(r.is_empty(), "trailing bytes in meta frame");
+        let prev = self.foreign_meta.insert(tagged, meta);
+        debug_assert!(prev.is_none(), "duplicate meta import");
+    }
+
+    /// Process a release notice for a message this shard created whose
+    /// packets were all delivered on a foreign shard: drop the metadata and
+    /// free the network slab slot so the id can be recycled.
+    pub fn release_exported(&mut self, tagged: u64, net: &mut NetworkSim) {
+        let idx = (tagged & partition::IDX_MASK) as usize;
+        let prev = self.meta.get_mut(idx).and_then(Option::take);
+        debug_assert!(prev.is_some(), "release notice for a message without metadata");
+        net.release_exported_slot(tagged);
     }
 
     /// Move the apps whose last rank finished since the previous call into
@@ -529,8 +663,14 @@ impl MpiSim {
         // The Delivered effect is a message's last act. Take the metadata
         // first, then recycle the network slab slot, so any follow-up send
         // below (CTS, rendezvous payload) may reuse the id without clashing
-        // with the entry being processed.
-        let meta = self.meta.get_mut(msg.idx()).and_then(Option::take);
+        // with the entry being processed. Foreign messages (tagged ids,
+        // partitioned runs) resolve against the imported-meta table; the
+        // release routes a notice back to the origin shard.
+        let meta = if partition::is_tagged(msg.0) {
+            self.foreign_meta.remove(&msg.0)
+        } else {
+            self.meta.get_mut(msg.idx()).and_then(Option::take)
+        };
         net.release_message(msg);
         let Some(meta) = meta else {
             return;

@@ -31,6 +31,7 @@
 pub mod events;
 pub mod nic;
 pub mod packet;
+pub mod partition;
 pub mod qtable;
 pub mod router;
 pub mod routing;
@@ -39,6 +40,7 @@ pub mod snapshot;
 
 pub use events::{NetEffect, NetEvent};
 pub use packet::{MessageId, Packet, RouteState};
+pub use partition::{MsgExport, PartitionMap, QUndoEntry};
 pub use qtable::QTable;
 pub use routing::{QaParams, RoutingAlgo, RoutingConfig};
 pub use sim::NetworkSim;

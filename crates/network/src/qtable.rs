@@ -171,6 +171,17 @@ impl QTable {
         &self.q1
     }
 
+    /// Overwrite one level-1 cell (partitioned-run rollback of updates that
+    /// landed after the logical end of the run).
+    pub(crate) fn set1_raw(&mut self, dst_group: GroupId, port: Port, v: f64) {
+        self.q1[dst_group.idx() * self.radix + port.idx()] = v;
+    }
+
+    /// Overwrite one level-2 cell (partitioned-run rollback).
+    pub(crate) fn set2_raw(&mut self, dst_local: u32, port: Port, v: f64) {
+        self.q2[dst_local as usize * self.radix + port.idx()] = v;
+    }
+
     /// Raw level-2 values, `[local_router * radix + port]` (snapshot capture).
     pub(crate) fn q2_raw(&self) -> &[f64] {
         &self.q2

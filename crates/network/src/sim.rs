@@ -5,15 +5,17 @@
 //! and surfaces transport-level effects (message injected / delivered) that
 //! the MPI layer consumes. See the crate docs for the router model.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use dfsim_des::{Scheduler, Time};
 use dfsim_metrics::{AppId, Recorder};
-use dfsim_topology::{LinkKind, LinkTiming, NodeId, Port, RouterId, Topology};
+use dfsim_topology::{GroupId, LinkKind, LinkTiming, NodeId, Port, RouterId, Topology};
 
 use crate::events::{NetEffect, NetEvent};
 use crate::nic::Nic;
 use crate::packet::{MessageId, Packet, PacketSizes, RouteState};
+use crate::partition::{self, MsgExport, PartitionMap, QUndoEntry};
 use crate::qtable::QTable;
 use crate::router::{PortPeer, Router};
 use crate::routing::{self, RoutingAlgo, RoutingConfig};
@@ -44,6 +46,27 @@ struct MsgInfo {
     live: bool,
 }
 
+/// Per-shard partitioning state. Present only in partitioned runs; the
+/// sequential engine never pays for the extra branches because `part` stays
+/// `None`.
+#[derive(Debug)]
+struct PartState {
+    map: Arc<PartitionMap>,
+    me: usize,
+    /// Delivery bookkeeping for messages owned by other shards, keyed by
+    /// their tagged id. Lookup-only (never iterated), so the hash map cannot
+    /// introduce nondeterminism.
+    imported: HashMap<u64, MsgInfo>,
+    /// Messages created this window whose packets will cross a boundary;
+    /// drained by the driver at the next barrier and registered on the
+    /// destination shard.
+    pending_exports: Vec<MsgExport>,
+    /// Tagged ids fully delivered (and released) here this window; drained
+    /// by the driver and routed back to the origin shard so it can free its
+    /// slab slot.
+    pending_releases: Vec<u64>,
+}
+
 /// The network simulation state: every router, every NIC, in-flight
 /// accounting and the routing configuration.
 #[derive(Debug)]
@@ -60,6 +83,16 @@ pub struct NetworkSim {
     next_packet_id: u64,
     in_flight: u64,
     flit_time: Time,
+    /// Partitioned-run state (`None` in the sequential engine).
+    part: Option<PartState>,
+    /// Undo journal for Q-table updates, tagged with the key of the event
+    /// being dispatched. Enabled by the partitioned driver so updates that
+    /// land after the logical end of a run can be rolled back, keeping
+    /// warm-start snapshots bit-identical to the sequential engine.
+    q_undo: Option<Vec<QUndoEntry>>,
+    /// `(time, seq)` key of the event currently being dispatched (only
+    /// maintained when `q_undo` is enabled).
+    event_key: (Time, u64),
 }
 
 impl NetworkSim {
@@ -120,7 +153,154 @@ impl NetworkSim {
             next_packet_id: 0,
             in_flight: 0,
             flit_time,
+            part: None,
+            q_undo: None,
+            event_key: (0, 0),
         }
+    }
+
+    // ---- partitioning ------------------------------------------------------
+
+    /// Enter partitioned mode as shard `me` of `map`. Must be called before
+    /// any traffic is sent; afterwards, messages addressed to foreign nodes
+    /// produce export records (see [`NetworkSim::take_msg_exports`]) and
+    /// foreign deliveries resolve against the imported-message table.
+    pub fn set_partition(&mut self, map: Arc<PartitionMap>, me: usize) {
+        assert!(me < map.parts(), "shard index out of range");
+        debug_assert!(self.msgs.is_empty(), "set_partition after traffic started");
+        self.part = Some(PartState {
+            map,
+            me,
+            imported: HashMap::new(),
+            pending_exports: Vec::new(),
+            pending_releases: Vec::new(),
+        });
+    }
+
+    /// Drain the export records of messages created since the last barrier
+    /// whose packets will cross into another shard. The driver forwards each
+    /// record (plus the matching MPI metadata) to the destination shard.
+    pub fn take_msg_exports(&mut self) -> Vec<MsgExport> {
+        self.part.as_mut().map_or_else(Vec::new, |ps| std::mem::take(&mut ps.pending_exports))
+    }
+
+    /// Drain the tagged ids of foreign messages fully delivered and released
+    /// here since the last barrier. The driver routes each id back to its
+    /// origin shard, which frees the slab slot via
+    /// [`NetworkSim::release_exported_slot`].
+    pub fn take_msg_releases(&mut self) -> Vec<u64> {
+        self.part.as_mut().map_or_else(Vec::new, |ps| std::mem::take(&mut ps.pending_releases))
+    }
+
+    /// Register a foreign message (owned by another shard) so its packets
+    /// can be delivered here. Driven by the barrier exchange of
+    /// [`MsgExport`] records.
+    pub fn import_message(&mut self, tagged: u64, expected: u32) {
+        let ps = self.part.as_mut().expect("import outside a partitioned run");
+        debug_assert!(partition::is_tagged(tagged), "importing an untagged message id");
+        debug_assert_ne!(partition::origin_of(tagged), ps.me, "importing an owned message");
+        let prev = ps.imported.insert(tagged, MsgInfo { expected, received: 0, live: true });
+        debug_assert!(prev.is_none(), "duplicate message import");
+    }
+
+    /// Free the slab slot of a message this shard created whose packets were
+    /// all delivered on a foreign shard (release notice from the barrier
+    /// exchange).
+    pub fn release_exported_slot(&mut self, tagged: u64) {
+        debug_assert!(partition::is_tagged(tagged));
+        debug_assert_eq!(
+            partition::origin_of(tagged),
+            self.part.as_ref().expect("release outside a partitioned run").me,
+            "release notice routed to the wrong shard"
+        );
+        let idx = (tagged & partition::IDX_MASK) as usize;
+        let info = &mut self.msgs[idx];
+        debug_assert!(info.live, "double release of exported message {idx}");
+        info.received = info.expected; // delivered remotely
+        info.live = false;
+        self.free_msgs.push(idx as u64);
+    }
+
+    /// Barrier hook: a buffered `PacketArrive` is leaving this shard. Drops
+    /// it from the in-flight count and tags its message id with this shard.
+    /// An untagged id is only meaningful in the slab of the shard that
+    /// created the message, and a packet carrying one here necessarily
+    /// belongs to this shard's slab — so *every* untagged departure gets
+    /// tagged, including a packet detouring out towards an owned
+    /// destination (it is untagged again on the way home, and intermediate
+    /// shards never dereference it).
+    pub fn on_packet_exported(&mut self, packet: &mut Packet) {
+        let ps = self.part.as_ref().expect("export outside a partitioned run");
+        debug_assert!(self.in_flight > 0, "exporting with nothing in flight");
+        self.in_flight -= 1;
+        if !partition::is_tagged(packet.msg.0) {
+            packet.msg = MessageId(partition::tag_msg(ps.me, packet.msg.0));
+        }
+    }
+
+    /// Barrier hook: a boundary `PacketArrive` is entering this shard. Adds
+    /// it to the in-flight count and untags the message id if this shard is
+    /// the origin (a detoured packet coming home).
+    pub fn on_packet_imported(&mut self, packet: &mut Packet) {
+        self.in_flight += 1;
+        let ps = self.part.as_ref().expect("import outside a partitioned run");
+        if partition::is_tagged(packet.msg.0) && partition::origin_of(packet.msg.0) == ps.me {
+            packet.msg = MessageId(packet.msg.0 & partition::IDX_MASK);
+        }
+    }
+
+    /// Copy the Q-tables of `routers` from another shard's network (report
+    /// assembly: the snapshot is captured from one network holding every
+    /// shard's learned tables).
+    pub fn adopt_qtables_from(
+        &mut self,
+        other: &NetworkSim,
+        routers: impl IntoIterator<Item = RouterId>,
+    ) {
+        for r in routers {
+            self.routers[r.idx()].qtable = other.routers[r.idx()].qtable.clone();
+        }
+    }
+
+    /// Enable the Q-table undo journal (partitioned driver only). Each
+    /// Q-table update is logged with the key set by
+    /// [`NetworkSim::set_event_key`] and its pre-update value.
+    pub fn enable_q_undo(&mut self) {
+        self.q_undo = Some(Vec::new());
+    }
+
+    /// Mutable access to the undo journal so the driver can renumber its
+    /// keys at a barrier and clear it per window. `None` unless enabled.
+    pub fn q_undo_entries_mut(&mut self) -> Option<&mut Vec<QUndoEntry>> {
+        self.q_undo.as_mut()
+    }
+
+    /// Key of the event about to be dispatched (orders Q-undo entries).
+    pub fn set_event_key(&mut self, time: Time, seq: u64) {
+        self.event_key = (time, seq);
+    }
+
+    /// Roll back every journaled Q-table update with key strictly greater
+    /// than `(time, seq)`, in reverse order. Used at the end of a
+    /// partitioned run: shards pop to the window boundary, which may lie
+    /// past the logical end of the run (the last rank-finish event), and
+    /// only Q-table state is mutated by those extra dispatches.
+    pub fn q_undo_revert_after(&mut self, time: Time, seq: u64) {
+        let entries = self.q_undo.take().unwrap_or_default();
+        for e in entries.iter().rev() {
+            if (e.time, e.seq) > (time, seq) {
+                let qt = self.routers[e.router.idx()]
+                    .qtable
+                    .as_mut()
+                    .expect("undo entry for a router without a Q-table");
+                if e.level2 {
+                    qt.set2_raw(e.index, e.port, e.old);
+                } else {
+                    qt.set1_raw(GroupId(e.index), e.port, e.old);
+                }
+            }
+        }
+        self.q_undo = Some(entries);
     }
 
     /// The topology this network runs on.
@@ -173,6 +353,16 @@ impl NetworkSim {
     /// Callers that never release (network-only tests) just keep the old
     /// append-only behaviour.
     pub fn release_message(&mut self, msg: MessageId) {
+        if partition::is_tagged(msg.0) {
+            // Foreign message delivered here: drop the imported entry and
+            // queue a release notice for the origin shard's slab.
+            let ps = self.part.as_mut().expect("tagged release outside a partitioned run");
+            let info = ps.imported.remove(&msg.0).expect("releasing an unknown imported message");
+            debug_assert!(info.live, "double release of imported {msg}");
+            debug_assert_eq!(info.received, info.expected, "releasing an undelivered {msg}");
+            ps.pending_releases.push(msg.0);
+            return;
+        }
         let info = &mut self.msgs[msg.idx()];
         debug_assert!(info.live, "double release of {msg}");
         debug_assert_eq!(info.received, info.expected, "releasing an undelivered {msg}");
@@ -235,6 +425,19 @@ impl NetworkSim {
                 + self.timing.terminal_latency_ps;
             sched.after(copy, NetEvent::LocalDeliver { msg });
             return msg;
+        }
+        if let Some(ps) = self.part.as_mut() {
+            if ps.map.part_of_node(dst) != ps.me {
+                // Packets of this message will cross a boundary: record the
+                // export so the destination shard can pre-register delivery
+                // bookkeeping at the next barrier (always before the first
+                // packet can arrive there, thanks to the lookahead window).
+                ps.pending_exports.push(MsgExport {
+                    msg: partition::tag_msg(ps.me, msg.0),
+                    expected,
+                    dst,
+                });
+            }
         }
         self.nics[src.idx()].enqueue(msg, dst, app, bytes);
         self.pump(src, sched, rec);
@@ -372,7 +575,16 @@ impl NetworkSim {
                     packet.hops,
                 );
                 self.in_flight -= 1;
-                let info = &mut self.msgs[packet.msg.idx()];
+                let info: &mut MsgInfo = if partition::is_tagged(packet.msg.0) {
+                    self.part
+                        .as_mut()
+                        .expect("foreign packet outside a partitioned run")
+                        .imported
+                        .get_mut(&packet.msg.0)
+                        .expect("delivery of an undeclared foreign message")
+                } else {
+                    &mut self.msgs[packet.msg.idx()]
+                };
                 debug_assert!(info.live, "delivery into a released message slot");
                 info.received += 1;
                 debug_assert!(info.received <= info.expected, "over-delivery of {}", packet.msg);
@@ -393,11 +605,34 @@ impl NetworkSim {
             }
             NetEvent::QFeedback { router, port, dst_group, dst_local, sample } => {
                 let my_group = self.topo.group_of_router(router);
+                let key = self.event_key;
                 if let Some(qt) = self.routers[router.idx()].qtable.as_mut() {
                     if my_group == dst_group {
+                        if let Some(log) = self.q_undo.as_mut() {
+                            log.push(QUndoEntry {
+                                time: key.0,
+                                seq: key.1,
+                                router,
+                                level2: true,
+                                index: dst_local,
+                                port,
+                                old: qt.q2(dst_local, port),
+                            });
+                        }
                         qt.update2(dst_local, port, sample);
                     } else {
                         let before = qt.q1(dst_group, port);
+                        if let Some(log) = self.q_undo.as_mut() {
+                            log.push(QUndoEntry {
+                                time: key.0,
+                                seq: key.1,
+                                router,
+                                level2: false,
+                                index: dst_group.0,
+                                port,
+                                old: before,
+                            });
+                        }
                         qt.update1(dst_group, port, sample);
                         if before.is_finite() {
                             // Convergence telemetry: per-window mean |ΔQ1|
