@@ -24,8 +24,8 @@
 
 use dfsim_apps::AppKind;
 use dfsim_bench::{
-    csv_flag, die, engine_stats_flag, print_engine_stats, resolve_spec_env, run_cell, smoke_flag,
-    sweep_defaults,
+    cell_trace_path, csv_flag, die, engine_stats_flag, print_engine_stats, resolve_spec_env,
+    run_cell_traced, smoke_flag, sweep_defaults,
 };
 use dfsim_core::placement::Placement;
 use dfsim_core::scenario::Scenario;
@@ -156,6 +156,10 @@ fn main() {
     defaults.apps = vec![AppKind::UR, AppKind::CosmoFlow, AppKind::LQCD, AppKind::FFT3D];
     let mut spec = resolve_spec_env(defaults, &["RATES", "JOBS", "APPS", "SIZES"]);
     dfsim_bench::sweep_qtable_guard(&spec);
+    // `--trace PATH` streams every cell into its own file (PATH with a
+    // `rate_routing_placement` infix); `ExperimentSpec::cell` strips the
+    // knob, so it is lifted out here and re-attached per cell.
+    let trace_base = spec.trace.take();
     let nodes = spec.params.num_nodes();
     if spec.sizes.is_empty() {
         // Quarter- and half-machine jobs: a couple of co-residents fill
@@ -194,13 +198,23 @@ fn main() {
             }
         }
     }
+    let traced = trace_base.is_some();
     let results = parallel_map(cells, spec.threads, move |(rate, routing, placement)| {
         let mut cell = spec.clone();
         cell.rates = vec![rate];
         cell.placement = placement;
-        let report = run_cell(&cell, routing, Workload::Poisson);
+        let trace = trace_base.as_ref().map(|base| {
+            cell_trace_path(base, &format!("r{rate}_{}_{}", routing.label(), placement.label()))
+        });
+        let report = run_cell_traced(&cell, routing, Workload::Poisson, trace);
         (rate, routing, placement, report)
     });
+    if traced {
+        eprintln!(
+            "# {} trace files written (replay with: dfsim trace FILE --replay)",
+            results.len()
+        );
+    }
 
     let mut t = TextTable::new(vec![
         "Rate (jobs/ms)",

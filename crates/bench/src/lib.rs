@@ -72,6 +72,32 @@ pub fn run_cell(spec: &ExperimentSpec, routing: RoutingAlgo, workload: Workload)
     Simulation::run_one(&spec.cell(routing), workload).unwrap_or_else(|e| die(&e)).report
 }
 
+/// [`run_cell`] with a per-cell trace file. [`ExperimentSpec::cell`] strips
+/// the `trace` knob (parallel cells would clobber one file), so binaries
+/// that do support tracing re-attach a cell-unique path here — derived with
+/// [`cell_trace_path`] from the base path the user gave.
+pub fn run_cell_traced(
+    spec: &ExperimentSpec,
+    routing: RoutingAlgo,
+    workload: Workload,
+    trace: Option<std::path::PathBuf>,
+) -> RunReport {
+    let mut cell = spec.cell(routing);
+    cell.trace = trace;
+    Simulation::run_one(&cell, workload).unwrap_or_else(|e| die(&e)).report
+}
+
+/// The trace path of one sweep cell: the sweep's base path with a
+/// cell-label infix before the extension, so `out.trace` under label
+/// `r20_UGALg_random` becomes `out.r20_UGALg_random.trace` and parallel
+/// cells never race on one file.
+pub fn cell_trace_path(base: &std::path::Path, label: &str) -> std::path::PathBuf {
+    match base.extension().and_then(|e| e.to_str()) {
+        Some(ext) => base.with_extension(format!("{label}.{ext}")),
+        None => base.with_extension(label),
+    }
+}
+
 /// Whether `--csv` was passed.
 pub fn csv_flag() -> bool {
     std::env::args().any(|a| a == "--csv")

@@ -44,6 +44,11 @@ pub struct SimConfig {
     /// After the run, write the learned Q-tables to this path (Q-adaptive
     /// runs only; `validate` rejects it under any other routing).
     pub qtable_save: Option<PathBuf>,
+    /// Stream every metric event to a `dfsim-trace v1` file at this path as
+    /// the run executes (bounded memory; replayable into the exact same
+    /// report). `None` (the default) keeps tracing entirely off the hot
+    /// path.
+    pub trace: Option<PathBuf>,
     /// Worker threads for the partitioned engine: the dragonfly is sharded
     /// by group across this many partitions, exchanging boundary traffic in
     /// conservative lookahead windows. `0` or `1` selects the
@@ -67,6 +72,7 @@ impl Default for SimConfig {
             max_events: 2_000_000_000,
             queue: QueueBackend::default(),
             qtable_save: None,
+            trace: None,
             threads: 0,
         }
     }

@@ -22,7 +22,10 @@
 //!   spec (`from_spec → prepare → run → RunHandle`),
 //! * [`sweep`] — deterministic parallel execution of independent runs
 //!   (crossbeam-scoped threads),
-//! * [`report`] / [`tables`] — run reports and text/CSV table rendering.
+//! * [`report`] / [`tables`] — run reports and text/CSV table rendering,
+//! * [`trace`] — the run-level half of the `dfsim-trace v1` streaming
+//!   layer: the META context blob and [`trace::replay_trace`], which
+//!   rebuilds a run's exact report from its trace file.
 //!
 //! ```no_run
 //! use dfsim_core::experiments::{pairwise, StudyConfig};
@@ -47,6 +50,7 @@ pub mod simulation;
 pub mod spec;
 pub mod sweep;
 pub mod tables;
+pub mod trace;
 pub mod world;
 
 pub use config::SimConfig;
@@ -57,4 +61,5 @@ pub use scenario::run_scenario;
 pub use scenario::{Scenario, SchedPolicy};
 pub use simulation::{RunHandle, Simulation};
 pub use spec::{ExperimentSpec, SpecError, Workload};
+pub use trace::{replay_trace, summarize_trace, TraceMeta};
 pub use world::{World, WorldEvent, WorldQueue};

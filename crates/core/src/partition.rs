@@ -53,6 +53,7 @@
 //! `max(threads, 1)` partitions; static runs use it for `threads >= 2` and
 //! keep the untouched [`crate::world::World::run`] path otherwise.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -61,7 +62,7 @@ use dfsim_des::{
     local_mesh, CalendarQueue, EventQueue, JobId, LocalThreadCommunicator, QueueKind,
     Scheduler as EventScheduler, SimCommunicator, SimRng, Time, WireReader, WireWriter,
 };
-use dfsim_metrics::{AppId, KeyedEntry, KeyedKind, Recorder};
+use dfsim_metrics::{read_trace, AppId, KeyedEntry, KeyedKind, Recorder, TraceEvent, TraceWriter};
 use dfsim_mpi::sim::MpiConfig;
 use dfsim_mpi::{MpiEvent, MpiSim};
 use dfsim_network::partition::{decode_event, encode_event, origin_of, IDX_MASK};
@@ -83,6 +84,15 @@ pub(crate) const SEG_SHIFT: u32 = 40;
 pub(crate) const VAL_MASK: u64 = (1 << SEG_SHIFT) - 1;
 /// Cut keys subdivide the value field into admission slot and push index.
 pub(crate) const SLOT_SHIFT: u32 = 20;
+
+/// Per-shard temporary trace path of a multi-partition run: the final path
+/// plus a `.part<p>` suffix. The temporaries are spliced into the final
+/// file (and deleted) at assembly.
+fn shard_trace_path(path: &Path, p: usize) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".part{p}"));
+    PathBuf::from(os)
+}
 
 /// How a just-popped event is identified when its pushes are logged: by its
 /// final key (pushed in an earlier segment) or by its own position in the
@@ -421,6 +431,16 @@ impl<'a, Q: SimQueue<WorldEvent>> Shard<'a, Q> {
             if cfg.routing.algo == RoutingAlgo::QAdaptive {
                 net.enable_q_undo();
             }
+        }
+        if let Some(path) = &cfg.trace {
+            // A lone shard streams straight into the final file; with peers
+            // each shard writes a temporary spliced together at assembly.
+            // Keyed capture keeps the order-sensitive events (Q1 trace,
+            // rank completions) out of the per-shard streams — they enter
+            // the final file from the merged journal, in canonical order.
+            let p = if parts > 1 { shard_trace_path(path, me) } else { path.clone() };
+            let w = TraceWriter::create(&p).unwrap_or_else(|e| panic!("{e}"));
+            rec.set_sink(Box::new(w));
         }
         let napps = match &work {
             ShardWork::Static { jobs, .. } => jobs.len(),
@@ -1029,9 +1049,10 @@ fn assemble(
     let mut pops = base.pops;
     let mut post_k = base.post_k;
     let mut stats = base.stats;
+    let mut trace_keyed: Vec<TraceEvent> = Vec::new();
     if parts > 1 {
         let mut journal = std::mem::take(&mut base.journal);
-        for (i, o) in outcomes.into_iter().enumerate() {
+        for (i, mut o) in outcomes.into_iter().enumerate() {
             let p = i + 1;
             debug_assert!(o.stop == stop && o.end == end, "shards disagree on the stop");
             pops += o.pops;
@@ -1043,17 +1064,33 @@ fn assemble(
             stats.bucket_scans += o.stats.bucket_scans;
             stats.sparse_jumps += o.stats.sparse_jumps;
             base.net.adopt_qtables_from(&o.net, map.routers_of(p));
-            journal.extend(o.journal);
+            journal.extend(std::mem::take(&mut o.journal));
+            if let Some(sink) = o.rec.take_sink() {
+                sink.finish(None)
+                    .unwrap_or_else(|e| panic!("shard trace finalization failed: {e}"));
+            }
             base.rec.absorb(o.rec);
         }
         journal.sort_by_key(|e| (e.time, e.seq));
         base.rec.disable_keyed_capture();
         if stop == StopReason::AllFinished {
+            // Drop entries past the canonical stop key K, matching an
+            // engine that stopped exactly at K.
             let k = base.k;
-            base.rec.replay_keyed(journal.into_iter().filter(|e| (e.time, e.seq) <= k));
-        } else {
-            base.rec.replay_keyed(journal);
+            journal.retain(|e| (e.time, e.seq) <= k);
         }
+        if cfg.trace.is_some() {
+            trace_keyed = journal
+                .iter()
+                .map(|e| match e.kind {
+                    KeyedKind::Q1Update { t, delta_ps } => TraceEvent::Q1Updated { t, delta_ps },
+                    KeyedKind::RankFinished { app, rank, comm, exec } => {
+                        TraceEvent::RankFinished { app, rank, comm, exec }
+                    }
+                })
+                .collect();
+        }
+        base.rec.replay_keyed(journal);
     }
     let mut events = pops - post_k;
     if stop == StopReason::Horizon {
@@ -1062,6 +1099,43 @@ fn assemble(
         events += 1;
     }
     stats.events_processed = events;
+    if let Some(sink) = base.rec.take_sink() {
+        let path = cfg.trace.as_ref().expect("a sink exists only when tracing is on");
+        let meta = crate::trace::encode_meta(
+            cfg,
+            specs,
+            &base.finished,
+            stats,
+            events,
+            stop,
+            end,
+            wall_s,
+            &base.starts,
+            &base.job_reports,
+        );
+        if parts == 1 {
+            sink.finish(Some(&meta)).unwrap_or_else(|e| panic!("trace finalization failed: {e}"));
+        } else {
+            // base's sink is shard 0's temporary. Finish it, then splice
+            // every shard temporary (deterministic shard order) plus the
+            // canonically-ordered keyed events into the final file. Only
+            // the keyed events are order-sensitive on replay; everything
+            // else aggregates commutatively, so shard concatenation is as
+            // good as the live interleaving.
+            sink.finish(None).unwrap_or_else(|e| panic!("shard trace finalization failed: {e}"));
+            let mut w = TraceWriter::create(path).unwrap_or_else(|e| panic!("{e}"));
+            for p in 0..parts {
+                let tmp = shard_trace_path(path, p);
+                read_trace(&tmp, |ev| w.record(ev))
+                    .unwrap_or_else(|e| panic!("splicing shard trace failed: {e}"));
+                let _ = std::fs::remove_file(&tmp);
+            }
+            for ev in &trace_keyed {
+                w.record(ev);
+            }
+            w.finish(Some(&meta)).unwrap_or_else(|e| panic!("trace finalization failed: {e}"));
+        }
+    }
     let snapshot = capture_qtables(cfg, &base.net);
     let report = build_report(
         cfg,

@@ -100,7 +100,11 @@ fn run_placed_on<Q: SimQueue<WorldEvent>>(
     let partitions = place(&topo, policy, &sizes, cfg.seed);
 
     let rng = SimRng::new(cfg.seed);
-    let rec = Recorder::new(&topo, cfg.recorder);
+    let mut rec = Recorder::new(&topo, cfg.recorder);
+    if let Some(path) = &cfg.trace {
+        let w = dfsim_metrics::TraceWriter::create(path).unwrap_or_else(|e| panic!("{e}"));
+        rec.set_sink(Box::new(w));
+    }
     let net = NetworkSim::new(Arc::clone(&topo), cfg.timing, cfg.routing.clone(), &rng);
     let mut mpi = MpiSim::new(MpiConfig { eager_threshold: cfg.eager_threshold });
 
@@ -124,6 +128,21 @@ fn run_placed_on<Q: SimQueue<WorldEvent>>(
     let starts = vec![0; app_jobs.len()]; // static runs: everything starts at t = 0
     let finished: Vec<Option<Time>> =
         (0..app_jobs.len()).map(|i| world.mpi.app_finished_at(AppId(i as u16))).collect();
+    if let Some(sink) = world.rec.take_sink() {
+        let meta = crate::trace::encode_meta(
+            cfg,
+            &app_jobs,
+            &finished,
+            world.queue.stats(),
+            world.queue.events_processed(),
+            stop,
+            end_time,
+            wall_s,
+            &starts,
+            &[],
+        );
+        sink.finish(Some(&meta)).unwrap_or_else(|e| panic!("trace finalization failed: {e}"));
+    }
     let report = build_report(
         cfg,
         &app_jobs,
@@ -339,8 +358,19 @@ fn network_report(
     let used_globals = (g * (g - 1)).max(1) as f64;
     let avg_global = global_stall.iter().flatten().sum::<f64>() / used_globals;
 
-    let elapsed = end_time.max(1);
-    let congestion = rec.congestion().index_matrix(elapsed, cfg.timing.bandwidth_gbps);
+    // A zero-length run has no meaningful link capacity to normalize by:
+    // report zeroed congestion/throughput instead of computing indices
+    // against a degenerate 1 ps capacity.
+    let (congestion, mean_cong, std_cong, mean_tput) = if end_time == 0 {
+        (vec![vec![0.0; g]; g], 0.0, 0.0, 0.0)
+    } else {
+        (
+            rec.congestion().index_matrix(end_time, cfg.timing.bandwidth_gbps),
+            rec.congestion().mean_global_index(end_time, cfg.timing.bandwidth_gbps),
+            rec.congestion().std_global_index(end_time, cfg.timing.bandwidth_gbps),
+            rec.system_delivered().mean_gb_per_ms(end_time),
+        )
+    };
     let lat = rec.system_latency();
     let system_latency_us = dfsim_metrics::LatencySummary {
         n: lat.n,
@@ -359,13 +389,9 @@ fn network_report(
         avg_local_stall_ms: avg_local,
         avg_global_stall_ms: avg_global,
         congestion,
-        mean_global_congestion: rec
-            .congestion()
-            .mean_global_index(elapsed, cfg.timing.bandwidth_gbps),
-        std_global_congestion: rec
-            .congestion()
-            .std_global_index(elapsed, cfg.timing.bandwidth_gbps),
-        mean_system_throughput: sys.mean_gb_per_ms(elapsed),
+        mean_global_congestion: mean_cong,
+        std_global_congestion: std_cong,
+        mean_system_throughput: mean_tput,
         system_throughput: sys.as_gb_per_ms(),
         total_delivered_gb: sys.total() as f64 / 1e9,
         system_latency_us,
@@ -411,6 +437,20 @@ mod tests {
         assert_eq!(a.events, b.events);
         assert_eq!(a.apps[0].comm_ms.mean, b.apps[0].comm_ms.mean);
         assert_eq!(a.apps[0].peak_ingress_bytes, b.apps[0].peak_ingress_bytes);
+    }
+
+    #[test]
+    fn empty_run_reports_zeroed_congestion() {
+        // end_time == 0: no simulated time elapsed, so there is no link
+        // capacity to normalize congestion by — everything reports 0
+        // instead of indices computed against a degenerate 1 ps capacity.
+        let cfg = SimConfig::test_tiny(RoutingAlgo::UgalG);
+        let report = run(&cfg, &[]);
+        assert_eq!(report.sim_ms, 0.0);
+        assert_eq!(report.network.mean_global_congestion, 0.0);
+        assert_eq!(report.network.std_global_congestion, 0.0);
+        assert_eq!(report.network.mean_system_throughput, 0.0);
+        assert!(report.network.congestion.iter().flatten().all(|&v| v == 0.0));
     }
 
     #[test]

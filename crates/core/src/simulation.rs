@@ -186,6 +186,13 @@ impl Simulation {
                 return Err(invalid(format!("cannot write qtable_save {}: {e}", path.display())));
             }
         }
+        if let Some(path) = &spec.trace {
+            // Same contract as qtable_save: an unwritable trace path fails
+            // here, before any simulation time is spent.
+            if let Err(e) = std::fs::OpenOptions::new().append(true).create(true).open(path) {
+                return Err(invalid(format!("cannot write trace {}: {e}", path.display())));
+            }
+        }
         self.prepared = Some(Prepared { cfg, work });
         Ok(())
     }

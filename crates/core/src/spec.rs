@@ -495,6 +495,10 @@ pub struct ExperimentSpec {
     pub train: AppKind,
     /// Keep the transfer bench's trained snapshot at this path.
     pub snapshot: Option<PathBuf>,
+    /// Stream every metric event of the run to a `dfsim-trace v1` file at
+    /// this path (replayable into the identical report; see
+    /// [`crate::trace`]).
+    pub trace: Option<PathBuf>,
     /// Worker threads. Sweep binaries use this for the cell pool (0 = all
     /// cores); single-run front-ends (`dfsim run` and friends) use it as
     /// the partition count of the parallel engine (0/1 = single-threaded).
@@ -532,13 +536,14 @@ impl Default for ExperimentSpec {
             targets: Vec::new(),
             train: AppKind::Halo3D,
             snapshot: None,
+            trace: None,
             threads: 0,
         }
     }
 }
 
 /// Every key of the spec format, in canonical emission order.
-const SPEC_KEYS: [&str; 29] = [
+const SPEC_KEYS: [&str; 30] = [
     "workload",
     "topology",
     "timing",
@@ -567,6 +572,7 @@ const SPEC_KEYS: [&str; 29] = [
     "targets",
     "train",
     "snapshot",
+    "trace",
     "threads",
 ];
 
@@ -709,6 +715,7 @@ impl ExperimentSpec {
             "targets" => self.targets = lookup_list(rest).map_err(val)?,
             "train" => self.train = lookup(rest).map_err(val)?,
             "snapshot" => self.snapshot = Some(parse_path(rest).map_err(val)?),
+            "trace" => self.trace = Some(parse_path(rest).map_err(val)?),
             "threads" => {
                 self.threads =
                     rest.parse().map_err(|_| val(format!("invalid count '{rest}' (usize)")))?
@@ -796,6 +803,9 @@ impl ExperimentSpec {
         line(format!("train {}", self.train.name()));
         if let Some(p) = &self.snapshot {
             line(format!("snapshot {}", p.display()));
+        }
+        if let Some(p) = &self.trace {
+            line(format!("trace {}", p.display()));
         }
         line(format!("threads {}", self.threads));
         out
@@ -1028,6 +1038,10 @@ impl ExperimentSpec {
                     let v = value(args, &mut i, a)?;
                     self.snapshot = Some(parse_path(&v).map_err(|m| flag_err(a, m))?);
                 }
+                "--trace" => {
+                    let v = value(args, &mut i, a)?;
+                    self.trace = Some(parse_path(&v).map_err(|m| flag_err(a, m))?);
+                }
                 "--threads" => {
                     let v = value(args, &mut i, a)?;
                     self.threads = v.parse().map_err(|_| flag_err(a, "expected a thread count"))?;
@@ -1178,6 +1192,10 @@ impl ExperimentSpec {
         // Sweeps parallelize across cells (`threads` sizes that pool); each
         // cell itself runs single-partition so the two levels don't multiply.
         c.threads = 0;
+        // One trace path cannot serve many concurrent cells: cells would
+        // clobber each other's file, so sweeps drop the knob rather than
+        // write a corrupt interleaving.
+        c.trace = None;
         if routing != RoutingAlgo::QAdaptive {
             c.qtable_load = None;
             c.qtable_save = None;
@@ -1212,6 +1230,7 @@ impl ExperimentSpec {
             max_events: self.max_events,
             queue: self.queue,
             qtable_save: self.qtable_save.clone(),
+            trace: self.trace.clone(),
             threads: self.threads,
         }
     }
@@ -1486,6 +1505,7 @@ mod tests {
             "targets Quake",
             "train Quake",
             "snapshot ",
+            "trace ",
             "threads x",
         ] {
             let err = ExperimentSpec::parse(&format!("{hdr}\n{bad}\n")).unwrap_err();

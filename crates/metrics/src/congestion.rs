@@ -77,7 +77,10 @@ impl CongestionMatrix {
             .collect()
     }
 
-    /// Mean off-diagonal (global) congestion index.
+    /// Mean off-diagonal (global) congestion index. Each per-link index is
+    /// clamped to 1 exactly as [`CongestionMatrix::index_matrix`] clamps its
+    /// entries, so the scalar can never exceed every entry of the matrix it
+    /// summarizes.
     pub fn mean_global_index(&self, elapsed: Time, bandwidth_gbps: u64) -> f64 {
         let cap = capacity_bytes(elapsed, bandwidth_gbps);
         let g = self.groups;
@@ -86,13 +89,14 @@ impl CongestionMatrix {
         }
         let sum: f64 = (0..g)
             .flat_map(|i| (0..g).filter(move |&j| j != i).map(move |j| (i, j)))
-            .map(|(i, j)| self.global(i, j) as f64 / cap)
+            .map(|(i, j)| (self.global(i, j) as f64 / cap).min(1.0))
             .sum();
         sum / (g * (g - 1)) as f64
     }
 
     /// Population std-dev of the off-diagonal indices — the imbalance measure
-    /// behind the paper's "hot spot" observation.
+    /// behind the paper's "hot spot" observation. Clamped per link like
+    /// [`CongestionMatrix::index_matrix`].
     pub fn std_global_index(&self, elapsed: Time, bandwidth_gbps: u64) -> f64 {
         let cap = capacity_bytes(elapsed, bandwidth_gbps);
         let g = self.groups;
@@ -101,7 +105,7 @@ impl CongestionMatrix {
         }
         let vals: Vec<f64> = (0..g)
             .flat_map(|i| (0..g).filter(move |&j| j != i).map(move |j| (i, j)))
-            .map(|(i, j)| self.global(i, j) as f64 / cap)
+            .map(|(i, j)| (self.global(i, j) as f64 / cap).min(1.0))
             .collect();
         crate::summary::Stats::of(&vals).std
     }
@@ -164,6 +168,28 @@ mod tests {
         m.add_global(0, 1, u64::MAX / 4);
         let idx = m.index_matrix(1, 200);
         assert_eq!(idx[0][1], 1.0);
+    }
+
+    #[test]
+    fn mean_and_std_clamp_like_the_matrix() {
+        // One link driven 10x past capacity: every per-link index feeding the
+        // scalar mean/std must clamp at 1.0 exactly like the matrix entries,
+        // so the mean can never exceed the largest reported matrix entry.
+        let mut m = CongestionMatrix::new(2, 2);
+        m.add_global(0, 1, 250_000_000); // 10x the 25 MB/ms capacity
+        let idx = m.index_matrix(MILLISECOND, 200);
+        assert_eq!(idx[0][1], 1.0);
+
+        let mean = m.mean_global_index(MILLISECOND, 200);
+        // 2 off-diagonal entries, one clamped to 1.0: mean = 0.5 (an
+        // unclamped index would report 5.0 — larger than every entry).
+        assert!((mean - 0.5).abs() < 1e-12, "mean {mean} must use clamped indices");
+        let max_entry = idx.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
+        assert!(mean <= max_entry, "scalar mean {mean} exceeds every matrix entry {max_entry}");
+
+        // std of {1.0, 0.0} is 0.5; unclamped it would be 2.5.
+        let std = m.std_global_index(MILLISECOND, 200);
+        assert!((std - 0.5).abs() < 1e-12, "std {std} must use clamped indices");
     }
 
     #[test]

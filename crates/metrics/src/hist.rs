@@ -78,27 +78,13 @@ impl SamplePool {
 
     /// Distribution summary restricted to samples with `from ≤ t < to`.
     pub fn summarize_window(&self, from: Time, to: Time) -> LatencySummary {
-        let mut vals: Vec<f64> = self
+        let vals: Vec<f64> = self
             .samples
             .iter()
             .filter(|&&(t, _)| t >= from && t < to)
             .map(|&(_, v)| v as f64)
             .collect();
-        if vals.is_empty() {
-            return LatencySummary::default();
-        }
-        vals.sort_by(f64::total_cmp);
-        let n = vals.len();
-        LatencySummary {
-            n,
-            mean: vals.iter().sum::<f64>() / n as f64,
-            q1: quantile_sorted(&vals, 0.25),
-            median: quantile_sorted(&vals, 0.50),
-            q3: quantile_sorted(&vals, 0.75),
-            p95: quantile_sorted(&vals, 0.95),
-            p99: quantile_sorted(&vals, 0.99),
-            max: vals[n - 1],
-        }
+        summarize_values(vals)
     }
 
     /// Time-bucketed means (for latency-vs-time plots like Fig 7): returns
@@ -112,6 +98,35 @@ impl SamplePool {
             e.1 += 1;
         }
         acc.into_iter().map(|(t, (sum, n))| (t, sum as f64 / n as f64)).collect()
+    }
+}
+
+/// Distribution summary over the concatenation of several borrowed sample
+/// slices, in slice order — the zero-copy equivalent of pushing every slice
+/// into one fresh [`SamplePool`] and summarizing it. The values are collected
+/// in the same order a concatenated pool would hold them and the mean sums
+/// the sorted values, so the result is bit-identical to the copying form.
+pub fn summarize_slices(parts: &[&[(Time, u64)]]) -> LatencySummary {
+    let vals: Vec<f64> = parts.iter().flat_map(|s| s.iter()).map(|&(_, v)| v as f64).collect();
+    summarize_values(vals)
+}
+
+/// Shared summary kernel: sort, take quantiles, mean over the sorted order.
+fn summarize_values(mut vals: Vec<f64>) -> LatencySummary {
+    if vals.is_empty() {
+        return LatencySummary::default();
+    }
+    vals.sort_by(f64::total_cmp);
+    let n = vals.len();
+    LatencySummary {
+        n,
+        mean: vals.iter().sum::<f64>() / n as f64,
+        q1: quantile_sorted(&vals, 0.25),
+        median: quantile_sorted(&vals, 0.50),
+        q3: quantile_sorted(&vals, 0.75),
+        p95: quantile_sorted(&vals, 0.95),
+        p99: quantile_sorted(&vals, 0.99),
+        max: vals[n - 1],
     }
 }
 
@@ -149,6 +164,35 @@ mod tests {
     fn empty_summary_is_zeroed() {
         let p = SamplePool::new();
         assert_eq!(p.summarize(), LatencySummary::default());
+    }
+
+    #[test]
+    fn summarize_slices_matches_concatenated_pool_bitwise() {
+        let mut a = SamplePool::new();
+        let mut b = SamplePool::new();
+        for v in [7u64, 3, 900, 41, 12] {
+            a.record(v, v * 13 + 1);
+        }
+        for v in [5u64, 88, 2] {
+            b.record(v, v * 7 + 3);
+        }
+        let mut concat = SamplePool::new();
+        concat.extend_from(&a);
+        concat.extend_from(&b);
+        let want = concat.summarize();
+        let got = summarize_slices(&[a.samples(), b.samples()]);
+        for (x, y) in [
+            (want.mean, got.mean),
+            (want.q1, got.q1),
+            (want.median, got.median),
+            (want.q3, got.q3),
+            (want.p95, got.p95),
+            (want.p99, got.p99),
+            (want.max, got.max),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(want.n, got.n);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! * [`congestion`] — the group-pair congestion-index matrix (Fig 12),
 //! * [`summary`] — mean/std/min/max helpers used by every table,
 //! * [`window`] — time spans and overlap math for attributing interference
-//!   to co-residency intervals under churn.
+//!   to co-residency intervals under churn,
+//! * [`sink`] / [`trace`] — the streaming event bus: subscribers observing
+//!   every recorder hook live, and the `dfsim-trace v1` binary file format
+//!   that persists the stream with bounded memory and replays it losslessly.
 //!
 //! Recording is allocation-light: counters are dense vectors indexed by
 //! (router, port) or by time bin, and latency samples append to per-app
@@ -26,15 +29,21 @@ pub mod hist;
 pub mod learning;
 pub mod recorder;
 pub mod series;
+pub mod sink;
 pub mod stall;
 pub mod summary;
+pub mod trace;
 pub mod window;
 
 pub use congestion::CongestionMatrix;
-pub use hist::{LatencySummary, SamplePool};
+pub use hist::{summarize_slices, LatencySummary, SamplePool};
 pub use learning::LearningTrace;
 pub use recorder::{AppId, KeyedEntry, KeyedKind, Recorder, RecorderConfig};
 pub use series::BinSeries;
+pub use sink::{EventSink, TraceEvent, VecSink};
 pub use stall::PortStats;
 pub use summary::Stats;
+pub use trace::{
+    read_meta, read_trace, TraceContents, TraceError, TraceWriter, EVENT_KIND_NAMES, TRACE_HEADER,
+};
 pub use window::{co_residency, Span};

@@ -17,6 +17,7 @@ use crate::congestion::CongestionMatrix;
 use crate::hist::SamplePool;
 use crate::learning::LearningTrace;
 use crate::series::BinSeries;
+use crate::sink::{EventSink, TraceEvent};
 use crate::stall::PortTable;
 
 /// Identifies one application (job) within a simulation.
@@ -151,6 +152,10 @@ pub struct Recorder {
     keyed: Option<Vec<KeyedEntry>>,
     /// Key of the simulation event currently being processed.
     key: (Time, u64),
+    /// Optional streaming subscriber; every hook forwards its event here
+    /// after updating the aggregates. `None` (the default) costs one
+    /// discriminant test per hook.
+    sink: Option<Box<dyn EventSink>>,
 }
 
 impl Recorder {
@@ -176,12 +181,57 @@ impl Recorder {
             learning: LearningTrace::new(cfg.bin_width),
             keyed: None,
             key: (0, 0),
+            sink: None,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &RecorderConfig {
         &self.cfg
+    }
+
+    // ---- streaming sink ---------------------------------------------------
+
+    /// Attach a streaming subscriber. Every subsequent hook call forwards
+    /// its [`TraceEvent`] to the sink after updating the in-memory
+    /// aggregates. Replaces any previously attached sink.
+    pub fn set_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach and return the sink so the caller can
+    /// [`EventSink::finish`] it (flush + close).
+    pub fn take_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.take()
+    }
+
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some(s) = &mut self.sink {
+            s.event(&ev);
+        }
+    }
+
+    /// Apply one previously-recorded [`TraceEvent`] through the normal
+    /// recording paths — the replay half of the trace losslessness
+    /// contract: feeding a fresh recorder the exact event stream a run
+    /// produced rebuilds the aggregate state that run ended with.
+    pub fn replay_event(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Injected { app, t, bytes } => self.packet_injected(app, t, bytes),
+            TraceEvent::Delivered { app, inject, deliver, bytes, detoured, hops } => {
+                self.deliver(app, inject, deliver, bytes, detoured, hops)
+            }
+            TraceEvent::Forwarded { router, port, busy, bytes } => {
+                self.packet_forwarded(router, port, busy, bytes)
+            }
+            TraceEvent::Stalled { router, port, dur } => self.port_stalled(router, port, dur),
+            TraceEvent::Q1Updated { t, delta_ps } => self.q1_updated(t, delta_ps),
+            TraceEvent::IngressBurst { app, bytes } => self.ingress_burst(app, bytes),
+            TraceEvent::RankFinished { app, rank, comm, exec } => {
+                self.rank_finished(app, rank, comm, exec)
+            }
+        }
     }
 
     // ---- partitioned-run support ------------------------------------------
@@ -276,17 +326,20 @@ impl Recorder {
         let a = self.app_mut(app);
         a.injected.add(t, bytes as u64);
         a.packets_injected += 1;
+        self.emit(TraceEvent::Injected { app, t, bytes });
     }
 
-    /// A packet injected at `inject` was delivered at `deliver`. `detoured`
-    /// marks packets that travelled a non-minimal path.
+    /// A packet injected at `inject` was delivered at `deliver`. Callers of
+    /// this convenience wrapper know nothing about the forwarding path, so
+    /// the delivery stays out of the hop statistics (`hops_histogram`,
+    /// `hops_total`, and thus `mean_hops`) rather than polluting bucket 0.
     #[inline]
     pub fn packet_delivered(&mut self, app: AppId, inject: Time, deliver: Time, bytes: u32) {
-        self.packet_delivered_routed(app, inject, deliver, bytes, false)
+        self.deliver(app, inject, deliver, bytes, false, None)
     }
 
-    /// [`Recorder::packet_delivered`] with the non-minimal-path flag and
-    /// the traversed router-to-router hop count.
+    /// [`Recorder::packet_delivered`] with the non-minimal-path flag. Like
+    /// the 2-arg wrapper, carries no hop count and skips hop accounting.
     #[inline]
     pub fn packet_delivered_routed(
         &mut self,
@@ -296,11 +349,13 @@ impl Recorder {
         bytes: u32,
         detoured: bool,
     ) {
-        self.packet_delivered_full(app, inject, deliver, bytes, detoured, 0)
+        self.deliver(app, inject, deliver, bytes, detoured, None)
     }
 
     /// Full delivery record: detour flag plus hop count (the per-packet
-    /// "forwarding path" detail of the paper's IO module, aggregated).
+    /// "forwarding path" detail of the paper's IO module, aggregated). An
+    /// explicit `hops` of 0 is a real observation (node talking to itself
+    /// through one router) and is counted.
     #[inline]
     pub fn packet_delivered_full(
         &mut self,
@@ -311,6 +366,19 @@ impl Recorder {
         detoured: bool,
         hops: u8,
     ) {
+        self.deliver(app, inject, deliver, bytes, detoured, Some(hops))
+    }
+
+    #[inline]
+    fn deliver(
+        &mut self,
+        app: AppId,
+        inject: Time,
+        deliver: Time,
+        bytes: u32,
+        detoured: bool,
+        hops: Option<u8>,
+    ) {
         let record_lat = self.cfg.record_latencies;
         let a = self.app_mut(app);
         a.delivered.add(deliver, bytes as u64);
@@ -318,12 +386,15 @@ impl Recorder {
         if detoured {
             a.packets_detoured += 1;
         }
-        let bucket = (hops as usize).min(a.hops_histogram.len() - 1);
-        a.hops_histogram[bucket] += 1;
-        a.hops_total += hops as u64;
+        if let Some(h) = hops {
+            let bucket = (h as usize).min(a.hops_histogram.len() - 1);
+            a.hops_histogram[bucket] += 1;
+            a.hops_total += h as u64;
+        }
         if record_lat {
             a.latencies.record(deliver, deliver.saturating_sub(inject));
         }
+        self.emit(TraceEvent::Delivered { app, inject, deliver, bytes, detoured, hops });
     }
 
     /// A level-1 Q-table entry moved by `|delta_ps|` at time `t` (Q-adaptive
@@ -331,10 +402,14 @@ impl Recorder {
     #[inline]
     pub fn q1_updated(&mut self, t: Time, delta_ps: f64) {
         if let Some(j) = &mut self.keyed {
+            // Under keyed capture the update reaches the trace through the
+            // journal (in canonical `(time, seq)` order) at merge time, not
+            // through this partition's sink.
             let (time, seq) = self.key;
             j.push(KeyedEntry { time, seq, kind: KeyedKind::Q1Update { t, delta_ps } });
         } else {
             self.learning.record(t, delta_ps);
+            self.emit(TraceEvent::Q1Updated { t, delta_ps });
         }
     }
 
@@ -343,6 +418,7 @@ impl Recorder {
     pub fn port_stalled(&mut self, router: RouterId, port: Port, dur: Time) {
         if self.cfg.record_ports {
             self.ports.add_stall(router.0, port.0, dur);
+            self.emit(TraceEvent::Stalled { router, port, dur });
         }
     }
 
@@ -367,6 +443,7 @@ impl Recorder {
             }
             LinkKind::Terminal => {}
         }
+        self.emit(TraceEvent::Forwarded { router, port, busy, bytes });
     }
 
     // ---- MPI-side hooks ----------------------------------------------------
@@ -379,11 +456,14 @@ impl Recorder {
         if bytes > a.max_ingress_burst {
             a.max_ingress_burst = bytes;
         }
+        self.emit(TraceEvent::IngressBurst { app, bytes });
     }
 
     /// Final per-rank communication/execution times.
     pub fn rank_finished(&mut self, app: AppId, rank: u32, comm: Time, exec: Time) {
         if let Some(j) = &mut self.keyed {
+            // As with q1_updated, keyed entries reach the trace via the
+            // merged journal so the file keeps canonical order.
             let (time, seq) = self.key;
             j.push(KeyedEntry {
                 time,
@@ -392,6 +472,7 @@ impl Recorder {
             });
         } else {
             self.app_mut(app).rank_comm.push((rank, comm, exec));
+            self.emit(TraceEvent::RankFinished { app, rank, comm, exec });
         }
     }
 
@@ -432,15 +513,12 @@ impl Recorder {
         out
     }
 
-    /// System-wide latency summary (all apps pooled).
+    /// System-wide latency summary (all apps pooled). Summarizes over the
+    /// per-app sample slices in place — no per-call copy of every sample —
+    /// and reports bit-identically to the pooled form.
     pub fn system_latency(&self) -> crate::hist::LatencySummary {
-        let mut pool = SamplePool::new();
-        for a in &self.apps {
-            for &(t, v) in a.latencies.samples() {
-                pool.record(t, v);
-            }
-        }
-        pool.summarize()
+        let parts: Vec<&[(Time, u64)]> = self.apps.iter().map(|a| a.latencies.samples()).collect();
+        crate::hist::summarize_slices(&parts)
     }
 
     /// Sanity invariant: packets delivered never exceed packets injected.
@@ -530,6 +608,113 @@ mod tests {
         assert_eq!(a.hops_histogram[8], 1);
         assert_eq!(a.hops_total, 3 + 6 + 200);
         assert_eq!(a.packets_detoured, 1);
+    }
+
+    #[test]
+    fn hopless_wrappers_stay_out_of_hop_statistics() {
+        // The convenience wrappers carry no path information; they must not
+        // funnel phantom hops=0 entries into the histogram and skew mean_hops.
+        let mut r = rec();
+        r.packet_delivered(AppId(0), 0, 10, 512);
+        r.packet_delivered_routed(AppId(0), 0, 20, 512, true);
+        let a = r.app(AppId(0)).unwrap();
+        assert_eq!(a.packets_delivered, 2);
+        assert_eq!(a.packets_detoured, 1);
+        assert_eq!(a.hops_histogram, [0; 9], "hop-less delivery polluted the histogram");
+        assert_eq!(a.hops_total, 0);
+        // An explicit hops=0 is a real observation and is counted.
+        r.packet_delivered_full(AppId(0), 0, 30, 512, false, 0);
+        assert_eq!(r.app(AppId(0)).unwrap().hops_histogram[0], 1);
+    }
+
+    #[test]
+    fn sink_observes_every_hook() {
+        use crate::sink::VecSink;
+        let sink = VecSink::new();
+        let mut r = rec();
+        r.set_sink(Box::new(sink.clone()));
+        r.packet_injected(AppId(0), 1_000, 512);
+        r.packet_delivered_full(AppId(0), 1_000, 5_000, 512, true, 4);
+        r.packet_delivered(AppId(1), 2_000, 3_000, 256);
+        r.port_stalled(RouterId(1), Port(2), 40);
+        r.packet_forwarded(RouterId(0), Port(2), 20_480, 512);
+        r.q1_updated(4_000, 2.5);
+        r.ingress_burst(AppId(1), 4_096);
+        r.rank_finished(AppId(0), 2, 10, 20);
+        let evs = sink.events();
+        assert_eq!(evs.len(), 8);
+        assert_eq!(evs[0], TraceEvent::Injected { app: AppId(0), t: 1_000, bytes: 512 });
+        assert_eq!(
+            evs[1],
+            TraceEvent::Delivered {
+                app: AppId(0),
+                inject: 1_000,
+                deliver: 5_000,
+                bytes: 512,
+                detoured: true,
+                hops: Some(4),
+            }
+        );
+        assert_eq!(
+            evs[2],
+            TraceEvent::Delivered {
+                app: AppId(1),
+                inject: 2_000,
+                deliver: 3_000,
+                bytes: 256,
+                detoured: false,
+                hops: None,
+            }
+        );
+        assert!(matches!(evs[5], TraceEvent::Q1Updated { t: 4_000, .. }));
+        assert!(matches!(evs[7], TraceEvent::RankFinished { app: AppId(0), rank: 2, .. }));
+    }
+
+    #[test]
+    fn keyed_hooks_do_not_reach_the_sink() {
+        use crate::sink::VecSink;
+        let sink = VecSink::new();
+        let mut r = rec();
+        r.enable_keyed_capture();
+        r.set_sink(Box::new(sink.clone()));
+        r.set_key(100, 7);
+        r.q1_updated(100, 5.0);
+        r.rank_finished(AppId(0), 2, 50, 150);
+        assert!(sink.events().is_empty(), "keyed entries must reach the trace via the journal");
+        assert_eq!(r.drain_keyed().len(), 2);
+    }
+
+    #[test]
+    fn replaying_the_event_stream_rebuilds_recorder_state() {
+        use crate::sink::VecSink;
+        let sink = VecSink::new();
+        let mut r = rec();
+        r.set_sink(Box::new(sink.clone()));
+        r.packet_injected(AppId(0), 1_000, 512);
+        r.packet_delivered_full(AppId(0), 1_000, 5_000, 512, true, 4);
+        r.packet_delivered(AppId(1), 2_000, 3_000, 256);
+        r.packet_forwarded(RouterId(0), Port(2), 20_480, 512);
+        r.port_stalled(RouterId(1), Port(2), 40);
+        r.q1_updated(4_000, 2.5);
+        r.ingress_burst(AppId(1), 4_096);
+        r.rank_finished(AppId(0), 2, 10, 20);
+
+        let mut fresh = rec();
+        for ev in sink.events() {
+            fresh.replay_event(&ev);
+        }
+        let (a0, f0) = (r.app(AppId(0)).unwrap(), fresh.app(AppId(0)).unwrap());
+        assert_eq!(a0.packets_injected, f0.packets_injected);
+        assert_eq!(a0.packets_delivered, f0.packets_delivered);
+        assert_eq!(a0.hops_histogram, f0.hops_histogram);
+        assert_eq!(a0.latencies.samples(), f0.latencies.samples());
+        assert_eq!(a0.rank_comm, f0.rank_comm);
+        let (a1, f1) = (r.app(AppId(1)).unwrap(), fresh.app(AppId(1)).unwrap());
+        assert_eq!(a1.max_ingress_burst, f1.max_ingress_burst);
+        assert_eq!(a1.hops_total, f1.hops_total);
+        assert_eq!(r.learning().updates(), fresh.learning().updates());
+        assert_eq!(r.ports().get(1, 2).stall_ps, fresh.ports().get(1, 2).stall_ps);
+        assert_eq!(r.congestion().local(0), fresh.congestion().local(0));
     }
 
     #[test]

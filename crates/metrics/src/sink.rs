@@ -1,0 +1,146 @@
+//! The streaming event bus: a subscriber ([`EventSink`]) observing every
+//! [`crate::Recorder`] hook as it fires.
+//!
+//! The paper's §III "flexibly configured IO module" needs more than
+//! end-of-run aggregates for long-horizon studies: a run producing 10⁵–10⁶
+//! jobs cannot keep every packet latency in memory until the end, and a
+//! run that crashes mid-way should still leave its observations behind. A
+//! sink receives each metric event *as it is recorded* — the
+//! [`crate::trace::TraceWriter`] streams them to a compact binary file with
+//! bounded buffering — while the in-memory aggregates keep working exactly
+//! as before.
+//!
+//! When no sink is attached (the default), every hook pays a single
+//! `Option` discriminant test: the hot loop is unaffected.
+
+use dfsim_des::Time;
+use dfsim_topology::{Port, RouterId};
+
+use crate::recorder::AppId;
+
+/// One metric observation, mirroring the [`crate::Recorder`] hook that
+/// produced it. The variants carry exactly the hook arguments, so a sink
+/// that persists them loses nothing: replaying a stream of `TraceEvent`s
+/// through a fresh recorder ([`crate::Recorder::replay_event`]) rebuilds
+/// the recorder state the original run ended with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// [`crate::Recorder::packet_injected`].
+    Injected {
+        /// Application.
+        app: AppId,
+        /// Injection time.
+        t: Time,
+        /// Packet size, bytes.
+        bytes: u32,
+    },
+    /// [`crate::Recorder::packet_delivered_full`] (`hops: Some`) or the
+    /// hop-less convenience wrappers (`hops: None` — such deliveries carry
+    /// no forwarding-path information and stay out of the hop statistics).
+    Delivered {
+        /// Application.
+        app: AppId,
+        /// Injection time.
+        inject: Time,
+        /// Delivery time.
+        deliver: Time,
+        /// Packet size, bytes.
+        bytes: u32,
+        /// Whether the packet travelled a non-minimal (Valiant) path.
+        detoured: bool,
+        /// Router-to-router hop count, when the caller knows it.
+        hops: Option<u8>,
+    },
+    /// [`crate::Recorder::packet_forwarded`].
+    Forwarded {
+        /// Forwarding router.
+        router: RouterId,
+        /// Output port.
+        port: Port,
+        /// Link occupancy, ps.
+        busy: Time,
+        /// Packet size, bytes.
+        bytes: u32,
+    },
+    /// [`crate::Recorder::port_stalled`].
+    Stalled {
+        /// Stalled router.
+        router: RouterId,
+        /// Stalled output port.
+        port: Port,
+        /// Head-of-line blocking duration, ps.
+        dur: Time,
+    },
+    /// [`crate::Recorder::q1_updated`].
+    Q1Updated {
+        /// Update timestamp.
+        t: Time,
+        /// `|ΔQ1|` magnitude, ps.
+        delta_ps: f64,
+    },
+    /// [`crate::Recorder::ingress_burst`].
+    IngressBurst {
+        /// Application.
+        app: AppId,
+        /// Burst volume, bytes.
+        bytes: u64,
+    },
+    /// [`crate::Recorder::rank_finished`].
+    RankFinished {
+        /// Application.
+        app: AppId,
+        /// Rank within the application.
+        rank: u32,
+        /// Communication time, ps.
+        comm: Time,
+        /// Execution time, ps.
+        exec: Time,
+    },
+}
+
+/// A subscriber to the recorder's event stream.
+///
+/// Implementations must be cheap in [`EventSink::event`] — it is called
+/// inline from the simulation hot loop (buffer, don't syscall). I/O errors
+/// are deferred: buffering sinks remember the first failure and surface it
+/// from [`EventSink::finish`].
+pub trait EventSink: Send + std::fmt::Debug {
+    /// Observe one event. Called synchronously from every recorder hook.
+    fn event(&mut self, ev: &TraceEvent);
+
+    /// Finalize the stream: flush everything buffered, append the opaque
+    /// run-metadata blob (if any) and close the backing store. Returns the
+    /// first error encountered over the sink's whole lifetime.
+    fn finish(self: Box<Self>, meta: Option<&[u8]>) -> std::io::Result<()>;
+}
+
+/// An in-memory sink collecting every event — the trivial subscriber, used
+/// by tests and by analyses small enough to not need a file. Clones share
+/// the same storage, so a caller can keep one handle while the recorder
+/// owns the other.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    events: std::sync::Arc<std::sync::Mutex<Vec<TraceEvent>>>,
+}
+
+impl VecSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of every event observed so far, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("sink storage poisoned").clone()
+    }
+}
+
+impl EventSink for VecSink {
+    fn event(&mut self, ev: &TraceEvent) {
+        self.events.lock().expect("sink storage poisoned").push(*ev);
+    }
+
+    fn finish(self: Box<Self>, _meta: Option<&[u8]>) -> std::io::Result<()> {
+        Ok(())
+    }
+}

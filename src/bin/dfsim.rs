@@ -9,6 +9,7 @@
 //! dfsim emit [--spec FILE] [options]    # print the resolved spec (canonical form)
 //! dfsim apps                            # list workloads with Table I data
 //! dfsim topo [options]                  # print topology facts
+//! dfsim trace FILE [--replay]           # inspect a trace; --replay rebuilds the report
 //!
 //! `ARRIVALS` is a comma-separated list `APP:SIZE@TIME` (e.g.
 //! `UR:36@0,LU:16@0.5ms`); `poisson` synthesizes arrivals from the seed.
@@ -27,6 +28,8 @@
 //!   --queue <heap|calendar[:auto|:width=PS,buckets=N]>
 //!   --qtable save=PATH | load=PATH          (requires --routing Q-adp;
 //!                                            load rejected on fingerprint mismatch)
+//!   --trace <PATH>                          (stream every metric event to a
+//!                                            dfsim-trace v1 file; replayable)
 //!   --horizon <DURATION>                    (e.g. 5ms: wall on simulated time)
 //!   --sched <fcfs|backfill>                 (scenario admission; default fcfs)
 //!   --rate <jobs/ms> --jobs <N>             (poisson generator; default 1, 8)
@@ -42,11 +45,11 @@ use dragonfly_interference::prelude::*;
 fn usage() -> ! {
     eprintln!(
         "usage: dfsim <run | standalone APP | pairwise TARGET BG | mixed | scenario ARRIVALS | \
-         emit | apps | topo> [--spec FILE] [--routing R] [--scale S] [--seed N] [--groups g \
-         --routers a --nodes p --globals h] [--placement random|contiguous] [--queue \
-         heap|calendar[:width=PS,buckets=N]] [--qtable save=PATH|load=PATH] [--horizon D] \
-         [--sched fcfs|backfill] [--rate R --jobs N --apps LIST --sizes LIST] [--smoke] \
-         [--engine-stats] [--csv]"
+         emit | apps | topo | trace FILE [--replay]> [--spec FILE] [--routing R] [--scale S] \
+         [--seed N] [--groups g --routers a --nodes p --globals h] [--placement \
+         random|contiguous] [--queue heap|calendar[:width=PS,buckets=N]] [--qtable \
+         save=PATH|load=PATH] [--trace PATH] [--horizon D] [--sched fcfs|backfill] [--rate R \
+         --jobs N --apps LIST --sizes LIST] [--smoke] [--engine-stats] [--csv]"
     );
     std::process::exit(2)
 }
@@ -78,12 +81,22 @@ fn run_and_print(spec: ExperimentSpec, show: &Presentation) {
     let mut sim = Simulation::from_spec(spec).unwrap_or_else(|e| die(&e));
     sim.prepare().unwrap_or_else(|e| die(&e));
     let handle = sim.run().unwrap_or_else(|e| die(&e));
-    print_report(&handle, sim.spec(), show);
+    print_report(&handle.report, show);
     print_jobs(&handle.report, show.csv);
+    if !show.csv {
+        if let Some(path) = &sim.spec().qtable_save {
+            println!("Q-table snapshot written to {}", path.display());
+        }
+        if let Some(path) = &sim.spec().trace {
+            println!("trace written to {}", path.display());
+        }
+    }
 }
 
-fn print_report(handle: &RunHandle, spec: &ExperimentSpec, show: &Presentation) {
-    let report = &handle.report;
+/// Print a report — the live one of a run, or one rebuilt from a trace by
+/// `dfsim trace FILE --replay` (bit-identical to the live one, which is why
+/// this function cannot tell the difference).
+fn print_report(report: &RunReport, show: &Presentation) {
     let mut t = TextTable::new(vec![
         "App",
         "ranks",
@@ -135,7 +148,7 @@ fn print_report(handle: &RunHandle, spec: &ExperimentSpec, show: &Presentation) 
         n.avg_local_stall_ms,
         n.std_global_congestion
     );
-    if let Some(l) = handle.learning() {
+    if let Some(l) = report.learning.as_ref() {
         println!(
             "learning ({}): {} Q1 updates | mean |dQ1| {:.2} ns | early {:.2} -> late {:.2} \
              ns/window",
@@ -146,12 +159,51 @@ fn print_report(handle: &RunHandle, spec: &ExperimentSpec, show: &Presentation) 
             l.late_mean_ns(5)
         );
     }
-    if let Some(path) = &spec.qtable_save {
-        println!("Q-table snapshot written to {}", path.display());
-    }
     if show.engine_stats {
         println!("{}", report.engine_summary());
     }
+}
+
+/// `dfsim trace FILE`: summarize the frame/event structure and the run
+/// context carried in the META frame; `--replay` instead rebuilds the run's
+/// exact report from the event stream and prints it like `dfsim run` would.
+fn trace_cmd(path: &std::path::Path, args: &[String]) {
+    let show = Presentation::from_args(args);
+    if args.iter().any(|a| a == "--replay") {
+        let report = replay_trace(path).unwrap_or_else(|e| die(&e));
+        print_report(&report, &show);
+        print_jobs(&report, show.csv);
+        return;
+    }
+    let (contents, meta) = summarize_trace(path).unwrap_or_else(|e| die(&e));
+    let mut t = TextTable::new(vec!["Event kind", "count"]);
+    for (name, count) in EVENT_KIND_NAMES.iter().zip(contents.counts.iter()) {
+        t.row(vec![name.to_string(), count.to_string()]);
+    }
+    if show.csv {
+        print!("{}", t.to_csv());
+        return;
+    }
+    println!("{} (dfsim-trace v1): {} metric events", path.display(), contents.events);
+    println!("{}", t.render());
+    let jobs: Vec<String> =
+        meta.jobs.iter().map(|j| format!("{}:{}", j.kind.name(), j.size)).collect();
+    println!(
+        "run: routing {} | queue {} | seed {} | scale {} | jobs {}",
+        meta.cfg.routing.algo.label(),
+        meta.cfg.queue,
+        meta.cfg.seed,
+        meta.cfg.scale,
+        jobs.join(","),
+    );
+    println!(
+        "stopped: {:?} at {:.4} ms | {} engine events | wall {:.1}s",
+        meta.stop,
+        meta.end_time as f64 / MILLISECOND as f64,
+        meta.events,
+        meta.wall_s,
+    );
+    println!("replay with: dfsim trace {} --replay", path.display());
 }
 
 fn print_jobs(report: &RunReport, csv: bool) {
@@ -283,6 +335,10 @@ fn main() {
             let spec =
                 resolve(ExperimentSpec::default(), &args[1..]).with_workload(Workload::Mixed);
             run_and_print(spec, &show);
+        }
+        "trace" => {
+            let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            trace_cmd(std::path::Path::new(path), &args[2..]);
         }
         "scenario" => {
             let arg = args.get(1).map(String::as_str).unwrap_or_else(|| usage());

@@ -55,14 +55,18 @@ pub mod prelude {
     pub use dfsim_core::spec::{die, lookup, lookup_list, Registered};
     pub use dfsim_core::tables::TextTable;
     pub use dfsim_core::{
-        AppReport, EngineReport, ExperimentSpec, JobReport, LearningReport, NetworkReport,
-        RunHandle, RunReport, SimConfig, Simulation, SpecError, Workload,
+        replay_trace, summarize_trace, AppReport, EngineReport, ExperimentSpec, JobReport,
+        LearningReport, NetworkReport, RunHandle, RunReport, SimConfig, Simulation, SpecError,
+        TraceMeta, Workload,
     };
     pub use dfsim_des::{
         CalendarTuning, EngineStats, QueueBackend, QueueKind, SimRng, Time, MICROSECOND,
         MILLISECOND, NANOSECOND,
     };
-    pub use dfsim_metrics::{AppId, LatencySummary, Recorder, RecorderConfig, Stats};
+    pub use dfsim_metrics::{
+        AppId, EventSink, LatencySummary, Recorder, RecorderConfig, Stats, TraceError, TraceEvent,
+        TraceWriter, EVENT_KIND_NAMES,
+    };
     pub use dfsim_network::{
         NetworkSim, QTableInit, QTableSnapshot, QaParams, RoutingAlgo, RoutingConfig, SnapshotError,
     };
