@@ -199,6 +199,7 @@ fn main() {
         }
     }
     let traced = trace_base.is_some();
+    let summary_spec = spec.clone();
     let results = parallel_map(cells, spec.threads, move |(rate, routing, placement)| {
         let mut cell = spec.clone();
         cell.rates = vec![rate];
@@ -270,4 +271,5 @@ fn main() {
             println!("{}", mt.render());
         }
     }
+    dfsim_bench::print_cache_summary(&summary_spec);
 }

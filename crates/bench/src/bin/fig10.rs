@@ -106,4 +106,5 @@ fn main() {
                 .collect::<Vec<_>>()
         }));
     }
+    dfsim_bench::print_cache_summary(&spec);
 }

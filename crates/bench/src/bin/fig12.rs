@@ -79,4 +79,5 @@ fn main() {
     if engine_stats_flag() {
         print_engine_stats(runs.iter().map(|(r, rep)| (format!("{}/mixed", r.label()), rep)));
     }
+    dfsim_bench::print_cache_summary(&spec);
 }

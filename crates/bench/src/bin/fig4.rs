@@ -104,4 +104,5 @@ fn main() {
             );
         }
     }
+    dfsim_bench::print_cache_summary(&spec);
 }

@@ -105,4 +105,5 @@ fn main() {
             ]
         }));
     }
+    dfsim_bench::print_cache_summary(&spec);
 }

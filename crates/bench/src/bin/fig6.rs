@@ -87,4 +87,5 @@ fn main() {
             (format!("{}/{tag}", r.label()), rep)
         }));
     }
+    dfsim_bench::print_cache_summary(&spec);
 }

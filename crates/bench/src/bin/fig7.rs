@@ -98,4 +98,5 @@ fn main() {
             ]
         }));
     }
+    dfsim_bench::print_cache_summary(&spec);
 }

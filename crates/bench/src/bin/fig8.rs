@@ -71,4 +71,5 @@ fn main() {
             ]
         }));
     }
+    dfsim_bench::print_cache_summary(&spec);
 }

@@ -91,4 +91,5 @@ fn main() {
             ]
         }));
     }
+    dfsim_bench::print_cache_summary(&spec);
 }

@@ -69,4 +69,5 @@ fn main() {
              under random placement only Q-adaptive keeps the slowdown low."
         );
     }
+    dfsim_bench::print_cache_summary(&spec);
 }

@@ -53,4 +53,5 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    dfsim_bench::print_cache_summary(&spec);
 }

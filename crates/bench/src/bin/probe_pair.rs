@@ -61,4 +61,5 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+    dfsim_bench::print_cache_summary(&spec);
 }

@@ -60,4 +60,5 @@ fn main() {
     } else {
         println!("{}", t.render());
     }
+    dfsim_bench::print_cache_summary(&spec);
 }

@@ -71,4 +71,5 @@ fn main() {
     if engine_stats_flag() {
         print_engine_stats(reports.iter().map(|(kind, rep)| (kind.name().to_string(), rep)));
     }
+    dfsim_bench::print_cache_summary(&spec);
 }

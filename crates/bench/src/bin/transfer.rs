@@ -303,4 +303,5 @@ fn main() {
     if !keep {
         let _ = std::fs::remove_file(&snap);
     }
+    dfsim_bench::print_cache_summary(&base);
 }

@@ -128,6 +128,24 @@ where
     }
 }
 
+/// Print the sweep's result-cache session summary to stderr (hits /
+/// misses / stores across all cells) when the resolved spec enables the
+/// cache. One line, stderr — it is provenance, not data, so `--csv`
+/// pipelines stay clean.
+pub fn print_cache_summary(spec: &ExperimentSpec) {
+    if !spec.cache.enabled() {
+        return;
+    }
+    let s = dfsim_core::cache::session_stats();
+    eprintln!(
+        "result cache: {} hits, {} misses ({} stored) [{}]",
+        s.hits,
+        s.misses,
+        s.stores,
+        spec.cache.describe()
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,1005 @@
+//! Content-addressed result cache: canonical-spec hash in, [`RunReport`]
+//! out.
+//!
+//! PR 5 made [`ExperimentSpec::emit`] byte-stable and PR 7 made reports
+//! losslessly serializable; this module combines the two into a persistent
+//! cache so re-running an experiment whose canonical spec was already
+//! simulated is a disk read instead of a simulation:
+//!
+//! * [`cache_key`] — a stable 128-bit FNV-1a hash over the *normalized*
+//!   canonical emit, salted with the [`CACHE_HEADER`] format version.
+//!   Output-only knobs (`trace`, `qtable_save`, `snapshot`, `threads`,
+//!   `cache` itself) and sweep-only fields the run does not consume are
+//!   stripped before hashing, so they never cause spurious misses; the
+//!   `qtable_load` *file content* (not its path) is folded in, so a
+//!   changed snapshot under the same path invalidates the key.
+//! * [`ResultCache`] — the disk store (one `KEY.report` file per entry
+//!   under [`CacheMode`]'s directory): versioned little-endian blobs in the
+//!   same encoder style as the PR 7 trace META blob, so cached reports
+//!   replay bit for bit. Q-adaptive entries embed the learned Q-table
+//!   snapshot, so a hit returns the full-fidelity
+//!   [`crate::simulation::RunHandle`].
+//! * Named failures ([`CacheError`]); a corrupt, truncated or
+//!   version-bumped entry degrades to a **miss with a warning**, never an
+//!   error — the cache must only ever make things faster.
+//!
+//! [`crate::simulation::Simulation::run`] consults the cache when the
+//! spec's `cache` key enables it; the sweep binaries inherit the behavior
+//! per cell through [`ExperimentSpec::cell`]. Process-wide hit/miss/store
+//! counters ([`session_stats`]) feed the binaries' provenance summaries.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dfsim_network::QTableSnapshot;
+
+use crate::report::{AppReport, EngineReport, JobReport, LearningReport, NetworkReport, RunReport};
+use crate::spec::{ExperimentSpec, Workload};
+use crate::trace::{put_f64, put_str, put_u32, put_u64, put_u8, Cur};
+use dfsim_metrics::{LatencySummary, Stats};
+
+/// Magic header of every cache entry file, and the version salt of every
+/// cache key. Bumping it invalidates the whole cache: old entries fail the
+/// header check and old keys never collide with new ones.
+pub const CACHE_HEADER: &str = "dfsim-cache v1";
+
+/// Environment variable naming the default cache directory of `cache on`.
+pub const CACHE_DIR_ENV: &str = "DFSIM_CACHE_DIR";
+
+/// Fallback cache directory when `cache on` is set and [`CACHE_DIR_ENV`]
+/// is not.
+pub const DEFAULT_CACHE_DIR: &str = ".dfsim-cache";
+
+/// Version word leading the report blob inside an entry file.
+const REPORT_BLOB_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Mode
+// ---------------------------------------------------------------------------
+
+/// The spec's `cache` knob: where (and whether) run results are cached.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// No caching (the default).
+    #[default]
+    Off,
+    /// Cache under [`CACHE_DIR_ENV`], falling back to
+    /// [`DEFAULT_CACHE_DIR`].
+    On,
+    /// Cache under an explicit directory.
+    Dir(PathBuf),
+}
+
+impl CacheMode {
+    /// Parse the spec/CLI value: `on`, `off`, or a directory path (spell a
+    /// literal directory named `on` as `./on`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let t = s.trim();
+        if t.is_empty() {
+            return Err("empty cache value (valid: on, off, or a directory path)".to_string());
+        }
+        if t.eq_ignore_ascii_case("on") {
+            Ok(CacheMode::On)
+        } else if t.eq_ignore_ascii_case("off") {
+            Ok(CacheMode::Off)
+        } else {
+            Ok(CacheMode::Dir(PathBuf::from(t)))
+        }
+    }
+
+    /// Canonical spec-file rendering (the `cache` line's value).
+    pub fn describe(&self) -> String {
+        match self {
+            CacheMode::Off => "off".to_string(),
+            CacheMode::On => "on".to_string(),
+            CacheMode::Dir(p) => p.display().to_string(),
+        }
+    }
+
+    /// Whether this mode caches at all.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, CacheMode::Off)
+    }
+
+    /// The directory this mode resolves to (`None` when off).
+    pub fn dir(&self) -> Option<PathBuf> {
+        match self {
+            CacheMode::Off => None,
+            CacheMode::On => Some(
+                std::env::var(CACHE_DIR_ENV)
+                    .ok()
+                    .filter(|v| !v.trim().is_empty())
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR)),
+            ),
+            CacheMode::Dir(p) => Some(p.clone()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a cache operation failed. Lookup paths treat every variant as a
+/// miss (with a stderr warning); only the explicit maintenance commands
+/// (`dfsim cache …`) surface them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheError {
+    /// A filesystem operation failed.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The OS error rendering.
+        msg: String,
+    },
+    /// An entry (or blob) carries an unknown format version.
+    Version {
+        /// What was found instead of [`CACHE_HEADER`] (or the blob
+        /// version word).
+        found: String,
+    },
+    /// An entry's recorded key does not match the key that addressed it
+    /// (a renamed or hash-collided file).
+    HashMismatch {
+        /// The key the entry was looked up under.
+        expected: String,
+        /// The key recorded inside the entry.
+        found: String,
+    },
+    /// An entry is structurally broken (truncated, bad UTF-8, …).
+    Malformed {
+        /// What was wrong.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Io { path, msg } => write!(f, "cache {}: {msg}", path.display()),
+            CacheError::Version { found } => {
+                write!(
+                    f,
+                    "cache entry version mismatch: expected '{CACHE_HEADER}', found '{found}'"
+                )
+            }
+            CacheError::HashMismatch { expected, found } => {
+                write!(f, "cache entry key mismatch: addressed as {expected}, recorded as {found}")
+            }
+            CacheError::Malformed { msg } => write!(f, "malformed cache entry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+// ---------------------------------------------------------------------------
+// Keys
+// ---------------------------------------------------------------------------
+
+/// A content-addressed cache key: FNV-1a-128 over the version-salted,
+/// normalized canonical spec emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u128);
+
+impl CacheKey {
+    /// 32-char lowercase hex form (the entry's file stem).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.hex())
+    }
+}
+
+/// FNV-1a, 128-bit (offset basis and prime per the FNV reference).
+fn fnv1a_128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013B;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The spec projected onto exactly the fields that determine the report.
+///
+/// Stripped (outputs or host-side knobs a run's report is invariant
+/// under — partition-count bit-identity is pinned by the
+/// `partition_equivalence` suite):
+/// `trace`, `qtable_save`, `snapshot`, `threads`, `cache`.
+/// Also stripped: the sweep-orchestration fields (`targets`, `train`) and,
+/// for non-Poisson workloads, the Poisson generator fields
+/// (`rates`/`jobs`/`apps`/`sizes`) that only a `workload poisson` run
+/// consumes. Poisson runs keep `rates` truncated to the first entry (the
+/// only one the generator reads).
+fn normalized_for_key(spec: &ExperimentSpec) -> ExperimentSpec {
+    let d = ExperimentSpec::default();
+    let mut k = spec.clone();
+    k.trace = None;
+    k.qtable_save = None;
+    k.snapshot = None;
+    k.threads = 0;
+    k.cache = CacheMode::Off;
+    k.targets = Vec::new();
+    k.train = d.train;
+    // `qtable_load` participates by file *content*, folded into the key
+    // material separately — the path itself must not matter.
+    k.qtable_load = None;
+    match k.workload {
+        Workload::Poisson => k.rates.truncate(1),
+        _ => {
+            k.rates = d.rates;
+            k.jobs = d.jobs;
+            k.apps = d.apps;
+            k.sizes = d.sizes;
+        }
+    }
+    k
+}
+
+/// Compute the content-addressed key of a spec. Fails (as a lookup-level
+/// miss) only when a configured `qtable_load` snapshot cannot be read for
+/// content-hashing.
+pub fn cache_key(spec: &ExperimentSpec) -> Result<CacheKey, CacheError> {
+    let mut material = String::new();
+    material.push_str(CACHE_HEADER);
+    material.push('\n');
+    if let Some(path) = &spec.qtable_load {
+        let bytes = std::fs::read(path)
+            .map_err(|e| CacheError::Io { path: path.clone(), msg: e.to_string() })?;
+        material.push_str(&format!("qtable_load_content {:032x}\n", fnv1a_128(&bytes)));
+    }
+    material.push_str(&normalized_for_key(spec).emit());
+    Ok(CacheKey(fnv1a_128(material.as_bytes())))
+}
+
+// ---------------------------------------------------------------------------
+// Report blob codec
+// ---------------------------------------------------------------------------
+
+fn put_stats(b: &mut Vec<u8>, s: &Stats) {
+    put_u64(b, s.n as u64);
+    put_f64(b, s.mean);
+    put_f64(b, s.std);
+    put_f64(b, s.min);
+    put_f64(b, s.max);
+}
+
+fn put_latency(b: &mut Vec<u8>, l: &LatencySummary) {
+    put_u64(b, l.n as u64);
+    put_f64(b, l.mean);
+    put_f64(b, l.q1);
+    put_f64(b, l.median);
+    put_f64(b, l.q3);
+    put_f64(b, l.p95);
+    put_f64(b, l.p99);
+    put_f64(b, l.max);
+}
+
+fn put_series(b: &mut Vec<u8>, s: &[(f64, f64)]) {
+    put_u32(b, s.len() as u32);
+    for &(x, y) in s {
+        put_f64(b, x);
+        put_f64(b, y);
+    }
+}
+
+fn put_f64s(b: &mut Vec<u8>, v: &[f64]) {
+    put_u32(b, v.len() as u32);
+    for &x in v {
+        put_f64(b, x);
+    }
+}
+
+fn put_matrix(b: &mut Vec<u8>, m: &[Vec<f64>]) {
+    put_u32(b, m.len() as u32);
+    for row in m {
+        put_f64s(b, row);
+    }
+}
+
+fn put_opt_f64(b: &mut Vec<u8>, v: Option<f64>) {
+    put_u8(b, v.is_some() as u8);
+    put_f64(b, v.unwrap_or(0.0));
+}
+
+/// Encode a full [`RunReport`] as a versioned little-endian blob (`f64`s
+/// as raw bits, so a decoded report is bit-identical to the original).
+/// Tests compare reports by comparing these bytes — the report type itself
+/// deliberately has no `PartialEq`.
+pub fn encode_report(r: &RunReport) -> Vec<u8> {
+    let mut b = Vec::with_capacity(4096);
+    put_u32(&mut b, REPORT_BLOB_VERSION);
+    put_str(&mut b, &r.routing);
+    put_str(&mut b, &r.queue);
+    put_u64(&mut b, r.seed);
+    put_f64(&mut b, r.scale);
+    put_u8(&mut b, r.completed as u8);
+    put_str(&mut b, &r.stop_reason);
+    put_f64(&mut b, r.sim_ms);
+    put_u64(&mut b, r.events);
+    put_f64(&mut b, r.wall_s);
+    put_u32(&mut b, r.apps.len() as u32);
+    for a in &r.apps {
+        put_str(&mut b, &a.name);
+        put_u32(&mut b, a.app as u32);
+        put_u32(&mut b, a.size);
+        put_stats(&mut b, &a.comm_ms);
+        put_f64(&mut b, a.exec_ms);
+        put_f64(&mut b, a.total_msg_mb);
+        put_f64(&mut b, a.inj_rate_gbs);
+        put_u64(&mut b, a.peak_ingress_bytes);
+        put_latency(&mut b, &a.latency_us);
+        put_series(&mut b, &a.throughput);
+        put_series(&mut b, &a.latency_series);
+        put_f64(&mut b, a.delivery_ratio);
+        put_f64(&mut b, a.detour_frac);
+        put_f64(&mut b, a.mean_hops);
+    }
+    put_u32(&mut b, r.jobs.len() as u32);
+    for j in &r.jobs {
+        put_u32(&mut b, j.job);
+        put_str(&mut b, &j.name);
+        put_u32(&mut b, j.size);
+        put_f64(&mut b, j.arrival_ms);
+        put_opt_f64(&mut b, j.start_ms);
+        put_opt_f64(&mut b, j.finish_ms);
+        put_f64(&mut b, j.wait_ms);
+        put_f64(&mut b, j.run_ms);
+        put_f64(&mut b, j.response_ms);
+        put_opt_f64(&mut b, j.slowdown);
+        put_u8(&mut b, j.completed as u8);
+    }
+    let n = &r.network;
+    put_f64s(&mut b, &n.local_stall_ms);
+    put_matrix(&mut b, &n.global_stall_ms);
+    put_f64(&mut b, n.avg_local_stall_ms);
+    put_f64(&mut b, n.avg_global_stall_ms);
+    put_matrix(&mut b, &n.congestion);
+    put_f64(&mut b, n.mean_global_congestion);
+    put_f64(&mut b, n.std_global_congestion);
+    put_latency(&mut b, &n.system_latency_us);
+    put_series(&mut b, &n.system_throughput);
+    put_f64(&mut b, n.mean_system_throughput);
+    put_f64(&mut b, n.total_delivered_gb);
+    let e = &r.engine;
+    put_str(&mut b, &e.backend);
+    put_u64(&mut b, e.events_scheduled);
+    put_u64(&mut b, e.peak_pending);
+    put_u64(&mut b, e.resizes);
+    put_u64(&mut b, e.bucket_scans);
+    put_u64(&mut b, e.sparse_jumps);
+    put_u64(&mut b, e.final_buckets);
+    put_u64(&mut b, e.final_width_ps);
+    put_f64(&mut b, e.events_per_sec);
+    match &r.learning {
+        None => put_u8(&mut b, 0),
+        Some(l) => {
+            put_u8(&mut b, 1);
+            put_str(&mut b, &l.init);
+            put_u64(&mut b, l.updates);
+            put_f64(&mut b, l.mean_abs_dq1_ns);
+            put_series(&mut b, &l.series);
+        }
+    }
+    b
+}
+
+/// Map a trace-cursor failure onto the cache's named error.
+fn cur_err(e: dfsim_metrics::trace::TraceError) -> CacheError {
+    CacheError::Malformed { msg: e.to_string() }
+}
+
+fn get_stats(c: &mut Cur<'_>, what: &'static str) -> Result<Stats, CacheError> {
+    Ok(Stats {
+        n: c.u64(what).map_err(cur_err)? as usize,
+        mean: c.f64(what).map_err(cur_err)?,
+        std: c.f64(what).map_err(cur_err)?,
+        min: c.f64(what).map_err(cur_err)?,
+        max: c.f64(what).map_err(cur_err)?,
+    })
+}
+
+fn get_latency(c: &mut Cur<'_>, what: &'static str) -> Result<LatencySummary, CacheError> {
+    Ok(LatencySummary {
+        n: c.u64(what).map_err(cur_err)? as usize,
+        mean: c.f64(what).map_err(cur_err)?,
+        q1: c.f64(what).map_err(cur_err)?,
+        median: c.f64(what).map_err(cur_err)?,
+        q3: c.f64(what).map_err(cur_err)?,
+        p95: c.f64(what).map_err(cur_err)?,
+        p99: c.f64(what).map_err(cur_err)?,
+        max: c.f64(what).map_err(cur_err)?,
+    })
+}
+
+fn get_series(c: &mut Cur<'_>, what: &'static str) -> Result<Vec<(f64, f64)>, CacheError> {
+    let n = c.u32(what).map_err(cur_err)? as usize;
+    let mut v = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        v.push((c.f64(what).map_err(cur_err)?, c.f64(what).map_err(cur_err)?));
+    }
+    Ok(v)
+}
+
+fn get_f64s(c: &mut Cur<'_>, what: &'static str) -> Result<Vec<f64>, CacheError> {
+    let n = c.u32(what).map_err(cur_err)? as usize;
+    let mut v = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        v.push(c.f64(what).map_err(cur_err)?);
+    }
+    Ok(v)
+}
+
+fn get_matrix(c: &mut Cur<'_>, what: &'static str) -> Result<Vec<Vec<f64>>, CacheError> {
+    let n = c.u32(what).map_err(cur_err)? as usize;
+    let mut m = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        m.push(get_f64s(c, what)?);
+    }
+    Ok(m)
+}
+
+fn get_opt_f64(c: &mut Cur<'_>, what: &'static str) -> Result<Option<f64>, CacheError> {
+    c.opt_f64(what).map_err(cur_err)
+}
+
+/// Decode a blob written by [`encode_report`].
+pub fn decode_report(blob: &[u8]) -> Result<RunReport, CacheError> {
+    let mut c = Cur::new(blob);
+    let ver = c.u32("the report blob version").map_err(cur_err)?;
+    if ver != REPORT_BLOB_VERSION {
+        return Err(CacheError::Version { found: format!("report blob v{ver}") });
+    }
+    let routing = c.str("routing").map_err(cur_err)?;
+    let queue = c.str("queue").map_err(cur_err)?;
+    let seed = c.u64("seed").map_err(cur_err)?;
+    let scale = c.f64("scale").map_err(cur_err)?;
+    let completed = c.u8("completed").map_err(cur_err)? != 0;
+    let stop_reason = c.str("stop_reason").map_err(cur_err)?;
+    let sim_ms = c.f64("sim_ms").map_err(cur_err)?;
+    let events = c.u64("events").map_err(cur_err)?;
+    let wall_s = c.f64("wall_s").map_err(cur_err)?;
+    let napps = c.u32("app count").map_err(cur_err)? as usize;
+    let mut apps = Vec::with_capacity(napps.min(1 << 16));
+    for _ in 0..napps {
+        apps.push(AppReport {
+            name: c.str("app.name").map_err(cur_err)?,
+            app: c.u32("app.app").map_err(cur_err)? as u16,
+            size: c.u32("app.size").map_err(cur_err)?,
+            comm_ms: get_stats(&mut c, "app.comm_ms")?,
+            exec_ms: c.f64("app.exec_ms").map_err(cur_err)?,
+            total_msg_mb: c.f64("app.total_msg_mb").map_err(cur_err)?,
+            inj_rate_gbs: c.f64("app.inj_rate_gbs").map_err(cur_err)?,
+            peak_ingress_bytes: c.u64("app.peak_ingress_bytes").map_err(cur_err)?,
+            latency_us: get_latency(&mut c, "app.latency_us")?,
+            throughput: get_series(&mut c, "app.throughput")?,
+            latency_series: get_series(&mut c, "app.latency_series")?,
+            delivery_ratio: c.f64("app.delivery_ratio").map_err(cur_err)?,
+            detour_frac: c.f64("app.detour_frac").map_err(cur_err)?,
+            mean_hops: c.f64("app.mean_hops").map_err(cur_err)?,
+        });
+    }
+    let njobs = c.u32("job count").map_err(cur_err)? as usize;
+    let mut jobs = Vec::with_capacity(njobs.min(1 << 20));
+    for _ in 0..njobs {
+        jobs.push(JobReport {
+            job: c.u32("job.job").map_err(cur_err)?,
+            name: c.str("job.name").map_err(cur_err)?,
+            size: c.u32("job.size").map_err(cur_err)?,
+            arrival_ms: c.f64("job.arrival_ms").map_err(cur_err)?,
+            start_ms: get_opt_f64(&mut c, "job.start_ms")?,
+            finish_ms: get_opt_f64(&mut c, "job.finish_ms")?,
+            wait_ms: c.f64("job.wait_ms").map_err(cur_err)?,
+            run_ms: c.f64("job.run_ms").map_err(cur_err)?,
+            response_ms: c.f64("job.response_ms").map_err(cur_err)?,
+            slowdown: get_opt_f64(&mut c, "job.slowdown")?,
+            completed: c.u8("job.completed").map_err(cur_err)? != 0,
+        });
+    }
+    let network = NetworkReport {
+        local_stall_ms: get_f64s(&mut c, "network.local_stall_ms")?,
+        global_stall_ms: get_matrix(&mut c, "network.global_stall_ms")?,
+        avg_local_stall_ms: c.f64("network.avg_local_stall_ms").map_err(cur_err)?,
+        avg_global_stall_ms: c.f64("network.avg_global_stall_ms").map_err(cur_err)?,
+        congestion: get_matrix(&mut c, "network.congestion")?,
+        mean_global_congestion: c.f64("network.mean_global_congestion").map_err(cur_err)?,
+        std_global_congestion: c.f64("network.std_global_congestion").map_err(cur_err)?,
+        system_latency_us: get_latency(&mut c, "network.system_latency_us")?,
+        system_throughput: get_series(&mut c, "network.system_throughput")?,
+        mean_system_throughput: c.f64("network.mean_system_throughput").map_err(cur_err)?,
+        total_delivered_gb: c.f64("network.total_delivered_gb").map_err(cur_err)?,
+    };
+    let engine = EngineReport {
+        backend: c.str("engine.backend").map_err(cur_err)?,
+        events_scheduled: c.u64("engine.events_scheduled").map_err(cur_err)?,
+        peak_pending: c.u64("engine.peak_pending").map_err(cur_err)?,
+        resizes: c.u64("engine.resizes").map_err(cur_err)?,
+        bucket_scans: c.u64("engine.bucket_scans").map_err(cur_err)?,
+        sparse_jumps: c.u64("engine.sparse_jumps").map_err(cur_err)?,
+        final_buckets: c.u64("engine.final_buckets").map_err(cur_err)?,
+        final_width_ps: c.u64("engine.final_width_ps").map_err(cur_err)?,
+        events_per_sec: c.f64("engine.events_per_sec").map_err(cur_err)?,
+    };
+    let learning = if c.u8("learning flag").map_err(cur_err)? != 0 {
+        Some(LearningReport {
+            init: c.str("learning.init").map_err(cur_err)?,
+            updates: c.u64("learning.updates").map_err(cur_err)?,
+            mean_abs_dq1_ns: c.f64("learning.mean_abs_dq1_ns").map_err(cur_err)?,
+            series: get_series(&mut c, "learning.series")?,
+        })
+    } else {
+        None
+    };
+    Ok(RunReport {
+        routing,
+        queue,
+        seed,
+        scale,
+        completed,
+        stop_reason,
+        sim_ms,
+        events,
+        wall_s,
+        apps,
+        jobs,
+        network,
+        engine,
+        learning,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The disk store
+// ---------------------------------------------------------------------------
+
+/// One decoded cache entry: the report plus the Q-table snapshot a
+/// Q-adaptive run learned (embedded so a hit can still honor
+/// `qtable_save`).
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The cached run report (bit-identical to the original).
+    pub report: RunReport,
+    /// The learned Q-tables of the original run (Q-adaptive only).
+    pub snapshot: Option<QTableSnapshot>,
+}
+
+/// Aggregate statistics of a cache directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of `.report` entries.
+    pub entries: u64,
+    /// Total bytes they occupy.
+    pub bytes: u64,
+}
+
+/// One entry's listing row (`dfsim cache ls`).
+#[derive(Debug, Clone)]
+pub struct CacheEntryInfo {
+    /// The 32-hex-char key (file stem).
+    pub key: String,
+    /// Entry size, bytes.
+    pub bytes: u64,
+    /// Seconds since the entry was written (0 when mtime is unavailable).
+    pub age_s: u64,
+    /// `routing/queue seed scale` of the cached report, or a corruption
+    /// note.
+    pub describe: String,
+}
+
+/// What a [`ResultCache::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Entries removed.
+    pub removed: u64,
+    /// Bytes freed.
+    pub freed_bytes: u64,
+    /// Entries kept.
+    pub kept: u64,
+    /// Bytes kept.
+    pub kept_bytes: u64,
+}
+
+// Process-wide provenance counters (the binaries' cache summaries).
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static STORES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide cache hit/miss/store counts since startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Lookups served from disk.
+    pub hits: u64,
+    /// Lookups that fell through to a live simulation (including corrupt
+    /// entries degraded to misses).
+    pub misses: u64,
+    /// Entries written after live runs.
+    pub stores: u64,
+}
+
+/// Read the process-wide cache counters.
+pub fn session_stats() -> SessionStats {
+    SessionStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        stores: STORES.load(Ordering::Relaxed),
+    }
+}
+
+/// A content-addressed report store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Open (creating if necessary) the store `mode` names. `Ok(None)`
+    /// when the mode is [`CacheMode::Off`].
+    pub fn open(mode: &CacheMode) -> Result<Option<Self>, CacheError> {
+        let Some(dir) = mode.dir() else { return Ok(None) };
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CacheError::Io { path: dir.clone(), msg: e.to_string() })?;
+        Ok(Some(Self { dir }))
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The entry file a key addresses.
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.report", key.hex()))
+    }
+
+    /// Strict load: `Ok(None)` when the entry does not exist, a named
+    /// error when it exists but cannot be decoded. The lenient lookup the
+    /// run path uses is [`Self::lookup`].
+    pub fn load(&self, key: &CacheKey) -> Result<Option<CacheEntry>, CacheError> {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CacheError::Io { path, msg: e.to_string() }),
+        };
+        Ok(Some(decode_entry(&bytes, key)?))
+    }
+
+    /// Lenient lookup for the run path: any failure (corrupt entry,
+    /// version bump, unreadable file) degrades to a miss with a one-line
+    /// stderr warning. Counts into [`session_stats`].
+    pub fn lookup(&self, key: &CacheKey) -> Option<CacheEntry> {
+        match self.load(key) {
+            Ok(Some(entry)) => {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            Ok(None) => {
+                MISSES.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: result cache entry {} unusable ({e}); simulating",
+                    self.entry_path(key).display()
+                );
+                MISSES.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Write an entry (atomically: temp file + rename, so parallel sweep
+    /// cells never observe a half-written entry).
+    pub fn store(
+        &self,
+        key: &CacheKey,
+        report: &RunReport,
+        snapshot: Option<&QTableSnapshot>,
+    ) -> Result<(), CacheError> {
+        let mut bytes = Vec::with_capacity(4096);
+        bytes.extend_from_slice(CACHE_HEADER.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(key.hex().as_bytes());
+        bytes.push(b'\n');
+        let blob = encode_report(report);
+        put_u32(&mut bytes, blob.len() as u32);
+        bytes.extend_from_slice(&blob);
+        match snapshot {
+            None => put_u8(&mut bytes, 0),
+            Some(s) => {
+                put_u8(&mut bytes, 1);
+                let text = s.to_text();
+                put_u32(&mut bytes, text.len() as u32);
+                bytes.extend_from_slice(text.as_bytes());
+            }
+        }
+        let path = self.entry_path(key);
+        let tmp = self.dir.join(format!(
+            "{}.tmp.{}.{}",
+            key.hex(),
+            std::process::id(),
+            STORES.load(Ordering::Relaxed)
+        ));
+        let io = |p: &Path, e: std::io::Error| CacheError::Io {
+            path: p.to_path_buf(),
+            msg: e.to_string(),
+        };
+        std::fs::write(&tmp, &bytes).map_err(|e| io(&tmp, e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            io(&path, e)
+        })?;
+        STORES.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// [`Self::store`] for the run path: a failed write warns and moves on
+    /// (a cache must never fail a run that just succeeded).
+    pub fn store_lenient(
+        &self,
+        key: &CacheKey,
+        report: &RunReport,
+        snapshot: Option<&QTableSnapshot>,
+    ) {
+        if let Err(e) = self.store(key, report, snapshot) {
+            eprintln!("warning: result cache store failed ({e}); result not cached");
+        }
+    }
+
+    /// Every `.report` entry's `(path, bytes, modified)`, oldest first.
+    fn raw_entries(&self) -> Result<Vec<(PathBuf, u64, std::time::SystemTime)>, CacheError> {
+        let io = |e: std::io::Error| CacheError::Io { path: self.dir.clone(), msg: e.to_string() };
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir).map_err(io)? {
+            let entry = entry.map_err(io)?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("report") {
+                continue;
+            }
+            let meta = entry.metadata().map_err(io)?;
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            out.push((path, meta.len(), mtime));
+        }
+        out.sort_by_key(|(_, _, t)| *t);
+        Ok(out)
+    }
+
+    /// Aggregate entry count and byte total.
+    pub fn stats(&self) -> Result<CacheStats, CacheError> {
+        let mut s = CacheStats::default();
+        for (_, bytes, _) in self.raw_entries()? {
+            s.entries += 1;
+            s.bytes += bytes;
+        }
+        Ok(s)
+    }
+
+    /// Listing rows for `dfsim cache ls`, oldest first. Each row decodes
+    /// its entry to describe the cached run; undecodable entries are
+    /// listed with the failure instead of being hidden.
+    pub fn entries(&self) -> Result<Vec<CacheEntryInfo>, CacheError> {
+        let now = std::time::SystemTime::now();
+        let mut out = Vec::new();
+        for (path, bytes, mtime) in self.raw_entries()? {
+            let key = path.file_stem().and_then(|s| s.to_str()).unwrap_or("?").to_string();
+            let describe = match std::fs::read(&path) {
+                Ok(raw) => match decode_entry_unchecked(&raw) {
+                    Ok(entry) => {
+                        let r = &entry.report;
+                        format!(
+                            "{}/{} seed {} scale {}{}",
+                            r.routing,
+                            r.queue,
+                            r.seed,
+                            r.scale,
+                            if entry.snapshot.is_some() { " +qtables" } else { "" }
+                        )
+                    }
+                    Err(e) => format!("(unusable: {e})"),
+                },
+                Err(e) => format!("(unreadable: {e})"),
+            };
+            let age_s = now.duration_since(mtime).map(|d| d.as_secs()).unwrap_or(0);
+            out.push(CacheEntryInfo { key, bytes, age_s, describe });
+        }
+        Ok(out)
+    }
+
+    /// Evict entries: first everything older than `max_age_s` seconds,
+    /// then (if `max_bytes` is set) oldest-first until the directory fits.
+    pub fn gc(
+        &self,
+        max_age_s: Option<u64>,
+        max_bytes: Option<u64>,
+    ) -> Result<GcOutcome, CacheError> {
+        let now = std::time::SystemTime::now();
+        let mut entries = self.raw_entries()?;
+        let mut out = GcOutcome::default();
+        let io = |p: &Path, e: std::io::Error| CacheError::Io {
+            path: p.to_path_buf(),
+            msg: e.to_string(),
+        };
+        if let Some(age) = max_age_s {
+            let mut kept = Vec::new();
+            for (path, bytes, mtime) in entries {
+                let age_s = now.duration_since(mtime).map(|d| d.as_secs()).unwrap_or(0);
+                if age_s > age {
+                    std::fs::remove_file(&path).map_err(|e| io(&path, e))?;
+                    out.removed += 1;
+                    out.freed_bytes += bytes;
+                } else {
+                    kept.push((path, bytes, mtime));
+                }
+            }
+            entries = kept;
+        }
+        if let Some(cap) = max_bytes {
+            let mut total: u64 = entries.iter().map(|(_, b, _)| b).sum();
+            let mut i = 0;
+            while total > cap && i < entries.len() {
+                let (path, bytes, _) = &entries[i];
+                std::fs::remove_file(path).map_err(|e| io(path, e))?;
+                out.removed += 1;
+                out.freed_bytes += bytes;
+                total -= bytes;
+                i += 1;
+            }
+            entries.drain(..i);
+        }
+        out.kept = entries.len() as u64;
+        out.kept_bytes = entries.iter().map(|(_, b, _)| b).sum();
+        Ok(out)
+    }
+}
+
+/// Decode an entry file, verifying header and recorded key.
+fn decode_entry(bytes: &[u8], key: &CacheKey) -> Result<CacheEntry, CacheError> {
+    let (entry, recorded) = decode_entry_inner(bytes)?;
+    if recorded != key.hex() {
+        return Err(CacheError::HashMismatch { expected: key.hex(), found: recorded });
+    }
+    Ok(entry)
+}
+
+/// Decode an entry file without a key to check against (`dfsim cache ls`).
+fn decode_entry_unchecked(bytes: &[u8]) -> Result<CacheEntry, CacheError> {
+    decode_entry_inner(bytes).map(|(e, _)| e)
+}
+
+fn decode_entry_inner(bytes: &[u8]) -> Result<(CacheEntry, String), CacheError> {
+    let malformed = |msg: &str| CacheError::Malformed { msg: msg.to_string() };
+    let mut rest = bytes;
+    let mut line = |what: &str| -> Result<String, CacheError> {
+        let nl = rest
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| malformed(&format!("missing {what} line")))?;
+        let s = std::str::from_utf8(&rest[..nl])
+            .map_err(|_| malformed(&format!("{what} line is not UTF-8")))?
+            .to_string();
+        rest = &rest[nl + 1..];
+        Ok(s)
+    };
+    let header = line("header")?;
+    if header != CACHE_HEADER {
+        return Err(CacheError::Version { found: header });
+    }
+    let recorded_key = line("key")?;
+    let mut c = Cur::new(rest);
+    let blob_len = c.u32("report blob length").map_err(cur_err)? as usize;
+    let blob = c.bytes(blob_len, "report blob").map_err(cur_err)?;
+    let report = decode_report(blob)?;
+    let snapshot = if c.u8("snapshot flag").map_err(cur_err)? != 0 {
+        let len = c.u32("snapshot length").map_err(cur_err)? as usize;
+        let raw = c.bytes(len, "snapshot text").map_err(cur_err)?;
+        let text = std::str::from_utf8(raw).map_err(|_| malformed("snapshot is not UTF-8"))?;
+        Some(
+            QTableSnapshot::from_text(text)
+                .map_err(|e| malformed(&format!("embedded snapshot: {e}")))?,
+        )
+    } else {
+        None
+    };
+    Ok((CacheEntry { report, snapshot }, recorded_key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfsim_network::RoutingAlgo;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // FNV-1a 128 of the empty string is the offset basis; "a" and
+        // "foobar" exercise the prime multiply.
+        assert_eq!(fnv1a_128(b""), 0x6c62272e07bb014262b821756295c58d);
+        assert_ne!(fnv1a_128(b"a"), fnv1a_128(b"b"));
+        assert_ne!(fnv1a_128(b"foobar"), fnv1a_128(b"foobaz"));
+    }
+
+    #[test]
+    fn cache_mode_parses_and_round_trips() {
+        assert_eq!(CacheMode::parse("on").unwrap(), CacheMode::On);
+        assert_eq!(CacheMode::parse("OFF").unwrap(), CacheMode::Off);
+        assert_eq!(CacheMode::parse("/tmp/c").unwrap(), CacheMode::Dir("/tmp/c".into()));
+        assert!(CacheMode::parse("  ").is_err());
+        for m in [CacheMode::Off, CacheMode::On, CacheMode::Dir("/tmp/c".into())] {
+            assert_eq!(CacheMode::parse(&m.describe()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn key_is_stable_under_output_knobs_and_distinct_under_inputs() {
+        let base = ExperimentSpec { routings: vec![RoutingAlgo::UgalG], ..Default::default() };
+        let key = cache_key(&base).unwrap();
+        // Output-only knobs must not move the key.
+        let mut traced = base.clone();
+        traced.trace = Some("/tmp/t.trace".into());
+        traced.threads = 4;
+        traced.cache = CacheMode::On;
+        assert_eq!(cache_key(&traced).unwrap(), key);
+        // Inputs must.
+        let mut seeded = base.clone();
+        seeded.seed += 1;
+        assert_ne!(cache_key(&seeded).unwrap(), key);
+        let mut scaled = base.clone();
+        scaled.scale *= 2.0;
+        assert_ne!(cache_key(&scaled).unwrap(), key);
+        let mut routed = base.clone();
+        routed.routings = vec![RoutingAlgo::Par];
+        assert_ne!(cache_key(&routed).unwrap(), key);
+    }
+
+    #[test]
+    fn poisson_generator_fields_only_key_poisson_runs() {
+        let stat = ExperimentSpec { routings: vec![RoutingAlgo::UgalG], ..Default::default() };
+        let key = cache_key(&stat).unwrap();
+        let mut other = stat.clone();
+        other.rates = vec![99.0];
+        other.jobs = 123;
+        assert_eq!(cache_key(&other).unwrap(), key, "static runs ignore the poisson generator");
+        let mut poisson = stat.clone();
+        poisson.workload = Workload::Poisson;
+        let pkey = cache_key(&poisson).unwrap();
+        assert_ne!(pkey, key);
+        let mut pj = poisson.clone();
+        pj.jobs = 123;
+        assert_ne!(cache_key(&pj).unwrap(), pkey, "poisson runs consume jobs");
+        let mut extra_rates = poisson.clone();
+        extra_rates.rates = vec![1.0, 7.0];
+        assert_eq!(
+            cache_key(&extra_rates).unwrap(),
+            pkey,
+            "only the first rate feeds the generator"
+        );
+    }
+
+    #[test]
+    fn gc_by_age_and_size() {
+        let dir = std::env::temp_dir().join(format!("dfsim_cache_gc_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&CacheMode::Dir(dir.clone())).unwrap().unwrap();
+        // Three fake entries of known sizes (gc only looks at fs metadata).
+        for (name, len) in [("a", 100usize), ("b", 200), ("c", 300)] {
+            std::fs::write(dir.join(format!("{name}.report")), vec![0u8; len]).unwrap();
+        }
+        let s = cache.stats().unwrap();
+        assert_eq!((s.entries, s.bytes), (3, 600));
+        // Nothing is older than an hour.
+        let out = cache.gc(Some(3600), None).unwrap();
+        assert_eq!(out.removed, 0);
+        // Size cap evicts oldest-first until under.
+        let out = cache.gc(None, Some(350)).unwrap();
+        assert!(out.removed >= 1, "{out:?}");
+        assert!(out.kept_bytes <= 350, "{out:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

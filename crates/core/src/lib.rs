@@ -20,8 +20,11 @@
 //!   env < CLI` resolver, one label registry,
 //! * [`simulation`] — the session API: [`simulation::Simulation`] runs a
 //!   spec (`from_spec → prepare → run → RunHandle`),
-//! * [`sweep`] — deterministic parallel execution of independent runs
-//!   (crossbeam-scoped threads),
+//! * [`cache`] — the content-addressed result cache: reports keyed by a
+//!   stable hash of the canonical spec emit, replayed bit-identically on
+//!   repeat runs,
+//! * [`sweep`] — deterministic parallel execution of independent runs on
+//!   a shared, lazily-built worker pool,
 //! * [`report`] / [`tables`] — run reports and text/CSV table rendering,
 //! * [`trace`] — the run-level half of the `dfsim-trace v1` streaming
 //!   layer: the META context blob and [`trace::replay_trace`], which
@@ -39,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod experiments;
 pub mod partition;
@@ -53,6 +57,7 @@ pub mod tables;
 pub mod trace;
 pub mod world;
 
+pub use cache::{cache_key, CacheError, CacheKey, CacheMode, ResultCache};
 pub use config::SimConfig;
 pub use report::{AppReport, EngineReport, JobReport, LearningReport, NetworkReport, RunReport};
 pub use runner::{run, JobSpec};

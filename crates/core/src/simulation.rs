@@ -28,6 +28,7 @@
 
 use dfsim_network::QTableSnapshot;
 
+use crate::cache::{cache_key, ResultCache};
 use crate::config::SimConfig;
 use crate::experiments::MIXED_JOBS;
 use crate::report::{EngineReport, LearningReport, RunReport};
@@ -43,6 +44,12 @@ pub struct RunHandle {
     /// The learned per-router Q-tables after the run (Q-adaptive runs
     /// only; already written to disk when the spec sets `qtable_save`).
     pub qtable_snapshot: Option<QTableSnapshot>,
+    /// Provenance: `true` when the report was served from the result
+    /// cache instead of a live simulation. The report's `wall_s` (and the
+    /// engine's `events_per_sec`) then describe the *original* run's
+    /// simulation cost, not this retrieval — presentation layers label it
+    /// accordingly.
+    pub cached: bool,
 }
 
 impl RunHandle {
@@ -199,17 +206,82 @@ impl Simulation {
 
     /// Execute the session and return the [`RunHandle`]. Deterministic:
     /// running the same session (or a clone) again reproduces the report
-    /// bit for bit.
+    /// bit for bit — which is exactly what lets the result cache serve a
+    /// prior run's report when the spec's `cache` knob is enabled. Cache
+    /// failures of any kind degrade to a live run; a run that would write
+    /// a trace file always runs live (the trace is an output a cached
+    /// report cannot reproduce), though its result is still stored.
     pub fn run(&mut self) -> Result<RunHandle, SpecError> {
         self.prepare()?;
-        let prepared = self.prepared.as_ref().expect("prepare just succeeded");
+        let cache = match ResultCache::open(&self.spec.cache) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("warning: result cache unavailable ({e}); running uncached");
+                None
+            }
+        };
+        let key = cache.as_ref().and_then(|_| match cache_key(&self.spec) {
+            Ok(k) => Some(k),
+            Err(e) => {
+                eprintln!("warning: result cache key failed ({e}); running uncached");
+                None
+            }
+        });
+        if self.spec.trace.is_none() {
+            if let (Some(cache), Some(key)) = (&cache, &key) {
+                if let Some(hit) = cache.lookup(key) {
+                    // A hit must still honor `qtable_save` — from the
+                    // embedded snapshot. An entry without one (from a run
+                    // that predates the knob) falls through to a live run
+                    // rather than skipping the requested output.
+                    match (&self.spec.qtable_save, &hit.snapshot) {
+                        (Some(path), Some(snap)) => {
+                            snap.save(path).map_err(|e| SpecError::Invalid {
+                                msg: format!("cannot write qtable_save on cache hit: {e}"),
+                            })?;
+                        }
+                        (Some(_), None) => {
+                            return self.run_live(&cache.clone(), &Some(*key));
+                        }
+                        (None, _) => {}
+                    }
+                    return Ok(RunHandle {
+                        report: hit.report,
+                        qtable_snapshot: hit.snapshot,
+                        cached: true,
+                    });
+                }
+            }
+        }
+        match (cache, key) {
+            (Some(cache), key @ Some(_)) => self.run_live(&cache, &key),
+            _ => self.run_live_uncached(),
+        }
+    }
+
+    /// Live execution plus a cache store.
+    fn run_live(
+        &mut self,
+        cache: &ResultCache,
+        key: &Option<crate::cache::CacheKey>,
+    ) -> Result<RunHandle, SpecError> {
+        let handle = self.run_live_uncached()?;
+        if let Some(key) = key {
+            cache.store_lenient(key, &handle.report, handle.qtable_snapshot.as_ref());
+        }
+        Ok(handle)
+    }
+
+    /// Live execution, no cache interaction.
+    fn run_live_uncached(&mut self) -> Result<RunHandle, SpecError> {
+        let prepared = self.prepared.as_ref().expect("prepare already succeeded");
         let (report, qtable_snapshot) = match &prepared.work {
             PreparedWork::Static(jobs) => exec_placed(&prepared.cfg, jobs, self.spec.placement),
             PreparedWork::Churn(scenario) => {
                 exec_scenario_policy(&prepared.cfg, scenario, self.spec.sched, self.spec.placement)
             }
         };
-        Ok(RunHandle { report, qtable_snapshot })
+        Ok(RunHandle { report, qtable_snapshot, cached: false })
     }
 
     /// One-shot convenience: run `workload` under `spec` (the spec's own

@@ -41,6 +41,7 @@ use dfsim_metrics::RecorderConfig;
 use dfsim_network::{QTableInit, QaParams, RoutingAlgo, RoutingConfig};
 use dfsim_topology::{DragonflyParams, LinkTiming};
 
+use crate::cache::CacheMode;
 use crate::config::SimConfig;
 use crate::experiments::StudyConfig;
 use crate::placement::Placement;
@@ -54,8 +55,8 @@ pub const SPEC_HEADER: &str = "dfsim-spec v1";
 /// Environment variables every front-end consults (the historical shared
 /// knobs of the fig binaries): invalid values are hard errors naming the
 /// variable.
-pub const CORE_ENV: [&str; 7] =
-    ["SCALE", "SEED", "QUEUE", "ROUTING", "PLACEMENT", "SCHED", "THREADS"];
+pub const CORE_ENV: [&str; 8] =
+    ["SCALE", "SEED", "QUEUE", "ROUTING", "PLACEMENT", "SCHED", "THREADS", "CACHE"];
 
 /// Workload/sweep environment variables a front-end must opt into via
 /// [`ExperimentSpec::resolve_env`]. Their names are generic (`TARGET` and
@@ -499,6 +500,10 @@ pub struct ExperimentSpec {
     /// this path (replayable into the identical report; see
     /// [`crate::trace`]).
     pub trace: Option<PathBuf>,
+    /// Content-addressed result cache (`off`, `on`, or a directory; see
+    /// [`crate::cache`]). Off by default; not part of the cache key
+    /// itself.
+    pub cache: CacheMode,
     /// Worker threads. Sweep binaries use this for the cell pool (0 = all
     /// cores); single-run front-ends (`dfsim run` and friends) use it as
     /// the partition count of the parallel engine (0/1 = single-threaded).
@@ -537,13 +542,14 @@ impl Default for ExperimentSpec {
             train: AppKind::Halo3D,
             snapshot: None,
             trace: None,
+            cache: CacheMode::Off,
             threads: 0,
         }
     }
 }
 
 /// Every key of the spec format, in canonical emission order.
-const SPEC_KEYS: [&str; 30] = [
+const SPEC_KEYS: [&str; 31] = [
     "workload",
     "topology",
     "timing",
@@ -573,6 +579,7 @@ const SPEC_KEYS: [&str; 30] = [
     "train",
     "snapshot",
     "trace",
+    "cache",
     "threads",
 ];
 
@@ -716,6 +723,7 @@ impl ExperimentSpec {
             "train" => self.train = lookup(rest).map_err(val)?,
             "snapshot" => self.snapshot = Some(parse_path(rest).map_err(val)?),
             "trace" => self.trace = Some(parse_path(rest).map_err(val)?),
+            "cache" => self.cache = CacheMode::parse(rest).map_err(val)?,
             "threads" => {
                 self.threads =
                     rest.parse().map_err(|_| val(format!("invalid count '{rest}' (usize)")))?
@@ -806,6 +814,9 @@ impl ExperimentSpec {
         }
         if let Some(p) = &self.trace {
             line(format!("trace {}", p.display()));
+        }
+        if self.cache.enabled() {
+            line(format!("cache {}", self.cache.describe()));
         }
         line(format!("threads {}", self.threads));
         out
@@ -922,6 +933,7 @@ impl ExperimentSpec {
             |v: &str| v.parse::<usize>().map_err(|_| "expected a thread count".to_string()),
             |s: &mut Self, v| s.threads = v
         );
+        layer!(env, "CACHE", CacheMode::parse, |s: &mut Self, v| s.cache = v);
         layer!(extended, "RATES", parse_f64_list, |s: &mut Self, v| s.rates = v);
         layer!(
             extended,
@@ -1042,6 +1054,18 @@ impl ExperimentSpec {
                     let v = value(args, &mut i, a)?;
                     self.trace = Some(parse_path(&v).map_err(|m| flag_err(a, m))?);
                 }
+                "--cache" => {
+                    // The value is optional: bare `--cache` (next arg absent
+                    // or another flag) means `on`; otherwise `on`/`off`/DIR.
+                    match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                        Some(v) => {
+                            self.cache = CacheMode::parse(v).map_err(|m| flag_err(a, m))?;
+                            i += 1;
+                        }
+                        None => self.cache = CacheMode::On,
+                    }
+                }
+                "--no-cache" => self.cache = CacheMode::Off,
                 "--threads" => {
                     let v = value(args, &mut i, a)?;
                     self.threads = v.parse().map_err(|_| flag_err(a, "expected a thread count"))?;
@@ -1415,6 +1439,7 @@ mod tests {
             sizes: vec![18, 36],
             qtable_load: Some("/tmp/q.snap".into()),
             qtable_save: Some("/tmp/q2.snap".into()),
+            cache: CacheMode::Dir("/tmp/cache".into()),
             ..Default::default()
         };
         let text = spec.emit();
@@ -1506,6 +1531,7 @@ mod tests {
             "train Quake",
             "snapshot ",
             "trace ",
+            "cache ",
             "threads x",
         ] {
             let err = ExperimentSpec::parse(&format!("{hdr}\n{bad}\n")).unwrap_err();
@@ -1538,10 +1564,12 @@ mod tests {
         let spec = ExperimentSpec {
             routings: RoutingAlgo::PAPER_SET.to_vec(),
             qtable_load: Some("/tmp/q.snap".into()),
+            cache: CacheMode::On,
             ..Default::default()
         };
         let par = spec.cell(RoutingAlgo::Par);
         assert!(par.qtable_load.is_none());
+        assert_eq!(par.cache, spec.cache, "cells keep the cache mode");
         par.sim().validate().unwrap();
         let qadp = spec.cell(RoutingAlgo::QAdaptive);
         assert_eq!(qadp.qtable_load, Some("/tmp/q.snap".into()));
@@ -1567,6 +1595,25 @@ mod tests {
             .resolve_with(|_| None, &args(&["--csv", "--engine-stats"]))
             .unwrap();
         assert_eq!(spec, ExperimentSpec::default());
+    }
+
+    #[test]
+    fn cache_flag_forms_and_layering() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let spec = ExperimentSpec::default().resolve_with(|_| None, &args(&["--cache"])).unwrap();
+        assert_eq!(spec.cache, CacheMode::On, "bare --cache means on");
+        let spec = ExperimentSpec::default()
+            .resolve_with(|_| None, &args(&["--cache", "/tmp/c"]))
+            .unwrap();
+        assert_eq!(spec.cache, CacheMode::Dir("/tmp/c".into()));
+        let spec =
+            ExperimentSpec::default().resolve_with(|_| None, &args(&["--cache", "--csv"])).unwrap();
+        assert_eq!(spec.cache, CacheMode::On, "a following flag is not the cache value");
+        let env = |var: &str| (var == "CACHE").then(|| "/env/c".to_string());
+        let spec = ExperimentSpec::default().resolve_with(env, &args(&[])).unwrap();
+        assert_eq!(spec.cache, CacheMode::Dir("/env/c".into()), "CACHE env layers in");
+        let spec = ExperimentSpec::default().resolve_with(env, &args(&["--no-cache"])).unwrap();
+        assert_eq!(spec.cache, CacheMode::Off, "CLI overrides env");
     }
 
     #[test]

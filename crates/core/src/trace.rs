@@ -60,27 +60,27 @@ pub struct TraceMeta {
 
 // ---- encoding --------------------------------------------------------------
 
-fn put_u8(b: &mut Vec<u8>, v: u8) {
+pub(crate) fn put_u8(b: &mut Vec<u8>, v: u8) {
     b.push(v);
 }
-fn put_u32(b: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(b: &mut Vec<u8>, v: u32) {
     b.extend_from_slice(&v.to_le_bytes());
 }
-fn put_u64(b: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(b: &mut Vec<u8>, v: u64) {
     b.extend_from_slice(&v.to_le_bytes());
 }
-fn put_f64(b: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(b: &mut Vec<u8>, v: f64) {
     put_u64(b, v.to_bits());
 }
-fn put_str(b: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(b: &mut Vec<u8>, s: &str) {
     put_u32(b, s.len() as u32);
     b.extend_from_slice(s.as_bytes());
 }
-fn put_opt_u64(b: &mut Vec<u8>, v: Option<u64>) {
+pub(crate) fn put_opt_u64(b: &mut Vec<u8>, v: Option<u64>) {
     put_u8(b, v.is_some() as u8);
     put_u64(b, v.unwrap_or(0));
 }
-fn put_opt_f64(b: &mut Vec<u8>, v: Option<f64>) {
+pub(crate) fn put_opt_f64(b: &mut Vec<u8>, v: Option<f64>) {
     put_u8(b, v.is_some() as u8);
     put_f64(b, v.unwrap_or(0.0));
 }
@@ -178,13 +178,22 @@ pub(crate) fn encode_meta(
 
 // ---- decoding --------------------------------------------------------------
 
-/// Checked little-endian cursor over the META payload.
-struct Cur<'a> {
+/// Checked little-endian cursor over the META payload (also reused by the
+/// result cache's report blob decoder in [`crate::cache`]).
+pub(crate) struct Cur<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cur<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        Cur { data, pos: 0 }
+    }
+    /// A raw byte slice of known length (the cache's length-prefixed
+    /// blobs).
+    pub(crate) fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], TraceError> {
+        self.take(n, what)
+    }
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], TraceError> {
         if self.pos + n > self.data.len() {
             return Err(TraceError::Truncated { offset: self.pos as u64, what });
@@ -193,19 +202,19 @@ impl<'a> Cur<'a> {
         self.pos += n;
         Ok(s)
     }
-    fn u8(&mut self, what: &'static str) -> Result<u8, TraceError> {
+    pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, TraceError> {
         Ok(self.take(1, what)?[0])
     }
-    fn u32(&mut self, what: &'static str) -> Result<u32, TraceError> {
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, TraceError> {
         Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
     }
-    fn u64(&mut self, what: &'static str) -> Result<u64, TraceError> {
+    pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, TraceError> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
     }
-    fn f64(&mut self, what: &'static str) -> Result<f64, TraceError> {
+    pub(crate) fn f64(&mut self, what: &'static str) -> Result<f64, TraceError> {
         Ok(f64::from_bits(self.u64(what)?))
     }
-    fn str(&mut self, what: &'static str) -> Result<String, TraceError> {
+    pub(crate) fn str(&mut self, what: &'static str) -> Result<String, TraceError> {
         let n = self.u32(what)? as usize;
         let at = self.pos as u64;
         let bytes = self.take(n, what)?;
@@ -214,17 +223,17 @@ impl<'a> Cur<'a> {
             msg: format!("{what} is not valid UTF-8"),
         })
     }
-    fn opt_u64(&mut self, what: &'static str) -> Result<Option<u64>, TraceError> {
+    pub(crate) fn opt_u64(&mut self, what: &'static str) -> Result<Option<u64>, TraceError> {
         let has = self.u8(what)? != 0;
         let v = self.u64(what)?;
         Ok(has.then_some(v))
     }
-    fn opt_f64(&mut self, what: &'static str) -> Result<Option<f64>, TraceError> {
+    pub(crate) fn opt_f64(&mut self, what: &'static str) -> Result<Option<f64>, TraceError> {
         let has = self.u8(what)? != 0;
         let v = self.f64(what)?;
         Ok(has.then_some(v))
     }
-    fn bad(&self, msg: String) -> TraceError {
+    pub(crate) fn bad(&self, msg: String) -> TraceError {
         TraceError::Malformed { offset: self.pos as u64, msg }
     }
 }

@@ -10,6 +10,7 @@
 //! dfsim apps                            # list workloads with Table I data
 //! dfsim topo [options]                  # print topology facts
 //! dfsim trace FILE [--replay]           # inspect a trace; --replay rebuilds the report
+//! dfsim cache <stats|ls|gc> [--max-age SECONDS] [--max-bytes BYTES] [--cache DIR]
 //!
 //! `ARRIVALS` is a comma-separated list `APP:SIZE@TIME` (e.g.
 //! `UR:36@0,LU:16@0.5ms`); `poisson` synthesizes arrivals from the seed.
@@ -34,6 +35,9 @@
 //!   --sched <fcfs|backfill>                 (scenario admission; default fcfs)
 //!   --rate <jobs/ms> --jobs <N>             (poisson generator; default 1, 8)
 //!   --apps <LIST> --sizes <LIST>            (poisson kinds/sizes cycles)
+//!   --cache [on|off|DIR] | --no-cache       (content-addressed result cache;
+//!                                            bare --cache uses $DFSIM_CACHE_DIR
+//!                                            or .dfsim-cache/)
 //!   --smoke                                 (CI: shrink to the 72-node system)
 //! presentation options (not part of the spec):
 //!   --engine-stats                          (print the event-engine block)
@@ -45,11 +49,12 @@ use dragonfly_interference::prelude::*;
 fn usage() -> ! {
     eprintln!(
         "usage: dfsim <run | standalone APP | pairwise TARGET BG | mixed | scenario ARRIVALS | \
-         emit | apps | topo | trace FILE [--replay]> [--spec FILE] [--routing R] [--scale S] \
-         [--seed N] [--groups g --routers a --nodes p --globals h] [--placement \
-         random|contiguous] [--queue heap|calendar[:width=PS,buckets=N]] [--qtable \
+         emit | apps | topo | trace FILE [--replay] | cache stats|ls|gc> [--spec FILE] \
+         [--routing R] [--scale S] [--seed N] [--groups g --routers a --nodes p --globals h] \
+         [--placement random|contiguous] [--queue heap|calendar[:width=PS,buckets=N]] [--qtable \
          save=PATH|load=PATH] [--trace PATH] [--horizon D] [--sched fcfs|backfill] [--rate R \
-         --jobs N --apps LIST --sizes LIST] [--smoke] [--engine-stats] [--csv]"
+         --jobs N --apps LIST --sizes LIST] [--cache [on|off|DIR]] [--no-cache] [--max-age S \
+         --max-bytes B] [--smoke] [--engine-stats] [--csv]"
     );
     std::process::exit(2)
 }
@@ -81,7 +86,16 @@ fn run_and_print(spec: ExperimentSpec, show: &Presentation) {
     let mut sim = Simulation::from_spec(spec).unwrap_or_else(|e| die(&e));
     sim.prepare().unwrap_or_else(|e| die(&e));
     let handle = sim.run().unwrap_or_else(|e| die(&e));
-    print_report(&handle.report, show);
+    if sim.spec().cache.enabled() {
+        // Provenance goes to stderr so `--csv > file` pipelines stay
+        // byte-identical between a live run and a cache hit.
+        if handle.cached {
+            eprintln!("result cache: hit [{}]", sim.spec().cache.describe());
+        } else {
+            eprintln!("result cache: miss (stored) [{}]", sim.spec().cache.describe());
+        }
+    }
+    print_report_provenance(&handle.report, show, handle.cached);
     print_jobs(&handle.report, show.csv);
     if !show.csv {
         if let Some(path) = &sim.spec().qtable_save {
@@ -97,6 +111,14 @@ fn run_and_print(spec: ExperimentSpec, show: &Presentation) {
 /// `dfsim trace FILE --replay` (bit-identical to the live one, which is why
 /// this function cannot tell the difference).
 fn print_report(report: &RunReport, show: &Presentation) {
+    print_report_provenance(report, show, false)
+}
+
+/// [`print_report`] with cache provenance: when `cached`, the wall-clock
+/// column is labelled as the *original* run's simulation cost — the cache
+/// retrieval itself took milliseconds, and relabelling `wall` would
+/// destroy the bit-identity between a live report and its replay.
+fn print_report_provenance(report: &RunReport, show: &Presentation, cached: bool) {
     let mut t = TextTable::new(vec![
         "App",
         "ranks",
@@ -133,11 +155,12 @@ fn print_report(report: &RunReport, show: &Presentation) {
     println!("{}", t.render());
     let n = &report.network;
     println!(
-        "routing {} | sim {:.4} ms | {} events | wall {:.1}s | {}",
+        "routing {} | sim {:.4} ms | {} events | wall {:.1}s{} | {}",
         report.routing,
         report.sim_ms,
         report.events,
         report.wall_s,
+        if cached { " (original run; served from cache)" } else { "" },
         if report.completed { "completed" } else { &report.stop_reason }
     );
     println!(
@@ -249,6 +272,85 @@ fn print_jobs(report: &RunReport, csv: bool) {
     );
 }
 
+/// `dfsim cache <stats|ls|gc>`: inspect or prune the content-addressed
+/// result store. The directory comes from `--cache DIR` when given, else
+/// the `DFSIM_CACHE_DIR` / `.dfsim-cache/` resolution every run uses.
+fn cache_cmd(action: &str, args: &[String]) {
+    let mut mode = CacheMode::On;
+    let mut max_age_s: Option<u64> = None;
+    let mut max_bytes: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_val = |what: &str, v: Option<&String>| -> String {
+            v.cloned().unwrap_or_else(|| die(format!("{what} needs a value")))
+        };
+        match args[i].as_str() {
+            "--cache" => {
+                if let Some(v) = args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    mode = CacheMode::parse(v).unwrap_or_else(|e| die(format!("--cache: {e}")));
+                    i += 1;
+                }
+            }
+            "--max-age" => {
+                let v = flag_val("--max-age", args.get(i + 1));
+                max_age_s = Some(
+                    v.parse().unwrap_or_else(|_| die(format!("--max-age: bad seconds {v:?}"))),
+                );
+                i += 1;
+            }
+            "--max-bytes" => {
+                let v = flag_val("--max-bytes", args.get(i + 1));
+                max_bytes = Some(
+                    v.parse().unwrap_or_else(|_| die(format!("--max-bytes: bad bytes {v:?}"))),
+                );
+                i += 1;
+            }
+            other => die(format!("dfsim cache: unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let cache = match ResultCache::open(&mode) {
+        Ok(Some(c)) => c,
+        Ok(None) => die("dfsim cache: the cache is off (pass --cache DIR or --cache on)"),
+        Err(e) => die(&e),
+    };
+    match action {
+        "stats" => {
+            let s = cache.stats().unwrap_or_else(|e| die(&e));
+            println!("{}: {} entries, {} bytes", cache.dir().display(), s.entries, s.bytes);
+        }
+        "ls" => {
+            let entries = cache.entries().unwrap_or_else(|e| die(&e));
+            let mut t = TextTable::new(vec!["Key", "bytes", "age (s)", "run"]);
+            for e in &entries {
+                t.row(vec![
+                    e.key.clone(),
+                    e.bytes.to_string(),
+                    e.age_s.to_string(),
+                    e.describe.clone(),
+                ]);
+            }
+            println!("{}", t.render());
+            println!("{} entries in {}", entries.len(), cache.dir().display());
+        }
+        "gc" => {
+            if max_age_s.is_none() && max_bytes.is_none() {
+                die("dfsim cache gc: pass --max-age SECONDS and/or --max-bytes BYTES");
+            }
+            let out = cache.gc(max_age_s, max_bytes).unwrap_or_else(|e| die(&e));
+            println!(
+                "{}: removed {} entries ({} bytes), kept {} ({} bytes)",
+                cache.dir().display(),
+                out.removed,
+                out.freed_bytes,
+                out.kept,
+                out.kept_bytes
+            );
+        }
+        other => die(format!("dfsim cache: unknown action {other:?} (stats|ls|gc)")),
+    }
+}
+
 fn app_or_die(name: &str) -> AppKind {
     lookup(name).unwrap_or_else(|e| die(format!("{e} (try: dfsim apps)")))
 }
@@ -339,6 +441,10 @@ fn main() {
         "trace" => {
             let path = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
             trace_cmd(std::path::Path::new(path), &args[2..]);
+        }
+        "cache" => {
+            let action = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            cache_cmd(action, &args[2..]);
         }
         "scenario" => {
             let arg = args.get(1).map(String::as_str).unwrap_or_else(|| usage());

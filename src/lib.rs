@@ -55,9 +55,9 @@ pub mod prelude {
     pub use dfsim_core::spec::{die, lookup, lookup_list, Registered};
     pub use dfsim_core::tables::TextTable;
     pub use dfsim_core::{
-        replay_trace, summarize_trace, AppReport, EngineReport, ExperimentSpec, JobReport,
-        LearningReport, NetworkReport, RunHandle, RunReport, SimConfig, Simulation, SpecError,
-        TraceMeta, Workload,
+        cache_key, replay_trace, summarize_trace, AppReport, CacheError, CacheKey, CacheMode,
+        EngineReport, ExperimentSpec, JobReport, LearningReport, NetworkReport, ResultCache,
+        RunHandle, RunReport, SimConfig, Simulation, SpecError, TraceMeta, Workload,
     };
     pub use dfsim_des::{
         CalendarTuning, EngineStats, QueueBackend, QueueKind, SimRng, Time, MICROSECOND,

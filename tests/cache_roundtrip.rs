@@ -1,0 +1,201 @@
+//! The result-cache contract: a cached report replays **bit-identically**
+//! to the live run that produced it (both queue backends, serial and
+//! partitioned), the key is stable under output knobs (trace, snapshot
+//! path, threads) and distinct under anything that changes the simulated
+//! world (seed, scale, routing, timing), and a damaged store degrades to
+//! a miss — never to a failure, never to wrong data.
+
+use std::path::{Path, PathBuf};
+
+use dragonfly_interference::prelude::*;
+
+use dfsim_core::cache::encode_report;
+use dfsim_topology::DragonflyParams;
+
+/// A unique cache dir per test (tests run concurrently in one process).
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dfsim_cache_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_spec(routing: RoutingAlgo, cache_dir: &Path) -> ExperimentSpec {
+    ExperimentSpec {
+        params: DragonflyParams::tiny_72(),
+        routings: vec![routing],
+        scale: 2_048.0,
+        seed: 7,
+        cache: CacheMode::Dir(cache_dir.to_path_buf()),
+        ..Default::default()
+    }
+}
+
+fn run(spec: &ExperimentSpec) -> RunHandle {
+    Simulation::run_one(spec, Workload::pairwise(AppKind::UR, Some(AppKind::CosmoFlow)))
+        .expect("run succeeds")
+}
+
+/// The headline guarantee, on every backend × partition combination the
+/// engine supports: the second run is served from the cache and its report
+/// encodes to the *same bytes* as the live one.
+#[test]
+fn cached_report_is_bit_identical_across_backends_and_partitions() {
+    for (queue, tag) in [("heap", "bit_heap"), ("calendar", "bit_cal")] {
+        for threads in [0usize, 2] {
+            let dir = temp_cache(&format!("{tag}_{threads}"));
+            let mut spec = tiny_spec(RoutingAlgo::UgalG, &dir);
+            spec.queue = queue.parse().expect("queue kind parses");
+            spec.threads = threads;
+
+            let live = run(&spec);
+            assert!(!live.cached, "{queue}/t{threads}: first run must be live");
+            let replay = run(&spec);
+            assert!(replay.cached, "{queue}/t{threads}: second run must hit the cache");
+            assert_eq!(
+                encode_report(&live.report),
+                encode_report(&replay.report),
+                "{queue}/t{threads}: cached report diverged from the live one"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Output knobs must not fracture the key: a run that also writes a trace
+/// or uses a different thread count simulates the same world, so it must
+/// hit the entry a bare run stored.
+#[test]
+fn key_is_stable_under_output_knobs() {
+    let dir = temp_cache("stable");
+    let spec = tiny_spec(RoutingAlgo::UgalG, &dir);
+    assert!(!run(&spec).cached);
+
+    let mut threads = spec.clone();
+    threads.threads = 3;
+    assert!(run(&threads).cached, "thread count must not change the key");
+
+    // A traced run bypasses the cache read (the trace file must be
+    // written), but the *key* it stores under is the bare run's.
+    let trace_path = dir.join("probe.trace");
+    let mut traced = spec.clone();
+    traced.trace = Some(trace_path.clone());
+    let h = run(&traced);
+    assert!(!h.cached, "a traced run must execute live (the trace file is wanted)");
+    let _ = std::fs::remove_file(&trace_path);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Anything that changes the simulated world must miss: seed, scale,
+/// routing, and link timing each address a different entry.
+#[test]
+fn key_is_distinct_under_simulation_inputs() {
+    let dir = temp_cache("distinct");
+    let base = tiny_spec(RoutingAlgo::UgalG, &dir);
+    assert!(!run(&base).cached);
+
+    let mut seed = base.clone();
+    seed.seed = 8;
+    assert!(!run(&seed).cached, "seed must be part of the key");
+
+    let mut scale = base.clone();
+    scale.scale = 4_096.0;
+    assert!(!run(&scale).cached, "scale must be part of the key");
+
+    let routing = tiny_spec(RoutingAlgo::Minimal, &dir);
+    assert!(!run(&routing).cached, "routing must be part of the key");
+
+    let mut timing = base.clone();
+    timing.timing.local_latency_ps *= 2;
+    assert!(!run(&timing).cached, "link timing must be part of the key");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A truncated or garbage entry is a *miss with a warning*: the run
+/// simulates live, overwrites the bad entry, and the next lookup hits.
+#[test]
+fn corrupt_entries_degrade_to_misses() {
+    let dir = temp_cache("corrupt");
+    let spec = tiny_spec(RoutingAlgo::UgalG, &dir);
+    assert!(!run(&spec).cached);
+
+    let entry = only_entry(&dir);
+
+    // Truncate to half: the decode fails mid-blob.
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(!run(&spec).cached, "truncated entry must miss, not fail");
+    assert!(run(&spec).cached, "the live run must have repaired the entry");
+
+    // Pure garbage: not even the header parses.
+    std::fs::write(&entry, b"not a cache entry at all").unwrap();
+    assert!(!run(&spec).cached, "garbage entry must miss, not fail");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A future format version and a key/content mismatch (an entry renamed
+/// onto the wrong address) are both rejected as misses by the strict
+/// loader with named errors — and degrade to misses on the run path.
+#[test]
+fn version_bump_and_hash_mismatch_invalidate() {
+    let dir = temp_cache("invalid");
+    let spec = tiny_spec(RoutingAlgo::UgalG, &dir);
+    assert!(!run(&spec).cached);
+    let entry = only_entry(&dir);
+    let cache = ResultCache::open(&spec.cache).unwrap().expect("cache is on");
+    // The key is computed on the spec the session actually ran — with the
+    // workload applied, exactly as `run` does.
+    let workload = Workload::pairwise(AppKind::UR, Some(AppKind::CosmoFlow));
+    let key = cache_key(&spec.clone().with_workload(workload.clone())).unwrap();
+
+    // Strict load sees the entry as-is.
+    assert!(cache.load(&key).unwrap().is_some());
+
+    // Bump the header version in place.
+    let good = std::fs::read(&entry).unwrap();
+    let mut bumped = good.clone();
+    let pos = good.windows(2).position(|w| w == b"v1").expect("header has a version");
+    bumped[pos + 1] = b'2';
+    std::fs::write(&entry, &bumped).unwrap();
+    match cache.load(&key) {
+        Err(CacheError::Version { .. }) => {}
+        other => panic!("expected a version error, got {other:?}"),
+    }
+    assert!(!run(&spec).cached, "future version must miss on the run path");
+
+    // Rename a valid entry onto a different key's address: the recorded
+    // key no longer matches the filename's.
+    let mut other_seed = spec.clone();
+    other_seed.seed = 8;
+    let other_key = cache_key(&other_seed.clone().with_workload(workload)).unwrap();
+    std::fs::write(cache.entry_path(&other_key), &good).unwrap();
+    match cache.load(&other_key) {
+        Err(CacheError::HashMismatch { .. }) => {}
+        other => panic!("expected a hash-mismatch error, got {other:?}"),
+    }
+    assert!(!run(&other_seed).cached, "mismatched entry must miss on the run path");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `cache off` (the default) never touches the disk.
+#[test]
+fn cache_off_stores_nothing() {
+    let dir = temp_cache("off");
+    let mut spec = tiny_spec(RoutingAlgo::UgalG, &dir);
+    spec.cache = CacheMode::Off;
+    assert!(!run(&spec).cached);
+    assert!(!dir.exists(), "an off cache must not create its directory");
+}
+
+fn only_entry(dir: &Path) -> PathBuf {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("cache dir exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "report"))
+        .collect();
+    assert_eq!(entries.len(), 1, "expected exactly one cache entry");
+    entries.pop().unwrap()
+}
