@@ -18,6 +18,7 @@
 //! compute times — which preserves injection *rates* and peak-ingress
 //! *ordering* while shrinking simulated volume (`DESIGN.md` §5).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allreduce;

@@ -8,6 +8,7 @@
 //! sweep guards, and the presentation flags (`--csv`, `--engine-stats`)
 //! that describe output, not the experiment.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use dfsim_core::{ExperimentSpec, RunReport, Simulation, Workload};

@@ -219,6 +219,65 @@ fn fnv1a_128(bytes: &[u8]) -> u128 {
 /// (`rates`/`jobs`/`apps`/`sizes`) that only a `workload poisson` run
 /// consumes. Poisson runs keep `rates` truncated to the first entry (the
 /// only one the generator reads).
+/// How one spec key participates in the content-addressed cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyClass {
+    /// Changing the key can change the report: full key material.
+    Relevant,
+    /// Output-only or host-side knob the report is provably invariant
+    /// under: stripped by [`normalized_for_key`].
+    Normalized,
+    /// Participates by the *content* of the file it names, not by the
+    /// path value itself (`qtable_load`).
+    ContentHashed,
+    /// Workload-conditional: key material only for the workload forms
+    /// that read it, stripped otherwise (the Poisson generator fields).
+    Conditional,
+}
+
+/// Explicit cache classification of **every** spec key.
+///
+/// This is the machine-checked contract behind [`normalized_for_key`]:
+/// `dfsim-lint`'s cache-key-coverage rule parses this table and
+/// `spec.rs`'s `SPEC_KEYS` registry out of the source and fails the build
+/// unless they agree key-for-key (and [`tests::classification_covers_every_spec_key`]
+/// pins the same in-process), so a future spec key that changes run
+/// behaviour can never silently reuse a stale cached report — the author
+/// must decide its class here, on the record.
+pub const KEY_CLASSIFICATION: [(&str, KeyClass); 31] = [
+    ("workload", KeyClass::Relevant),
+    ("topology", KeyClass::Relevant),
+    ("timing", KeyClass::Relevant),
+    ("routing", KeyClass::Relevant),
+    ("ugal_bias", KeyClass::Relevant),
+    ("nonmin_samples", KeyClass::Relevant),
+    ("qa_alpha", KeyClass::Relevant),
+    ("qa_epsilon", KeyClass::Relevant),
+    ("qtable_load", KeyClass::ContentHashed),
+    ("qtable_save", KeyClass::Normalized),
+    ("scale", KeyClass::Relevant),
+    ("seed", KeyClass::Relevant),
+    ("placement", KeyClass::Relevant),
+    ("queue", KeyClass::Relevant),
+    ("sched", KeyClass::Relevant),
+    ("eager_threshold", KeyClass::Relevant),
+    ("horizon", KeyClass::Relevant),
+    ("max_events", KeyClass::Relevant),
+    ("bin_width", KeyClass::Relevant),
+    ("record_latencies", KeyClass::Relevant),
+    ("record_ports", KeyClass::Relevant),
+    ("rates", KeyClass::Conditional),
+    ("jobs", KeyClass::Conditional),
+    ("apps", KeyClass::Conditional),
+    ("sizes", KeyClass::Conditional),
+    ("targets", KeyClass::Normalized),
+    ("train", KeyClass::Normalized),
+    ("snapshot", KeyClass::Normalized),
+    ("trace", KeyClass::Normalized),
+    ("cache", KeyClass::Normalized),
+    ("threads", KeyClass::Normalized),
+];
+
 fn normalized_for_key(spec: &ExperimentSpec) -> ExperimentSpec {
     let d = ExperimentSpec::default();
     let mut k = spec.clone();
@@ -914,6 +973,7 @@ fn decode_entry_inner(bytes: &[u8]) -> Result<(CacheEntry, String), CacheError> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dfsim_apps::AppKind;
     use dfsim_network::RoutingAlgo;
 
     #[test]
@@ -956,6 +1016,48 @@ mod tests {
         let mut routed = base.clone();
         routed.routings = vec![RoutingAlgo::Par];
         assert_ne!(cache_key(&routed).unwrap(), key);
+    }
+
+    /// The in-process half of the cache-key-coverage contract (the other
+    /// half is `dfsim-lint` parsing both lists out of the source): every
+    /// spec key is classified, exactly once, and no stale entries remain.
+    #[test]
+    fn classification_covers_every_spec_key() {
+        use crate::spec::SPEC_KEYS;
+        assert_eq!(KEY_CLASSIFICATION.len(), SPEC_KEYS.len());
+        for key in SPEC_KEYS {
+            let n = KEY_CLASSIFICATION.iter().filter(|(k, _)| *k == key).count();
+            assert_eq!(n, 1, "spec key `{key}` must be classified exactly once, found {n}");
+        }
+        for (key, _) in KEY_CLASSIFICATION {
+            assert!(SPEC_KEYS.contains(&key), "stale classification for unknown key `{key}`");
+        }
+    }
+
+    /// The classification table must describe what `normalized_for_key`
+    /// actually does: Normalized/ContentHashed keys are reset to defaults
+    /// in the projection, Relevant keys are left alone.
+    #[test]
+    fn classification_matches_normalization_behaviour() {
+        let d = ExperimentSpec::default();
+        let defaults_emit = d.emit();
+        let norm_emit = normalized_for_key(&d).emit();
+        assert_eq!(defaults_emit, norm_emit, "defaults must be a fixed point");
+
+        // A spec with every strippable knob set must normalize back to the
+        // same key material as the defaults for those fields.
+        let loud = ExperimentSpec {
+            trace: Some("/tmp/x.trace".into()),
+            qtable_save: Some("/tmp/x.qtable".into()),
+            snapshot: Some("/tmp/x.snap".into()),
+            threads: 8,
+            cache: CacheMode::On,
+            targets: vec![AppKind::Halo3D],
+            train: AppKind::LQCD,
+            qtable_load: Some("/tmp/x.load".into()),
+            ..ExperimentSpec::default()
+        };
+        assert_eq!(normalized_for_key(&loud).emit(), norm_emit);
     }
 
     #[test]

@@ -549,7 +549,13 @@ impl Default for ExperimentSpec {
 }
 
 /// Every key of the spec format, in canonical emission order.
-const SPEC_KEYS: [&str; 31] = [
+///
+/// Adding a key here requires classifying it in
+/// [`crate::cache`]'s `KEY_CLASSIFICATION` (key-relevant or
+/// normalized-out) — `dfsim-lint`'s cache-key-coverage rule and the
+/// cache's own tests fail until both lists agree, so a new
+/// behaviour-changing key can never cause a stale cache hit by omission.
+pub const SPEC_KEYS: [&str; 31] = [
     "workload",
     "topology",
     "timing",

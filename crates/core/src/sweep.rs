@@ -207,11 +207,25 @@ fn shared_pool_run(threads: usize, worker: &(dyn Fn() + Sync)) -> bool {
         }
         st.busy = true;
         st.epoch += 1;
-        // SAFETY: the closure borrows this call's stack frame. Workers can
-        // only attach while `slots > 0` (under the lock), and below the
-        // poster zeroes `slots` and blocks until `active == 0` before
-        // returning — so no worker touches the closure after this frame is
-        // released, even when the caller's own share panics.
+        // SAFETY: the `'static` below is a lie the join protocol makes
+        // harmless. `worker` borrows this call's stack frame (the closure
+        // captures `&work`, `&results`, `&cursor` from `parallel_map_at`),
+        // so the reference is only valid until `shared_pool_run` returns.
+        // The pool can never outlive that window:
+        //  1. workers attach only while `st.slots > 0`, checked under the
+        //     state lock, and each attaches to this epoch at most once;
+        //  2. before returning, the poster zeroes `slots` (no further
+        //     attachments) and blocks on `done_cv` until `active == 0` —
+        //     every attached worker has finished running the closure and
+        //     released the lock;
+        //  3. that join happens even when the caller's own share panics:
+        //     the caller runs under `catch_unwind` and the join block sits
+        //     between the catch and the `resume_unwind`.
+        // Hence no worker can touch `run` after this frame unwinds, which
+        // is exactly the guarantee `'static` is standing in for. (A scoped
+        // thread API would prove this to the compiler, but the pool's
+        // workers deliberately outlive any one call so spawn cost is paid
+        // once per process, not once per sweep — see the module docs.)
         let run: &'static (dyn Fn() + Sync) = unsafe {
             std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(worker)
         };
@@ -382,7 +396,8 @@ mod tests {
             .unwrap();
         }
         let scoped = t1.elapsed();
-        println!(
+        // Diagnostic, not report data: stderr, per stdout-discipline.
+        eprintln!(
             "pool_reuse_microbench: {CALLS} calls x 16 items, 4 executors: pooled {:.1} us/call, \
              scoped-spawn {:.1} us/call",
             pooled.as_micros() as f64 / CALLS as f64,

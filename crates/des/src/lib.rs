@@ -23,6 +23,7 @@
 //! renumbers provisional sequence numbers at every conservative window
 //! barrier so its reports are bit-identical to the sequential ones.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calendar;

@@ -1,0 +1,659 @@
+//! The determinism & panic-safety rules, and the allow-directive engine.
+//!
+//! Every rule protects a bit-identity or safety contract the test suites
+//! pin dynamically; the lint makes the *source-level* convention behind
+//! each contract machine-checked (see README "Static analysis &
+//! determinism invariants" for the reasoning per rule).
+//!
+//! A violation on line `L` can be waived by a justified directive on the
+//! preceding line (or a trailing comment on `L` itself):
+//!
+//! ```text
+//! // lint: allow(no-ambient-env) — bench-harness smoke knob, not an experiment input
+//! ```
+//!
+//! Unjustified directives — malformed, naming an unknown rule, missing a
+//! reason, or suppressing nothing — are themselves `allow-audit` errors,
+//! so waivers can never rot silently.
+
+use crate::lexer::{Comment, Lexed, TokenKind};
+use std::collections::BTreeMap;
+
+/// Every rule the pass knows, in reporting order.
+pub const RULES: [&str; 8] = [
+    "no-wallclock",
+    "no-ambient-env",
+    "no-unordered-iteration",
+    "no-ad-hoc-rng",
+    "stdout-discipline",
+    "unsafe-audit",
+    "cache-key-coverage",
+    "allow-audit",
+];
+
+/// One lint violation, machine-readable: `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// What is wrong and what the fix direction is.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.message)?;
+        if !self.excerpt.is_empty() {
+            write!(f, "\n    | {}", self.excerpt)?;
+        }
+        Ok(())
+    }
+}
+
+/// How a file participates in rule scoping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library source (`crates/*/src/**`, root `src/lib.rs`).
+    Lib,
+    /// Binary / example entry point: owns stdout.
+    Bin,
+    /// Integration-test code (`tests/` trees).
+    Test,
+    /// Criterion benches (`benches/` trees).
+    Bench,
+}
+
+/// One lexed source file plus the context rules scope on.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Crate the file belongs to (`core`, `des`, …; `root` for the facade
+    /// package's `src/`, `tests/`, `examples/`).
+    pub krate: String,
+    /// Scope class (library / bin / test / bench).
+    pub class: FileClass,
+    /// Token stream, comments, and `#[cfg(test)]` spans.
+    pub lexed: Lexed,
+    /// Raw source lines (for excerpts).
+    pub lines: Vec<String>,
+}
+
+impl SourceFile {
+    fn excerpt(&self, line: usize) -> String {
+        let s = self.lines.get(line.saturating_sub(1)).map(|l| l.trim()).unwrap_or("");
+        let mut e: String = s.chars().take(96).collect();
+        if e.len() < s.len() {
+            e.push('…');
+        }
+        e
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule scoping tables
+// ---------------------------------------------------------------------------
+
+/// Designated timing modules: the only library files allowed to read the
+/// wall clock (run-cost accounting and cache GC ages — never simulation
+/// state).
+const WALLCLOCK_FILES: [&str; 4] = [
+    "crates/core/src/runner.rs",
+    "crates/core/src/sweep.rs",
+    "crates/core/src/partition.rs",
+    "crates/core/src/cache.rs",
+];
+
+/// The resolution layers: the only files allowed to read ambient
+/// environment variables (PR 5's `defaults < file < env < CLI` contract).
+const ENV_FILES: [&str; 2] = ["crates/core/src/spec.rs", "crates/core/src/cache.rs"];
+
+/// Sim-state crates where unordered iteration could leak host hash-seed
+/// nondeterminism into reports.
+const UNORDERED_CRATES: [&str; 5] = ["des", "network", "topology", "mpi", "metrics"];
+
+/// Core files on the simulation path (the rest of `core` — spec parsing,
+/// report emission, sweep orchestration — never iterates sim state).
+const UNORDERED_CORE_FILES: [&str; 6] = [
+    "crates/core/src/world.rs",
+    "crates/core/src/partition.rs",
+    "crates/core/src/scenario.rs",
+    "crates/core/src/runner.rs",
+    "crates/core/src/placement.rs",
+    "crates/core/src/simulation.rs",
+];
+
+/// Designated report/CSV emitters: library files whose `println!` IS the
+/// product (presentation helpers shared by the reproduction binaries).
+const STDOUT_EMITTER_FILES: [&str; 1] = ["crates/bench/src/lib.rs"];
+
+/// The one module allowed to construct randomness sources.
+const RNG_FILE: &str = "crates/des/src/rng.rs";
+
+const WALLCLOCK_IDENTS: [&str; 3] = ["Instant", "SystemTime", "UNIX_EPOCH"];
+const ENV_READS: [&str; 4] = ["var", "var_os", "vars", "vars_os"];
+const UNORDERED_IDENTS: [&str; 2] = ["HashMap", "HashSet"];
+const RNG_IDENTS: [&str; 4] = ["thread_rng", "OsRng", "from_entropy", "getrandom"];
+
+// ---------------------------------------------------------------------------
+// Allow directives
+// ---------------------------------------------------------------------------
+
+struct Directive {
+    rule: String,
+    reason: String,
+    /// Last line of the directive comment (a finding on `end_line + 1` or
+    /// `end_line` itself is covered).
+    end_line: usize,
+    line: usize,
+    used: bool,
+    problem: Option<String>,
+}
+
+fn parse_directives(comments: &[Comment]) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for c in comments {
+        // A directive may start on any line of a comment block; its reason
+        // runs to the end of the block (multi-line justifications merge in
+        // the lexer), so the block's `end_line` sits directly above the
+        // code the waiver covers.
+        let Some(rest) = directive_text(&c.text) else { continue };
+        let rest = rest.trim();
+        let mut d = Directive {
+            rule: String::new(),
+            reason: String::new(),
+            end_line: c.end_line,
+            line: c.line,
+            used: false,
+            problem: None,
+        };
+        match parse_allow(rest) {
+            Ok((rule, reason)) => {
+                if !RULES.contains(&rule.as_str()) {
+                    d.problem = Some(format!("unknown rule `{rule}` in lint directive"));
+                } else if rule == "allow-audit" {
+                    d.problem = Some("`allow-audit` cannot be waived".to_string());
+                } else if reason.is_empty() {
+                    d.problem = Some(format!(
+                        "unjustified allow: `allow({rule})` needs a reason after `—`"
+                    ));
+                }
+                d.rule = rule;
+                d.reason = reason;
+            }
+            Err(msg) => d.problem = Some(msg),
+        }
+        out.push(d);
+    }
+    out
+}
+
+/// Extract the directive body from a comment block: everything from the
+/// first line starting with `lint:` to the end of the block, joined with
+/// spaces.
+fn directive_text(text: &str) -> Option<String> {
+    let mut lines = text.lines().map(str::trim);
+    let first = lines.find_map(|l| l.strip_prefix("lint:"))?;
+    let mut body = first.trim().to_string();
+    for l in lines {
+        body.push(' ');
+        body.push_str(l);
+    }
+    Some(body)
+}
+
+/// Parse `allow(<rule>) — <reason>`; the separator may be `—`, `–`, `-`,
+/// or `--`. Returns `(rule, reason)`.
+fn parse_allow(s: &str) -> Result<(String, String), String> {
+    let err = || "malformed lint directive: expected `lint: allow(<rule>) — <reason>`".to_string();
+    let s = s.strip_prefix("allow").ok_or_else(err)?.trim_start();
+    let s = s.strip_prefix('(').ok_or_else(err)?;
+    let (rule, rest) = s.split_once(')').ok_or_else(err)?;
+    let rest = rest.trim_start();
+    let reason = rest
+        .strip_prefix('—')
+        .or_else(|| rest.strip_prefix('–'))
+        .or_else(|| rest.strip_prefix("--"))
+        .or_else(|| rest.strip_prefix('-'))
+        .unwrap_or("");
+    Ok((rule.trim().to_string(), reason.trim().to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules
+// ---------------------------------------------------------------------------
+
+/// Run every per-file rule on `f`, applying and auditing allow
+/// directives. Returns the surviving findings.
+pub fn lint_file(f: &SourceFile) -> Vec<Finding> {
+    let mut raw: Vec<Finding> = Vec::new();
+    check_wallclock(f, &mut raw);
+    check_env(f, &mut raw);
+    check_unordered(f, &mut raw);
+    check_rng(f, &mut raw);
+    check_stdout(f, &mut raw);
+    check_unsafe(f, &mut raw);
+
+    let mut directives = parse_directives(&f.lexed.comments);
+    let mut out = Vec::new();
+    for finding in raw {
+        let suppressed = directives.iter_mut().any(|d| {
+            let covers = d.problem.is_none()
+                && d.rule == finding.rule
+                && (d.end_line + 1 == finding.line || d.end_line == finding.line);
+            if covers {
+                d.used = true;
+            }
+            covers
+        });
+        if !suppressed {
+            out.push(finding);
+        }
+    }
+    for d in &directives {
+        if let Some(problem) = &d.problem {
+            out.push(Finding {
+                file: f.rel.clone(),
+                line: d.line,
+                rule: "allow-audit",
+                message: problem.clone(),
+                excerpt: f.excerpt(d.line),
+            });
+        } else if !d.used {
+            out.push(Finding {
+                file: f.rel.clone(),
+                line: d.line,
+                rule: "allow-audit",
+                message: format!(
+                    "stale allow: no `{}` finding on the covered line — remove the directive",
+                    d.rule
+                ),
+                excerpt: f.excerpt(d.line),
+            });
+        }
+    }
+    out
+}
+
+fn push(f: &SourceFile, out: &mut Vec<Finding>, line: usize, rule: &'static str, message: String) {
+    out.push(Finding { file: f.rel.clone(), line, rule, message, excerpt: f.excerpt(line) });
+}
+
+/// no-wallclock: `Instant`/`SystemTime` only in designated timing modules
+/// and bench code. Simulated time must come from the event clock;
+/// wall-clock reads anywhere else can leak host timing into results.
+fn check_wallclock(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.krate == "bench"
+        || matches!(f.class, FileClass::Test | FileClass::Bench)
+        || WALLCLOCK_FILES.contains(&f.rel.as_str())
+    {
+        return;
+    }
+    for t in idents(f) {
+        if WALLCLOCK_IDENTS.contains(&t.text.as_str()) && !f.lexed.in_test_region(t.line) {
+            push(
+                f,
+                out,
+                t.line,
+                "no-wallclock",
+                format!(
+                    "wall-clock type `{}` outside the designated timing modules \
+                     (runner/sweep/partition/cache, bench code); simulation code must \
+                     use the event clock",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// no-ambient-env: `env::var` only in the spec/cache resolution layers —
+/// keeps PR 5's "defaults < file < env < CLI, resolved once" permanent.
+fn check_env(f: &SourceFile, out: &mut Vec<Finding>) {
+    if ENV_FILES.contains(&f.rel.as_str()) {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len().saturating_sub(3) {
+        if toks[i].kind == TokenKind::Ident
+            && toks[i].text == "env"
+            && toks[i + 1].text == ":"
+            && toks[i + 2].text == ":"
+            && toks[i + 3].kind == TokenKind::Ident
+            && ENV_READS.contains(&toks[i + 3].text.as_str())
+        {
+            push(
+                f,
+                out,
+                toks[i].line,
+                "no-ambient-env",
+                format!(
+                    "ambient environment read `env::{}` outside the spec/cache \
+                     resolution layers; thread it through `ExperimentSpec::resolve`",
+                    toks[i + 3].text
+                ),
+            );
+        }
+    }
+}
+
+/// no-unordered-iteration: `HashMap`/`HashSet` forbidden in sim-state
+/// crates and core sim-path files — unordered iteration can leak the
+/// host's hash seed into event order and break bit-identity.
+fn check_unordered(f: &SourceFile, out: &mut Vec<Finding>) {
+    let in_scope = (UNORDERED_CRATES.contains(&f.krate.as_str()) && f.class == FileClass::Lib)
+        || UNORDERED_CORE_FILES.contains(&f.rel.as_str());
+    if !in_scope {
+        return;
+    }
+    for t in idents(f) {
+        if UNORDERED_IDENTS.contains(&t.text.as_str()) && !f.lexed.in_test_region(t.line) {
+            push(
+                f,
+                out,
+                t.line,
+                "no-unordered-iteration",
+                format!(
+                    "`{}` in sim-state code: iteration order depends on the hash \
+                     seed; use `BTreeMap`/`BTreeSet` (or justify why order can \
+                     never be observed)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// no-ad-hoc-rng: all randomness flows from `des::rng`'s seeded streams;
+/// OS entropy anywhere (tests included) breaks reproducibility.
+fn check_rng(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.rel == RNG_FILE {
+        return;
+    }
+    for t in idents(f) {
+        if RNG_IDENTS.contains(&t.text.as_str()) {
+            push(
+                f,
+                out,
+                t.line,
+                "no-ad-hoc-rng",
+                format!(
+                    "`{}` is OS-entropy randomness; derive a seeded stream from \
+                     `des::rng` instead",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// stdout-discipline: in library crates stdout belongs to report/CSV
+/// emitters; diagnostics go to stderr so `dfsim … --csv > out.csv` stays
+/// clean.
+fn check_stdout(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.class != FileClass::Lib || STDOUT_EMITTER_FILES.contains(&f.rel.as_str()) {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].kind == TokenKind::Ident
+            && (toks[i].text == "println" || toks[i].text == "print")
+            && toks[i + 1].text == "!"
+            && !f.lexed.in_test_region(toks[i].line)
+        {
+            push(
+                f,
+                out,
+                toks[i].line,
+                "stdout-discipline",
+                format!(
+                    "`{}!` in a library crate: stdout is reserved for the \
+                     designated report/CSV emitters; use `eprintln!` for \
+                     diagnostics",
+                    toks[i].text
+                ),
+            );
+        }
+    }
+}
+
+/// unsafe-audit (per-file half): every `unsafe` needs a `// SAFETY:`
+/// comment in the contiguous comment block above it (or on its line).
+fn check_unsafe(f: &SourceFile, out: &mut Vec<Finding>) {
+    for t in idents(f) {
+        if t.text != "unsafe" {
+            continue;
+        }
+        if !has_safety_comment(&f.lexed, t.line) {
+            push(
+                f,
+                out,
+                t.line,
+                "unsafe-audit",
+                "`unsafe` without a `// SAFETY:` comment in the preceding comment \
+                 block explaining why the invariants hold"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Does any `unsafe` (documented or not) appear in the file?
+pub fn has_unsafe(f: &SourceFile) -> bool {
+    idents(f).any(|t| t.text == "unsafe")
+}
+
+fn has_safety_comment(lexed: &Lexed, unsafe_line: usize) -> bool {
+    // Same-line trailing comment counts.
+    if lexed.comments.iter().any(|c| c.line == unsafe_line && c.text.contains("SAFETY:")) {
+        return true;
+    }
+    // Walk up through the contiguous comment block directly above.
+    let mut l = unsafe_line.saturating_sub(1);
+    loop {
+        let Some(c) =
+            lexed.comments.iter().find(|c| c.end_line == l || (c.line <= l && l <= c.end_line))
+        else {
+            return false;
+        };
+        if c.text.contains("SAFETY:") {
+            return true;
+        }
+        if c.line == 0 || c.line == 1 {
+            return false;
+        }
+        l = c.line - 1;
+    }
+}
+
+fn idents(f: &SourceFile) -> impl Iterator<Item = &crate::lexer::Token> {
+    f.lexed.tokens.iter().filter(|t| t.kind == TokenKind::Ident)
+}
+
+// ---------------------------------------------------------------------------
+// Workspace-level rules
+// ---------------------------------------------------------------------------
+
+/// unsafe-audit (workspace half): a crate with no `unsafe` at all must pin
+/// that fact with `#![deny(unsafe_code)]` (or `forbid`) in its root, so
+/// new unsafe can only enter a crate by removing the attribute — which
+/// this rule then flags until the block is SAFETY-documented.
+pub fn check_crate_roots(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let mut unsafe_by_crate: BTreeMap<&str, bool> = BTreeMap::new();
+    for f in files {
+        *unsafe_by_crate.entry(f.krate.as_str()).or_default() |= has_unsafe(f);
+    }
+    for f in files {
+        let is_root = f.rel == "src/lib.rs"
+            || (f.rel.starts_with("crates/") && f.rel.ends_with("/src/lib.rs"));
+        if !is_root || unsafe_by_crate.get(f.krate.as_str()).copied().unwrap_or(false) {
+            continue;
+        }
+        if !has_deny_unsafe(f) {
+            push(
+                f,
+                out,
+                1,
+                "unsafe-audit",
+                format!(
+                    "crate `{}` uses no unsafe but its root is missing \
+                     `#![deny(unsafe_code)]`",
+                    f.krate
+                ),
+            );
+        }
+    }
+}
+
+fn has_deny_unsafe(f: &SourceFile) -> bool {
+    let toks = &f.lexed.tokens;
+    (0..toks.len().saturating_sub(3)).any(|i| {
+        (toks[i].text == "deny" || toks[i].text == "forbid")
+            && toks[i + 1].text == "("
+            && toks[i + 2].text == "unsafe_code"
+            && toks[i + 3].text == ")"
+    })
+}
+
+/// cache-key-coverage: every key in `spec.rs`'s `SPEC_KEYS` registry must
+/// be explicitly classified in `cache.rs`'s `KEY_CLASSIFICATION` — so a
+/// future spec key that changes behaviour can never cause a stale cache
+/// hit by omission. Returns the number of keys cross-checked.
+pub fn check_cache_key_coverage(files: &[SourceFile], out: &mut Vec<Finding>) -> usize {
+    let spec = find_const_str_list(files, "SPEC_KEYS");
+    let class = find_const_str_list(files, "KEY_CLASSIFICATION");
+    match (spec, class) {
+        (None, None) => 0, // fixture trees without a registry: rule is silent
+        (Some(spec), None) => {
+            out.push(Finding {
+                file: spec.file,
+                line: spec.line,
+                rule: "cache-key-coverage",
+                message: "spec-key registry `SPEC_KEYS` found but no \
+                          `KEY_CLASSIFICATION` table classifies its keys for the \
+                          result cache"
+                    .to_string(),
+                excerpt: String::new(),
+            });
+            0
+        }
+        (None, Some(class)) => {
+            out.push(Finding {
+                file: class.file,
+                line: class.line,
+                rule: "cache-key-coverage",
+                message: "`KEY_CLASSIFICATION` found but no `SPEC_KEYS` registry to \
+                          check it against"
+                    .to_string(),
+                excerpt: String::new(),
+            });
+            0
+        }
+        (Some(spec), Some(class)) => {
+            let mut checked = 0usize;
+            for dup in duplicates(&spec.items) {
+                out.push(Finding {
+                    file: spec.file.clone(),
+                    line: spec.line,
+                    rule: "cache-key-coverage",
+                    message: format!("spec key `{dup}` appears twice in `SPEC_KEYS`"),
+                    excerpt: String::new(),
+                });
+            }
+            for dup in duplicates(&class.items) {
+                out.push(Finding {
+                    file: class.file.clone(),
+                    line: class.line,
+                    rule: "cache-key-coverage",
+                    message: format!(
+                        "spec key `{dup}` is classified twice in `KEY_CLASSIFICATION`"
+                    ),
+                    excerpt: String::new(),
+                });
+            }
+            for k in &spec.items {
+                if class.items.contains(k) {
+                    checked += 1;
+                } else {
+                    out.push(Finding {
+                        file: class.file.clone(),
+                        line: class.line,
+                        rule: "cache-key-coverage",
+                        message: format!(
+                            "spec key `{k}` has no cache classification in \
+                             `KEY_CLASSIFICATION` — declare it key-relevant or \
+                             normalized-out so it can't cause a stale cache hit by \
+                             omission"
+                        ),
+                        excerpt: String::new(),
+                    });
+                }
+            }
+            for k in &class.items {
+                if !spec.items.contains(k) {
+                    out.push(Finding {
+                        file: class.file.clone(),
+                        line: class.line,
+                        rule: "cache-key-coverage",
+                        message: format!(
+                            "`KEY_CLASSIFICATION` classifies `{k}`, which is not a \
+                             key in `SPEC_KEYS` — stale entry?"
+                        ),
+                        excerpt: String::new(),
+                    });
+                }
+            }
+            checked
+        }
+    }
+}
+
+struct ConstStrList {
+    file: String,
+    line: usize,
+    items: Vec<String>,
+}
+
+/// Find `const <name>: … = [ …string literals… ];` across the file set and
+/// collect every string literal up to the terminating `;`. Only
+/// *definitions* match (the identifier must follow `const`), so references
+/// like `SPEC_KEYS.contains(..)` are ignored.
+fn find_const_str_list(files: &[SourceFile], name: &str) -> Option<ConstStrList> {
+    for f in files {
+        let toks = &f.lexed.tokens;
+        for i in 1..toks.len() {
+            if toks[i].text == name
+                && toks[i].kind == TokenKind::Ident
+                && toks[i - 1].text == "const"
+            {
+                // Skip the type annotation (its `[&str; N]` contains a `;`):
+                // string literals only count after the `=`.
+                let mut items = Vec::new();
+                let mut past_eq = false;
+                for t in &toks[i + 1..] {
+                    match t.kind {
+                        TokenKind::Punct if t.text == "=" => past_eq = true,
+                        TokenKind::Str if past_eq => items.push(t.text.clone()),
+                        TokenKind::Punct if t.text == ";" && past_eq => break,
+                        _ => {}
+                    }
+                }
+                return Some(ConstStrList { file: f.rel.clone(), line: toks[i].line, items });
+            }
+        }
+    }
+    None
+}
+
+fn duplicates(items: &[String]) -> Vec<String> {
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for it in items {
+        *seen.entry(it.as_str()).or_default() += 1;
+    }
+    seen.into_iter().filter(|&(_, n)| n > 1).map(|(k, _)| k.to_string()).collect()
+}

@@ -1,0 +1,8 @@
+// A justified waiver: the finding on the next line is suppressed and the
+// directive counts as used.
+pub fn poll_deadline() -> bool {
+    // lint: allow(no-wallclock) — host-side watchdog for interactive
+    // progress display; never feeds simulated time.
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs() < 1
+}

@@ -1,0 +1,6 @@
+// A waiver that suppresses nothing: must be flagged stale so allow
+// annotations can never rot in place.
+pub fn add(a: u32, b: u32) -> u32 {
+    // lint: allow(no-wallclock) — covers nothing, must be reported.
+    a + b
+}

@@ -1,0 +1,6 @@
+// An allow with no reason: must produce an allow-audit error AND leave
+// the underlying finding unsuppressed.
+pub fn poll_deadline_ms() -> u128 {
+    // lint: allow(no-wallclock)
+    std::time::Instant::now().elapsed().as_millis()
+}

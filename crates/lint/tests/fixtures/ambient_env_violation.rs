@@ -1,0 +1,5 @@
+// Must fire no-ambient-env anywhere outside the spec/cache resolution
+// layers.
+pub fn scale() -> f64 {
+    std::env::var("SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+}

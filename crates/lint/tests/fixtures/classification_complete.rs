@@ -1,0 +1,6 @@
+// Classifies every key of the synthetic registry: coverage must pass.
+pub const KEY_CLASSIFICATION: [(&str, KeyClass); 3] = [
+    ("workload", KeyClass::Relevant),
+    ("seed", KeyClass::Relevant),
+    ("new_knob", KeyClass::Normalized),
+];

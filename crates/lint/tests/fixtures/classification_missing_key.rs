@@ -1,0 +1,4 @@
+// Classifies everything except `new_knob`: cache-key-coverage must fail
+// naming the missing key.
+pub const KEY_CLASSIFICATION: [(&str, KeyClass); 2] =
+    [("workload", KeyClass::Relevant), ("seed", KeyClass::Relevant)];

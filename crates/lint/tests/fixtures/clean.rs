@@ -1,0 +1,15 @@
+//! A clean snippet: banned names appear only inside literals and
+//! comments, where rules must never fire — this is exactly why the lint
+//! lexes instead of grepping.
+
+/* block comment: HashMap, Instant, env::var, thread_rng, unsafe.
+   /* nested: SystemTime */ still one comment. */
+
+pub fn describe() -> String {
+    let s = "HashMap and SystemTime and env::var in a string";
+    let r = r#"thread_rng " quoted unsafe"#;
+    let c = 'x';
+    let quote = '\'';
+    let lifetime_ok: &'static str = "println!(\"never fires\")";
+    format!("{s} {r} {c} {quote} {lifetime_ok}")
+}

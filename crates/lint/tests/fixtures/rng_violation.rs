@@ -1,0 +1,5 @@
+// Must fire no-ad-hoc-rng everywhere except des::rng.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..10)
+}

@@ -1,0 +1,3 @@
+// Synthetic spec-key registry: `new_knob` is the key the classification
+// fixtures forget (or remember), driving the cache-key-coverage tests.
+pub const SPEC_KEYS: [&str; 3] = ["workload", "seed", "new_knob"];

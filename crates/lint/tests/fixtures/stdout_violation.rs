@@ -1,0 +1,5 @@
+// Must fire stdout-discipline in a library crate (stdout belongs to the
+// designated report/CSV emitters).
+pub fn report_progress(done: usize) {
+    println!("{done} cells done");
+}

@@ -1,0 +1,10 @@
+// Must fire no-unordered-iteration when placed in a sim-state crate.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,7 @@
+// Must pass unsafe-audit: the block carries a SAFETY justification.
+pub fn reinterpret(x: &u64) -> &i64 {
+    let p = x as *const u64 as *const i64;
+    // SAFETY: u64 and i64 have identical size and alignment, and the
+    // reference's lifetime is inherited from the borrow of `x`.
+    unsafe { &*p }
+}

@@ -1,0 +1,5 @@
+// Must fire unsafe-audit: no SAFETY comment on the block.
+pub fn reinterpret(x: &u64) -> &i64 {
+    let p = x as *const u64 as *const i64;
+    unsafe { &*p }
+}

@@ -1,0 +1,289 @@
+//! Every rule is proven live: one minimal violating fixture per rule must
+//! fire, the clean fixture must pass, unjustified/stale allows are
+//! themselves errors, and the whole workspace must lint clean (the same
+//! invariant CI enforces by running the binary).
+//!
+//! Fixtures live in `tests/fixtures/` — a directory name the workspace
+//! walker skips, so intentionally-violating snippets never fail the real
+//! pass.
+
+use dfsim_lint::rules::Finding;
+use dfsim_lint::{lint_sources, load_source};
+use std::path::Path;
+
+/// Lint one fixture as if it sat at `rel` in the workspace.
+fn lint_at(rel: &str, text: &str) -> Vec<Finding> {
+    lint_sources(vec![load_source(rel, text)]).findings
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<&str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------------------
+// One firing fixture per rule
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_wallclock_fires_outside_timing_modules() {
+    let src = include_str!("fixtures/wallclock_violation.rs");
+    let f = lint_at("crates/network/src/helper.rs", src);
+    assert_eq!(rules_of(&f), vec!["no-wallclock"], "{f:#?}");
+    assert_eq!(f[0].line, 4);
+    assert!(f[0].excerpt.contains("Instant"), "{:?}", f[0]);
+}
+
+#[test]
+fn no_wallclock_is_silent_in_designated_timing_modules() {
+    let src = include_str!("fixtures/wallclock_violation.rs");
+    for rel in [
+        "crates/core/src/runner.rs",
+        "crates/core/src/sweep.rs",
+        "crates/core/src/partition.rs",
+        "crates/core/src/cache.rs",
+        "crates/bench/src/bin/fig99.rs",
+    ] {
+        let f = lint_at(rel, src);
+        assert!(
+            !rules_of(&f).contains(&"no-wallclock"),
+            "no-wallclock must not fire in {rel}: {f:#?}"
+        );
+    }
+}
+
+#[test]
+fn no_ambient_env_fires_outside_resolution_layers() {
+    let src = include_str!("fixtures/ambient_env_violation.rs");
+    let f = lint_at("crates/core/src/simulation.rs", src);
+    assert_eq!(rules_of(&f), vec!["no-ambient-env"], "{f:#?}");
+    // …including in binaries and tests: there is no class exemption.
+    let f = lint_at("src/bin/dfsim.rs", src);
+    assert_eq!(rules_of(&f), vec!["no-ambient-env"], "{f:#?}");
+}
+
+#[test]
+fn no_ambient_env_is_silent_in_spec_and_cache() {
+    let src = include_str!("fixtures/ambient_env_violation.rs");
+    for rel in ["crates/core/src/spec.rs", "crates/core/src/cache.rs"] {
+        assert!(lint_at(rel, src).is_empty(), "env reads are the {rel} layer's job");
+    }
+}
+
+#[test]
+fn no_unordered_iteration_fires_in_sim_state_crates() {
+    let src = include_str!("fixtures/unordered_violation.rs");
+    for rel in [
+        "crates/des/src/helper.rs",
+        "crates/network/src/helper.rs",
+        "crates/topology/src/helper.rs",
+        "crates/mpi/src/helper.rs",
+        "crates/metrics/src/helper.rs",
+        "crates/core/src/world.rs",
+    ] {
+        let f = lint_at(rel, src);
+        assert!(
+            !f.is_empty() && rules_of(&f).iter().all(|r| *r == "no-unordered-iteration"),
+            "{rel}: {f:#?}"
+        );
+    }
+}
+
+#[test]
+fn no_unordered_iteration_is_silent_off_the_sim_path() {
+    let src = include_str!("fixtures/unordered_violation.rs");
+    // Orchestration/presentation code may hash; determinism of reports
+    // never observes it.
+    for rel in ["crates/core/src/spec.rs", "crates/bench/src/helper.rs", "tests/some_suite.rs"] {
+        assert!(lint_at(rel, src).is_empty(), "{rel} is out of scope");
+    }
+}
+
+#[test]
+fn no_ad_hoc_rng_fires_everywhere_but_des_rng() {
+    let src = include_str!("fixtures/rng_violation.rs");
+    let f = lint_at("crates/apps/src/ur.rs", src);
+    assert_eq!(rules_of(&f), vec!["no-ad-hoc-rng"], "{f:#?}");
+    // Tests are NOT exempt: OS entropy breaks reproducibility anywhere.
+    let f = lint_at("tests/some_suite.rs", src);
+    assert_eq!(rules_of(&f), vec!["no-ad-hoc-rng"], "{f:#?}");
+    assert!(lint_at("crates/des/src/rng.rs", src).is_empty(), "des::rng owns randomness");
+}
+
+#[test]
+fn stdout_discipline_fires_in_library_code_only() {
+    let src = include_str!("fixtures/stdout_violation.rs");
+    let f = lint_at("crates/metrics/src/summary.rs", src);
+    assert_eq!(rules_of(&f), vec!["stdout-discipline"], "{f:#?}");
+    // Binaries, examples, tests and the designated emitter own stdout.
+    for rel in [
+        "src/bin/dfsim.rs",
+        "crates/bench/src/bin/fig8.rs",
+        "examples/quickstart.rs",
+        "tests/some_suite.rs",
+        "crates/bench/src/lib.rs",
+    ] {
+        // (crate-root placements still owe `#![deny(unsafe_code)]`, so
+        // filter to this rule rather than asserting emptiness.)
+        let f = lint_at(rel, src);
+        assert!(!rules_of(&f).contains(&"stdout-discipline"), "{rel} may print: {f:#?}");
+    }
+}
+
+#[test]
+fn unsafe_audit_fires_without_safety_comment() {
+    let src = include_str!("fixtures/unsafe_violation.rs");
+    let f = lint_at("crates/core/src/helper.rs", src);
+    assert_eq!(rules_of(&f), vec!["unsafe-audit"], "{f:#?}");
+    assert!(f[0].message.contains("SAFETY"), "{:?}", f[0]);
+}
+
+#[test]
+fn unsafe_audit_accepts_documented_blocks() {
+    let src = include_str!("fixtures/unsafe_documented.rs");
+    assert!(lint_at("crates/core/src/helper.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_audit_requires_deny_attribute_in_unsafe_free_crate_roots() {
+    let bare = "//! A crate root.\npub fn f() {}\n";
+    let f = lint_at("crates/des/src/lib.rs", bare);
+    assert_eq!(rules_of(&f), vec!["unsafe-audit"], "{f:#?}");
+    assert!(f[0].message.contains("deny(unsafe_code)"), "{:?}", f[0]);
+    let denied = "//! A crate root.\n#![deny(unsafe_code)]\npub fn f() {}\n";
+    assert!(lint_at("crates/des/src/lib.rs", denied).is_empty());
+}
+
+#[test]
+fn cache_key_coverage_fails_on_an_unclassified_spec_key() {
+    let report = lint_sources(vec![
+        load_source("crates/core/src/spec.rs", include_str!("fixtures/spec_keys_registry.rs")),
+        load_source(
+            "crates/core/src/cache.rs",
+            include_str!("fixtures/classification_missing_key.rs"),
+        ),
+    ]);
+    let f = &report.findings;
+    assert_eq!(rules_of(f), vec!["cache-key-coverage"], "{f:#?}");
+    assert!(f[0].message.contains("`new_knob`"), "must name the missing key: {:?}", f[0]);
+    assert_eq!(report.cache_keys_checked, 2, "workload and seed are classified");
+}
+
+#[test]
+fn cache_key_coverage_passes_when_every_key_is_classified() {
+    let report = lint_sources(vec![
+        load_source("crates/core/src/spec.rs", include_str!("fixtures/spec_keys_registry.rs")),
+        load_source(
+            "crates/core/src/cache.rs",
+            include_str!("fixtures/classification_complete.rs"),
+        ),
+    ]);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    assert_eq!(report.cache_keys_checked, 3);
+}
+
+#[test]
+fn cache_key_coverage_flags_a_registry_without_classification() {
+    let report = lint_sources(vec![load_source(
+        "crates/core/src/spec.rs",
+        include_str!("fixtures/spec_keys_registry.rs"),
+    )]);
+    assert_eq!(rules_of(&report.findings), vec!["cache-key-coverage"]);
+    assert!(report.findings[0].message.contains("KEY_CLASSIFICATION"));
+}
+
+// ---------------------------------------------------------------------------
+// The allow mechanism
+// ---------------------------------------------------------------------------
+
+#[test]
+fn justified_allow_suppresses_and_counts_as_used() {
+    let src = include_str!("fixtures/allow_justified.rs");
+    assert!(lint_at("crates/metrics/src/helper.rs", src).is_empty());
+}
+
+#[test]
+fn unjustified_allow_is_an_error_and_suppresses_nothing() {
+    let src = include_str!("fixtures/allow_unjustified.rs");
+    let findings = lint_at("crates/metrics/src/helper.rs", src);
+    let mut rules = rules_of(&findings);
+    rules.sort();
+    assert_eq!(rules, vec!["allow-audit", "no-wallclock"]);
+}
+
+#[test]
+fn stale_allow_is_an_error() {
+    let src = include_str!("fixtures/allow_stale.rs");
+    let f = lint_at("crates/metrics/src/helper.rs", src);
+    assert_eq!(rules_of(&f), vec!["allow-audit"], "{f:#?}");
+    assert!(f[0].message.contains("stale"), "{:?}", f[0]);
+}
+
+#[test]
+fn allow_naming_an_unknown_rule_is_an_error() {
+    let src = "pub fn f() {}\n// lint: allow(no-such-rule) — whatever\npub fn g() {}\n";
+    let f = lint_at("crates/metrics/src/helper.rs", src);
+    assert_eq!(rules_of(&f), vec!["allow-audit"], "{f:#?}");
+    assert!(f[0].message.contains("no-such-rule"));
+}
+
+// ---------------------------------------------------------------------------
+// Clean snippet + whole-workspace pass
+// ---------------------------------------------------------------------------
+
+#[test]
+fn clean_snippet_passes_in_the_most_restrictive_scope() {
+    let src = include_str!("fixtures/clean.rs");
+    let f = lint_at("crates/des/src/helper.rs", src);
+    assert!(f.is_empty(), "banned names in literals/comments must not fire: {f:#?}");
+}
+
+/// The invariant CI enforces: the real workspace lints clean, with the
+/// real spec-key registry cross-checked against the real classification.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = dfsim_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must lint clean:\n{}",
+        report.findings.iter().map(|f| f.to_string()).collect::<Vec<_>>().join("\n")
+    );
+    assert!(report.files_scanned > 100, "walker lost the tree? {}", report.files_scanned);
+    assert!(
+        report.cache_keys_checked >= 31,
+        "cache-key-coverage did not find the real registry ({} keys checked)",
+        report.cache_keys_checked
+    );
+}
+
+/// The CLI contract CI scripts rely on: exit 0 + summary on a clean tree,
+/// exit 2 with `file:line: rule:` findings on stdout otherwise.
+#[test]
+fn binary_exits_2_on_violations_and_0_when_clean() {
+    let dir = std::env::temp_dir().join(format!("dfsim_lint_e2e_{}", std::process::id()));
+    let src_dir = dir.join("crates/network/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(src_dir.join("helper.rs"), include_str!("fixtures/wallclock_violation.rs"))
+        .expect("write fixture");
+
+    let bin = env!("CARGO_BIN_EXE_dfsim-lint");
+    let out = std::process::Command::new(bin)
+        .args(["--root", dir.to_str().unwrap()])
+        .output()
+        .expect("run dfsim-lint");
+    assert_eq!(out.status.code(), Some(2), "violations must exit 2");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("crates/network/src/helper.rs:4: no-wallclock:"),
+        "machine-readable finding expected, got:\n{stdout}"
+    );
+
+    std::fs::write(src_dir.join("helper.rs"), "pub fn f() {}\n").expect("write clean");
+    let out = std::process::Command::new(bin)
+        .args(["--root", dir.to_str().unwrap()])
+        .output()
+        .expect("run dfsim-lint");
+    assert_eq!(out.status.code(), Some(0), "clean tree must exit 0");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

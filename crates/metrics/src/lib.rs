@@ -22,6 +22,7 @@
 //! (router, port) or by time bin, and latency samples append to per-app
 //! vectors. Everything is plain data so reports can be serialized.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod congestion;

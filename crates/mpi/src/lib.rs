@@ -19,6 +19,7 @@
 //! * peak-ingress-volume measurement: the largest burst of message bytes a
 //!   rank posts without blocking (Table I).
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collectives;

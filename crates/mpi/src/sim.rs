@@ -6,7 +6,7 @@
 //! completing requests and waking ranks. Large sends use RTS/CTS
 //! rendezvous; small ones go eagerly (threshold configurable, SST-style).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dfsim_des::{Scheduler, Time, WireReader, WireWriter};
 use dfsim_metrics::{AppId, Recorder};
@@ -85,7 +85,7 @@ pub struct MpiSim {
     /// Metadata of messages owned by other shards (partitioned runs), keyed
     /// by tagged message id. Lookup-only — never iterated, so the hash map
     /// cannot introduce nondeterminism.
-    foreign_meta: HashMap<u64, MsgMeta>,
+    foreign_meta: BTreeMap<u64, MsgMeta>,
     /// Apps whose last rank finished since the last [`MpiSim::drain_finished`]
     /// call (the churn loop reclaims their nodes).
     newly_finished: Vec<AppId>,
@@ -104,7 +104,7 @@ impl MpiSim {
             cfg,
             apps: Vec::new(),
             meta: Vec::new(),
-            foreign_meta: HashMap::new(),
+            foreign_meta: BTreeMap::new(),
             newly_finished: Vec::new(),
         }
     }

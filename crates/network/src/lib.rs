@@ -26,6 +26,7 @@
 //! [`NUM_VCS`] = 7 — matching the literature's observation that PAR needs
 //! one more VC than UGAL.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod events;

@@ -5,7 +5,7 @@
 //! and surfaces transport-level effects (message injected / delivered) that
 //! the MPI layer consumes. See the crate docs for the router model.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use dfsim_des::{Scheduler, Time};
@@ -56,7 +56,7 @@ struct PartState {
     /// Delivery bookkeeping for messages owned by other shards, keyed by
     /// their tagged id. Lookup-only (never iterated), so the hash map cannot
     /// introduce nondeterminism.
-    imported: HashMap<u64, MsgInfo>,
+    imported: BTreeMap<u64, MsgInfo>,
     /// Messages created this window whose packets will cross a boundary;
     /// drained by the driver at the next barrier and registered on the
     /// destination shard.
@@ -171,7 +171,7 @@ impl NetworkSim {
         self.part = Some(PartState {
             map,
             me,
-            imported: HashMap::new(),
+            imported: BTreeMap::new(),
             pending_exports: Vec::new(),
             pending_releases: Vec::new(),
         });

@@ -14,6 +14,7 @@
 //! * [`paths`] — minimal and non-minimal (Valiant) path enumeration used by
 //!   the routing algorithms and by the property tests.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ids;

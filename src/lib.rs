@@ -33,6 +33,8 @@
 //! );
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use dfsim_apps as apps;
 pub use dfsim_core as core;
 pub use dfsim_des as des;
