@@ -35,7 +35,7 @@ use dfsim_network::QTableSnapshot;
 
 use crate::report::{AppReport, EngineReport, JobReport, LearningReport, NetworkReport, RunReport};
 use crate::spec::{ExperimentSpec, Workload};
-use crate::trace::{put_f64, put_str, put_u32, put_u64, put_u8, Cur};
+use crate::trace::{len_u32, put_f64, put_str, put_u32, put_u64, put_u8, Cur};
 use dfsim_metrics::{LatencySummary, Stats};
 
 /// Magic header of every cache entry file, and the version salt of every
@@ -343,7 +343,7 @@ fn put_latency(b: &mut Vec<u8>, l: &LatencySummary) {
 }
 
 fn put_series(b: &mut Vec<u8>, s: &[(f64, f64)]) {
-    put_u32(b, s.len() as u32);
+    put_u32(b, len_u32(s.len(), "a series length"));
     for &(x, y) in s {
         put_f64(b, x);
         put_f64(b, y);
@@ -351,21 +351,21 @@ fn put_series(b: &mut Vec<u8>, s: &[(f64, f64)]) {
 }
 
 fn put_f64s(b: &mut Vec<u8>, v: &[f64]) {
-    put_u32(b, v.len() as u32);
+    put_u32(b, len_u32(v.len(), "a vector length"));
     for &x in v {
         put_f64(b, x);
     }
 }
 
 fn put_matrix(b: &mut Vec<u8>, m: &[Vec<f64>]) {
-    put_u32(b, m.len() as u32);
+    put_u32(b, len_u32(m.len(), "a matrix row count"));
     for row in m {
         put_f64s(b, row);
     }
 }
 
 fn put_opt_f64(b: &mut Vec<u8>, v: Option<f64>) {
-    put_u8(b, v.is_some() as u8);
+    put_u8(b, u8::from(v.is_some()));
     put_f64(b, v.unwrap_or(0.0));
 }
 
@@ -380,15 +380,15 @@ pub fn encode_report(r: &RunReport) -> Vec<u8> {
     put_str(&mut b, &r.queue);
     put_u64(&mut b, r.seed);
     put_f64(&mut b, r.scale);
-    put_u8(&mut b, r.completed as u8);
+    put_u8(&mut b, u8::from(r.completed));
     put_str(&mut b, &r.stop_reason);
     put_f64(&mut b, r.sim_ms);
     put_u64(&mut b, r.events);
     put_f64(&mut b, r.wall_s);
-    put_u32(&mut b, r.apps.len() as u32);
+    put_u32(&mut b, len_u32(r.apps.len(), "the app count"));
     for a in &r.apps {
         put_str(&mut b, &a.name);
-        put_u32(&mut b, a.app as u32);
+        put_u32(&mut b, u32::from(a.app));
         put_u32(&mut b, a.size);
         put_stats(&mut b, &a.comm_ms);
         put_f64(&mut b, a.exec_ms);
@@ -402,7 +402,7 @@ pub fn encode_report(r: &RunReport) -> Vec<u8> {
         put_f64(&mut b, a.detour_frac);
         put_f64(&mut b, a.mean_hops);
     }
-    put_u32(&mut b, r.jobs.len() as u32);
+    put_u32(&mut b, len_u32(r.jobs.len(), "the job count"));
     for j in &r.jobs {
         put_u32(&mut b, j.job);
         put_str(&mut b, &j.name);
@@ -414,7 +414,7 @@ pub fn encode_report(r: &RunReport) -> Vec<u8> {
         put_f64(&mut b, j.run_ms);
         put_f64(&mut b, j.response_ms);
         put_opt_f64(&mut b, j.slowdown);
-        put_u8(&mut b, j.completed as u8);
+        put_u8(&mut b, u8::from(j.completed));
     }
     let n = &r.network;
     put_f64s(&mut b, &n.local_stall_ms);
@@ -458,7 +458,7 @@ fn cur_err(e: dfsim_metrics::trace::TraceError) -> CacheError {
 
 fn get_stats(c: &mut Cur<'_>, what: &'static str) -> Result<Stats, CacheError> {
     Ok(Stats {
-        n: c.u64(what).map_err(cur_err)? as usize,
+        n: c.count64(what).map_err(cur_err)?,
         mean: c.f64(what).map_err(cur_err)?,
         std: c.f64(what).map_err(cur_err)?,
         min: c.f64(what).map_err(cur_err)?,
@@ -468,7 +468,7 @@ fn get_stats(c: &mut Cur<'_>, what: &'static str) -> Result<Stats, CacheError> {
 
 fn get_latency(c: &mut Cur<'_>, what: &'static str) -> Result<LatencySummary, CacheError> {
     Ok(LatencySummary {
-        n: c.u64(what).map_err(cur_err)? as usize,
+        n: c.count64(what).map_err(cur_err)?,
         mean: c.f64(what).map_err(cur_err)?,
         q1: c.f64(what).map_err(cur_err)?,
         median: c.f64(what).map_err(cur_err)?,
@@ -480,7 +480,7 @@ fn get_latency(c: &mut Cur<'_>, what: &'static str) -> Result<LatencySummary, Ca
 }
 
 fn get_series(c: &mut Cur<'_>, what: &'static str) -> Result<Vec<(f64, f64)>, CacheError> {
-    let n = c.u32(what).map_err(cur_err)? as usize;
+    let n = c.len(what).map_err(cur_err)?;
     let mut v = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         v.push((c.f64(what).map_err(cur_err)?, c.f64(what).map_err(cur_err)?));
@@ -489,7 +489,7 @@ fn get_series(c: &mut Cur<'_>, what: &'static str) -> Result<Vec<(f64, f64)>, Ca
 }
 
 fn get_f64s(c: &mut Cur<'_>, what: &'static str) -> Result<Vec<f64>, CacheError> {
-    let n = c.u32(what).map_err(cur_err)? as usize;
+    let n = c.len(what).map_err(cur_err)?;
     let mut v = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         v.push(c.f64(what).map_err(cur_err)?);
@@ -498,7 +498,7 @@ fn get_f64s(c: &mut Cur<'_>, what: &'static str) -> Result<Vec<f64>, CacheError>
 }
 
 fn get_matrix(c: &mut Cur<'_>, what: &'static str) -> Result<Vec<Vec<f64>>, CacheError> {
-    let n = c.u32(what).map_err(cur_err)? as usize;
+    let n = c.len(what).map_err(cur_err)?;
     let mut m = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         m.push(get_f64s(c, what)?);
@@ -526,12 +526,17 @@ pub fn decode_report(blob: &[u8]) -> Result<RunReport, CacheError> {
     let sim_ms = c.f64("sim_ms").map_err(cur_err)?;
     let events = c.u64("events").map_err(cur_err)?;
     let wall_s = c.f64("wall_s").map_err(cur_err)?;
-    let napps = c.u32("app count").map_err(cur_err)? as usize;
+    let napps = c.len("app count").map_err(cur_err)?;
     let mut apps = Vec::with_capacity(napps.min(1 << 16));
     for _ in 0..napps {
+        let name = c.str("app.name").map_err(cur_err)?;
+        let app_word = c.u32("app.app").map_err(cur_err)?;
+        let app = u16::try_from(app_word).map_err(|_| CacheError::Malformed {
+            msg: format!("app id {app_word} overflows u16"),
+        })?;
         apps.push(AppReport {
-            name: c.str("app.name").map_err(cur_err)?,
-            app: c.u32("app.app").map_err(cur_err)? as u16,
+            name,
+            app,
             size: c.u32("app.size").map_err(cur_err)?,
             comm_ms: get_stats(&mut c, "app.comm_ms")?,
             exec_ms: c.f64("app.exec_ms").map_err(cur_err)?,
@@ -546,7 +551,7 @@ pub fn decode_report(blob: &[u8]) -> Result<RunReport, CacheError> {
             mean_hops: c.f64("app.mean_hops").map_err(cur_err)?,
         });
     }
-    let njobs = c.u32("job count").map_err(cur_err)? as usize;
+    let njobs = c.len("job count").map_err(cur_err)?;
     let mut jobs = Vec::with_capacity(njobs.min(1 << 20));
     for _ in 0..njobs {
         jobs.push(JobReport {
@@ -769,14 +774,14 @@ impl ResultCache {
         bytes.extend_from_slice(key.hex().as_bytes());
         bytes.push(b'\n');
         let blob = encode_report(report);
-        put_u32(&mut bytes, blob.len() as u32);
+        put_u32(&mut bytes, len_u32(blob.len(), "the report blob length"));
         bytes.extend_from_slice(&blob);
         match snapshot {
             None => put_u8(&mut bytes, 0),
             Some(s) => {
                 put_u8(&mut bytes, 1);
                 let text = s.to_text();
-                put_u32(&mut bytes, text.len() as u32);
+                put_u32(&mut bytes, len_u32(text.len(), "the snapshot text length"));
                 bytes.extend_from_slice(text.as_bytes());
             }
         }
@@ -902,16 +907,18 @@ impl ResultCache {
         }
         if let Some(cap) = max_bytes {
             let mut total: u64 = entries.iter().map(|(_, b, _)| b).sum();
-            let mut i = 0;
-            while total > cap && i < entries.len() {
-                let (path, bytes, _) = &entries[i];
+            let mut evicted = 0;
+            for (path, bytes, _) in &entries {
+                if total <= cap {
+                    break;
+                }
                 std::fs::remove_file(path).map_err(|e| io(path, e))?;
                 out.removed += 1;
                 out.freed_bytes += bytes;
                 total -= bytes;
-                i += 1;
+                evicted += 1;
             }
-            entries.drain(..i);
+            entries.drain(..evicted);
         }
         out.kept = entries.len() as u64;
         out.kept_bytes = entries.iter().map(|(_, b, _)| b).sum();
@@ -941,10 +948,12 @@ fn decode_entry_inner(bytes: &[u8]) -> Result<(CacheEntry, String), CacheError> 
             .iter()
             .position(|&b| b == b'\n')
             .ok_or_else(|| malformed(&format!("missing {what} line")))?;
-        let s = std::str::from_utf8(&rest[..nl])
+        let (head, tail) = rest.split_at(nl);
+        let s = std::str::from_utf8(head)
             .map_err(|_| malformed(&format!("{what} line is not UTF-8")))?
             .to_string();
-        rest = &rest[nl + 1..];
+        // `tail` starts at the newline `position` found, so it is never empty.
+        rest = tail.get(1..).unwrap_or(&[]);
         Ok(s)
     };
     let header = line("header")?;
@@ -953,11 +962,11 @@ fn decode_entry_inner(bytes: &[u8]) -> Result<(CacheEntry, String), CacheError> 
     }
     let recorded_key = line("key")?;
     let mut c = Cur::new(rest);
-    let blob_len = c.u32("report blob length").map_err(cur_err)? as usize;
+    let blob_len = c.len("report blob length").map_err(cur_err)?;
     let blob = c.bytes(blob_len, "report blob").map_err(cur_err)?;
     let report = decode_report(blob)?;
     let snapshot = if c.u8("snapshot flag").map_err(cur_err)? != 0 {
-        let len = c.u32("snapshot length").map_err(cur_err)? as usize;
+        let len = c.len("snapshot length").map_err(cur_err)?;
         let raw = c.bytes(len, "snapshot text").map_err(cur_err)?;
         let text = std::str::from_utf8(raw).map_err(|_| malformed("snapshot is not UTF-8"))?;
         Some(

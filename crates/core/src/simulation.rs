@@ -274,6 +274,7 @@ impl Simulation {
 
     /// Live execution, no cache interaction.
     fn run_live_uncached(&mut self) -> Result<RunHandle, SpecError> {
+        // lint: allow(no-panic-paths) — private method, only called by `run` after `prepare` populated `self.prepared`; the Option is Some by control flow
         let prepared = self.prepared.as_ref().expect("prepare already succeeded");
         let (report, qtable_snapshot) = match &prepared.work {
             PreparedWork::Static(jobs) => exec_placed(&prepared.cfg, jobs, self.spec.placement),

@@ -589,6 +589,50 @@ pub const SPEC_KEYS: [&str; 31] = [
     "threads",
 ];
 
+/// Every CLI flag the workspace binaries parse, in sorted order.
+///
+/// This is the machine-checked half of the dead-knob contract for the
+/// command line: `dfsim-lint` parses this table out of the source and
+/// fails the build when a registered flag has no read site left (a knob
+/// users can pass that does nothing), or when a binary parses a
+/// flag-shaped string that was never registered here. Spec keys and env
+/// vars get the same treatment through [`SPEC_KEYS`], [`CORE_ENV`] and
+/// [`EXTENDED_ENV`].
+pub const CLI_FLAGS: [&str; 32] = [
+    "--apps",
+    "--cache",
+    "--contiguous",
+    "--csv",
+    "--engine-stats",
+    "--globals",
+    "--groups",
+    "--horizon",
+    "--jobs",
+    "--max-age",
+    "--max-bytes",
+    "--no-cache",
+    "--nodes",
+    "--placement",
+    "--qtable",
+    "--queue",
+    "--rate",
+    "--rates",
+    "--replay",
+    "--routers",
+    "--routing",
+    "--scale",
+    "--sched",
+    "--seed",
+    "--sizes",
+    "--smoke",
+    "--snapshot",
+    "--spec",
+    "--targets",
+    "--threads",
+    "--trace",
+    "--train",
+];
+
 impl ExperimentSpec {
     // -- format ------------------------------------------------------------
 

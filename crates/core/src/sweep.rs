@@ -14,7 +14,14 @@
 use parking_lot::Mutex;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex as StdMutex, OnceLock};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard, OnceLock, PoisonError};
+
+/// Declared lock-acquisition order of this file, parsed out of the source
+/// and enforced by `dfsim-lint`'s lock-discipline rule: a thread already
+/// holding one of these locks may only take locks that appear *later* in
+/// the list. `work` and `results` are the per-slot sweep mutexes,
+/// `payload` the first-panic slot, `state` the shared pool's accounting.
+pub const LOCK_ORDER: [&str; 4] = ["work", "results", "payload", "state"];
 
 /// Map `f` over `items` on up to `threads` worker threads (0 = all
 /// available cores; explicit counts are capped at the machine's available
@@ -140,12 +147,30 @@ struct SharedPool {
     done_cv: Condvar,
 }
 
+/// Recover the pool-state lock after a worker panicked while holding it.
+///
+/// The accounting behind the lock (a handful of counters) is consistent
+/// at every release point, including the unwind paths, so the poisoned
+/// state is still valid — recovering keeps one panicked worker from
+/// wedging every later sweep in the process. The first recovery warns on
+/// stderr so the panic is not silently absorbed.
+fn recover_poison(e: PoisonError<MutexGuard<'_, PoolState>>) -> MutexGuard<'_, PoolState> {
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "warning: sweep pool state was poisoned by a panicked worker; recovering (the pool \
+             stays usable)"
+        );
+    }
+    e.into_inner()
+}
+
 impl SharedPool {
     fn worker_loop(&self) {
         let mut last_epoch = 0u64;
         loop {
             let job = {
-                let mut st = self.state.lock().expect("pool state poisoned");
+                let mut st = self.state.lock().unwrap_or_else(recover_poison);
                 loop {
                     if let Some(job) = st.job {
                         if job.epoch > last_epoch && st.slots > 0 {
@@ -155,14 +180,14 @@ impl SharedPool {
                             break job;
                         }
                     }
-                    st = self.work_cv.wait(st).expect("pool state poisoned");
+                    st = self.work_cv.wait(st).unwrap_or_else(recover_poison);
                 }
             };
             // The map closure catches per-item panics itself; this outer
             // guard only protects the pool's accounting from invariant
             // panics, so a wedged job can never deadlock the poster.
             let _ = std::panic::catch_unwind(AssertUnwindSafe(job.run));
-            let mut st = self.state.lock().expect("pool state poisoned");
+            let mut st = self.state.lock().unwrap_or_else(recover_poison);
             st.active -= 1;
             if st.active == 0 {
                 self.done_cv.notify_all();
@@ -201,7 +226,7 @@ fn shared_pool() -> &'static SharedPool {
 fn shared_pool_run(threads: usize, worker: &(dyn Fn() + Sync)) -> bool {
     let pool = shared_pool();
     {
-        let mut st = pool.state.lock().expect("pool state poisoned");
+        let mut st = pool.state.lock().unwrap_or_else(recover_poison);
         if st.busy {
             return false;
         }
@@ -236,10 +261,10 @@ fn shared_pool_run(threads: usize, worker: &(dyn Fn() + Sync)) -> bool {
     // The caller is an executor too, not a blocked supervisor.
     let caller = std::panic::catch_unwind(AssertUnwindSafe(worker));
     {
-        let mut st = pool.state.lock().expect("pool state poisoned");
+        let mut st = pool.state.lock().unwrap_or_else(recover_poison);
         st.slots = 0; // no further attachments
         while st.active > 0 {
-            st = pool.done_cv.wait(st).expect("pool state poisoned");
+            st = pool.done_cv.wait(st).unwrap_or_else(recover_poison);
         }
         st.job = None;
         st.busy = false;
@@ -253,6 +278,29 @@ fn shared_pool_run(threads: usize, worker: &(dyn Fn() + Sync)) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The declared acquisition order names exactly the locks this file
+    /// takes, outermost-first — lock-discipline checks every nested
+    /// acquisition against this table.
+    #[test]
+    fn lock_order_covers_the_pool_locks() {
+        assert_eq!(LOCK_ORDER, ["work", "results", "payload", "state"]);
+    }
+
+    /// A panicked holder must not wedge the pool: the poisoned state lock
+    /// recovers (with the state intact) instead of propagating the panic
+    /// into every later sweep.
+    #[test]
+    fn poisoned_pool_state_recovers() {
+        let m = StdMutex::new(PoolState::default());
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(m.is_poisoned(), "the panic above must poison the lock");
+        let st = m.lock().unwrap_or_else(recover_poison);
+        assert_eq!(st.epoch, 0, "the state behind the poisoned lock is intact");
+    }
 
     #[test]
     fn preserves_input_order() {

@@ -73,16 +73,25 @@ pub(crate) fn put_f64(b: &mut Vec<u8>, v: f64) {
     put_u64(b, v.to_bits());
 }
 pub(crate) fn put_str(b: &mut Vec<u8>, s: &str) {
-    put_u32(b, s.len() as u32);
+    put_u32(b, len_u32(s.len(), "a string length"));
     b.extend_from_slice(s.as_bytes());
 }
 pub(crate) fn put_opt_u64(b: &mut Vec<u8>, v: Option<u64>) {
-    put_u8(b, v.is_some() as u8);
+    put_u8(b, u8::from(v.is_some()));
     put_u64(b, v.unwrap_or(0));
 }
 pub(crate) fn put_opt_f64(b: &mut Vec<u8>, v: Option<f64>) {
-    put_u8(b, v.is_some() as u8);
+    put_u8(b, u8::from(v.is_some()));
     put_f64(b, v.unwrap_or(0.0));
+}
+
+/// Encode-side length word. Every length the codecs write (label strings,
+/// job/app/series counts, embedded blobs) is bounded far below `u32::MAX`
+/// by construction; a breach is a programming error that must stop the
+/// writer, because a silently wrapped length word corrupts the file.
+pub(crate) fn len_u32(n: usize, what: &'static str) -> u32 {
+    // lint: allow(no-panic-paths) — writer-side invariant: codec lengths are bounded far below u32::MAX by construction, and wrapping the length word would corrupt the blob, so a breach must stop the writer
+    u32::try_from(n).expect(what)
 }
 
 /// Encode the META payload for a finished run (the runner's half of
@@ -122,10 +131,10 @@ pub(crate) fn encode_meta(
     put_f64(&mut b, cfg.scale);
     // Recorder granularity.
     put_u64(&mut b, cfg.recorder.bin_width);
-    put_u8(&mut b, cfg.recorder.record_latencies as u8);
-    put_u8(&mut b, cfg.recorder.record_ports as u8);
+    put_u8(&mut b, u8::from(cfg.recorder.record_latencies));
+    put_u8(&mut b, u8::from(cfg.recorder.record_ports));
     // Jobs + per-app outcomes.
-    put_u32(&mut b, jobs.len() as u32);
+    put_u32(&mut b, len_u32(jobs.len(), "the job count"));
     for j in jobs {
         put_str(&mut b, j.kind.name());
         put_u32(&mut b, j.size);
@@ -159,7 +168,7 @@ pub(crate) fn encode_meta(
     put_u64(&mut b, end_time);
     put_f64(&mut b, wall_s);
     // Churn job outcomes.
-    put_u32(&mut b, job_reports.len() as u32);
+    put_u32(&mut b, len_u32(job_reports.len(), "the job-report count"));
     for j in job_reports {
         put_u32(&mut b, j.job);
         put_str(&mut b, &j.name);
@@ -171,7 +180,7 @@ pub(crate) fn encode_meta(
         put_f64(&mut b, j.run_ms);
         put_f64(&mut b, j.response_ms);
         put_opt_f64(&mut b, j.slowdown);
-        put_u8(&mut b, j.completed as u8);
+        put_u8(&mut b, u8::from(j.completed));
     }
     b
 }
@@ -195,27 +204,56 @@ impl<'a> Cur<'a> {
         self.take(n, what)
     }
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], TraceError> {
-        if self.pos + n > self.data.len() {
-            return Err(TraceError::Truncated { offset: self.pos as u64, what });
-        }
-        let s = &self.data[self.pos..self.pos + n];
+        let s = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.data.get(self.pos..end))
+            .ok_or(TraceError::Truncated { offset: self.pos as u64, what })?;
         self.pos += n;
         Ok(s)
     }
+    /// A fixed-width little-endian field as an owned array. `take` hands
+    /// back exactly `N` bytes, so the conversion's error arm is purely
+    /// defensive — it still maps onto a named error rather than a panic.
+    fn take_n<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], TraceError> {
+        let at = self.pos as u64;
+        let s = self.take(N, what)?;
+        s.try_into().map_err(|_| TraceError::Malformed {
+            offset: at,
+            msg: format!("{what}: internal field-width mismatch"),
+        })
+    }
     pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, TraceError> {
-        Ok(self.take(1, what)?[0])
+        let [b] = self.take_n::<1>(what)?;
+        Ok(b)
     }
     pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, TraceError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_n(what)?))
     }
     pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, TraceError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_n(what)?))
     }
     pub(crate) fn f64(&mut self, what: &'static str) -> Result<f64, TraceError> {
         Ok(f64::from_bits(self.u64(what)?))
     }
+    /// A `u32` length/count word widened to `usize` (fallible only on
+    /// hosts narrower than 32 bits, where it is a named error instead of
+    /// a silent wrap).
+    pub(crate) fn len(&mut self, what: &'static str) -> Result<usize, TraceError> {
+        let v = self.u32(what)?;
+        usize::try_from(v)
+            .map_err(|_| self.bad(format!("{what}: count {v} exceeds the host address width")))
+    }
+    /// A `u64` count word narrowed to `usize`, failing as a named error
+    /// when the value does not fit the host (a 32-bit replay of a 64-bit
+    /// run's statistics).
+    pub(crate) fn count64(&mut self, what: &'static str) -> Result<usize, TraceError> {
+        let v = self.u64(what)?;
+        usize::try_from(v)
+            .map_err(|_| self.bad(format!("{what}: count {v} exceeds the host address width")))
+    }
     pub(crate) fn str(&mut self, what: &'static str) -> Result<String, TraceError> {
-        let n = self.u32(what)? as usize;
+        let n = self.len(what)?;
         let at = self.pos as u64;
         let bytes = self.take(n, what)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| TraceError::Malformed {
@@ -285,7 +323,7 @@ pub fn decode_meta(blob: &[u8]) -> Result<TraceMeta, TraceError> {
         record_latencies: c.u8("recorder.record_latencies")? != 0,
         record_ports: c.u8("recorder.record_ports")? != 0,
     };
-    let njobs = c.u32("the job count")? as usize;
+    let njobs = c.len("the job count")?;
     let mut jobs = Vec::with_capacity(njobs);
     for _ in 0..njobs {
         let name = c.str("a job kind")?;
@@ -301,12 +339,12 @@ pub fn decode_meta(blob: &[u8]) -> Result<TraceMeta, TraceError> {
     let stats = EngineStats {
         events_processed: c.u64("stats.events_processed")?,
         events_scheduled: c.u64("stats.events_scheduled")?,
-        pending: c.u64("stats.pending")? as usize,
-        peak_pending: c.u64("stats.peak_pending")? as usize,
+        pending: c.count64("stats.pending")?,
+        peak_pending: c.count64("stats.peak_pending")?,
         resizes: c.u64("stats.resizes")?,
         bucket_scans: c.u64("stats.bucket_scans")?,
         sparse_jumps: c.u64("stats.sparse_jumps")?,
-        buckets: c.u64("stats.buckets")? as usize,
+        buckets: c.count64("stats.buckets")?,
         width_ps: c.u64("stats.width_ps")?,
     };
     let events = c.u64("the event count")?;
@@ -319,7 +357,7 @@ pub fn decode_meta(blob: &[u8]) -> Result<TraceMeta, TraceError> {
     };
     let end_time = c.u64("the end time")?;
     let wall_s = c.f64("the wall time")?;
-    let nreports = c.u32("the job-report count")? as usize;
+    let nreports = c.len("the job-report count")?;
     let mut job_reports = Vec::with_capacity(nreports);
     for _ in 0..nreports {
         job_reports.push(JobReport {

@@ -236,6 +236,7 @@ impl<E> CalendarQueue<E> {
             scanned += 1;
             self.bucket_scans += 1;
             if scanned >= n {
+                // lint: allow(no-panic-paths) — pop is only reached when len > 0 (checked by the caller), so at least one bucket holds a pending event and the scan minimum exists
                 let min_t = self.min_pending_time().expect("len > 0 but no pending events");
                 self.cursor = self.bucket_index(min_t);
                 self.day_start = self.day_of(min_t) * self.width;

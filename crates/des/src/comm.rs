@@ -83,6 +83,7 @@ impl SimCommunicator for LocalThreadCommunicator {
             // fails if the peer already hung up, i.e. it panicked.
             self.txs[p]
                 .send(frame)
+                // lint: allow(no-panic-paths) — a failed send means the peer partition already panicked; propagating that panic here is the correct (and only) escalation, there is no error channel back to the caller mid-window
                 .unwrap_or_else(|_| panic!("partition {p} hung up (worker panicked?)"));
         }
         let mut out = Vec::with_capacity(n);
@@ -93,6 +94,7 @@ impl SimCommunicator for LocalThreadCommunicator {
                 out.push(
                     self.rxs[p]
                         .recv()
+                        // lint: allow(no-panic-paths) — a failed recv means the peer partition already panicked; the exchange protocol has no error path, so joining that panic is the only sound behavior
                         .unwrap_or_else(|_| panic!("partition {p} hung up (worker panicked?)")),
                 );
             }
@@ -217,28 +219,38 @@ impl<'a> WireReader<'a> {
         s
     }
 
+    /// A fixed-width field as an owned array; `take` hands back exactly
+    /// `N` bytes, so the copy never mismatches.
+    #[inline]
+    fn take_n<const N: usize>(&mut self) -> [u8; N] {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.take(N));
+        a
+    }
+
     /// Read a `u8`.
     #[inline]
     pub fn u8(&mut self) -> u8 {
-        self.take(1)[0]
+        let [b] = self.take_n::<1>();
+        b
     }
 
     /// Read a `u16`.
     #[inline]
     pub fn u16(&mut self) -> u16 {
-        u16::from_le_bytes(self.take(2).try_into().unwrap())
+        u16::from_le_bytes(self.take_n())
     }
 
     /// Read a `u32`.
     #[inline]
     pub fn u32(&mut self) -> u32 {
-        u32::from_le_bytes(self.take(4).try_into().unwrap())
+        u32::from_le_bytes(self.take_n())
     }
 
     /// Read a `u64`.
     #[inline]
     pub fn u64(&mut self) -> u64 {
-        u64::from_le_bytes(self.take(8).try_into().unwrap())
+        u64::from_le_bytes(self.take_n())
     }
 
     /// Read an `f64` (bit pattern).

@@ -7,8 +7,12 @@
 //! modules, env reads in the resolution layers, sim state never iterates
 //! hash-ordered containers, randomness flows from seeded streams, stdout
 //! carries only report data, `unsafe` is audited, and every spec key is
-//! explicitly classified for the result cache. This crate makes those
-//! conventions machine-checked on every PR:
+//! explicitly classified for the result cache. v2 adds *failure-behavior*
+//! rules: hot-path modules cannot panic without a written invariant,
+//! mutex guards are never held across blocking calls, codec casts cannot
+//! silently wrap, and every user-settable knob (spec key, env var, CLI
+//! flag) provably reaches a read site. This crate makes those conventions
+//! machine-checked on every PR:
 //!
 //! ```text
 //! cargo run --release -p dfsim-lint        # lint the workspace, exit 2 on findings
@@ -64,6 +68,7 @@ pub fn lint_sources(files: Vec<SourceFile>) -> LintReport {
     }
     rules::check_crate_roots(&files, &mut findings);
     let cache_keys_checked = rules::check_cache_key_coverage(&files, &mut findings);
+    rules::check_dead_knobs(&files, &mut findings);
     findings.sort();
     LintReport { findings, files_scanned: files.len(), cache_keys_checked }
 }

@@ -20,14 +20,18 @@ use crate::lexer::{Comment, Lexed, TokenKind};
 use std::collections::BTreeMap;
 
 /// Every rule the pass knows, in reporting order.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 12] = [
     "no-wallclock",
     "no-ambient-env",
     "no-unordered-iteration",
     "no-ad-hoc-rng",
     "stdout-discipline",
     "unsafe-audit",
+    "no-panic-paths",
+    "lock-discipline",
+    "codec-cast-audit",
     "cache-key-coverage",
+    "dead-knob",
     "allow-audit",
 ];
 
@@ -140,6 +144,54 @@ const ENV_READS: [&str; 4] = ["var", "var_os", "vars", "vars_os"];
 const UNORDERED_IDENTS: [&str; 2] = ["HashMap", "HashSet"];
 const RNG_IDENTS: [&str; 4] = ["thread_rng", "OsRng", "from_entropy", "getrandom"];
 
+/// Hot-path modules where a panic is an outage, not a failed CLI run
+/// (ROADMAP: long-running `dfsim serve`, MPI communicator): every
+/// panicking construct must be rewritten onto the crate's error enum or
+/// carry a written invariant.
+const PANIC_FREE_PREFIXES: [&str; 4] =
+    ["crates/des/src/", "crates/network/src/", "crates/mpi/src/", "crates/metrics/src/"];
+const PANIC_FREE_CORE_FILES: [&str; 4] = [
+    "crates/core/src/partition.rs",
+    "crates/core/src/simulation.rs",
+    "crates/core/src/cache.rs",
+    "crates/core/src/trace.rs",
+];
+
+/// Codec files decode *external* input (trace files on disk, cache
+/// blobs): here no-panic-paths additionally audits direct indexing and
+/// bare division, and codec-cast-audit audits narrowing `as` casts — a
+/// short or corrupt file must surface as `Truncated`/`Malformed`, never
+/// as a panic or a silent wrap.
+const CODEC_FILES: [&str; 3] =
+    ["crates/metrics/src/trace.rs", "crates/core/src/trace.rs", "crates/core/src/cache.rs"];
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Cast targets that can lose bits (`usize`/`isize`: on 32-bit hosts;
+/// `i64`: from the sign domain of `u64`; `f32`: precision). `u64`,
+/// `u128` and `f64` targets are widening from every integer the codecs
+/// carry and pass un-flagged — the overflow-checks CI lane backstops the
+/// arithmetic feeding them.
+const NARROWING_TARGETS: [&str; 10] =
+    ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize", "i64", "f32"];
+
+/// Method names that can block the calling thread (channel ends, windowed
+/// `SimCommunicator` exchanges) — never while a mutex guard is live, or
+/// the pool-poster + windowed-exchange pair deadlocks.
+const BLOCKING_METHODS: [&str; 5] = ["send", "recv", "recv_timeout", "exchange", "broadcast"];
+
+/// Condvar waits: blocking too, but *correct* with a guard — when the
+/// guard is what they consume (`cv.wait(guard)` releases and reacquires
+/// atomically). Flagged only when no live guard is passed in.
+const CONDVAR_WAITS: [&str; 3] = ["wait", "wait_timeout", "wait_while"];
+
+/// Keywords that can sit directly before `[` without the bracket being an
+/// index expression (slice patterns, array literals, `for _ in [..]`).
+const NON_INDEX_KEYWORDS: [&str; 12] = [
+    "let", "mut", "ref", "in", "return", "break", "match", "box", "yield", "static", "const",
+    "else",
+];
+
 // ---------------------------------------------------------------------------
 // Allow directives
 // ---------------------------------------------------------------------------
@@ -238,6 +290,9 @@ pub fn lint_file(f: &SourceFile) -> Vec<Finding> {
     check_rng(f, &mut raw);
     check_stdout(f, &mut raw);
     check_unsafe(f, &mut raw);
+    check_panic_paths(f, &mut raw);
+    check_lock_discipline(f, &mut raw);
+    check_codec_casts(f, &mut raw);
 
     let mut directives = parse_directives(&f.lexed.comments);
     let mut out = Vec::new();
@@ -476,6 +531,422 @@ fn idents(f: &SourceFile) -> impl Iterator<Item = &crate::lexer::Token> {
 }
 
 // ---------------------------------------------------------------------------
+// v2: panic paths, lock discipline, codec casts
+// ---------------------------------------------------------------------------
+
+/// Is this file library code in a designated hot-path module?
+fn is_hot_path(f: &SourceFile) -> bool {
+    f.class == FileClass::Lib
+        && (PANIC_FREE_PREFIXES.iter().any(|p| f.rel.starts_with(p))
+            || PANIC_FREE_CORE_FILES.contains(&f.rel.as_str()))
+}
+
+/// no-panic-paths: `.unwrap()`/`.expect()`/panic macros in hot-path
+/// modules must be rewritten onto the crate's error enum or carry a
+/// justified allow; in codec files, direct indexing and bare division on
+/// decoded input are audited too.
+fn check_panic_paths(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !is_hot_path(f) {
+        return;
+    }
+    let codec = CODEC_FILES.contains(&f.rel.as_str());
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if f.lexed.in_test_region(t.line) {
+            continue;
+        }
+        let next_is = |s: &str| toks.get(i + 1).is_some_and(|n| n.text == s);
+        let prev_is = |s: &str| i > 0 && toks[i - 1].text == s;
+        match t.kind {
+            TokenKind::Ident
+                if (t.text == "unwrap" || t.text == "expect") && prev_is(".") && next_is("(") =>
+            {
+                push(
+                    f,
+                    out,
+                    t.line,
+                    "no-panic-paths",
+                    format!(
+                        "`.{}()` on a hot path: rewrite onto the crate's error enum, or \
+                         justify the invariant with `// lint: allow(no-panic-paths) — <why \
+                         it cannot fail>`",
+                        t.text
+                    ),
+                );
+            }
+            TokenKind::Ident
+                if PANIC_MACROS.contains(&t.text.as_str()) && next_is("!") && !prev_is(".") =>
+            {
+                push(
+                    f,
+                    out,
+                    t.line,
+                    "no-panic-paths",
+                    format!(
+                        "`{}!` on a hot path: return the crate's error enum instead, or \
+                         justify why this state is unreachable",
+                        t.text
+                    ),
+                );
+            }
+            TokenKind::Punct if codec && t.text == "[" && i > 0 && is_index_base(&toks[i - 1]) => {
+                push(
+                    f,
+                    out,
+                    t.line,
+                    "no-panic-paths",
+                    "direct indexing in codec code: a short or corrupt input must surface \
+                     as `Truncated`/`Malformed`, not a panic — use `get(..)` (or justify \
+                     the bound)"
+                        .to_string(),
+                );
+            }
+            TokenKind::Punct if codec && t.text == "/" && is_unchecked_division(toks, i) => {
+                push(
+                    f,
+                    out,
+                    t.line,
+                    "no-panic-paths",
+                    "bare division in codec code: a zero divisor derived from the input \
+                     panics — use `checked_div` (or justify why the divisor is non-zero)"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Does the token before `[` make the bracket an index expression?
+fn is_index_base(prev: &crate::lexer::Token) -> bool {
+    match prev.kind {
+        TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+        TokenKind::Punct => prev.text == ")" || prev.text == "]",
+        _ => false,
+    }
+}
+
+/// Is `/` at `i` a binary division whose divisor is not a literal?
+/// (Literal divisors can't be zero at runtime; float-typed numerators —
+/// recognizable from a preceding `as f64` cast — never panic.)
+fn is_unchecked_division(toks: &[crate::lexer::Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|p| toks.get(p)) else { return false };
+    let dividend_ok = match prev.kind {
+        TokenKind::Ident => {
+            !NON_INDEX_KEYWORDS.contains(&prev.text.as_str())
+                && prev.text != "f32"
+                && prev.text != "f64"
+        }
+        TokenKind::Num => true,
+        TokenKind::Punct => prev.text == ")" || prev.text == "]",
+        _ => false,
+    };
+    if !dividend_ok {
+        return false;
+    }
+    // `x /= y` is still a division; the divisor sits past the `=`.
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.text == "=") {
+        j += 1;
+    }
+    match toks.get(j) {
+        Some(d) => d.kind != TokenKind::Num,
+        None => false,
+    }
+}
+
+/// codec-cast-audit: narrowing `as` casts in codec files must become
+/// `try_from` (mapped onto the codec's named error) or carry a justified
+/// allow, so frame lengths can never silently wrap.
+fn check_codec_casts(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.class != FileClass::Lib || !CODEC_FILES.contains(&f.rel.as_str()) {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].kind == TokenKind::Ident
+            && toks[i].text == "as"
+            && toks[i + 1].kind == TokenKind::Ident
+            && NARROWING_TARGETS.contains(&toks[i + 1].text.as_str())
+            && !f.lexed.in_test_region(toks[i].line)
+        {
+            let ty = &toks[i + 1].text;
+            push(
+                f,
+                out,
+                toks[i].line,
+                "codec-cast-audit",
+                format!(
+                    "narrowing `as {ty}` in codec code can silently wrap: use \
+                     `{ty}::try_from(..)` mapped onto the codec's `Truncated`/`Malformed` \
+                     error (`::from` when lossless), or justify the value range"
+                ),
+            );
+        }
+    }
+}
+
+/// One live mutex guard during the [`check_lock_discipline`] scan.
+struct LiveGuard {
+    /// The `let` binding name; empty for a guard temporary that dies at
+    /// the end of its statement.
+    binding: String,
+    /// The lock's receiver name (`state` in `self.state.lock()`).
+    lock: String,
+    /// Line the guard was taken on.
+    line: usize,
+    /// Brace depth the binding lives at (dies when the block closes).
+    depth: usize,
+    /// Statement temporary (no `let`): dies at the next `;`.
+    temp: bool,
+}
+
+/// lock-discipline: a mutex guard must never be held across a blocking
+/// call (`send`/`recv`/`join`/`exchange`/`broadcast`, or a condvar wait
+/// that doesn't consume it), and nested acquisitions must follow the
+/// file's declared `LOCK_ORDER` table.
+fn check_lock_discipline(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.class != FileClass::Lib {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    let order = const_str_list_in(f, "LOCK_ORDER").map(|l| l.items);
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut depth = 0usize;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let in_test = f.lexed.in_test_region(t.line);
+        match t.text.as_str() {
+            "{" if t.kind == TokenKind::Punct => depth += 1,
+            "}" if t.kind == TokenKind::Punct => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            ";" if t.kind == TokenKind::Punct => guards.retain(|g| !g.temp),
+            "drop"
+                if t.kind == TokenKind::Ident
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(")
+                    && toks.get(i + 3).is_some_and(|n| n.text == ")") =>
+            {
+                if let Some(name) = toks.get(i + 2) {
+                    guards.retain(|g| g.binding != name.text);
+                }
+            }
+            _ => {}
+        }
+        let is_method = |s: &str| {
+            t.kind == TokenKind::Ident
+                && t.text == s
+                && i > 0
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).is_some_and(|n| n.text == "(")
+        };
+        // A new acquisition: `<recv>.lock(`.
+        if is_method("lock") {
+            let (lock_name, _) = receiver_name(toks, i - 1);
+            if !in_test {
+                if let Some(order) = &order {
+                    if !order.iter().any(|o| o == &lock_name) {
+                        push(
+                            f,
+                            out,
+                            t.line,
+                            "lock-discipline",
+                            format!(
+                                "lock `{lock_name}` is not declared in this file's \
+                                 `LOCK_ORDER` table — declare every lock so acquisition \
+                                 order stays auditable"
+                            ),
+                        );
+                    } else if let Some(g) = guards.iter().find(|g| {
+                        let held = order.iter().position(|o| o == &g.lock);
+                        let new = order.iter().position(|o| o == &lock_name);
+                        matches!((held, new), (Some(h), Some(n)) if h > n)
+                    }) {
+                        push(
+                            f,
+                            out,
+                            t.line,
+                            "lock-discipline",
+                            format!(
+                                "lock `{lock_name}` acquired while `{}` (line {}) is held \
+                                 — violates the declared `LOCK_ORDER`; swap the \
+                                 acquisitions or update the table",
+                                g.lock, g.line
+                            ),
+                        );
+                    }
+                } else if let Some(g) = guards.first() {
+                    push(
+                        f,
+                        out,
+                        t.line,
+                        "lock-discipline",
+                        format!(
+                            "nested lock acquisition (`{lock_name}` while `{}` from line \
+                             {} is held) without a `LOCK_ORDER` declaration in this file \
+                             — declare `const LOCK_ORDER: [&str; N]` listing every lock \
+                             in acquisition order",
+                            g.lock, g.line
+                        ),
+                    );
+                }
+            }
+            // Guard binding: the expression is a guard iff nothing but
+            // Result-unwrapping chains between `lock()` and the `;`.
+            let mut j = skip_balanced(toks, i + 1);
+            while toks.get(j).is_some_and(|x| x.text == ".")
+                && toks.get(j + 1).is_some_and(|x| {
+                    matches!(x.text.as_str(), "unwrap" | "expect" | "unwrap_or_else")
+                })
+                && toks.get(j + 2).is_some_and(|x| x.text == "(")
+            {
+                j = skip_balanced(toks, j + 2);
+            }
+            let guard_stmt = toks.get(j).is_some_and(|x| x.text == ";");
+            let binding = if guard_stmt { let_binding_before(toks, i) } else { None };
+            match binding {
+                Some(name) => guards.push(LiveGuard {
+                    binding: name,
+                    lock: lock_name,
+                    line: t.line,
+                    depth,
+                    temp: false,
+                }),
+                None => guards.push(LiveGuard {
+                    binding: String::new(),
+                    lock: lock_name,
+                    line: t.line,
+                    depth,
+                    temp: true,
+                }),
+            }
+            continue;
+        }
+        if guards.is_empty() || in_test {
+            continue;
+        }
+        // Blocking calls while a guard is live.
+        let blocking = BLOCKING_METHODS.iter().any(|m| is_method(m))
+            || (is_method("join") && toks.get(i + 2).is_some_and(|n| n.text == ")"));
+        if blocking {
+            let g = guards.last().expect("guards checked non-empty");
+            push(
+                f,
+                out,
+                t.line,
+                "lock-discipline",
+                format!(
+                    "`.{}()` can block while the guard of `{}` (line {}) is held — drop \
+                     the guard first, or the pool-poster/windowed-exchange pair deadlocks",
+                    t.text, g.lock, g.line
+                ),
+            );
+            continue;
+        }
+        if CONDVAR_WAITS.iter().any(|m| is_method(m)) {
+            // `cv.wait(guard)` consumes and reacquires the guard: correct.
+            let end = skip_balanced(toks, i + 1);
+            let consumes_guard = toks[i + 2..end.min(toks.len())].iter().any(|a| {
+                a.kind == TokenKind::Ident && guards.iter().any(|g| !g.temp && g.binding == a.text)
+            });
+            if !consumes_guard {
+                let g = guards.last().expect("guards checked non-empty");
+                push(
+                    f,
+                    out,
+                    t.line,
+                    "lock-discipline",
+                    format!(
+                        "`.{}()` blocks while the guard of `{}` (line {}) is held but \
+                         does not consume it — condvar waits must take the guard \
+                         (`cv.{}(guard)`)",
+                        t.text, g.lock, g.line, t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Name of the receiver of a method call whose `.` sits at `dot_idx`:
+/// `self.state.lock()` → `state`; `work[i].lock()` → `work`. Returns the
+/// name plus the token index where the receiver expression starts.
+fn receiver_name(toks: &[crate::lexer::Token], dot_idx: usize) -> (String, usize) {
+    let mut k = match dot_idx.checked_sub(1) {
+        Some(k) => k,
+        None => return ("?".to_string(), dot_idx),
+    };
+    // Skip a trailing index/call back to its opener: `work [ i ]` → `work`.
+    while toks[k].text == "]" || toks[k].text == ")" {
+        let close = &toks[k].text;
+        let open = if close == "]" { "[" } else { "(" };
+        let mut bal = 1usize;
+        while bal > 0 && k > 0 {
+            k -= 1;
+            if toks[k].text == *close {
+                bal += 1;
+            } else if toks[k].text == open {
+                bal -= 1;
+            }
+        }
+        match k.checked_sub(1) {
+            Some(p) => k = p,
+            None => return ("?".to_string(), 0),
+        }
+    }
+    if toks[k].kind == TokenKind::Ident {
+        (toks[k].text.clone(), k)
+    } else {
+        ("?".to_string(), k)
+    }
+}
+
+/// Token index just past the `)` matching the `(` at `open_idx`.
+fn skip_balanced(toks: &[crate::lexer::Token], open_idx: usize) -> usize {
+    let mut bal = 0usize;
+    let mut j = open_idx;
+    while j < toks.len() {
+        if toks[j].text == "(" {
+            bal += 1;
+        } else if toks[j].text == ")" {
+            bal -= 1;
+            if bal == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// The `let [mut] NAME =` binding of the statement containing token
+/// `idx`, if any (scans back to the nearest statement boundary).
+fn let_binding_before(toks: &[crate::lexer::Token], idx: usize) -> Option<String> {
+    let mut k = idx;
+    while k > 0 {
+        k -= 1;
+        match toks[k].text.as_str() {
+            ";" | "{" | "}" => return None,
+            "let" if toks[k].kind == TokenKind::Ident => {
+                let mut n = k + 1;
+                if toks.get(n).is_some_and(|t| t.text == "mut") {
+                    n += 1;
+                }
+                let name = toks.get(n).filter(|t| t.kind == TokenKind::Ident)?;
+                if toks.get(n + 1).is_some_and(|t| t.text == "=") {
+                    return Some(name.text.clone());
+                }
+                return None;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
 // Workspace-level rules
 // ---------------------------------------------------------------------------
 
@@ -617,37 +1088,52 @@ struct ConstStrList {
     file: String,
     line: usize,
     items: Vec<String>,
+    /// Token-index span of the definition (`const` keyword through the
+    /// terminating `;`), so registry listings are never mistaken for read
+    /// sites of the strings they declare.
+    tok_start: usize,
+    tok_end: usize,
 }
 
-/// Find `const <name>: … = [ …string literals… ];` across the file set and
+/// Find `const <name>: … = [ …string literals… ];` in one file and
 /// collect every string literal up to the terminating `;`. Only
 /// *definitions* match (the identifier must follow `const`), so references
 /// like `SPEC_KEYS.contains(..)` are ignored.
-fn find_const_str_list(files: &[SourceFile], name: &str) -> Option<ConstStrList> {
-    for f in files {
-        let toks = &f.lexed.tokens;
-        for i in 1..toks.len() {
-            if toks[i].text == name
-                && toks[i].kind == TokenKind::Ident
-                && toks[i - 1].text == "const"
-            {
-                // Skip the type annotation (its `[&str; N]` contains a `;`):
-                // string literals only count after the `=`.
-                let mut items = Vec::new();
-                let mut past_eq = false;
-                for t in &toks[i + 1..] {
-                    match t.kind {
-                        TokenKind::Punct if t.text == "=" => past_eq = true,
-                        TokenKind::Str if past_eq => items.push(t.text.clone()),
-                        TokenKind::Punct if t.text == ";" && past_eq => break,
-                        _ => {}
+fn const_str_list_in(f: &SourceFile, name: &str) -> Option<ConstStrList> {
+    let toks = &f.lexed.tokens;
+    for i in 1..toks.len() {
+        if toks[i].text == name && toks[i].kind == TokenKind::Ident && toks[i - 1].text == "const" {
+            // Skip the type annotation (its `[&str; N]` contains a `;`):
+            // string literals only count after the `=`.
+            let mut items = Vec::new();
+            let mut past_eq = false;
+            let mut end = toks.len();
+            for (off, t) in toks[i + 1..].iter().enumerate() {
+                match t.kind {
+                    TokenKind::Punct if t.text == "=" => past_eq = true,
+                    TokenKind::Str if past_eq => items.push(t.text.clone()),
+                    TokenKind::Punct if t.text == ";" && past_eq => {
+                        end = i + 1 + off;
+                        break;
                     }
+                    _ => {}
                 }
-                return Some(ConstStrList { file: f.rel.clone(), line: toks[i].line, items });
             }
+            return Some(ConstStrList {
+                file: f.rel.clone(),
+                line: toks[i].line,
+                items,
+                tok_start: i - 1,
+                tok_end: end,
+            });
         }
     }
     None
+}
+
+/// [`const_str_list_in`] over the whole file set (first definition wins).
+fn find_const_str_list(files: &[SourceFile], name: &str) -> Option<ConstStrList> {
+    files.iter().find_map(|f| const_str_list_in(f, name))
 }
 
 fn duplicates(items: &[String]) -> Vec<String> {
@@ -656,4 +1142,137 @@ fn duplicates(items: &[String]) -> Vec<String> {
         *seen.entry(it.as_str()).or_default() += 1;
     }
     seen.into_iter().filter(|&(_, n)| n > 1).map(|(k, _)| k.to_string()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// dead-knob: registries cross-checked against read sites
+// ---------------------------------------------------------------------------
+
+/// Crates whose string literals count when wiring experiment knobs: the
+/// facade binaries, the reproduction bench bins, and `core` (spec/cache
+/// resolution). The lint crate's own CLI is out of scope.
+const KNOB_CRATES: [&str; 3] = ["root", "bench", "core"];
+
+/// Is `s` the exact spelling of a CLI flag (`--seed`, `--no-cache`)?
+/// Prose mentioning flags (usage strings, error messages) contains spaces
+/// or punctuation and never matches.
+fn flag_shaped(s: &str) -> bool {
+    s.len() > 2
+        && s.starts_with("--")
+        && s[2..].starts_with(|c: char| c.is_ascii_lowercase())
+        && s[2..].chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+/// dead-knob: every knob a user can set — spec keys in `SPEC_KEYS`, env
+/// vars in `CORE_ENV`/`EXTENDED_ENV`, CLI flags in `CLI_FLAGS` — must
+/// have a read site (an exact string-literal occurrence outside the
+/// registries, i.e. a parser/match arm that consumes it), and every
+/// flag-shaped literal a parser matches must be declared in `CLI_FLAGS`.
+/// This is cache-key-coverage's drift class, generalized from hashing to
+/// wiring: a knob that parses but changes nothing is a silent lie to the
+/// user. Like the other registry rules, findings here cannot be waived.
+pub fn check_dead_knobs(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let registries: Vec<(&str, ConstStrList)> =
+        ["SPEC_KEYS", "KEY_CLASSIFICATION", "CORE_ENV", "EXTENDED_ENV", "CLI_FLAGS"]
+            .iter()
+            .filter_map(|n| find_const_str_list(files, n).map(|r| (*n, r)))
+            .collect();
+    // A read site is an exact Str token in live (non-test) lib/bin code,
+    // outside every registry definition span.
+    let occurrences = |needle: &str| -> bool {
+        files.iter().any(|f| {
+            if !matches!(f.class, FileClass::Lib | FileClass::Bin) {
+                return false;
+            }
+            f.lexed.tokens.iter().enumerate().any(|(idx, t)| {
+                t.kind == TokenKind::Str
+                    && t.text == needle
+                    && !f.lexed.in_test_region(t.line)
+                    && !registries
+                        .iter()
+                        .any(|(_, r)| r.file == f.rel && r.tok_start <= idx && idx <= r.tok_end)
+            })
+        })
+    };
+    let registry = |name: &str| -> Option<&ConstStrList> {
+        registries.iter().find(|(n, _)| *n == name).map(|(_, r)| r)
+    };
+    let mut dead = |r: &ConstStrList, item: &str, what: &str, fix: &str| {
+        out.push(Finding {
+            file: r.file.clone(),
+            line: r.line,
+            rule: "dead-knob",
+            message: format!("{what} `{item}` is registered but never read — {fix}"),
+            excerpt: String::new(),
+        });
+    };
+    if let Some(spec) = registry("SPEC_KEYS") {
+        for k in &spec.items {
+            if !occurrences(k) {
+                dead(
+                    spec,
+                    k,
+                    "spec key",
+                    "no `apply_key` arm consumes it; wire it up or drop it from the registry",
+                );
+            }
+        }
+    }
+    for env_reg in ["CORE_ENV", "EXTENDED_ENV"] {
+        if let Some(reg) = registry(env_reg) {
+            for v in &reg.items {
+                if !occurrences(v) {
+                    dead(
+                        reg,
+                        v,
+                        "env var",
+                        "no resolution layer reads it; wire it into `apply_env` or drop it",
+                    );
+                }
+            }
+        }
+    }
+    if let Some(flags) = registry("CLI_FLAGS") {
+        for fl in &flags.items {
+            if !occurrences(fl) {
+                dead(
+                    flags,
+                    fl,
+                    "CLI flag",
+                    "no parser matches it; wire it into `apply_cli` (or the binary) or drop it",
+                );
+            }
+        }
+        // The reverse direction: a parser arm matching an undeclared flag.
+        for f in files {
+            if !matches!(f.class, FileClass::Lib | FileClass::Bin)
+                || !KNOB_CRATES.contains(&f.krate.as_str())
+            {
+                continue;
+            }
+            for (idx, t) in f.lexed.tokens.iter().enumerate() {
+                if t.kind == TokenKind::Str
+                    && flag_shaped(&t.text)
+                    && !f.lexed.in_test_region(t.line)
+                    && !flags.items.contains(&t.text)
+                    && !registries
+                        .iter()
+                        .any(|(_, r)| r.file == f.rel && r.tok_start <= idx && idx <= r.tok_end)
+                {
+                    out.push(Finding {
+                        file: f.rel.clone(),
+                        line: t.line,
+                        rule: "dead-knob",
+                        message: format!(
+                            "CLI flag `{}` is parsed here but not declared in the \
+                             `CLI_FLAGS` registry — declare it so its wiring stays \
+                             cross-checked",
+                            t.text
+                        ),
+                        excerpt: f.excerpt(t.line),
+                    });
+                }
+            }
+        }
+    }
 }

@@ -1,0 +1,7 @@
+//! Fixture: a justified narrowing cast in codec code — the allow names
+//! the bound that makes the wrap impossible.
+
+pub fn tag(word: u32) -> u8 {
+    // lint: allow(codec-cast-audit) — the header validator already rejected words above 0xFF, so the low byte is the whole value
+    word as u8
+}

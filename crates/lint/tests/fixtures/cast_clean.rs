@@ -1,0 +1,11 @@
+//! Fixture: codec casts done right — `try_from` onto a named error for
+//! narrowing, and plain `as` for widening (which cannot wrap and must
+//! not fire).
+
+pub fn frame_len(n: usize) -> Result<u32, &'static str> {
+    u32::try_from(n).map_err(|_| "frame length overflows the u32 length word")
+}
+
+pub fn widen(n: u32) -> u64 {
+    u64::from(n) + (n as u64)
+}

@@ -1,0 +1,6 @@
+//! Fixture: a narrowing `as` cast in codec code (intentionally
+//! violating) — a frame length that silently wraps past `u32::MAX`.
+
+pub fn frame_len(n: usize) -> u32 {
+    n as u32
+}

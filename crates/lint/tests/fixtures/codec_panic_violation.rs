@@ -1,0 +1,10 @@
+//! Fixture: codec-only no-panic-paths extensions (intentionally
+//! violating): direct indexing and bare division on decoded input.
+
+pub fn first_byte(data: &[u8]) -> u8 {
+    data[0]
+}
+
+pub fn per_frame(total: u64, frames: u64) -> u64 {
+    total / frames
+}

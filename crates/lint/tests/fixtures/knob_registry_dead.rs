@@ -1,0 +1,10 @@
+//! Fixture: a CLI-flag registry declaring a flag nothing parses
+//! (intentionally violating dead-knob).
+
+/// Flags the binaries accept.
+pub const CLI_FLAGS: [&str; 2] = ["--ghost", "--seed"];
+
+/// The one real parser arm: only `--seed` is consumed.
+pub fn parses(arg: &str) -> bool {
+    arg == "--seed"
+}

@@ -1,0 +1,11 @@
+//! Fixture: every registered flag has a parser arm, and every
+//! flag-shaped literal the parser matches is registered — clean under
+//! dead-knob.
+
+/// Flags the binaries accept.
+pub const CLI_FLAGS: [&str; 2] = ["--ghost", "--seed"];
+
+/// Both declared flags are consumed.
+pub fn parses(arg: &str) -> bool {
+    arg == "--seed" || arg == "--ghost"
+}

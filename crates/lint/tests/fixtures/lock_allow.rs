@@ -1,0 +1,11 @@
+//! Fixture: a guard deliberately held across a send, with the invariant
+//! written down — the justified allow suppresses the finding.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn publish(state: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = state.lock().unwrap_or_else(|e| e.into_inner());
+    // lint: allow(lock-discipline) — the channel is unbounded and its receiver never takes `state`, so this send cannot block on the guard
+    tx.send(*g).ok();
+}

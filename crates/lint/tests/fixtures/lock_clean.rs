@@ -1,0 +1,12 @@
+//! Fixture: the same publish with the guard dropped before the send —
+//! clean under lock-discipline.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn publish(state: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = state.lock().unwrap_or_else(|e| e.into_inner());
+    let v = *g;
+    drop(g);
+    tx.send(v).ok();
+}

@@ -1,0 +1,11 @@
+//! Fixture: a mutex guard held across a blocking channel send
+//! (intentionally violating) — the receiver may need this same mutex to
+//! drain, which deadlocks both sides.
+
+use std::sync::mpsc::Sender;
+use std::sync::Mutex;
+
+pub fn publish(state: &Mutex<u32>, tx: &Sender<u32>) {
+    let g = state.lock().unwrap_or_else(|e| e.into_inner());
+    tx.send(*g).ok();
+}

@@ -1,0 +1,7 @@
+//! Fixture: a hot-path panic carrying a written invariant — the justified
+//! allow suppresses the finding and counts as used.
+
+pub fn head(v: &[u32]) -> u32 {
+    // lint: allow(no-panic-paths) — the caller loops `while !v.is_empty()`, so the slice always has a head here
+    *v.first().unwrap()
+}

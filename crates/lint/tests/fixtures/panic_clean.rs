@@ -1,0 +1,18 @@
+//! Fixture: the same operations rewritten onto an error enum — clean in
+//! the strictest hot-path scope. `unwrap_or`-style non-panicking helpers
+//! must not fire either.
+
+pub fn head(v: &[u32]) -> Result<u32, &'static str> {
+    v.first().copied().ok_or("empty input")
+}
+
+pub fn named(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn never(kind: u8) -> Result<u32, &'static str> {
+    match kind {
+        0 => Ok(1),
+        _ => Err("unknown kind"),
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: panicking constructs on a hot path (intentionally violating).
+
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn named(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn never(kind: u8) -> u32 {
+    match kind {
+        0 => 1,
+        _ => unreachable!("kinds above 0 are filtered upstream"),
+    }
+}

@@ -1,3 +1,9 @@
 // Synthetic spec-key registry: `new_knob` is the key the classification
 // fixtures forget (or remember), driving the cache-key-coverage tests.
 pub const SPEC_KEYS: [&str; 3] = ["workload", "seed", "new_knob"];
+
+// Every registered key has a consuming arm, keeping dead-knob silent so
+// the coverage tests exercise exactly one rule.
+pub fn apply_key(key: &str) -> bool {
+    matches!(key, "workload" | "seed" | "new_knob")
+}

@@ -192,6 +192,216 @@ fn cache_key_coverage_flags_a_registry_without_classification() {
 }
 
 // ---------------------------------------------------------------------------
+// v2: failure-behavior rules
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_panic_paths_fires_in_hot_path_modules() {
+    let src = include_str!("fixtures/panic_violation.rs");
+    for rel in [
+        "crates/des/src/helper.rs",
+        "crates/network/src/helper.rs",
+        "crates/mpi/src/helper.rs",
+        "crates/metrics/src/helper.rs",
+        "crates/core/src/partition.rs",
+    ] {
+        let f = lint_at(rel, src);
+        assert_eq!(rules_of(&f), vec!["no-panic-paths"; 3], "{rel}: {f:#?}");
+    }
+    let lines: Vec<usize> =
+        lint_at("crates/des/src/helper.rs", src).iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![4, 8, 14], "unwrap, expect, unreachable!");
+}
+
+#[test]
+fn no_panic_paths_is_silent_off_the_hot_path() {
+    let src = include_str!("fixtures/panic_violation.rs");
+    // Orchestration, one-shot binaries and tests may still panic freely.
+    for rel in [
+        "crates/core/src/sweep.rs",
+        "crates/bench/src/helper.rs",
+        "src/bin/dfsim.rs",
+        "crates/des/tests/some_suite.rs",
+    ] {
+        let f = lint_at(rel, src);
+        assert!(!rules_of(&f).contains(&"no-panic-paths"), "{rel} may panic: {f:#?}");
+    }
+}
+
+#[test]
+fn no_panic_paths_clean_rewrite_passes() {
+    let src = include_str!("fixtures/panic_clean.rs");
+    let f = lint_at("crates/des/src/helper.rs", src);
+    assert!(f.is_empty(), "error-enum rewrites and unwrap_or must not fire: {f:#?}");
+}
+
+#[test]
+fn no_panic_paths_justified_allow_suppresses() {
+    let src = include_str!("fixtures/panic_allow.rs");
+    let f = lint_at("crates/des/src/helper.rs", src);
+    assert!(f.is_empty(), "a written invariant suppresses and counts as used: {f:#?}");
+}
+
+#[test]
+fn no_panic_paths_audits_indexing_and_division_in_codec_files_only() {
+    let src = include_str!("fixtures/codec_panic_violation.rs");
+    let f = lint_at("crates/core/src/trace.rs", src);
+    assert_eq!(rules_of(&f), vec!["no-panic-paths"; 2], "{f:#?}");
+    assert!(f[0].message.contains("indexing"), "{:?}", f[0]);
+    assert!(f[1].message.contains("division"), "{:?}", f[1]);
+    // The same source in a non-codec hot-path module is fine: indexing
+    // there works on internal state, not decoded input.
+    let f = lint_at("crates/des/src/helper.rs", src);
+    assert!(f.is_empty(), "index/division audit is codec-scoped: {f:#?}");
+}
+
+#[test]
+fn codec_cast_audit_fires_on_narrowing_casts() {
+    let src = include_str!("fixtures/cast_violation.rs");
+    for rel in
+        ["crates/core/src/trace.rs", "crates/core/src/cache.rs", "crates/metrics/src/trace.rs"]
+    {
+        let f = lint_at(rel, src);
+        assert_eq!(rules_of(&f), vec!["codec-cast-audit"], "{rel}: {f:#?}");
+        assert_eq!(f[0].line, 5);
+    }
+    // Outside codec files the cast is unaudited.
+    let f = lint_at("crates/core/src/world.rs", src);
+    assert!(f.is_empty(), "cast audit is codec-scoped: {f:#?}");
+}
+
+#[test]
+fn codec_cast_audit_accepts_try_from_and_widening() {
+    let src = include_str!("fixtures/cast_clean.rs");
+    let f = lint_at("crates/core/src/trace.rs", src);
+    assert!(f.is_empty(), "try_from and `as u64` widening must not fire: {f:#?}");
+}
+
+#[test]
+fn codec_cast_audit_justified_allow_suppresses() {
+    let src = include_str!("fixtures/cast_allow.rs");
+    let f = lint_at("crates/core/src/trace.rs", src);
+    assert!(f.is_empty(), "a named bound suppresses the cast finding: {f:#?}");
+}
+
+#[test]
+fn lock_discipline_fires_on_guard_held_across_send() {
+    let src = include_str!("fixtures/lock_violation.rs");
+    let f = lint_at("crates/core/src/helper.rs", src);
+    assert_eq!(rules_of(&f), vec!["lock-discipline"], "{f:#?}");
+    assert_eq!(f[0].line, 10);
+    assert!(f[0].message.contains("`.send()` can block"), "{:?}", f[0]);
+    assert!(f[0].message.contains("`state`"), "must name the lock: {:?}", f[0]);
+}
+
+#[test]
+fn lock_discipline_clean_when_guard_dropped_before_send() {
+    let src = include_str!("fixtures/lock_clean.rs");
+    let f = lint_at("crates/core/src/helper.rs", src);
+    assert!(f.is_empty(), "drop(guard) before send must pass: {f:#?}");
+}
+
+#[test]
+fn lock_discipline_justified_allow_suppresses() {
+    let src = include_str!("fixtures/lock_allow.rs");
+    let f = lint_at("crates/core/src/helper.rs", src);
+    assert!(f.is_empty(), "a written no-deadlock argument suppresses: {f:#?}");
+}
+
+#[test]
+fn lock_discipline_requires_a_declared_order_for_nested_locks() {
+    let nested = "use std::sync::Mutex;\n\
+                  pub fn f(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {\n\
+                  let ga = a.lock().unwrap_or_else(|e| e.into_inner());\n\
+                  let gb = b.lock().unwrap_or_else(|e| e.into_inner());\n\
+                  *ga + *gb\n\
+                  }\n";
+    let f = lint_at("crates/core/src/helper.rs", nested);
+    assert_eq!(rules_of(&f), vec!["lock-discipline"], "{f:#?}");
+    assert!(f[0].message.contains("LOCK_ORDER"), "{:?}", f[0]);
+
+    // Declaring the order in acquisition order makes the same code clean.
+    let declared = format!("pub const LOCK_ORDER: [&str; 2] = [\"a\", \"b\"];\n{nested}");
+    let f = lint_at("crates/core/src/helper.rs", &declared);
+    assert!(f.is_empty(), "declared order must pass: {f:#?}");
+
+    // A declaration that contradicts the acquisitions fires.
+    let contradicted = format!("pub const LOCK_ORDER: [&str; 2] = [\"b\", \"a\"];\n{nested}");
+    let f = lint_at("crates/core/src/helper.rs", &contradicted);
+    assert_eq!(rules_of(&f), vec!["lock-discipline"], "{f:#?}");
+    assert!(f[0].message.contains("violates the declared `LOCK_ORDER`"), "{:?}", f[0]);
+}
+
+#[test]
+fn dead_knob_fires_on_a_flag_nothing_parses() {
+    let src = include_str!("fixtures/knob_registry_dead.rs");
+    let f = lint_at("crates/core/src/spec.rs", src);
+    assert_eq!(rules_of(&f), vec!["dead-knob"], "{f:#?}");
+    assert!(f[0].message.contains("`--ghost`"), "must name the dead flag: {:?}", f[0]);
+    assert!(!f[0].message.contains("--seed"), "the parsed flag is live: {:?}", f[0]);
+}
+
+#[test]
+fn dead_knob_passes_when_every_flag_is_parsed() {
+    let src = include_str!("fixtures/knob_registry_live.rs");
+    let f = lint_at("crates/core/src/spec.rs", src);
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
+fn dead_knob_fires_on_a_parsed_but_undeclared_flag() {
+    let report = lint_sources(vec![
+        load_source("crates/core/src/spec.rs", include_str!("fixtures/knob_registry_live.rs")),
+        load_source(
+            "crates/core/src/cli.rs",
+            "pub fn parses(arg: &str) -> bool {\narg == \"--rogue\"\n}\n",
+        ),
+    ]);
+    let f = &report.findings;
+    assert_eq!(rules_of(f), vec!["dead-knob"], "{f:#?}");
+    assert!(f[0].message.contains("`--rogue`"), "{:?}", f[0]);
+    assert!(f[0].message.contains("not declared"), "{:?}", f[0]);
+    assert_eq!(f[0].file, "crates/core/src/cli.rs");
+}
+
+#[test]
+fn dead_knob_ignores_test_only_flags_and_out_of_scope_crates() {
+    let registry = include_str!("fixtures/knob_registry_live.rs");
+    // A flag-shaped literal in a test region is not a parser arm…
+    let report = lint_sources(vec![
+        load_source("crates/core/src/spec.rs", registry),
+        load_source(
+            "crates/core/tests/cli_suite.rs",
+            "pub fn parses(arg: &str) -> bool {\narg == \"--warp\"\n}\n",
+        ),
+    ]);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+    // …and neither is one outside the knob crates (e.g. the lint CLI).
+    let report = lint_sources(vec![
+        load_source("crates/core/src/spec.rs", registry),
+        load_source(
+            "crates/lint/src/cli.rs",
+            "pub fn parses(arg: &str) -> bool {\narg == \"--root\"\n}\n",
+        ),
+    ]);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+}
+
+#[test]
+fn dead_knob_cannot_be_waived() {
+    // Like cache-key-coverage, dead-knob is a registry cross-check: an
+    // allow suppresses nothing and is itself flagged as stale.
+    let src = format!(
+        "// lint: allow(dead-knob) — trying to waive the unwaivable\n{}",
+        include_str!("fixtures/knob_registry_dead.rs")
+    );
+    let f = lint_at("crates/core/src/spec.rs", &src);
+    let mut rules = rules_of(&f);
+    rules.sort();
+    assert_eq!(rules, vec!["allow-audit", "dead-knob"], "{f:#?}");
+}
+
+// ---------------------------------------------------------------------------
 // The allow mechanism
 // ---------------------------------------------------------------------------
 
@@ -254,6 +464,12 @@ fn workspace_is_clean() {
         "cache-key-coverage did not find the real registry ({} keys checked)",
         report.cache_keys_checked
     );
+    // v2 pin: the failure-behavior rules are in the pass that just ran
+    // clean, so the whole workspace is panic-audited, lock-ordered,
+    // cast-audited and knob-wired — not merely deterministic.
+    for rule in ["no-panic-paths", "lock-discipline", "codec-cast-audit", "dead-knob"] {
+        assert!(dfsim_lint::rules::RULES.contains(&rule), "v2 rule {rule} missing from the pass");
+    }
 }
 
 /// The CLI contract CI scripts rely on: exit 0 + summary on a clean tree,

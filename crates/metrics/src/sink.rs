@@ -130,17 +130,54 @@ impl VecSink {
     }
 
     /// Snapshot of every event observed so far, in recording order.
+    ///
+    /// A poisoned lock recovers: the stored `Vec` is consistent at every
+    /// release point, and a sink must never turn one panicked holder into
+    /// a second panic.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("sink storage poisoned").clone()
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 }
 
 impl EventSink for VecSink {
     fn event(&mut self, ev: &TraceEvent) {
-        self.events.lock().expect("sink storage poisoned").push(*ev);
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(*ev);
     }
 
     fn finish(self: Box<Self>, _meta: Option<&[u8]>) -> std::io::Result<()> {
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vecsink_clones_share_storage() {
+        let mut sink = VecSink::new();
+        let handle = sink.clone();
+        sink.event(&TraceEvent::Injected { app: AppId(1), t: 5, bytes: 64 });
+        assert_eq!(handle.events().len(), 1);
+    }
+
+    /// Regression: `events()` used to `unwrap()` the mutex, so one
+    /// panicked recorder thread made every later snapshot panic too —
+    /// losing the very events a crash post-mortem needs. A poisoned lock
+    /// must recover (the Vec is consistent at every release point).
+    #[test]
+    fn vecsink_snapshot_survives_a_poisoned_lock() {
+        let mut sink = VecSink::new();
+        sink.event(&TraceEvent::Injected { app: AppId(0), t: 1, bytes: 32 });
+        let poisoner = sink.clone();
+        std::panic::catch_unwind(move || {
+            let _guard = poisoner.events.lock().unwrap();
+            panic!("recorder thread dies mid-hook");
+        })
+        .unwrap_err();
+        assert!(sink.events.is_poisoned(), "the panic must have poisoned the lock");
+        assert_eq!(sink.events().len(), 1, "snapshot still serves the recorded events");
+        sink.event(&TraceEvent::Injected { app: AppId(0), t: 2, bytes: 32 });
+        assert_eq!(sink.events().len(), 2, "recording keeps working after recovery");
     }
 }

@@ -147,8 +147,8 @@ pub fn encode_event(buf: &mut Vec<u8>, ev: &TraceEvent) {
             put_u64(buf, inject);
             put_u64(buf, deliver);
             put_u32(buf, bytes);
-            buf.push(detoured as u8);
-            buf.push(hops.is_some() as u8);
+            buf.push(u8::from(detoured));
+            buf.push(u8::from(hops.is_some()));
             buf.push(hops.unwrap_or(0));
         }
         TraceEvent::Forwarded { router, port, busy, bytes } => {
@@ -196,28 +196,41 @@ struct Cur<'a> {
 
 impl<'a> Cur<'a> {
     fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], TraceError> {
-        if self.pos + n > self.data.len() {
-            return Err(TraceError::Truncated { offset: self.base + self.data.len() as u64, what });
-        }
-        let s = &self.data[self.pos..self.pos + n];
+        let s =
+            self.pos.checked_add(n).and_then(|end| self.data.get(self.pos..end)).ok_or(
+                TraceError::Truncated { offset: self.base + self.data.len() as u64, what },
+            )?;
         self.pos += n;
         Ok(s)
     }
 
+    /// A fixed-width little-endian field as an owned array. `take` hands
+    /// back exactly `N` bytes, so the conversion's error arm is purely
+    /// defensive — it still maps onto a named error rather than a panic.
+    fn take_n<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], TraceError> {
+        let at = self.base + self.pos as u64;
+        let s = self.take(N, what)?;
+        s.try_into().map_err(|_| TraceError::Malformed {
+            offset: at,
+            msg: format!("{what}: internal field-width mismatch"),
+        })
+    }
+
     fn u8(&mut self, what: &'static str) -> Result<u8, TraceError> {
-        Ok(self.take(1, what)?[0])
+        let [b] = self.take_n::<1>(what)?;
+        Ok(b)
     }
 
     fn u16(&mut self, what: &'static str) -> Result<u16, TraceError> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_n(what)?))
     }
 
     fn u32(&mut self, what: &'static str) -> Result<u32, TraceError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_n(what)?))
     }
 
     fn u64(&mut self, what: &'static str) -> Result<u64, TraceError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_n(what)?))
     }
 }
 
@@ -333,9 +346,20 @@ impl TraceWriter {
         if self.err.is_some() {
             return;
         }
-        let mut hdr = [0u8; 5];
-        hdr[0] = kind;
-        hdr[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        let len = match u32::try_from(payload.len()) {
+            Ok(len) => len,
+            Err(_) => {
+                // A wrapped length word would silently corrupt the file;
+                // surface it through the writer's sticky-error path.
+                self.err = Some(std::io::Error::other(format!(
+                    "frame payload of {} bytes overflows the u32 length word",
+                    payload.len()
+                )));
+                return;
+            }
+        };
+        let [l0, l1, l2, l3] = len.to_le_bytes();
+        let hdr = [kind, l0, l1, l2, l3];
         let r = self.out.write_all(&hdr).and_then(|()| self.out.write_all(payload));
         if let Err(e) = r {
             self.err = Some(e);
@@ -428,9 +452,11 @@ fn scan(
 
     let mut header = [0u8; TRACE_HEADER.len()];
     let got = read_up_to(&mut rd, &mut header).map_err(|e| TraceError::io(path, e))?;
-    if &header[..got] != TRACE_HEADER {
+    // lint: allow(no-panic-paths) — `read_up_to` returns got <= header.len(), so the prefix range is in bounds by construction
+    let head = &header[..got];
+    if head != TRACE_HEADER {
         return Err(TraceError::Version {
-            found: String::from_utf8_lossy(&header[..got]).trim_end().to_string(),
+            found: String::from_utf8_lossy(head).trim_end().to_string(),
         });
     }
 
@@ -450,29 +476,33 @@ fn scan(
                 what: "a frame header",
             });
         }
-        let kind = hdr[0];
-        let len = u32::from_le_bytes(hdr[1..5].try_into().unwrap()) as u64;
+        let [kind, l0, l1, l2, l3] = hdr;
+        let len = u32::from_le_bytes([l0, l1, l2, l3]);
         let body_at = offset + 5;
-        if body_at + len > file_len {
+        if body_at + u64::from(len) > file_len {
             return Err(TraceError::Truncated { offset: file_len, what: "a frame payload" });
         }
         match kind {
             FRAME_EVENTS => {
                 if let Some(cb) = on_event.as_deref_mut() {
                     payload.clear();
-                    payload.resize(len as usize, 0);
+                    payload.resize(host_len(len, offset)?, 0);
                     rd.read_exact(&mut payload).map_err(|e| TraceError::io(path, e))?;
                     decode_events(&payload, body_at, &mut |ev| {
                         out.events += 1;
-                        out.counts[tag_of(ev) as usize - 1] += 1;
+                        let idx = usize::from(tag_of(ev)) - 1;
+                        if let Some(slot) = out.counts.get_mut(idx) {
+                            *slot += 1;
+                        }
                         cb(ev);
                     })?;
                 } else {
-                    rd.seek(SeekFrom::Current(len as i64)).map_err(|e| TraceError::io(path, e))?;
+                    rd.seek(SeekFrom::Current(i64::from(len)))
+                        .map_err(|e| TraceError::io(path, e))?;
                 }
             }
             FRAME_META => {
-                let mut m = vec![0u8; len as usize];
+                let mut m = vec![0u8; host_len(len, offset)?];
                 rd.read_exact(&mut m).map_err(|e| TraceError::io(path, e))?;
                 if out.meta.replace(m).is_some() {
                     return Err(TraceError::Malformed {
@@ -497,7 +527,7 @@ fn scan(
                 })
             }
         }
-        offset = body_at + len;
+        offset = body_at + u64::from(len);
     }
     if !ended {
         return Err(TraceError::Truncated { offset, what: "the END marker" });
@@ -505,11 +535,21 @@ fn scan(
     Ok(out)
 }
 
+/// A frame length word as a host `usize` (a named error on hosts narrower
+/// than 32 bits, never a silent wrap).
+fn host_len(len: u32, offset: u64) -> Result<usize, TraceError> {
+    usize::try_from(len).map_err(|_| TraceError::Malformed {
+        offset,
+        msg: format!("frame of {len} bytes exceeds the host address width"),
+    })
+}
+
 /// Read as many bytes as the stream yields into `buf` (EOF-tolerant
 /// `read_exact`): returns how many landed.
 fn read_up_to(rd: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
     let mut got = 0;
     while got < buf.len() {
+        // lint: allow(no-panic-paths) — the loop guard keeps got < buf.len(), so the tail range is in bounds
         let n = rd.read(&mut buf[got..])?;
         if n == 0 {
             break;

@@ -159,6 +159,7 @@ impl MpiSim {
         net: &mut NetworkSim,
         rec: &mut Recorder,
     ) {
+        // lint: allow(no-panic-paths) — AppIds are minted by `register` and never removed; a missing slot means the caller forged an id, which must stop the run
         let n = self.apps[app.idx()].as_ref().expect("unknown app").ranks.len();
         for r in 0..n as u32 {
             self.advance(app, r, sched, net, rec);
@@ -193,6 +194,7 @@ impl MpiSim {
             .get(msg.idx())
             .copied()
             .flatten()
+            // lint: allow(no-panic-paths) — every message the boundary exports was locally injected with metadata recorded in the same call; absence is a protocol bug, not an input condition
             .expect("exporting a message without metadata");
         let mut w = WireWriter::new();
         match meta {
@@ -270,6 +272,7 @@ impl MpiSim {
                 recv_req: r.u32(),
                 send_req: r.u32(),
             },
+            // lint: allow(no-panic-paths) — meta frames come from a sibling partition over the trusted intra-run wire protocol, not from external input; a bad tag means memory corruption or a version skew bug
             t => panic!("corrupt meta frame: tag {t}"),
         };
         debug_assert!(r.is_empty(), "trailing bytes in meta frame");
@@ -349,6 +352,7 @@ impl MpiSim {
     // ---- internals ---------------------------------------------------------
 
     fn app_mut(&mut self, app: AppId) -> &mut AppState {
+        // lint: allow(no-panic-paths) — AppIds are minted by `register` and never removed; a missing slot means the caller forged an id, which must stop the run
         self.apps[app.idx()].as_mut().expect("unknown app")
     }
 
@@ -456,6 +460,7 @@ impl MpiSim {
             let AppState { comms, ranks, .. } = self.app_mut(app);
             let members = comms
                 .get(comm.0 as usize)
+                // lint: allow(no-panic-paths) — communicator ids are produced by `comm_create` on this same app and never deleted; an out-of-range id is a workload-generator bug worth a loud stop
                 .unwrap_or_else(|| panic!("unknown communicator {comm:?}"));
             let Some(me) = members.iter().position(|&m| m == rank) else {
                 return; // not a member: collective is a no-op for this rank
@@ -474,6 +479,7 @@ impl MpiSim {
             MpiOp::Recv { src, tag } => MicroOp::Recv { src, tag },
             MpiOp::Irecv { src, tag } => MicroOp::Irecv { src, tag },
             MpiOp::WaitAll => MicroOp::WaitAll,
+            // lint: allow(no-panic-paths) — the `is_collective` branch above returned early for every collective op, so only point-to-point ops reach this match
             _ => unreachable!("collectives handled above"),
         };
         self.rank_mut(app, rank).stack.push(micro);

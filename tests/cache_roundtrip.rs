@@ -199,3 +199,41 @@ fn only_entry(dir: &Path) -> PathBuf {
     assert_eq!(entries.len(), 1, "expected exactly one cache entry");
     entries.pop().unwrap()
 }
+
+/// Regression: the report decoder used to narrow the on-wire u32 app-id
+/// word with `as u16`, so a corrupt blob decoded into a *wrong report*
+/// (app id silently truncated) instead of an error. Both corruption and
+/// truncation must now surface as named `CacheError`s.
+#[test]
+fn corrupt_report_blob_is_a_named_error_not_a_wrong_report() {
+    use dfsim_core::cache::{decode_report, CacheError};
+
+    let dir = temp_cache("corrupt_blob");
+    let live = run(&tiny_spec(RoutingAlgo::UgalG, &dir));
+    let blob = encode_report(&live.report);
+
+    // Byte offset of the first app's id word, from the fields before it.
+    let r = &live.report;
+    let off = 4                         // version word
+        + 4 + r.routing.len()           // routing string
+        + 4 + r.queue.len()             // queue string
+        + 8 + 8 + 1                     // seed, scale, completed
+        + 4 + r.stop_reason.len()       // stop_reason string
+        + 8 + 8 + 8                     // sim_ms, events, wall_s
+        + 4                             // app count
+        + 4 + r.apps[0].name.len(); // first app's name string
+    let mut bad = blob.clone();
+    bad[off..off + 4].copy_from_slice(&0x0001_0000u32.to_le_bytes());
+    let e = decode_report(&bad).expect_err("an app id beyond u16 must not decode");
+    assert!(matches!(e, CacheError::Malformed { .. }), "{e}");
+    assert!(e.to_string().contains("overflows u16"), "{e}");
+
+    // Sanity check on the offset arithmetic: restoring the real id word
+    // makes the same bytes decode again.
+    bad[off..off + 4].copy_from_slice(&u32::from(r.apps[0].app).to_le_bytes());
+    assert!(decode_report(&bad).is_ok(), "offset arithmetic drifted from the codec");
+
+    let e = decode_report(&blob[..blob.len() - 3]).expect_err("a short blob must not decode");
+    assert!(e.to_string().contains("truncated"), "{e}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
